@@ -1,0 +1,44 @@
+//! E3 bench — DAG broadcast (Section 3.3) in both forwarding modes.
+
+use anet_bench::dag_workloads;
+use anet_core::dag_broadcast::{run_dag_broadcast, ForwardingMode};
+use anet_core::{Payload, Pow2Commodity};
+use anet_sim::scheduler::FifoScheduler;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_dag_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_broadcast");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    for workload in dag_workloads(&[8, 32, 64]) {
+        for (label, mode) in [
+            ("eager", ForwardingMode::Eager),
+            ("wait-all", ForwardingMode::WaitForAllInputs),
+        ] {
+            // Eager forwarding is exponential in the number of root paths; bench it
+            // only on the small instances (the wait-all mode is the paper's).
+            if mode == ForwardingMode::Eager && workload.network.edge_count() > 80 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(label, &workload.name),
+                &workload,
+                |b, w| {
+                    b.iter(|| {
+                        run_dag_broadcast::<Pow2Commodity>(
+                            &w.network,
+                            Payload::empty(),
+                            mode,
+                            &mut FifoScheduler::new(),
+                        )
+                        .expect("run completes")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dag_broadcast);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E5 bench — general-graph broadcast via interval-union commodities (Section 4).
+
+use anet_bench::cyclic_workloads;
+use anet_core::general_broadcast::run_general_broadcast;
+use anet_core::Payload;
+use anet_graph::generators::{cycle_with_tail, nested_cycles};
+use anet_sim::scheduler::FifoScheduler;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_general_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("general_broadcast");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    let mut workloads = cyclic_workloads(&[10, 20, 40]);
+    workloads.push(anet_bench::Workload {
+        name: "cycle-with-tail/32".to_owned(),
+        network: cycle_with_tail(32).expect("valid"),
+    });
+    workloads.push(anet_bench::Workload {
+        name: "nested-cycles/4x6".to_owned(),
+        network: nested_cycles(4, 6).expect("valid"),
+    });
+    for workload in &workloads {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&workload.name),
+            workload,
+            |b, w| {
+                b.iter(|| {
+                    run_general_broadcast(
+                        &w.network,
+                        Payload::synthetic(64),
+                        &mut FifoScheduler::new(),
+                    )
+                    .expect("run completes")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_general_broadcast);
+criterion_main!(benches);

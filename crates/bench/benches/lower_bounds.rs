@@ -1,0 +1,35 @@
+//! E2/E4/E9 bench — the lower-bound experiments: chain-family alphabet extraction,
+//! skeleton subset sweeps and linear-cut lemma verification.
+
+use anet_core::Pow2Commodity;
+use anet_graph::generators::chain_gn;
+use anet_lowerbounds::chain_family::chain_family_experiment;
+use anet_lowerbounds::linear_cut::verify_cut_lemmas;
+use anet_lowerbounds::skeleton::skeleton_experiment;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_lower_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bounds");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+
+    group.bench_function("chain_family/n=64", |b| {
+        b.iter(|| chain_family_experiment::<Pow2Commodity>(&[64], 0))
+    });
+
+    for n in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("skeleton", n), &n, |b, &n| {
+            b.iter(|| skeleton_experiment::<Pow2Commodity>(n, 1 << n.min(8)))
+        });
+    }
+
+    let chain = chain_gn(8).expect("valid");
+    group.bench_function("linear_cut_lemmas/chain-8", |b| {
+        b.iter(|| verify_cut_lemmas::<Pow2Commodity>(&chain, 1 << 12))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bounds);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E1 bench — grounded-tree broadcast (Theorem 3.1): power-of-two rule vs the
+//! naive x/d rule across growing trees.
+
+use anet_bench::grounded_tree_workloads;
+use anet_core::tree_broadcast::run_tree_broadcast;
+use anet_core::{ExactCommodity, Payload, Pow2Commodity};
+use anet_sim::scheduler::FifoScheduler;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_tree_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_broadcast");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    for workload in grounded_tree_workloads(&[32, 128, 512]) {
+        group.bench_with_input(
+            BenchmarkId::new("pow2", &workload.name),
+            &workload,
+            |b, w| {
+                b.iter(|| {
+                    run_tree_broadcast::<Pow2Commodity>(
+                        &w.network,
+                        Payload::synthetic(64),
+                        &mut FifoScheduler::new(),
+                    )
+                    .expect("run completes")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", &workload.name),
+            &workload,
+            |b, w| {
+                b.iter(|| {
+                    run_tree_broadcast::<ExactCommodity>(
+                        &w.network,
+                        Payload::synthetic(64),
+                        &mut FifoScheduler::new(),
+                    )
+                    .expect("run completes")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_broadcast);
+criterion_main!(benches);

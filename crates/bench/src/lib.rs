@@ -1,0 +1,164 @@
+//! # anet-bench — benchmark harness and table-regeneration support
+//!
+//! The paper is a theory paper: its "tables and figures" are the complexity claims
+//! of Theorems 3.1–5.2 and the constructions in Figures 4–6. Every experiment
+//! `E1`–`E9` listed in `DESIGN.md` has
+//!
+//! * a `table_e*` binary (in `src/bin/`) that regenerates the corresponding table
+//!   of `EXPERIMENTS.md`, and
+//! * a Criterion bench (in `benches/`) that tracks the wall-clock cost of the
+//!   protocol runs behind it.
+//!
+//! This library holds the pieces shared by both: deterministic workload
+//! construction and plain-text table rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use anet_graph::generators::{
+    chain_gn, diamond_stack, layered_dag, random_cyclic, random_dag, random_grounded_tree,
+};
+use anet_graph::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The fixed seed used by every workload, so tables are reproducible run to run.
+pub const WORKLOAD_SEED: u64 = 0x5EED_2007;
+
+/// A named network workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name used in the table's first column.
+    pub name: String,
+    /// The network itself.
+    pub network: Network,
+}
+
+/// Grounded-tree workloads for E1: the chain family plus random grounded trees of
+/// growing size.
+pub fn grounded_tree_workloads(sizes: &[usize]) -> Vec<Workload> {
+    let mut rng = StdRng::seed_from_u64(WORKLOAD_SEED);
+    let mut out = Vec::new();
+    for &n in sizes {
+        out.push(Workload {
+            name: format!("chain-gn/{n}"),
+            network: chain_gn(n).expect("n >= 1"),
+        });
+        out.push(Workload {
+            name: format!("random-tree/{n}"),
+            network: random_grounded_tree(&mut rng, n, 4, 0.3).expect("valid parameters"),
+        });
+    }
+    out
+}
+
+/// DAG workloads for E3: diamond stacks and layered random DAGs.
+pub fn dag_workloads(sizes: &[usize]) -> Vec<Workload> {
+    let mut rng = StdRng::seed_from_u64(WORKLOAD_SEED ^ 0x3);
+    let mut out = Vec::new();
+    for &n in sizes {
+        out.push(Workload {
+            name: format!("diamond-stack/{n}"),
+            network: diamond_stack(n).expect("n >= 1"),
+        });
+        out.push(Workload {
+            name: format!("layered-dag/{n}"),
+            network: layered_dag(&mut rng, n.max(1), 4, 2).expect("valid parameters"),
+        });
+        out.push(Workload {
+            name: format!("random-dag/{n}"),
+            network: random_dag(&mut rng, n, 0.15).expect("valid parameters"),
+        });
+    }
+    out
+}
+
+/// General (cyclic) workloads for E5/E6/E8.
+pub fn cyclic_workloads(sizes: &[usize]) -> Vec<Workload> {
+    let mut rng = StdRng::seed_from_u64(WORKLOAD_SEED ^ 0x5);
+    sizes
+        .iter()
+        .map(|&n| Workload {
+            name: format!("random-cyclic/{n}"),
+            network: random_cyclic(&mut rng, n, 0.1, 0.15).expect("valid parameters"),
+        })
+        .collect()
+}
+
+/// Renders a plain-text table with aligned columns, in the style used by
+/// `EXPERIMENTS.md`.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt_row(&dashes, &widths));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Formats a float with three significant decimals for table cells.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::classify;
+
+    #[test]
+    fn workloads_are_valid_and_deterministic() {
+        let a = grounded_tree_workloads(&[4, 8]);
+        let b = grounded_tree_workloads(&[4, 8]);
+        assert_eq!(a.len(), 4);
+        for (wa, wb) in a.iter().zip(b.iter()) {
+            assert_eq!(wa.name, wb.name);
+            assert_eq!(wa.network.edge_count(), wb.network.edge_count());
+            assert!(classify::is_grounded_tree(&wa.network), "{}", wa.name);
+        }
+        for w in dag_workloads(&[3, 6]) {
+            assert!(classify::is_dag(w.network.graph()), "{}", w.name);
+            assert!(classify::all_connected_to_terminal(&w.network));
+        }
+        for w in cyclic_workloads(&[10, 20]) {
+            assert!(classify::all_connected_to_terminal(&w.network), "{}", w.name);
+            assert!(classify::all_reachable_from_root(&w.network));
+        }
+    }
+
+    #[test]
+    fn table_rendering_aligns_columns() {
+        let table = render_table(
+            "Demo",
+            &["name", "value"],
+            &[
+                vec!["a".to_owned(), "1".to_owned()],
+                vec!["long-name".to_owned(), "2".to_owned()],
+            ],
+        );
+        assert!(table.contains("## Demo"));
+        assert!(table.contains("| long-name | 2"));
+        assert!(table.lines().count() >= 5);
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}

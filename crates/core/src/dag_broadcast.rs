@@ -1,0 +1,383 @@
+//! Scalar-commodity broadcasting on directed acyclic graphs (Section 3.3).
+//!
+//! The straightforward generalisation of the grounded-tree protocol: vertices may
+//! now have several incoming edges, so a vertex either forwards each commodity
+//! increment as it arrives ([`ForwardingMode::Eager`]) or waits until it has heard
+//! from every in-port and forwards the accumulated sum once
+//! ([`ForwardingMode::WaitForAllInputs`], the behaviour assumed by the lower-bound
+//! argument of Theorem 3.8). Both variants are commodity preserving; the price of
+//! generality is that transmitted values are no longer single powers of two, so the
+//! per-edge bandwidth grows to `O(|E|)` bits — exactly the gap the paper discusses.
+
+use std::marker::PhantomData;
+
+use anet_graph::Network;
+use anet_sim::engine::{run, ExecutionConfig};
+use anet_sim::scheduler::Scheduler;
+use anet_sim::{AnonymousProtocol, NodeContext, Wire};
+
+use crate::outcome::BroadcastReport;
+use crate::{CoreError, Payload, ScalarCommodity};
+
+/// When a vertex forwards the commodity it has received.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardingMode {
+    /// Forward every commodity increment immediately on arrival. Payload is
+    /// forwarded on first receipt only, but the commodity share of later arrivals is
+    /// still split and passed on.
+    Eager,
+    /// Buffer until a message has arrived on *every* in-port, then split the
+    /// accumulated sum once. This is the "do not send until hearing on each
+    /// incoming edge" assumption used in Section 3.3 and Appendix B; it only
+    /// terminates on inputs where every in-port eventually hears something (true
+    /// for DAGs in which all vertices are reachable from the root).
+    WaitForAllInputs,
+}
+
+/// A message of the DAG protocol: payload plus commodity share.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagMessage<C> {
+    /// The broadcast payload `m`.
+    pub payload: Payload,
+    /// The commodity share carried by this message.
+    pub value: C,
+}
+
+impl<C: ScalarCommodity> Wire for DagMessage<C> {
+    fn wire_bits(&self) -> u64 {
+        self.payload.wire_bits() + self.value.wire_bits()
+    }
+}
+
+/// Per-vertex state of the DAG protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagState<C> {
+    /// Whether the payload has been received.
+    pub received: bool,
+    /// Whether the payload has already been forwarded.
+    pub forwarded_payload: bool,
+    /// Commodity received but not yet forwarded (wait-for-all mode).
+    pub pending: C,
+    /// Total commodity received (the terminal's acceptance input).
+    pub accumulated: C,
+    /// Which in-ports have delivered at least one message.
+    pub heard_ports: Vec<bool>,
+    /// Whether the buffered commodity has been flushed (wait-for-all mode).
+    pub flushed: bool,
+}
+
+/// The DAG broadcast protocol, parameterised by the splitting rule.
+#[derive(Debug, Clone)]
+pub struct DagBroadcast<C> {
+    payload: Payload,
+    mode: ForwardingMode,
+    _rule: PhantomData<C>,
+}
+
+impl<C: ScalarCommodity> DagBroadcast<C> {
+    /// Creates the protocol for broadcasting `payload` with the given forwarding
+    /// mode.
+    pub fn new(payload: Payload, mode: ForwardingMode) -> Self {
+        DagBroadcast {
+            payload,
+            mode,
+            _rule: PhantomData,
+        }
+    }
+
+    /// The forwarding mode in use.
+    pub fn mode(&self) -> ForwardingMode {
+        self.mode
+    }
+}
+
+impl<C: ScalarCommodity> AnonymousProtocol for DagBroadcast<C> {
+    type State = DagState<C>;
+    type Message = DagMessage<C>;
+
+    fn name(&self) -> &'static str {
+        "dag-broadcast"
+    }
+
+    fn initial_state(&self, ctx: &NodeContext) -> DagState<C> {
+        DagState {
+            received: false,
+            forwarded_payload: false,
+            pending: C::zero(),
+            accumulated: C::zero(),
+            heard_ports: vec![false; ctx.in_degree],
+            flushed: false,
+        }
+    }
+
+    fn root_messages(&self, _root_out_degree: usize) -> Vec<(usize, DagMessage<C>)> {
+        vec![(
+            0,
+            DagMessage {
+                payload: self.payload.clone(),
+                value: C::unit(),
+            },
+        )]
+    }
+
+    fn on_receive(
+        &self,
+        ctx: &NodeContext,
+        state: &mut DagState<C>,
+        in_port: usize,
+        message: &DagMessage<C>,
+    ) -> Vec<(usize, DagMessage<C>)> {
+        state.received = true;
+        if in_port < state.heard_ports.len() {
+            state.heard_ports[in_port] = true;
+        }
+        state.accumulated = state.accumulated.add(&message.value);
+        if ctx.out_degree == 0 {
+            return Vec::new();
+        }
+        let to_forward = match self.mode {
+            ForwardingMode::Eager => {
+                if message.value.is_zero() {
+                    return Vec::new();
+                }
+                message.value.clone()
+            }
+            ForwardingMode::WaitForAllInputs => {
+                state.pending = state.pending.add(&message.value);
+                if state.flushed || !state.heard_ports.iter().all(|&h| h) {
+                    return Vec::new();
+                }
+                state.flushed = true;
+                std::mem::replace(&mut state.pending, C::zero())
+            }
+        };
+        state.forwarded_payload = true;
+        to_forward
+            .split(ctx.out_degree)
+            .into_iter()
+            .enumerate()
+            .map(|(port, value)| {
+                (
+                    port,
+                    DagMessage {
+                        payload: self.payload.clone(),
+                        value,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn should_terminate(&self, terminal_state: &DagState<C>) -> bool {
+        terminal_state.accumulated.is_unit()
+    }
+}
+
+/// Runs the DAG broadcast and reports the outcome.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BudgetExhausted`] if the engine's delivery budget ran out.
+///
+/// # Example
+///
+/// ```
+/// use anet_core::dag_broadcast::{run_dag_broadcast, ForwardingMode};
+/// use anet_core::{Payload, Pow2Commodity};
+/// use anet_graph::generators::diamond_stack;
+/// use anet_sim::scheduler::FifoScheduler;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let network = diamond_stack(4)?;
+/// let report = run_dag_broadcast::<Pow2Commodity>(
+///     &network,
+///     Payload::from_bytes(b"dag"),
+///     ForwardingMode::Eager,
+///     &mut FifoScheduler::new(),
+/// )?;
+/// assert!(report.terminated && report.all_received);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_dag_broadcast<C: ScalarCommodity>(
+    network: &Network,
+    payload: Payload,
+    mode: ForwardingMode,
+    scheduler: &mut (impl Scheduler + ?Sized),
+) -> Result<BroadcastReport, CoreError> {
+    run_dag_broadcast_with_config::<C>(network, payload, mode, scheduler, ExecutionConfig::default())
+}
+
+/// [`run_dag_broadcast`] with an explicit engine configuration.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BudgetExhausted`] if the delivery budget ran out.
+pub fn run_dag_broadcast_with_config<C: ScalarCommodity>(
+    network: &Network,
+    payload: Payload,
+    mode: ForwardingMode,
+    scheduler: &mut (impl Scheduler + ?Sized),
+    config: ExecutionConfig,
+) -> Result<BroadcastReport, CoreError> {
+    let protocol = DagBroadcast::<C>::new(payload, mode);
+    let result = run(network, &protocol, scheduler, config);
+    if result.outcome == anet_sim::Outcome::BudgetExhausted {
+        return Err(CoreError::BudgetExhausted);
+    }
+    let received: Vec<bool> = network
+        .graph()
+        .nodes()
+        .map(|n| n == network.root() || result.states[n.index()].received)
+        .collect();
+    Ok(BroadcastReport::from_run(
+        result.outcome,
+        result.deliveries_at_termination,
+        result.metrics,
+        &received,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExactCommodity, Pow2Commodity};
+    use anet_graph::generators::{
+        chain_gn, complete_dag, diamond_stack, layered_dag, random_dag, skeleton,
+        with_stranded_vertex,
+    };
+    use anet_sim::runner::run_under_battery;
+    use anet_sim::scheduler::FifoScheduler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fifo() -> FifoScheduler {
+        FifoScheduler::new()
+    }
+
+    fn modes() -> [ForwardingMode; 2] {
+        [ForwardingMode::Eager, ForwardingMode::WaitForAllInputs]
+    }
+
+    #[test]
+    fn terminates_on_dag_families() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let nets = vec![
+            diamond_stack(1).unwrap(),
+            diamond_stack(6).unwrap(),
+            layered_dag(&mut rng, 4, 5, 2).unwrap(),
+            random_dag(&mut rng, 30, 0.15).unwrap(),
+            complete_dag(8).unwrap(),
+            chain_gn(10).unwrap(), // grounded trees are DAGs too
+        ];
+        for net in &nets {
+            for mode in modes() {
+                let report = run_dag_broadcast::<Pow2Commodity>(
+                    net,
+                    Payload::from_bytes(b"d"),
+                    mode,
+                    &mut fifo(),
+                )
+                .unwrap();
+                assert!(report.terminated, "mode {mode:?}");
+                assert!(report.all_received, "mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_commodity_works_on_dags_too() {
+        let net = diamond_stack(3).unwrap();
+        for mode in modes() {
+            let report =
+                run_dag_broadcast::<ExactCommodity>(&net, Payload::empty(), mode, &mut fifo())
+                    .unwrap();
+            assert!(report.terminated && report.all_received);
+        }
+    }
+
+    #[test]
+    fn refuses_to_terminate_with_stranded_vertex() {
+        let base = diamond_stack(4).unwrap();
+        let net = with_stranded_vertex(&base).unwrap();
+        for mode in modes() {
+            let report =
+                run_dag_broadcast::<Pow2Commodity>(&net, Payload::empty(), mode, &mut fifo())
+                    .unwrap();
+            assert!(!report.terminated, "mode {mode:?}");
+            assert!(report.quiescent);
+        }
+    }
+
+    #[test]
+    fn eager_mode_is_correct_under_every_scheduler() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let net = random_dag(&mut rng, 25, 0.2).unwrap();
+        let protocol =
+            DagBroadcast::<Pow2Commodity>::new(Payload::from_bytes(b"x"), ForwardingMode::Eager);
+        for named in run_under_battery(&net, &protocol, ExecutionConfig::default(), 3, 4) {
+            assert!(named.result.outcome.terminated(), "sched {}", named.scheduler);
+            for node in net.internal_nodes() {
+                assert!(named.result.states[node.index()].received);
+            }
+        }
+    }
+
+    #[test]
+    fn wait_for_all_mode_is_correct_under_every_scheduler() {
+        let net = diamond_stack(5).unwrap();
+        let protocol = DagBroadcast::<Pow2Commodity>::new(
+            Payload::empty(),
+            ForwardingMode::WaitForAllInputs,
+        );
+        for named in run_under_battery(&net, &protocol, ExecutionConfig::default(), 11, 4) {
+            assert!(named.result.outcome.terminated(), "sched {}", named.scheduler);
+        }
+    }
+
+    #[test]
+    fn wait_for_all_sends_exactly_one_message_per_edge() {
+        let net = complete_dag(7).unwrap();
+        let protocol = DagBroadcast::<Pow2Commodity>::new(
+            Payload::empty(),
+            ForwardingMode::WaitForAllInputs,
+        );
+        let result = run(&net, &protocol, &mut fifo(), ExecutionConfig::default());
+        assert!(result.outcome.terminated());
+        assert!(result.metrics.per_edge_messages.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn skeleton_quantities_identify_the_subset() {
+        // Miniature of the Theorem 3.8 argument: different subsets S produce
+        // different totals at the collector vertex w.
+        let mut totals = Vec::new();
+        for mask in 0..(1u32 << 3) {
+            let subset: Vec<bool> = (0..3).map(|j| mask & (1 << j) != 0).collect();
+            let sk = skeleton(3, &subset).unwrap();
+            let protocol = DagBroadcast::<Pow2Commodity>::new(
+                Payload::empty(),
+                ForwardingMode::Eager,
+            );
+            let result = run(&sk.network, &protocol, &mut fifo(), ExecutionConfig::default());
+            let w_state = &result.states[sk.w.index()];
+            totals.push(w_state.accumulated.canonical_key());
+        }
+        totals.sort();
+        totals.dedup();
+        assert_eq!(totals.len(), 8, "all subset totals must be distinct");
+    }
+
+    #[test]
+    fn commodity_conservation_on_dags() {
+        let mut rng = StdRng::seed_from_u64(100);
+        let net = random_dag(&mut rng, 40, 0.1).unwrap();
+        for mode in modes() {
+            let protocol = DagBroadcast::<Pow2Commodity>::new(Payload::empty(), mode);
+            let result = run(&net, &protocol, &mut fifo(), ExecutionConfig::default());
+            assert!(result.outcome.terminated());
+            let terminal = &result.states[net.terminal().index()];
+            assert!(terminal.accumulated.is_unit());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+use std::fmt;
+
+/// Errors surfaced by the high-level protocol runners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The underlying arithmetic reported an error (invalid partition, underflow, …),
+    /// which indicates a protocol bug rather than a property of the input network.
+    Arithmetic(String),
+    /// The execution engine exhausted its delivery budget, so the run is inconclusive.
+    BudgetExhausted,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Arithmetic(msg) => write!(f, "arithmetic failure inside a protocol: {msg}"),
+            CoreError::BudgetExhausted => {
+                write!(f, "delivery budget exhausted before the protocol settled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<anet_num::NumError> for CoreError {
+    fn from(e: anet_num::NumError) -> Self {
+        CoreError::Arithmetic(e.to_string())
+    }
+}

@@ -1,0 +1,449 @@
+//! Broadcasting over general directed graphs (Section 4, Theorems 4.2 and 4.3).
+//!
+//! The commodity is no longer a scalar but an element of `U[0, 1)`: a finite union
+//! of disjoint intervals. The root injects `[0, 1)`; each vertex, on its first
+//! receipt of interval mass, performs the *canonical partition* of that mass among
+//! its out-edges and from then on routes newly arriving mass to its last out-edge.
+//! Mass that a vertex has *already seen* is evidence of a cycle and is moved to the
+//! β component, which is flooded onwards; the terminal accepts once the union of
+//! everything it has received equals `[0, 1)`.
+//!
+//! ## Faithfulness notes
+//!
+//! Two corners of the paper's description are tightened here (both are required by
+//! the paper's own correctness proof; see DESIGN.md):
+//!
+//! 1. The canonical partition is triggered on the first message with **non-empty
+//!    α**, not merely the first message — a vertex may hear cycle evidence (β)
+//!    before any interval mass, and partitioning the empty union would waste its
+//!    single partitioning step. The regression test
+//!    `beta_first_schedule_still_terminates` exercises exactly that order.
+//! 2. The canonical partition used is the **non-starving** variant
+//!    ([`canonical_partition_nonempty`]): when the arriving mass is a single
+//!    interval, it is split into `d` non-empty pieces instead of `d − 1` pieces
+//!    plus an empty remainder. The literal rule can leave an out-edge with no α
+//!    forever, which would let the terminal accept while the subtree behind that
+//!    edge never hears the broadcast — contradicting Theorem 4.2, whose proof
+//!    assumes a value is α-carried on every edge out of a visited vertex.
+
+use anet_graph::Network;
+use anet_num::partition::canonical_partition_nonempty;
+use anet_num::IntervalUnion;
+use anet_sim::engine::{run, ExecutionConfig};
+use anet_sim::scheduler::Scheduler;
+use anet_sim::{AnonymousProtocol, NodeContext, Wire};
+
+use crate::outcome::BroadcastReport;
+use crate::{CoreError, Payload};
+
+/// A message of the general-graph protocol: the α and β increments plus the
+/// payload (the paper sends `m` with every message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneralMessage {
+    /// Newly forwarded interval mass.
+    pub alpha: IntervalUnion,
+    /// Newly discovered cycle evidence.
+    pub beta: IntervalUnion,
+    /// The broadcast payload `m`.
+    pub payload: Payload,
+}
+
+impl Wire for GeneralMessage {
+    fn wire_bits(&self) -> u64 {
+        self.alpha.wire_bits() + self.beta.wire_bits() + self.payload.wire_bits()
+    }
+}
+
+/// Per-vertex state of the general-graph protocol: `π = ((α_j)_{j=1..d}, β)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneralState {
+    /// `α_j`: the interval mass already routed to out-port `j`.
+    pub alpha: Vec<IntervalUnion>,
+    /// `β`: cycle evidence known to this vertex.
+    pub beta: IntervalUnion,
+    /// Whether the one-time canonical partition has been performed.
+    pub partitioned: bool,
+    /// Whether the payload has been received.
+    pub received: bool,
+    /// For vertices with out-degree zero (in particular the terminal): everything
+    /// received so far. The stopping predicate is `seen == [0, 1)`.
+    pub seen: IntervalUnion,
+}
+
+impl GeneralState {
+    /// The union of all α components — the interval mass this vertex has routed.
+    pub fn alpha_union(&self) -> IntervalUnion {
+        self.alpha
+            .iter()
+            .fold(IntervalUnion::empty(), |acc, a| acc.union(a))
+    }
+
+    /// The terminal's coverage: everything it has received (α and β alike).
+    pub fn coverage(&self) -> &IntervalUnion {
+        &self.seen
+    }
+}
+
+/// The general-graph broadcast protocol.
+#[derive(Debug, Clone)]
+pub struct GeneralBroadcast {
+    payload: Payload,
+}
+
+impl GeneralBroadcast {
+    /// Creates the protocol for broadcasting `payload`.
+    pub fn new(payload: Payload) -> Self {
+        GeneralBroadcast { payload }
+    }
+
+    /// The payload being broadcast.
+    pub fn payload(&self) -> &Payload {
+        &self.payload
+    }
+}
+
+impl AnonymousProtocol for GeneralBroadcast {
+    type State = GeneralState;
+    type Message = GeneralMessage;
+
+    fn name(&self) -> &'static str {
+        "general-broadcast"
+    }
+
+    fn initial_state(&self, ctx: &NodeContext) -> GeneralState {
+        GeneralState {
+            alpha: vec![IntervalUnion::empty(); ctx.out_degree],
+            beta: IntervalUnion::empty(),
+            partitioned: false,
+            received: false,
+            seen: IntervalUnion::empty(),
+        }
+    }
+
+    fn root_messages(&self, _root_out_degree: usize) -> Vec<(usize, GeneralMessage)> {
+        vec![(
+            0,
+            GeneralMessage {
+                alpha: IntervalUnion::unit(),
+                beta: IntervalUnion::empty(),
+                payload: self.payload.clone(),
+            },
+        )]
+    }
+
+    fn on_receive(
+        &self,
+        ctx: &NodeContext,
+        state: &mut GeneralState,
+        _in_port: usize,
+        message: &GeneralMessage,
+    ) -> Vec<(usize, GeneralMessage)> {
+        state.received = true;
+        state.seen.union_in_place(&message.alpha);
+        state.seen.union_in_place(&message.beta);
+        let d = ctx.out_degree;
+        if d == 0 {
+            // Nowhere to forward; `seen` is the stopping-predicate input when this
+            // vertex happens to be the terminal.
+            state.beta.union_in_place(&message.beta);
+            return Vec::new();
+        }
+
+        let old_alpha = state.alpha.clone();
+        let old_beta = state.beta.clone();
+
+        if !state.partitioned && !message.alpha.is_empty() {
+            // First interval mass: one-time canonical partition among the out-ports.
+            state.partitioned = true;
+            let parts = canonical_partition_nonempty(&message.alpha, d)
+                .expect("out-degree is positive, so the partition is well-defined");
+            for (j, part) in parts.into_iter().enumerate() {
+                state.alpha[j].union_in_place(&part);
+            }
+            state.beta.union_in_place(&message.beta);
+        } else {
+            // Subsequent mass: anything already seen on some out-port is cycle
+            // evidence (β); genuinely new mass is routed to the last out-port.
+            let mut overlap = IntervalUnion::empty();
+            for routed in &state.alpha {
+                overlap.union_in_place(&message.alpha.intersection(routed));
+            }
+            let mut earlier_ports = IntervalUnion::empty();
+            for routed in &state.alpha[..d - 1] {
+                earlier_ports.union_in_place(routed);
+            }
+            let fresh = message.alpha.difference(&earlier_ports);
+            state.alpha[d - 1].union_in_place(&fresh);
+            state.beta.union_in_place(&message.beta);
+            state.beta.union_in_place(&overlap);
+        }
+
+        // g: on port j send the α_j increment and the β increment; send nothing on
+        // ports where neither changed.
+        let beta_delta = state.beta.difference(&old_beta);
+        let mut out = Vec::new();
+        for j in 0..d {
+            let alpha_delta = state.alpha[j].difference(&old_alpha[j]);
+            if !alpha_delta.is_empty() || !beta_delta.is_empty() {
+                out.push((
+                    j,
+                    GeneralMessage {
+                        alpha: alpha_delta,
+                        beta: beta_delta.clone(),
+                        payload: self.payload.clone(),
+                    },
+                ));
+            }
+        }
+        out
+    }
+
+    fn should_terminate(&self, terminal_state: &GeneralState) -> bool {
+        terminal_state.seen.is_unit()
+    }
+}
+
+/// Runs the general-graph broadcast and reports the outcome.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BudgetExhausted`] if the engine's delivery budget ran out.
+///
+/// # Example
+///
+/// ```
+/// use anet_core::general_broadcast::run_general_broadcast;
+/// use anet_core::Payload;
+/// use anet_graph::generators::cycle_with_tail;
+/// use anet_sim::scheduler::FifoScheduler;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A directed cycle: scalar-commodity protocols would never terminate here,
+/// // but the interval protocol detects the cycle through β-carrying.
+/// let network = cycle_with_tail(6)?;
+/// let report = run_general_broadcast(
+///     &network,
+///     Payload::from_bytes(b"loop"),
+///     &mut FifoScheduler::new(),
+/// )?;
+/// assert!(report.terminated && report.all_received);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_general_broadcast(
+    network: &Network,
+    payload: Payload,
+    scheduler: &mut (impl Scheduler + ?Sized),
+) -> Result<BroadcastReport, CoreError> {
+    run_general_broadcast_with_config(network, payload, scheduler, ExecutionConfig::default())
+}
+
+/// [`run_general_broadcast`] with an explicit engine configuration.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BudgetExhausted`] if the delivery budget ran out.
+pub fn run_general_broadcast_with_config(
+    network: &Network,
+    payload: Payload,
+    scheduler: &mut (impl Scheduler + ?Sized),
+    config: ExecutionConfig,
+) -> Result<BroadcastReport, CoreError> {
+    let protocol = GeneralBroadcast::new(payload);
+    let result = run(network, &protocol, scheduler, config);
+    if result.outcome == anet_sim::Outcome::BudgetExhausted {
+        return Err(CoreError::BudgetExhausted);
+    }
+    let received: Vec<bool> = network
+        .graph()
+        .nodes()
+        .map(|n| n == network.root() || result.states[n.index()].received)
+        .collect();
+    Ok(BroadcastReport::from_run(
+        result.outcome,
+        result.deliveries_at_termination,
+        result.metrics,
+        &received,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::generators::{
+        chain_gn, complete_dag, cycle_with_tail, diamond_stack, nested_cycles, random_cyclic,
+        random_dag, with_stranded_vertex,
+    };
+    use anet_graph::{classify, DiGraph, Network};
+    use anet_sim::runner::run_under_battery;
+    use anet_sim::scheduler::{FifoScheduler, LifoScheduler, TerminalLastScheduler};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fifo() -> FifoScheduler {
+        FifoScheduler::new()
+    }
+
+    #[test]
+    fn terminates_on_acyclic_families() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let nets = vec![
+            chain_gn(8).unwrap(),
+            diamond_stack(5).unwrap(),
+            random_dag(&mut rng, 25, 0.15).unwrap(),
+            complete_dag(7).unwrap(),
+        ];
+        for net in &nets {
+            let report =
+                run_general_broadcast(net, Payload::from_bytes(b"g"), &mut fifo()).unwrap();
+            assert!(report.terminated);
+            assert!(report.all_received);
+        }
+    }
+
+    #[test]
+    fn terminates_on_cyclic_families() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let nets = vec![
+            cycle_with_tail(2).unwrap(),
+            cycle_with_tail(9).unwrap(),
+            nested_cycles(3, 4).unwrap(),
+            random_cyclic(&mut rng, 20, 0.1, 0.15).unwrap(),
+            random_cyclic(&mut rng, 35, 0.2, 0.3).unwrap(),
+        ];
+        for net in &nets {
+            assert!(!classify::is_dag(net.graph()) || net.node_count() < 4);
+            let report =
+                run_general_broadcast(net, Payload::from_bytes(b"c"), &mut fifo()).unwrap();
+            assert!(report.terminated, "nodes = {}", net.node_count());
+            assert!(report.all_received, "nodes = {}", net.node_count());
+        }
+    }
+
+    #[test]
+    fn refuses_to_terminate_with_stranded_vertex() {
+        for base in [cycle_with_tail(5).unwrap(), diamond_stack(3).unwrap()] {
+            let net = with_stranded_vertex(&base).unwrap();
+            let report = run_general_broadcast(&net, Payload::empty(), &mut fifo()).unwrap();
+            assert!(!report.terminated);
+            assert!(report.quiescent);
+        }
+    }
+
+    #[test]
+    fn correct_under_every_scheduler_on_cyclic_graphs() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let net = random_cyclic(&mut rng, 18, 0.15, 0.25).unwrap();
+        let protocol = GeneralBroadcast::new(Payload::from_bytes(b"s"));
+        for named in run_under_battery(&net, &protocol, ExecutionConfig::default(), 5, 5) {
+            assert!(named.result.outcome.terminated(), "sched {}", named.scheduler);
+            for node in net.internal_nodes() {
+                assert!(
+                    named.result.states[node.index()].received,
+                    "sched {} node {node:?}",
+                    named.scheduler
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn termination_only_after_every_vertex_received() {
+        // The terminal-last adversary maximises progress elsewhere before the
+        // terminal acts, and the LIFO adversary aggressively reorders; in all cases
+        // acceptance implies full coverage of the internal vertices.
+        let net = nested_cycles(2, 5).unwrap();
+        for mode in 0..2 {
+            let protocol = GeneralBroadcast::new(Payload::empty());
+            let result = if mode == 0 {
+                run(&net, &protocol, &mut TerminalLastScheduler::new(), ExecutionConfig::default())
+            } else {
+                run(&net, &protocol, &mut LifoScheduler::new(), ExecutionConfig::default())
+            };
+            assert!(result.outcome.terminated());
+            for node in net.internal_nodes() {
+                assert!(result.states[node.index()].received);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_components_stay_pairwise_disjoint() {
+        let net = nested_cycles(2, 4).unwrap();
+        let protocol = GeneralBroadcast::new(Payload::empty());
+        let result = run(&net, &protocol, &mut fifo(), ExecutionConfig::default());
+        for node in net.graph().nodes() {
+            let st = &result.states[node.index()];
+            for i in 0..st.alpha.len() {
+                for j in i + 1..st.alpha.len() {
+                    assert!(
+                        !st.alpha[i].intersects(&st.alpha[j]),
+                        "alpha components of {node:?} overlap"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn terminal_coverage_equals_unit_interval_exactly_at_termination() {
+        let net = cycle_with_tail(7).unwrap();
+        let protocol = GeneralBroadcast::new(Payload::empty());
+        let result = run(&net, &protocol, &mut fifo(), ExecutionConfig::default());
+        assert!(result.outcome.terminated());
+        assert!(result.states[net.terminal().index()].coverage().is_unit());
+    }
+
+    #[test]
+    fn beta_first_schedule_still_terminates() {
+        // Build a graph where a vertex v can hear cycle evidence (β-only message)
+        // before it ever receives interval mass: a 2-cycle {a, b} feeding v, with v
+        // also fed directly from the cycle entry.
+        //
+        //   s -> a -> b -> a (cycle),  b -> v,  a -> v? no: keep it so that the
+        //   β produced inside the cycle can reach v on one edge while the α mass
+        //   reaches it on another, and adversarial scheduling delivers β first.
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let b = g.add_node();
+        let v = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, a);
+        g.add_edge(a, b);
+        g.add_edge(b, a); // cycle a <-> b
+        g.add_edge(b, v);
+        g.add_edge(a, v);
+        g.add_edge(v, t);
+        let net = Network::new(g, s, t).unwrap();
+        let protocol = GeneralBroadcast::new(Payload::from_bytes(b"z"));
+        for named in run_under_battery(&net, &protocol, ExecutionConfig::default(), 41, 6) {
+            assert!(named.result.outcome.terminated(), "sched {}", named.scheduler);
+            assert!(named.result.states[v.index()].received);
+        }
+    }
+
+    #[test]
+    fn message_count_is_polynomial_not_exponential() {
+        // Loose sanity bound corresponding to Theorem 4.2's counting argument:
+        // the number of messages on any edge is at most the number of maximal
+        // intervals ever created, which is O(|E|).
+        let net = nested_cycles(3, 5).unwrap();
+        let protocol = GeneralBroadcast::new(Payload::empty());
+        let result = run(&net, &protocol, &mut fifo(), ExecutionConfig::default());
+        assert!(result.outcome.terminated());
+        let e = net.edge_count() as u64;
+        assert!(result.metrics.max_edge_messages() <= 2 * e);
+        assert!(result.metrics.messages_sent <= 2 * e * e);
+    }
+
+    #[test]
+    fn budget_exhaustion_maps_to_error() {
+        let net = cycle_with_tail(4).unwrap();
+        let config = ExecutionConfig { max_deliveries: 1, record_trace: false };
+        let err =
+            run_general_broadcast_with_config(&net, Payload::empty(), &mut fifo(), config)
+                .unwrap_err();
+        assert_eq!(err, CoreError::BudgetExhausted);
+    }
+}

@@ -1,0 +1,446 @@
+//! Unique label assignment on general graphs (Section 5, Theorem 5.1).
+//!
+//! A small variation of the general-graph broadcast: when a vertex of out-degree
+//! `d` performs its one-time canonical partition, it splits the arriving interval
+//! mass into `d + 1` parts and **keeps part 0 for itself** as its label; the kept
+//! part is immediately added to β so the terminal still sees the whole of `[0, 1)`.
+//! Labels of different vertices are disjoint sub-intervals of `[0, 1)`, hence
+//! unique, and each label is a single interval of `O(|V| log d_out)` bits —
+//! which Theorem 5.2 shows to be optimal.
+//!
+//! Vertices with out-degree zero cannot forward anything, so they simply absorb all
+//! interval mass they receive as their label (a union rather than a single
+//! interval); for the terminal this doubles as the stopping-predicate input. The
+//! paper leaves this corner implicit; see DESIGN.md for the reasoning.
+
+use anet_graph::{Network, NodeId};
+use anet_num::bits;
+use anet_num::partition::canonical_partition_nonempty;
+use anet_num::IntervalUnion;
+use anet_sim::engine::{run, ExecutionConfig};
+use anet_sim::metrics::RunMetrics;
+use anet_sim::scheduler::Scheduler;
+use anet_sim::{AnonymousProtocol, NodeContext, Wire};
+
+use crate::CoreError;
+
+/// A message of the labelling protocol: α and β increments (no payload — labelling
+/// is a pure control protocol in the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelMessage {
+    /// Newly forwarded interval mass.
+    pub alpha: IntervalUnion,
+    /// Newly discovered cycle evidence (including freshly claimed labels).
+    pub beta: IntervalUnion,
+}
+
+impl Wire for LabelMessage {
+    fn wire_bits(&self) -> u64 {
+        self.alpha.wire_bits() + self.beta.wire_bits()
+    }
+}
+
+/// Per-vertex state of the labelling protocol:
+/// `π = ((α_j)_{j=0..d}, β)` with `α_0` the vertex's label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelingState {
+    /// `α_0`: the label this vertex has claimed (empty until the canonical
+    /// partition happened; a single interval afterwards for vertices with positive
+    /// out-degree).
+    pub label: IntervalUnion,
+    /// `α_1 … α_d`: mass routed to each out-port.
+    pub alpha: Vec<IntervalUnion>,
+    /// `β`: cycle evidence plus claimed labels, flooded towards the terminal.
+    pub beta: IntervalUnion,
+    /// Whether the one-time partition has been performed.
+    pub partitioned: bool,
+    /// Whether any message has been received.
+    pub received: bool,
+}
+
+impl LabelingState {
+    /// The terminal's coverage `α ∪ β` (label plus β).
+    pub fn coverage(&self) -> IntervalUnion {
+        self.label.union(&self.beta)
+    }
+
+    /// Whether this vertex holds a non-empty label.
+    pub fn is_labeled(&self) -> bool {
+        !self.label.is_empty()
+    }
+}
+
+/// The unique-label-assignment protocol.
+#[derive(Debug, Clone, Default)]
+pub struct Labeling;
+
+impl Labeling {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        Labeling
+    }
+}
+
+impl AnonymousProtocol for Labeling {
+    type State = LabelingState;
+    type Message = LabelMessage;
+
+    fn name(&self) -> &'static str {
+        "label-assignment"
+    }
+
+    fn initial_state(&self, ctx: &NodeContext) -> LabelingState {
+        LabelingState {
+            label: IntervalUnion::empty(),
+            alpha: vec![IntervalUnion::empty(); ctx.out_degree],
+            beta: IntervalUnion::empty(),
+            partitioned: false,
+            received: false,
+        }
+    }
+
+    fn root_messages(&self, _root_out_degree: usize) -> Vec<(usize, LabelMessage)> {
+        vec![(
+            0,
+            LabelMessage {
+                alpha: IntervalUnion::unit(),
+                beta: IntervalUnion::empty(),
+            },
+        )]
+    }
+
+    fn on_receive(
+        &self,
+        ctx: &NodeContext,
+        state: &mut LabelingState,
+        _in_port: usize,
+        message: &LabelMessage,
+    ) -> Vec<(usize, LabelMessage)> {
+        state.received = true;
+        let d = ctx.out_degree;
+        if d == 0 {
+            // Absorb everything: α mass becomes (part of) the label, β is recorded.
+            state.label.union_in_place(&message.alpha);
+            state.beta.union_in_place(&message.beta);
+            return Vec::new();
+        }
+
+        let old_alpha = state.alpha.clone();
+        let old_beta = state.beta.clone();
+
+        if !state.partitioned && !message.alpha.is_empty() {
+            state.partitioned = true;
+            let parts = canonical_partition_nonempty(&message.alpha, d + 1)
+                .expect("d + 1 >= 2 parts");
+            let mut parts = parts.into_iter();
+            let own = parts.next().expect("partition has d + 1 parts");
+            state.label = own.clone();
+            for (j, part) in parts.enumerate() {
+                state.alpha[j].union_in_place(&part);
+            }
+            // β'' = β' ∪ α_0: the claimed label must still reach the terminal.
+            state.beta.union_in_place(&message.beta);
+            state.beta.union_in_place(&own);
+        } else {
+            let mut overlap = message.alpha.intersection(&state.label);
+            for routed in &state.alpha {
+                overlap.union_in_place(&message.alpha.intersection(routed));
+            }
+            let mut earlier_ports = IntervalUnion::empty();
+            for routed in &state.alpha[..d - 1] {
+                earlier_ports.union_in_place(routed);
+            }
+            let fresh = message.alpha.difference(&earlier_ports);
+            state.alpha[d - 1].union_in_place(&fresh);
+            state.beta.union_in_place(&message.beta);
+            state.beta.union_in_place(&overlap);
+        }
+
+        let beta_delta = state.beta.difference(&old_beta);
+        let mut out = Vec::new();
+        for j in 0..d {
+            let alpha_delta = state.alpha[j].difference(&old_alpha[j]);
+            if !alpha_delta.is_empty() || !beta_delta.is_empty() {
+                out.push((
+                    j,
+                    LabelMessage {
+                        alpha: alpha_delta,
+                        beta: beta_delta.clone(),
+                    },
+                ));
+            }
+        }
+        out
+    }
+
+    fn should_terminate(&self, terminal_state: &LabelingState) -> bool {
+        terminal_state.coverage().is_unit()
+    }
+}
+
+/// The distilled outcome of a labelling run.
+#[derive(Debug, Clone)]
+pub struct LabelingReport {
+    /// Whether the terminal declared termination.
+    pub terminated: bool,
+    /// Whether the run quiesced without terminating (expected when some vertex is
+    /// not connected to the terminal).
+    pub quiescent: bool,
+    /// The label of every vertex, indexed by node id (the root never participates
+    /// and keeps an empty label).
+    pub labels: Vec<IntervalUnion>,
+    /// Whether all internal vertices and the terminal ended up with non-empty,
+    /// pairwise-disjoint labels.
+    pub labels_unique: bool,
+    /// The largest label size in bits (positional encoding of both endpoints of
+    /// each interval).
+    pub max_label_bits: u64,
+    /// Communication metrics of the run.
+    pub metrics: RunMetrics,
+}
+
+impl LabelingReport {
+    /// The label of a particular vertex.
+    pub fn label_of(&self, node: NodeId) -> &IntervalUnion {
+        &self.labels[node.index()]
+    }
+}
+
+/// Size in bits of a label under the positional endpoint encoding used by
+/// Theorem 4.3 / Theorem 5.1.
+pub fn label_bits(label: &IntervalUnion) -> u64 {
+    label
+        .iter()
+        .map(|iv| {
+            bits::length_prefixed_bits(iv.lo().positional_bits())
+                + bits::length_prefixed_bits(iv.hi().positional_bits())
+        })
+        .sum()
+}
+
+/// Runs the labelling protocol and reports the assigned labels.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BudgetExhausted`] if the engine's delivery budget ran out.
+///
+/// # Example
+///
+/// ```
+/// use anet_core::labeling::run_labeling;
+/// use anet_graph::generators::cycle_with_tail;
+/// use anet_sim::scheduler::FifoScheduler;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let network = cycle_with_tail(5)?;
+/// let report = run_labeling(&network, &mut FifoScheduler::new())?;
+/// assert!(report.terminated);
+/// assert!(report.labels_unique);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_labeling(
+    network: &Network,
+    scheduler: &mut (impl Scheduler + ?Sized),
+) -> Result<LabelingReport, CoreError> {
+    run_labeling_with_config(network, scheduler, ExecutionConfig::default())
+}
+
+/// [`run_labeling`] with an explicit engine configuration.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BudgetExhausted`] if the delivery budget ran out.
+pub fn run_labeling_with_config(
+    network: &Network,
+    scheduler: &mut (impl Scheduler + ?Sized),
+    config: ExecutionConfig,
+) -> Result<LabelingReport, CoreError> {
+    let protocol = Labeling::new();
+    let result = run(network, &protocol, scheduler, config);
+    if result.outcome == anet_sim::Outcome::BudgetExhausted {
+        return Err(CoreError::BudgetExhausted);
+    }
+    let labels: Vec<IntervalUnion> = result
+        .states
+        .iter()
+        .map(|st| st.label.clone())
+        .collect();
+    let participants: Vec<NodeId> = network
+        .graph()
+        .nodes()
+        .filter(|&n| n != network.root())
+        .collect();
+    let mut unique = true;
+    for (i, &a) in participants.iter().enumerate() {
+        if labels[a.index()].is_empty() {
+            unique = false;
+        }
+        for &b in &participants[i + 1..] {
+            if labels[a.index()].intersects(&labels[b.index()]) {
+                unique = false;
+            }
+        }
+    }
+    let max_label_bits = participants
+        .iter()
+        .map(|&n| label_bits(&labels[n.index()]))
+        .max()
+        .unwrap_or(0);
+    Ok(LabelingReport {
+        terminated: result.outcome == anet_sim::Outcome::Terminated,
+        quiescent: result.outcome == anet_sim::Outcome::Quiescent,
+        labels,
+        labels_unique: unique,
+        max_label_bits,
+        metrics: result.metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::generators::{
+        chain_gn, complete_dag, cycle_with_tail, diamond_stack, full_grounded_tree, nested_cycles,
+        pruned_tree, random_cyclic, random_dag, star_network, with_stranded_vertex,
+    };
+    use anet_sim::runner::run_under_battery;
+    use anet_sim::scheduler::FifoScheduler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fifo() -> FifoScheduler {
+        FifoScheduler::new()
+    }
+
+    #[test]
+    fn labels_are_assigned_on_every_family() {
+        let mut rng = StdRng::seed_from_u64(404);
+        let nets = vec![
+            chain_gn(6).unwrap(),
+            star_network(5).unwrap(),
+            full_grounded_tree(3, 2).unwrap(),
+            pruned_tree(6, 3).unwrap().0,
+            diamond_stack(4).unwrap(),
+            complete_dag(6).unwrap(),
+            random_dag(&mut rng, 20, 0.2).unwrap(),
+            cycle_with_tail(7).unwrap(),
+            nested_cycles(2, 4).unwrap(),
+            random_cyclic(&mut rng, 18, 0.15, 0.2).unwrap(),
+        ];
+        for net in &nets {
+            let report = run_labeling(net, &mut fifo()).unwrap();
+            assert!(report.terminated, "nodes = {}", net.node_count());
+            assert!(report.labels_unique, "nodes = {}", net.node_count());
+            assert!(report.max_label_bits > 0);
+        }
+    }
+
+    #[test]
+    fn internal_labels_are_single_intervals() {
+        let net = cycle_with_tail(6).unwrap();
+        let report = run_labeling(&net, &mut fifo()).unwrap();
+        for node in net.internal_nodes() {
+            let label = report.label_of(node);
+            assert_eq!(label.interval_count(), 1, "label of {node:?}");
+        }
+    }
+
+    #[test]
+    fn labels_cover_a_subset_of_the_unit_interval_disjointly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = random_cyclic(&mut rng, 25, 0.15, 0.25).unwrap();
+        let report = run_labeling(&net, &mut fifo()).unwrap();
+        assert!(report.terminated);
+        let mut total = IntervalUnion::empty();
+        for node in net.graph().nodes().filter(|&n| n != net.root()) {
+            let label = report.label_of(node);
+            assert!(!total.intersects(label));
+            total.union_in_place(label);
+        }
+        assert!(total.is_subset_of(&IntervalUnion::unit()));
+    }
+
+    #[test]
+    fn refuses_to_terminate_with_stranded_vertex() {
+        let base = cycle_with_tail(5).unwrap();
+        let net = with_stranded_vertex(&base).unwrap();
+        let report = run_labeling(&net, &mut fifo()).unwrap();
+        assert!(!report.terminated);
+        assert!(report.quiescent);
+    }
+
+    #[test]
+    fn unique_labels_under_every_scheduler() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = random_cyclic(&mut rng, 15, 0.2, 0.3).unwrap();
+        let protocol = Labeling::new();
+        for named in run_under_battery(&net, &protocol, ExecutionConfig::default(), 8, 5) {
+            assert!(named.result.outcome.terminated(), "sched {}", named.scheduler);
+            let labels: Vec<&IntervalUnion> = net
+                .graph()
+                .nodes()
+                .filter(|&n| n != net.root())
+                .map(|n| &named.result.states[n.index()].label)
+                .collect();
+            for (i, a) in labels.iter().enumerate() {
+                assert!(!a.is_empty(), "sched {}", named.scheduler);
+                for b in &labels[i + 1..] {
+                    assert!(!a.intersects(b), "sched {}", named.scheduler);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn label_bits_grow_with_depth_in_pruned_trees() {
+        // Theorem 5.2's shape: the deep path vertex's label needs Ω(h log d) bits.
+        let shallow = {
+            let (net, path) = pruned_tree(2, 4).unwrap();
+            let report = run_labeling(&net, &mut fifo()).unwrap();
+            label_bits(report.label_of(*path.last().unwrap()))
+        };
+        let deep = {
+            let (net, path) = pruned_tree(20, 4).unwrap();
+            let report = run_labeling(&net, &mut fifo()).unwrap();
+            label_bits(report.label_of(*path.last().unwrap()))
+        };
+        assert!(deep > shallow + 20, "deep {deep} vs shallow {shallow}");
+    }
+
+    #[test]
+    fn pruned_tree_label_matches_full_tree_label() {
+        // The heart of the Theorem 5.2 pruning argument: the deep vertex receives
+        // exactly the same label in the pruned graph as in the full tree, because
+        // the protocol execution along the path is identical.
+        let height = 3;
+        let arity = 3;
+        let full = full_grounded_tree(height, arity).unwrap();
+        let (pruned, path) = pruned_tree(height, arity).unwrap();
+        let full_report = run_labeling(&full, &mut fifo()).unwrap();
+        let pruned_report = run_labeling(&pruned, &mut fifo()).unwrap();
+        // Identify the leftmost path in the full tree by following out-port 0.
+        let g = full.graph();
+        let mut full_path = vec![g.edge_dst(g.out_edges(full.root())[0])];
+        for _ in 0..height {
+            let last = *full_path.last().unwrap();
+            full_path.push(g.edge_dst(g.out_edges(last)[0]));
+        }
+        for (full_node, pruned_node) in full_path.iter().zip(path.iter()) {
+            assert_eq!(
+                full_report.label_of(*full_node),
+                pruned_report.label_of(*pruned_node),
+                "labels diverge along the replayed path"
+            );
+        }
+    }
+
+    #[test]
+    fn label_bits_helper_counts_every_interval() {
+        assert_eq!(label_bits(&IntervalUnion::empty()), 0);
+        let unit = label_bits(&IntervalUnion::unit());
+        assert!(unit > 0);
+        let report = run_labeling(&chain_gn(4).unwrap(), &mut fifo()).unwrap();
+        assert!(report.max_label_bits >= unit / 2);
+    }
+}

@@ -1,0 +1,805 @@
+//! Topology mapping: extracting the whole network at the terminal (Section 6).
+//!
+//! The conclusion of the paper observes that once unique labels exist, "we can …
+//! even map the whole topology by flooding local information available to nodes".
+//! This module implements that protocol in full. It runs the label-assignment
+//! protocol of Section 5 and, on top of it, floods two kinds of facts towards the
+//! terminal:
+//!
+//! * **Vertex records** — "a vertex with label `L` has in-degree `p` and out-degree
+//!   `q`" — created by a vertex the moment it claims its label;
+//! * **Edge records** — "out-port `j` of the vertex labelled `L` leads to the
+//!   vertex labelled `L'`" — created at the *receiving* endpoint: when a vertex
+//!   claims its label it *announces* the label on every out-edge, and the
+//!   neighbour (once labelled itself) turns the announcement into an edge record.
+//!
+//! Unlike the plain labelling protocol, a claimed label is **not** folded into β;
+//! instead the vertex record carries it to the terminal, so the terminal's coverage
+//! check simultaneously guarantees that it has heard of every labelled vertex. The
+//! terminal declares termination once
+//!
+//! 1. the labels it knows about, together with the interval mass and β it received
+//!    directly, cover `[0, 1)` exactly;
+//! 2. it holds the edge record for the root's single out-edge;
+//! 3. for every known vertex with out-degree `q` it holds edge records for all `q`
+//!    out-ports; and
+//! 4. every edge record's destination is itself, or a vertex it knows about.
+//!
+//! At that point the records describe the entire network (Theorem: the
+//! `mapping_reconstructs_*` tests check exact reconstruction edge-for-edge), and
+//! [`ReconstructedTopology`] rebuilds it.
+
+use std::collections::BTreeSet;
+
+use anet_graph::{DiGraph, Network, NodeId};
+use anet_num::bits;
+use anet_num::partition::canonical_partition_nonempty;
+use anet_num::{Interval, IntervalUnion};
+use anet_sim::engine::{run, ExecutionConfig};
+use anet_sim::metrics::RunMetrics;
+use anet_sim::scheduler::Scheduler;
+use anet_sim::{AnonymousProtocol, NodeContext, Wire};
+
+use crate::CoreError;
+
+/// A reference to a vertex inside flooded records.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VertexRef {
+    /// The distinguished root `s` (it never receives a label).
+    Root,
+    /// The vertex that created the record and has out-degree zero. Such records
+    /// never travel (a sink cannot forward), so at the terminal this always means
+    /// "the terminal itself".
+    Sink,
+    /// An internal vertex, identified by its (single-interval) label.
+    Labeled(Interval),
+}
+
+impl VertexRef {
+    fn wire_bits(&self) -> u64 {
+        match self {
+            VertexRef::Root | VertexRef::Sink => 2,
+            VertexRef::Labeled(interval) => 2 + interval.endpoint_bits(),
+        }
+    }
+}
+
+/// A fact about the topology, flooded towards the terminal.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MapRecord {
+    /// "The vertex labelled `label` has these degrees."
+    Vertex {
+        /// The vertex's label.
+        label: Interval,
+        /// Its in-degree.
+        in_degree: usize,
+        /// Its out-degree.
+        out_degree: usize,
+    },
+    /// "Out-port `src_port` of `src` leads to `dst`."
+    Edge {
+        /// The edge's source vertex.
+        src: VertexRef,
+        /// The out-port index at the source.
+        src_port: usize,
+        /// The edge's destination vertex.
+        dst: VertexRef,
+    },
+}
+
+impl MapRecord {
+    fn wire_bits(&self) -> u64 {
+        match self {
+            MapRecord::Vertex { label, in_degree, out_degree } => {
+                2 + label.endpoint_bits()
+                    + bits::elias_gamma_bits(*in_degree as u64)
+                    + bits::elias_gamma_bits(*out_degree as u64)
+            }
+            MapRecord::Edge { src, src_port, dst } => {
+                2 + src.wire_bits() + bits::elias_gamma_bits(*src_port as u64) + dst.wire_bits()
+            }
+        }
+    }
+}
+
+/// A label announcement travelling over a single edge: "this edge is out-port
+/// `src_port` of the vertex `src`".
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Announce {
+    /// The announcing vertex.
+    pub src: VertexRef,
+    /// The out-port (at the announcing vertex) of the edge carrying this announce.
+    pub src_port: usize,
+}
+
+impl Announce {
+    fn wire_bits(&self) -> u64 {
+        self.src.wire_bits() + bits::elias_gamma_bits(self.src_port as u64)
+    }
+}
+
+/// A message of the mapping protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingMessage {
+    /// Newly forwarded interval mass (labelling core).
+    pub alpha: IntervalUnion,
+    /// Newly discovered cycle evidence (labelling core).
+    pub beta: IntervalUnion,
+    /// Edge-specific announcement, sent once per out-edge when the sender claims
+    /// its label (or by the root at start-up).
+    pub announce: Option<Announce>,
+    /// Newly learned records being flooded.
+    pub records: Vec<MapRecord>,
+}
+
+impl Wire for MappingMessage {
+    fn wire_bits(&self) -> u64 {
+        self.alpha.wire_bits()
+            + self.beta.wire_bits()
+            + 1
+            + self.announce.as_ref().map_or(0, Announce::wire_bits)
+            + bits::elias_gamma_bits(self.records.len() as u64)
+            + self.records.iter().map(MapRecord::wire_bits).sum::<u64>()
+    }
+}
+
+/// Per-vertex state of the mapping protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingState {
+    /// The vertex's claimed label (labelling core).
+    pub label: IntervalUnion,
+    /// Interval mass routed per out-port (labelling core).
+    pub alpha: Vec<IntervalUnion>,
+    /// Cycle evidence (labelling core).
+    pub beta: IntervalUnion,
+    /// Whether the one-time partition happened.
+    pub partitioned: bool,
+    /// Whether any message was received.
+    pub received: bool,
+    /// Records this vertex knows about (flooded plus self-created).
+    pub known: BTreeSet<MapRecord>,
+    /// Records already flooded on the out-ports.
+    pub sent: BTreeSet<MapRecord>,
+    /// Announcements received before this vertex had a label.
+    pub pending_announces: Vec<Announce>,
+    /// This vertex's own degrees (recorded for report extraction).
+    pub in_degree: usize,
+    /// See [`MappingState::in_degree`].
+    pub out_degree: usize,
+}
+
+impl MappingState {
+    /// Whether this vertex holds a non-empty label.
+    pub fn is_labeled(&self) -> bool {
+        !self.label.is_empty()
+    }
+
+    fn own_ref(&self) -> VertexRef {
+        if self.out_degree == 0 {
+            VertexRef::Sink
+        } else {
+            VertexRef::Labeled(
+                self.label
+                    .intervals()
+                    .first()
+                    .expect("own_ref is only used once labelled")
+                    .clone(),
+            )
+        }
+    }
+
+    /// The coverage the terminal checks: known labels ∪ own label ∪ β ∪ routed α.
+    pub fn coverage(&self) -> IntervalUnion {
+        let mut cov = self.label.union(&self.beta);
+        for routed in &self.alpha {
+            cov.union_in_place(routed);
+        }
+        for record in &self.known {
+            if let MapRecord::Vertex { label, .. } = record {
+                cov.union_in_place(&IntervalUnion::from(label.clone()));
+            }
+        }
+        cov
+    }
+
+    /// The full termination condition evaluated by the terminal.
+    pub fn map_complete(&self) -> bool {
+        if !self.coverage().is_unit() {
+            return false;
+        }
+        // The root's single out-edge must be known.
+        let root_edge_known = self.known.iter().any(|r| {
+            matches!(r, MapRecord::Edge { src: VertexRef::Root, src_port: 0, .. })
+        });
+        if !root_edge_known {
+            return false;
+        }
+        // Every known vertex must have all its out-ports accounted for, and every
+        // edge destination must be known (or the terminal itself).
+        for record in &self.known {
+            match record {
+                MapRecord::Vertex { label, out_degree, .. } => {
+                    for port in 0..*out_degree {
+                        let found = self.known.iter().any(|r| {
+                            matches!(r, MapRecord::Edge { src: VertexRef::Labeled(l), src_port, .. }
+                                if l == label && *src_port == port)
+                        });
+                        if !found {
+                            return false;
+                        }
+                    }
+                }
+                MapRecord::Edge { dst, .. } => match dst {
+                    VertexRef::Sink | VertexRef::Root => {}
+                    VertexRef::Labeled(l) => {
+                        let known_vertex = self
+                            .known
+                            .iter()
+                            .any(|r| matches!(r, MapRecord::Vertex { label, .. } if label == l));
+                        if !known_vertex {
+                            return false;
+                        }
+                    }
+                },
+            }
+        }
+        true
+    }
+}
+
+/// The topology-mapping protocol.
+#[derive(Debug, Clone, Default)]
+pub struct Mapping;
+
+impl Mapping {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        Mapping
+    }
+}
+
+impl AnonymousProtocol for Mapping {
+    type State = MappingState;
+    type Message = MappingMessage;
+
+    fn name(&self) -> &'static str {
+        "topology-mapping"
+    }
+
+    fn initial_state(&self, ctx: &NodeContext) -> MappingState {
+        MappingState {
+            label: IntervalUnion::empty(),
+            alpha: vec![IntervalUnion::empty(); ctx.out_degree],
+            beta: IntervalUnion::empty(),
+            partitioned: false,
+            received: false,
+            known: BTreeSet::new(),
+            sent: BTreeSet::new(),
+            pending_announces: Vec::new(),
+            in_degree: ctx.in_degree,
+            out_degree: ctx.out_degree,
+        }
+    }
+
+    fn root_messages(&self, _root_out_degree: usize) -> Vec<(usize, MappingMessage)> {
+        vec![(
+            0,
+            MappingMessage {
+                alpha: IntervalUnion::unit(),
+                beta: IntervalUnion::empty(),
+                announce: Some(Announce { src: VertexRef::Root, src_port: 0 }),
+                records: Vec::new(),
+            },
+        )]
+    }
+
+    fn on_receive(
+        &self,
+        ctx: &NodeContext,
+        state: &mut MappingState,
+        _in_port: usize,
+        message: &MappingMessage,
+    ) -> Vec<(usize, MappingMessage)> {
+        state.received = true;
+        let d = ctx.out_degree;
+
+        // 1. Absorb flooded records.
+        for record in &message.records {
+            state.known.insert(record.clone());
+        }
+
+        // 2. Labelling core (note: labels are *not* folded into β here; the vertex
+        //    record carries them instead).
+        let old_alpha = state.alpha.clone();
+        let old_beta = state.beta.clone();
+        let was_labeled = state.is_labeled();
+
+        if d == 0 {
+            state.label.union_in_place(&message.alpha);
+            state.beta.union_in_place(&message.beta);
+        } else if !state.partitioned && !message.alpha.is_empty() {
+            state.partitioned = true;
+            let parts = canonical_partition_nonempty(&message.alpha, d + 1)
+                .expect("d + 1 >= 2 parts");
+            let mut parts = parts.into_iter();
+            state.label = parts.next().expect("partition has d + 1 parts");
+            for (j, part) in parts.enumerate() {
+                state.alpha[j].union_in_place(&part);
+            }
+            state.beta.union_in_place(&message.beta);
+        } else {
+            let mut overlap = message.alpha.intersection(&state.label);
+            for routed in &state.alpha {
+                overlap.union_in_place(&message.alpha.intersection(routed));
+            }
+            if d > 0 {
+                let mut earlier_ports = IntervalUnion::empty();
+                for routed in &state.alpha[..d - 1] {
+                    earlier_ports.union_in_place(routed);
+                }
+                let fresh = message.alpha.difference(&earlier_ports);
+                state.alpha[d - 1].union_in_place(&fresh);
+            }
+            state.beta.union_in_place(&message.beta);
+            state.beta.union_in_place(&overlap);
+        }
+
+        let just_labeled = !was_labeled && state.is_labeled();
+
+        // 3. Handle the edge announcement carried by this message.
+        if let Some(announce) = &message.announce {
+            if state.is_labeled() || d == 0 {
+                state.known.insert(MapRecord::Edge {
+                    src: announce.src.clone(),
+                    src_port: announce.src_port,
+                    dst: state.own_ref(),
+                });
+            } else {
+                state.pending_announces.push(announce.clone());
+            }
+        }
+
+        // 4. On claiming a label: publish the vertex record, convert buffered
+        //    announcements, and prepare to announce on every out-port.
+        if just_labeled && d > 0 {
+            let own_label = state
+                .label
+                .intervals()
+                .first()
+                .expect("just claimed a non-empty label")
+                .clone();
+            state.known.insert(MapRecord::Vertex {
+                label: own_label,
+                in_degree: ctx.in_degree,
+                out_degree: d,
+            });
+            let pending = std::mem::take(&mut state.pending_announces);
+            for announce in pending {
+                state.known.insert(MapRecord::Edge {
+                    src: announce.src,
+                    src_port: announce.src_port,
+                    dst: state.own_ref(),
+                });
+            }
+        }
+
+        if d == 0 {
+            return Vec::new();
+        }
+
+        // 5. Compose per-port outgoing messages.
+        let new_records: Vec<MapRecord> = state.known.difference(&state.sent).cloned().collect();
+        for record in &new_records {
+            state.sent.insert(record.clone());
+        }
+        let beta_delta = state.beta.difference(&old_beta);
+        let mut out = Vec::new();
+        for j in 0..d {
+            let alpha_delta = state.alpha[j].difference(&old_alpha[j]);
+            let announce = if just_labeled {
+                Some(Announce { src: state.own_ref(), src_port: j })
+            } else {
+                None
+            };
+            if !alpha_delta.is_empty()
+                || !beta_delta.is_empty()
+                || announce.is_some()
+                || !new_records.is_empty()
+            {
+                out.push((
+                    j,
+                    MappingMessage {
+                        alpha: alpha_delta,
+                        beta: beta_delta.clone(),
+                        announce,
+                        records: new_records.clone(),
+                    },
+                ));
+            }
+        }
+        out
+    }
+
+    fn should_terminate(&self, terminal_state: &MappingState) -> bool {
+        terminal_state.map_complete()
+    }
+}
+
+/// One vertex of the reconstructed topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconVertex {
+    /// Who this vertex is.
+    pub reference: VertexRef,
+    /// In-degree (as reported by the vertex itself; 0 for the root, the terminal's
+    /// own in-degree for the terminal).
+    pub in_degree: usize,
+    /// Out-degree.
+    pub out_degree: usize,
+}
+
+/// One edge of the reconstructed topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconEdge {
+    /// Source vertex.
+    pub src: VertexRef,
+    /// Out-port at the source.
+    pub src_port: usize,
+    /// Destination vertex (`Sink` means the terminal).
+    pub dst: VertexRef,
+}
+
+/// The topology the terminal has extracted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconstructedTopology {
+    /// All vertices: the root, every labelled internal vertex, and the terminal.
+    pub vertices: Vec<ReconVertex>,
+    /// All edges.
+    pub edges: Vec<ReconEdge>,
+}
+
+impl ReconstructedTopology {
+    /// Builds the topology from the terminal's final state.
+    pub fn from_terminal_state(state: &MappingState) -> Self {
+        let mut vertices = vec![ReconVertex {
+            reference: VertexRef::Root,
+            in_degree: 0,
+            out_degree: 1,
+        }];
+        let mut edges = Vec::new();
+        for record in &state.known {
+            match record {
+                MapRecord::Vertex { label, in_degree, out_degree } => vertices.push(ReconVertex {
+                    reference: VertexRef::Labeled(label.clone()),
+                    in_degree: *in_degree,
+                    out_degree: *out_degree,
+                }),
+                MapRecord::Edge { src, src_port, dst } => edges.push(ReconEdge {
+                    src: src.clone(),
+                    src_port: *src_port,
+                    dst: dst.clone(),
+                }),
+            }
+        }
+        vertices.push(ReconVertex {
+            reference: VertexRef::Sink,
+            in_degree: state.in_degree,
+            out_degree: 0,
+        });
+        ReconstructedTopology { vertices, edges }
+    }
+
+    /// Number of reconstructed vertices (including root and terminal).
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of reconstructed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Rebuilds the topology as a [`Network`] (vertex ids follow the order of
+    /// [`ReconstructedTopology::vertices`], with the root first and the terminal
+    /// last).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`anet_graph::NetworkError`] if the extracted data does not form
+    /// a valid rooted network — which would indicate an incomplete extraction.
+    pub fn to_network(&self) -> Result<Network, anet_graph::NetworkError> {
+        let mut g = DiGraph::new();
+        let ids: Vec<NodeId> = self.vertices.iter().map(|_| g.add_node()).collect();
+        let find = |r: &VertexRef| -> Option<usize> {
+            self.vertices.iter().position(|v| &v.reference == r)
+        };
+        // Edges must be added in (source, port) order so the rebuilt graph has the
+        // same port structure as the original.
+        let mut ordered: Vec<&ReconEdge> = self.edges.iter().collect();
+        ordered.sort_by_key(|e| {
+            (find(&e.src).unwrap_or(usize::MAX), e.src_port)
+        });
+        for edge in ordered {
+            let (Some(src), Some(dst)) = (find(&edge.src), find(&edge.dst)) else {
+                return Err(anet_graph::NetworkError::InvalidParameter(
+                    "edge record refers to an unknown vertex".to_owned(),
+                ));
+            };
+            g.add_edge(ids[src], ids[dst]);
+        }
+        let root = ids[0];
+        let terminal = *ids.last().expect("vertices always include the terminal");
+        Network::new(g, root, terminal)
+    }
+
+    /// Checks that the reconstruction matches `network` *exactly*: same number of
+    /// vertices and edges, and for every original edge `(u, v)` at out-port `p`
+    /// there is a reconstructed edge between the correspondingly labelled vertices
+    /// at the same port. `labels` maps original node ids to the labels assigned
+    /// during the run (empty for the root).
+    pub fn matches_exactly(&self, network: &Network, labels: &[IntervalUnion]) -> bool {
+        if self.vertex_count() != network.node_count() {
+            return false;
+        }
+        if self.edge_count() != network.edge_count() {
+            return false;
+        }
+        let refer = |node: NodeId| -> Option<VertexRef> {
+            if node == network.root() {
+                Some(VertexRef::Root)
+            } else if node == network.terminal() {
+                Some(VertexRef::Sink)
+            } else {
+                labels[node.index()]
+                    .intervals()
+                    .first()
+                    .cloned()
+                    .map(VertexRef::Labeled)
+            }
+        };
+        let g = network.graph();
+        for node in g.nodes() {
+            let Some(node_ref) = refer(node) else { return false };
+            // Degree bookkeeping must match.
+            let found = self.vertices.iter().find(|v| v.reference == node_ref);
+            let Some(found) = found else { return false };
+            if found.out_degree != g.out_degree(node) || found.in_degree != g.in_degree(node) {
+                return false;
+            }
+            // Every out-edge must be present with the right port and destination.
+            for (port, &edge) in g.out_edges(node).iter().enumerate() {
+                let Some(dst_ref) = refer(g.edge_dst(edge)) else { return false };
+                let present = self.edges.iter().any(|e| {
+                    e.src == node_ref && e.src_port == port && e.dst == dst_ref
+                });
+                if !present {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The distilled outcome of a mapping run.
+#[derive(Debug, Clone)]
+pub struct MappingReport {
+    /// Whether the terminal declared termination.
+    pub terminated: bool,
+    /// Whether the run quiesced without terminating.
+    pub quiescent: bool,
+    /// The topology extracted at the terminal (present on termination).
+    pub topology: Option<ReconstructedTopology>,
+    /// Labels assigned during the run, indexed by node id.
+    pub labels: Vec<IntervalUnion>,
+    /// Communication metrics of the run.
+    pub metrics: RunMetrics,
+}
+
+impl MappingReport {
+    /// Whether the extracted topology reproduces `network` exactly.
+    pub fn reconstruction_is_exact(&self, network: &Network) -> bool {
+        self.topology
+            .as_ref()
+            .map(|topo| topo.matches_exactly(network, &self.labels))
+            .unwrap_or(false)
+    }
+}
+
+/// Runs the topology-mapping protocol and reports the extracted topology.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BudgetExhausted`] if the engine's delivery budget ran out.
+///
+/// # Example
+///
+/// ```
+/// use anet_core::mapping::run_mapping;
+/// use anet_graph::generators::cycle_with_tail;
+/// use anet_sim::scheduler::FifoScheduler;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let network = cycle_with_tail(4)?;
+/// let report = run_mapping(&network, &mut FifoScheduler::new())?;
+/// assert!(report.terminated);
+/// assert!(report.reconstruction_is_exact(&network));
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_mapping(
+    network: &Network,
+    scheduler: &mut (impl Scheduler + ?Sized),
+) -> Result<MappingReport, CoreError> {
+    run_mapping_with_config(network, scheduler, ExecutionConfig::default())
+}
+
+/// [`run_mapping`] with an explicit engine configuration.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BudgetExhausted`] if the delivery budget ran out.
+pub fn run_mapping_with_config(
+    network: &Network,
+    scheduler: &mut (impl Scheduler + ?Sized),
+    config: ExecutionConfig,
+) -> Result<MappingReport, CoreError> {
+    let protocol = Mapping::new();
+    let result = run(network, &protocol, scheduler, config);
+    if result.outcome == anet_sim::Outcome::BudgetExhausted {
+        return Err(CoreError::BudgetExhausted);
+    }
+    let labels: Vec<IntervalUnion> = result.states.iter().map(|st| st.label.clone()).collect();
+    let terminated = result.outcome == anet_sim::Outcome::Terminated;
+    let topology = terminated.then(|| {
+        ReconstructedTopology::from_terminal_state(&result.states[network.terminal().index()])
+    });
+    Ok(MappingReport {
+        terminated,
+        quiescent: result.outcome == anet_sim::Outcome::Quiescent,
+        topology,
+        labels,
+        metrics: result.metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_graph::generators::{
+        chain_gn, complete_dag, cycle_with_tail, diamond_stack, full_grounded_tree, nested_cycles,
+        path_network, random_cyclic, random_dag, star_network, with_stranded_vertex,
+    };
+    use anet_sim::runner::run_under_battery;
+    use anet_sim::scheduler::FifoScheduler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fifo() -> FifoScheduler {
+        FifoScheduler::new()
+    }
+
+    #[test]
+    fn mapping_reconstructs_simple_families_exactly() {
+        let nets = vec![
+            path_network(4).unwrap(),
+            chain_gn(5).unwrap(),
+            star_network(4).unwrap(),
+            full_grounded_tree(2, 3).unwrap(),
+            diamond_stack(3).unwrap(),
+            complete_dag(5).unwrap(),
+        ];
+        for net in &nets {
+            let report = run_mapping(net, &mut fifo()).unwrap();
+            assert!(report.terminated, "nodes = {}", net.node_count());
+            assert!(
+                report.reconstruction_is_exact(net),
+                "reconstruction mismatch for {} nodes",
+                net.node_count()
+            );
+        }
+    }
+
+    #[test]
+    fn mapping_reconstructs_cyclic_families_exactly() {
+        let mut rng = StdRng::seed_from_u64(321);
+        let nets = vec![
+            cycle_with_tail(3).unwrap(),
+            cycle_with_tail(8).unwrap(),
+            nested_cycles(2, 3).unwrap(),
+            random_cyclic(&mut rng, 12, 0.15, 0.2).unwrap(),
+            random_dag(&mut rng, 15, 0.2).unwrap(),
+        ];
+        for net in &nets {
+            let report = run_mapping(net, &mut fifo()).unwrap();
+            assert!(report.terminated, "nodes = {}", net.node_count());
+            assert!(
+                report.reconstruction_is_exact(net),
+                "reconstruction mismatch for {} nodes",
+                net.node_count()
+            );
+        }
+    }
+
+    #[test]
+    fn mapping_refuses_to_terminate_with_stranded_vertex() {
+        let base = cycle_with_tail(4).unwrap();
+        let net = with_stranded_vertex(&base).unwrap();
+        let report = run_mapping(&net, &mut fifo()).unwrap();
+        assert!(!report.terminated);
+        assert!(report.quiescent);
+        assert!(report.topology.is_none());
+    }
+
+    #[test]
+    fn mapping_is_exact_under_every_scheduler() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let net = random_cyclic(&mut rng, 10, 0.2, 0.25).unwrap();
+        let protocol = Mapping::new();
+        for named in run_under_battery(&net, &protocol, ExecutionConfig::default(), 6, 4) {
+            assert!(named.result.outcome.terminated(), "sched {}", named.scheduler);
+            let labels: Vec<IntervalUnion> = named
+                .result
+                .states
+                .iter()
+                .map(|st| st.label.clone())
+                .collect();
+            let topo = ReconstructedTopology::from_terminal_state(
+                &named.result.states[net.terminal().index()],
+            );
+            assert!(
+                topo.matches_exactly(&net, &labels),
+                "scheduler {} produced a wrong map",
+                named.scheduler
+            );
+        }
+    }
+
+    #[test]
+    fn reconstructed_network_is_a_valid_network_with_matching_counts() {
+        let net = nested_cycles(2, 4).unwrap();
+        let report = run_mapping(&net, &mut fifo()).unwrap();
+        let topo = report.topology.as_ref().unwrap();
+        assert_eq!(topo.vertex_count(), net.node_count());
+        assert_eq!(topo.edge_count(), net.edge_count());
+        let rebuilt = topo.to_network().unwrap();
+        assert_eq!(rebuilt.node_count(), net.node_count());
+        assert_eq!(rebuilt.edge_count(), net.edge_count());
+        assert_eq!(rebuilt.max_out_degree(), net.max_out_degree());
+    }
+
+    #[test]
+    fn record_wire_sizes_are_positive_and_scale_with_label_size() {
+        let small = MapRecord::Vertex {
+            label: Interval::unit(),
+            in_degree: 1,
+            out_degree: 1,
+        };
+        let nested = Interval::unit().split(8).unwrap()[5]
+            .split(8)
+            .unwrap()[3]
+            .clone();
+        let big = MapRecord::Vertex {
+            label: nested,
+            in_degree: 1,
+            out_degree: 1,
+        };
+        assert!(small.wire_bits() > 0);
+        assert!(big.wire_bits() > small.wire_bits());
+        let edge = MapRecord::Edge {
+            src: VertexRef::Root,
+            src_port: 0,
+            dst: VertexRef::Sink,
+        };
+        assert!(edge.wire_bits() >= 5);
+    }
+
+    #[test]
+    fn terminal_state_exposes_map_completeness_incrementally() {
+        // Before any delivery the terminal obviously has no map.
+        let protocol = Mapping::new();
+        let ctx = NodeContext::new(2, 0);
+        let state = protocol.initial_state(&ctx);
+        assert!(!state.map_complete());
+        assert!(!protocol.should_terminate(&state));
+    }
+}

@@ -1,0 +1,109 @@
+//! The broadcast payload `m`.
+
+use anet_num::bits;
+use anet_sim::Wire;
+
+/// The message `m` being broadcast.
+///
+/// Only its size matters for the complexity accounting (`|m|` in every bound), but
+/// carrying real bytes keeps the examples honest: the report can verify that every
+/// vertex ended up holding the same payload the root injected.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Payload {
+    data: Vec<u8>,
+}
+
+impl Payload {
+    /// An empty payload (`|m| = 0`), used when only termination detection matters.
+    pub fn empty() -> Self {
+        Payload { data: Vec::new() }
+    }
+
+    /// Builds a payload from bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        Payload {
+            data: bytes.to_vec(),
+        }
+    }
+
+    /// Builds a synthetic payload of exactly `bits` bits (rounded up to whole
+    /// bytes), used by the benchmark sweeps over `|m|`.
+    pub fn synthetic(bits: u64) -> Self {
+        let bytes = usize::try_from(bits.div_ceil(8)).expect("payload size fits in memory");
+        Payload {
+            data: vec![0xA5; bytes],
+        }
+    }
+
+    /// The payload bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// `|m|` in bits.
+    pub fn len_bits(&self) -> u64 {
+        self.data.len() as u64 * 8
+    }
+
+    /// Returns `true` if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Wire for Payload {
+    fn wire_bits(&self) -> u64 {
+        bits::length_prefixed_bits(self.len_bits())
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(bytes: &[u8]) -> Self {
+        Payload::from_bytes(bytes)
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(data: Vec<u8>) -> Self {
+        Payload { data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_size() {
+        assert!(Payload::empty().is_empty());
+        assert_eq!(Payload::empty().len_bits(), 0);
+        let p = Payload::from_bytes(b"abc");
+        assert_eq!(p.len_bits(), 24);
+        assert_eq!(p.as_bytes(), b"abc");
+        assert_eq!(Payload::default(), Payload::empty());
+    }
+
+    #[test]
+    fn synthetic_rounds_up_to_bytes() {
+        assert_eq!(Payload::synthetic(0).len_bits(), 0);
+        assert_eq!(Payload::synthetic(1).len_bits(), 8);
+        assert_eq!(Payload::synthetic(64).len_bits(), 64);
+        assert_eq!(Payload::synthetic(65).len_bits(), 72);
+    }
+
+    #[test]
+    fn wire_size_includes_length_prefix() {
+        let p = Payload::synthetic(64);
+        assert!(p.wire_bits() > 64);
+        assert!(p.wire_bits() < 64 + 32);
+        assert!(Payload::empty().wire_bits() >= 1);
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Payload = b"xy".as_slice().into();
+        assert_eq!(p.len_bits(), 16);
+        let q: Payload = vec![1, 2, 3].into();
+        assert_eq!(q.len_bits(), 24);
+    }
+}

@@ -1,0 +1,353 @@
+//! Broadcasting with termination detection on grounded trees (Section 3.1,
+//! Theorem 3.1).
+//!
+//! The root injects the payload `m` together with one unit of a scalar commodity.
+//! Every internal vertex, on its single incoming message, forwards `m` on all
+//! out-edges and splits the commodity among them; the terminal accepts once the
+//! commodity values it received sum back to exactly one unit. With the paper's
+//! power-of-two splitting rule ([`Pow2Commodity`]) every transmitted value is a
+//! power of two, giving `O(log |E|)` bits per edge and `O(|E| log |E|) + |E||m|`
+//! total communication; the naive rule ([`crate::ExactCommodity`]) is kept as the
+//! ablation baseline.
+
+use std::marker::PhantomData;
+
+use anet_graph::Network;
+use anet_sim::engine::{run, ExecutionConfig};
+use anet_sim::scheduler::Scheduler;
+use anet_sim::{AnonymousProtocol, NodeContext, Wire};
+
+use crate::outcome::BroadcastReport;
+use crate::CoreError;
+pub use crate::{Payload, Pow2Commodity, ScalarCommodity};
+
+/// A message of the grounded-tree protocol: the payload plus a commodity share.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeMessage<C> {
+    /// The broadcast payload `m`.
+    pub payload: Payload,
+    /// The termination-information share carried by this edge.
+    pub value: C,
+}
+
+impl<C: ScalarCommodity> Wire for TreeMessage<C> {
+    fn wire_bits(&self) -> u64 {
+        self.payload.wire_bits() + self.value.wire_bits()
+    }
+}
+
+/// Per-vertex state of the grounded-tree protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeState<C> {
+    /// Whether the payload has been received.
+    pub received: bool,
+    /// Whether this vertex already forwarded (internal vertices act exactly once on
+    /// a grounded tree).
+    pub forwarded: bool,
+    /// Sum of commodity values received; only meaningful at vertices with
+    /// out-degree zero (they have nowhere to forward), in particular the terminal.
+    pub accumulated: C,
+}
+
+/// The grounded-tree broadcast protocol, parameterised by the splitting rule.
+#[derive(Debug, Clone)]
+pub struct TreeBroadcast<C> {
+    payload: Payload,
+    _rule: PhantomData<C>,
+}
+
+impl<C: ScalarCommodity> TreeBroadcast<C> {
+    /// Creates the protocol for broadcasting `payload`.
+    pub fn new(payload: Payload) -> Self {
+        TreeBroadcast {
+            payload,
+            _rule: PhantomData,
+        }
+    }
+
+    /// The payload being broadcast.
+    pub fn payload(&self) -> &Payload {
+        &self.payload
+    }
+}
+
+impl<C: ScalarCommodity> AnonymousProtocol for TreeBroadcast<C> {
+    type State = TreeState<C>;
+    type Message = TreeMessage<C>;
+
+    fn name(&self) -> &'static str {
+        "tree-broadcast"
+    }
+
+    fn initial_state(&self, _ctx: &NodeContext) -> TreeState<C> {
+        TreeState {
+            received: false,
+            forwarded: false,
+            accumulated: C::zero(),
+        }
+    }
+
+    fn root_messages(&self, _root_out_degree: usize) -> Vec<(usize, TreeMessage<C>)> {
+        vec![(
+            0,
+            TreeMessage {
+                payload: self.payload.clone(),
+                value: C::unit(),
+            },
+        )]
+    }
+
+    fn on_receive(
+        &self,
+        ctx: &NodeContext,
+        state: &mut TreeState<C>,
+        _in_port: usize,
+        message: &TreeMessage<C>,
+    ) -> Vec<(usize, TreeMessage<C>)> {
+        state.received = true;
+        if ctx.out_degree == 0 {
+            // Nowhere to forward: accumulate (this is the terminal's S input, or a
+            // dead-end vertex whose commodity is correctly lost).
+            state.accumulated = state.accumulated.add(&message.value);
+            return Vec::new();
+        }
+        if state.forwarded {
+            // On a grounded tree each internal vertex hears exactly one message; a
+            // second one means the input was not a grounded tree. The protocol's
+            // guarantees are void there, but it still never *mis-terminates*: the
+            // extra commodity is dropped, so the terminal can only under-count.
+            return Vec::new();
+        }
+        state.forwarded = true;
+        let shares = message.value.split(ctx.out_degree);
+        shares
+            .into_iter()
+            .enumerate()
+            .map(|(port, value)| {
+                (
+                    port,
+                    TreeMessage {
+                        payload: message.payload.clone(),
+                        value,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn should_terminate(&self, terminal_state: &TreeState<C>) -> bool {
+        terminal_state.accumulated.is_unit()
+    }
+}
+
+/// Runs the grounded-tree broadcast on `network` under `scheduler` and reports the
+/// outcome.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BudgetExhausted`] if the engine's delivery budget ran out
+/// (which cannot happen for this protocol on finite inputs unless the budget is
+/// made artificially tiny).
+///
+/// # Example
+///
+/// ```
+/// use anet_core::tree_broadcast::{run_tree_broadcast, Pow2Commodity};
+/// use anet_core::Payload;
+/// use anet_graph::generators::chain_gn;
+/// use anet_sim::scheduler::FifoScheduler;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let network = chain_gn(8)?;
+/// let report = run_tree_broadcast::<Pow2Commodity>(
+///     &network,
+///     Payload::from_bytes(b"hello"),
+///     &mut FifoScheduler::new(),
+/// )?;
+/// assert!(report.terminated && report.all_received);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_tree_broadcast<C: ScalarCommodity>(
+    network: &Network,
+    payload: Payload,
+    scheduler: &mut (impl Scheduler + ?Sized),
+) -> Result<BroadcastReport, CoreError> {
+    run_tree_broadcast_with_config::<C>(network, payload, scheduler, ExecutionConfig::default())
+}
+
+/// [`run_tree_broadcast`] with an explicit engine configuration.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BudgetExhausted`] if the delivery budget ran out.
+pub fn run_tree_broadcast_with_config<C: ScalarCommodity>(
+    network: &Network,
+    payload: Payload,
+    scheduler: &mut (impl Scheduler + ?Sized),
+    config: ExecutionConfig,
+) -> Result<BroadcastReport, CoreError> {
+    let protocol = TreeBroadcast::<C>::new(payload);
+    let result = run(network, &protocol, scheduler, config);
+    if result.outcome == anet_sim::Outcome::BudgetExhausted {
+        return Err(CoreError::BudgetExhausted);
+    }
+    let received: Vec<bool> = network
+        .graph()
+        .nodes()
+        .map(|n| n == network.root() || result.states[n.index()].received)
+        .collect();
+    Ok(BroadcastReport::from_run(
+        result.outcome,
+        result.deliveries_at_termination,
+        result.metrics,
+        &received,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExactCommodity;
+    use anet_graph::generators::{
+        chain_gn, full_grounded_tree, path_network, random_grounded_tree, star_network,
+        with_stranded_vertex,
+    };
+    use anet_sim::runner::run_under_battery;
+    use anet_sim::scheduler::FifoScheduler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fifo() -> FifoScheduler {
+        FifoScheduler::new()
+    }
+
+    #[test]
+    fn terminates_on_chain_family() {
+        for n in [1usize, 2, 5, 17, 64] {
+            let net = chain_gn(n).unwrap();
+            let report =
+                run_tree_broadcast::<Pow2Commodity>(&net, Payload::from_bytes(b"m"), &mut fifo())
+                    .unwrap();
+            assert!(report.terminated, "n = {n}");
+            assert!(report.all_received, "n = {n}");
+            // One message per edge on a grounded tree.
+            assert_eq!(report.metrics.messages_sent as usize, net.edge_count());
+            assert!(report.metrics.per_edge_messages.iter().all(|&c| c == 1));
+        }
+    }
+
+    #[test]
+    fn terminates_on_assorted_grounded_trees() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let nets = vec![
+            path_network(12).unwrap(),
+            star_network(9).unwrap(),
+            full_grounded_tree(3, 3).unwrap(),
+            random_grounded_tree(&mut rng, 40, 4, 0.4).unwrap(),
+        ];
+        for net in nets {
+            for payload in [Payload::empty(), Payload::synthetic(256)] {
+                let report =
+                    run_tree_broadcast::<Pow2Commodity>(&net, payload, &mut fifo()).unwrap();
+                assert!(report.terminated);
+                assert!(report.all_received);
+            }
+        }
+    }
+
+    #[test]
+    fn naive_rule_also_terminates_but_costs_more_bits() {
+        let net = full_grounded_tree(4, 3).unwrap();
+        let pow2 =
+            run_tree_broadcast::<Pow2Commodity>(&net, Payload::empty(), &mut fifo()).unwrap();
+        let naive =
+            run_tree_broadcast::<ExactCommodity>(&net, Payload::empty(), &mut fifo()).unwrap();
+        assert!(pow2.terminated && naive.terminated);
+        assert!(pow2.all_received && naive.all_received);
+        assert!(
+            naive.total_bits() > pow2.total_bits(),
+            "naive {} vs pow2 {}",
+            naive.total_bits(),
+            pow2.total_bits()
+        );
+    }
+
+    #[test]
+    fn refuses_to_terminate_with_stranded_vertex() {
+        let base = chain_gn(6).unwrap();
+        let net = with_stranded_vertex(&base).unwrap();
+        let report =
+            run_tree_broadcast::<Pow2Commodity>(&net, Payload::from_bytes(b"x"), &mut fifo())
+                .unwrap();
+        assert!(!report.terminated);
+        assert!(report.quiescent);
+    }
+
+    #[test]
+    fn correct_under_every_scheduler() {
+        let net = chain_gn(10).unwrap();
+        let protocol = TreeBroadcast::<Pow2Commodity>::new(Payload::from_bytes(b"msg"));
+        for named in run_under_battery(&net, &protocol, ExecutionConfig::default(), 99, 4) {
+            assert!(
+                named.result.outcome.terminated(),
+                "scheduler {}",
+                named.scheduler
+            );
+            for node in net.internal_nodes() {
+                assert!(named.result.states[node.index()].received);
+            }
+        }
+    }
+
+    #[test]
+    fn termination_never_happens_before_every_vertex_received() {
+        // Run with the terminal-first adversary, which tries to make the terminal
+        // accept as early as possible; acceptance must still only happen after all
+        // internal vertices were reached.
+        let net = full_grounded_tree(3, 2).unwrap();
+        let protocol = TreeBroadcast::<Pow2Commodity>::new(Payload::empty());
+        let mut sched = anet_sim::scheduler::TerminalFirstScheduler::new();
+        let result = run(&net, &protocol, &mut sched, ExecutionConfig::default());
+        assert!(result.outcome.terminated());
+        for node in net.internal_nodes() {
+            assert!(result.states[node.index()].received);
+        }
+    }
+
+    #[test]
+    fn commodity_is_conserved_at_the_terminal() {
+        let net = star_network(13).unwrap();
+        let protocol = TreeBroadcast::<Pow2Commodity>::new(Payload::empty());
+        let result = run(&net, &protocol, &mut fifo(), ExecutionConfig::default());
+        let terminal = &result.states[net.terminal().index()];
+        assert!(terminal.accumulated.is_unit());
+    }
+
+    #[test]
+    fn payload_size_shows_up_in_total_bits() {
+        let net = chain_gn(16).unwrap();
+        let small =
+            run_tree_broadcast::<Pow2Commodity>(&net, Payload::empty(), &mut fifo()).unwrap();
+        let big =
+            run_tree_broadcast::<Pow2Commodity>(&net, Payload::synthetic(4096), &mut fifo())
+                .unwrap();
+        // Each of the 2n edges carries the payload once: the difference must be at
+        // least |E| * |m|.
+        assert!(big.total_bits() >= small.total_bits() + 32 * 4096);
+    }
+
+    #[test]
+    fn budget_exhaustion_maps_to_error() {
+        let net = chain_gn(8).unwrap();
+        let config = ExecutionConfig { max_deliveries: 2, record_trace: false };
+        let err = run_tree_broadcast_with_config::<Pow2Commodity>(
+            &net,
+            Payload::empty(),
+            &mut fifo(),
+            config,
+        )
+        .unwrap_err();
+        assert_eq!(err, CoreError::BudgetExhausted);
+    }
+}

@@ -1,0 +1,328 @@
+//! Classification predicates — the hypotheses of the paper's theorems.
+//!
+//! Theorem 3.1 applies to *grounded trees*, Section 3.3 to *DAGs*, and Theorems 4.2
+//! and 5.1 terminate *iff every vertex is connected to the terminal*. These
+//! predicates let experiments and tests state exactly which hypothesis a topology
+//! satisfies.
+
+use crate::traversal::{coreachable_to, reachable_from};
+use crate::{DiGraph, Network, NodeId};
+
+/// Returns a topological order of the graph, or `None` if it contains a cycle.
+pub fn topological_order(graph: &DiGraph) -> Option<Vec<NodeId>> {
+    let mut in_deg: Vec<usize> = graph.nodes().map(|n| graph.in_degree(n)).collect();
+    let mut queue: Vec<NodeId> = graph.nodes().filter(|&n| in_deg[n.index()] == 0).collect();
+    let mut order = Vec::with_capacity(graph.node_count());
+    while let Some(n) = queue.pop() {
+        order.push(n);
+        for succ in graph.successors(n) {
+            in_deg[succ.index()] -= 1;
+            if in_deg[succ.index()] == 0 {
+                queue.push(succ);
+            }
+        }
+    }
+    if order.len() == graph.node_count() {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Returns `true` if the graph is acyclic.
+pub fn is_dag(graph: &DiGraph) -> bool {
+    topological_order(graph).is_some()
+}
+
+/// Returns `true` if the network is a *grounded tree* (Section 3.1): every vertex
+/// has in-degree 1, except the root `s` (in-degree 0) and the terminal `t` (any
+/// in-degree); and the graph is acyclic.
+///
+/// Acyclicity is implied for finite graphs when every internal vertex has in-degree
+/// exactly one and the root has none *and* every vertex is reachable from the root;
+/// since generators can produce unreachable vertices, the check is explicit here.
+pub fn is_grounded_tree(network: &Network) -> bool {
+    let g = network.graph();
+    for v in network.internal_nodes() {
+        if g.in_degree(v) != 1 {
+            return false;
+        }
+    }
+    g.in_degree(network.root()) == 0 && is_dag(g)
+}
+
+/// Returns `true` if every vertex of the network is reachable from the root — the
+/// standing assumption of Section 2 ("to simplify our presentation, we assume that
+/// all vertices in G are reachable from s").
+pub fn all_reachable_from_root(network: &Network) -> bool {
+    reachable_from(network.graph(), network.root())
+        .into_iter()
+        .all(|b| b)
+}
+
+/// Returns `true` if every vertex of the network is connected to the terminal —
+/// the termination condition of Theorems 3.1, 4.2 and 5.1.
+pub fn all_connected_to_terminal(network: &Network) -> bool {
+    coreachable_to(network.graph(), network.terminal())
+        .into_iter()
+        .all(|b| b)
+}
+
+/// The vertices reachable from the root but *not* connected to the terminal — the
+/// vertices that make the protocols (correctly) refuse to terminate.
+pub fn stranded_vertices(network: &Network) -> Vec<NodeId> {
+    let reach = reachable_from(network.graph(), network.root());
+    let coreach = coreachable_to(network.graph(), network.terminal());
+    network
+        .graph()
+        .nodes()
+        .filter(|n| reach[n.index()] && !coreach[n.index()])
+        .collect()
+}
+
+/// Summary statistics of a network, used by benchmark tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Total number of vertices (including `s` and `t`).
+    pub nodes: usize,
+    /// Total number of edges.
+    pub edges: usize,
+    /// Maximum out-degree `d_out`.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Whether the underlying graph is acyclic.
+    pub dag: bool,
+    /// Whether the network is a grounded tree.
+    pub grounded_tree: bool,
+    /// Whether every vertex is reachable from the root.
+    pub all_reachable: bool,
+    /// Whether every vertex is connected to the terminal.
+    pub all_coreachable: bool,
+}
+
+/// Computes [`NetworkStats`] for a network.
+pub fn stats(network: &Network) -> NetworkStats {
+    NetworkStats {
+        nodes: network.node_count(),
+        edges: network.edge_count(),
+        max_out_degree: network.graph().max_out_degree(),
+        max_in_degree: network.graph().max_in_degree(),
+        dag: is_dag(network.graph()),
+        grounded_tree: is_grounded_tree(network),
+        all_reachable: all_reachable_from_root(network),
+        all_coreachable: all_connected_to_terminal(network),
+    }
+}
+
+/// Strongly connected components (Tarjan), returned as a component id per vertex
+/// and the number of components. Vertices in the same cycle share a component.
+pub fn strongly_connected_components(graph: &DiGraph) -> (Vec<usize>, usize) {
+    #[derive(Clone, Copy)]
+    struct Frame {
+        node: usize,
+        next_edge: usize,
+    }
+    let n = graph.node_count();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![usize::MAX; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comp_count = 0usize;
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call_stack = vec![Frame { node: start, next_edge: 0 }];
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(frame) = call_stack.last_mut() {
+            let node = frame.node;
+            let out = graph.out_edges(NodeId(node));
+            if frame.next_edge < out.len() {
+                let succ = graph.edge_dst(out[frame.next_edge]).index();
+                frame.next_edge += 1;
+                if index[succ] == usize::MAX {
+                    index[succ] = next_index;
+                    lowlink[succ] = next_index;
+                    next_index += 1;
+                    stack.push(succ);
+                    on_stack[succ] = true;
+                    call_stack.push(Frame { node: succ, next_edge: 0 });
+                } else if on_stack[succ] {
+                    lowlink[node] = lowlink[node].min(index[succ]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(parent) = call_stack.last() {
+                    lowlink[parent.node] = lowlink[parent.node].min(lowlink[node]);
+                }
+                if lowlink[node] == index[node] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack non-empty");
+                        on_stack[w] = false;
+                        comp[w] = comp_count;
+                        if w == node {
+                            break;
+                        }
+                    }
+                    comp_count += 1;
+                }
+            }
+        }
+    }
+    (comp, comp_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiGraph;
+    use crate::Network;
+
+    fn chain3() -> Network {
+        // s -> a -> b -> t with a -> t shortcut: a grounded tree.
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let b = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, a);
+        g.add_edge(a, b);
+        g.add_edge(a, t);
+        g.add_edge(b, t);
+        Network::new(g, s, t).unwrap()
+    }
+
+    fn diamond() -> Network {
+        // s -> a -> {b, c} -> d -> t : a DAG but not a grounded tree (d has in-degree 2).
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let d = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, a);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        g.add_edge(d, t);
+        Network::new(g, s, t).unwrap()
+    }
+
+    fn with_cycle() -> Network {
+        // s -> a -> b -> a (cycle), b -> t.
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let b = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, a);
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        g.add_edge(b, t);
+        Network::new(g, s, t).unwrap()
+    }
+
+    #[test]
+    fn topological_order_on_dag() {
+        let net = diamond();
+        let order = topological_order(net.graph()).unwrap();
+        assert_eq!(order.len(), net.node_count());
+        let pos: Vec<usize> = {
+            let mut p = vec![0; net.node_count()];
+            for (i, n) in order.iter().enumerate() {
+                p[n.index()] = i;
+            }
+            p
+        };
+        for e in net.graph().edges() {
+            let (u, v) = net.graph().edge_endpoints(e);
+            assert!(pos[u.index()] < pos[v.index()]);
+        }
+    }
+
+    #[test]
+    fn cycle_detection() {
+        assert!(is_dag(chain3().graph()));
+        assert!(is_dag(diamond().graph()));
+        assert!(!is_dag(with_cycle().graph()));
+        assert!(topological_order(with_cycle().graph()).is_none());
+    }
+
+    #[test]
+    fn grounded_tree_detection() {
+        assert!(is_grounded_tree(&chain3()));
+        assert!(!is_grounded_tree(&diamond()));
+        assert!(!is_grounded_tree(&with_cycle()));
+    }
+
+    #[test]
+    fn reachability_predicates() {
+        for net in [chain3(), diamond(), with_cycle()] {
+            assert!(all_reachable_from_root(&net));
+            assert!(all_connected_to_terminal(&net));
+            assert!(stranded_vertices(&net).is_empty());
+        }
+    }
+
+    #[test]
+    fn stranded_vertex_is_reported() {
+        // s -> a -> t and a -> dead (dead has no path to t).
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let dead = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, a);
+        g.add_edge(a, dead);
+        g.add_edge(a, t);
+        let net = Network::new(g, s, t).unwrap();
+        assert!(!all_connected_to_terminal(&net));
+        assert_eq!(stranded_vertices(&net), vec![dead]);
+        assert!(all_reachable_from_root(&net));
+    }
+
+    #[test]
+    fn stats_summarises_network() {
+        let st = stats(&diamond());
+        assert_eq!(st.nodes, 6);
+        assert_eq!(st.edges, 6);
+        assert_eq!(st.max_out_degree, 2);
+        assert!(st.dag);
+        assert!(!st.grounded_tree);
+        assert!(st.all_reachable);
+        assert!(st.all_coreachable);
+    }
+
+    #[test]
+    fn scc_groups_cycle_vertices() {
+        let net = with_cycle();
+        let (comp, count) = strongly_connected_components(net.graph());
+        // a and b share a component; s, t are singletons.
+        assert_eq!(count, 3);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[0], comp[1]);
+        assert_ne!(comp[3], comp[1]);
+    }
+
+    #[test]
+    fn scc_on_dag_is_all_singletons() {
+        let net = diamond();
+        let (comp, count) = strongly_connected_components(net.graph());
+        assert_eq!(count, net.node_count());
+        let mut sorted = comp.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), net.node_count());
+    }
+}

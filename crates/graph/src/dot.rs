@@ -1,0 +1,84 @@
+//! Graphviz (DOT) export for visual inspection of generated topologies.
+
+use crate::Network;
+
+/// Renders the network in Graphviz DOT syntax.
+///
+/// The root is drawn as a double circle labelled `s`, the terminal as a double
+/// circle labelled `t`, and internal vertices as plain circles. Optional per-vertex
+/// labels (e.g. assigned protocol labels) can be supplied via [`to_dot_with_labels`].
+pub fn to_dot(network: &Network) -> String {
+    to_dot_with_labels(network, |_| None)
+}
+
+/// Renders the network in DOT syntax with caller-provided extra labels.
+///
+/// The closure receives each vertex id and may return an additional label line that
+/// is appended to the vertex name.
+pub fn to_dot_with_labels<F>(network: &Network, extra: F) -> String
+where
+    F: Fn(crate::NodeId) -> Option<String>,
+{
+    let g = network.graph();
+    let mut out = String::from("digraph anet {\n  rankdir=TB;\n");
+    for node in g.nodes() {
+        let base = if node == network.root() {
+            "s".to_owned()
+        } else if node == network.terminal() {
+            "t".to_owned()
+        } else {
+            format!("v{}", node.index())
+        };
+        let label = match extra(node) {
+            Some(more) => format!("{base}\\n{more}"),
+            None => base,
+        };
+        let shape = if node == network.root() || node == network.terminal() {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        out.push_str(&format!(
+            "  n{} [label=\"{}\", shape={}];\n",
+            node.index(),
+            label,
+            shape
+        ));
+    }
+    for edge in g.edges() {
+        let (u, v) = g.edge_endpoints(edge);
+        out.push_str(&format!(
+            "  n{} -> n{} [label=\"{}\"];\n",
+            u.index(),
+            v.index(),
+            g.out_port(edge)
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::chain_gn;
+
+    #[test]
+    fn dot_output_mentions_every_vertex_and_edge() {
+        let net = chain_gn(3).unwrap();
+        let dot = to_dot(&net);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("doublecircle"));
+        assert_eq!(dot.matches(" -> ").count(), net.edge_count());
+        for node in net.graph().nodes() {
+            assert!(dot.contains(&format!("n{} [", node.index())));
+        }
+    }
+
+    #[test]
+    fn extra_labels_are_included() {
+        let net = chain_gn(2).unwrap();
+        let dot = to_dot_with_labels(&net, |n| Some(format!("deg={}", net.graph().out_degree(n))));
+        assert!(dot.contains("deg=2"));
+    }
+}

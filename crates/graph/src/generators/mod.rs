@@ -1,0 +1,26 @@
+//! Topology generators for every graph family used by the paper.
+//!
+//! | Generator | Paper artefact |
+//! |-----------|----------------|
+//! | [`chain_gn`] | the lower-bound chain family `G_n` (Figure 5, Theorem 3.2) |
+//! | [`path_network`] | a degenerate grounded tree (out-degree 1 everywhere) |
+//! | [`star_network`], [`random_grounded_tree`], [`full_grounded_tree`] | grounded trees (Section 3.1, Figure 6a) |
+//! | [`pruned_tree`] | the pruned tree of the label-length lower bound (Figure 6b, Theorem 5.2) |
+//! | [`diamond_stack`], [`layered_dag`], [`random_dag`], [`complete_dag`] | DAGs (Section 3.3) |
+//! | [`cycle_with_tail`], [`nested_cycles`], [`random_cyclic`] | general graphs with cycles (Section 4) |
+//! | [`skeleton`] | the commodity-preserving lower-bound skeleton (Figure 4, Theorem 3.8) |
+//! | [`with_stranded_vertex`] | adds a vertex reachable from `s` but not connected to `t` (non-termination cases) |
+
+mod chain;
+mod cyclic;
+mod dags;
+mod pruned;
+mod skeleton;
+mod trees;
+
+pub use chain::{chain_gn, path_network};
+pub use cyclic::{cycle_with_tail, nested_cycles, random_cyclic, with_stranded_vertex};
+pub use dags::{complete_dag, diamond_stack, layered_dag, random_dag};
+pub use pruned::pruned_tree;
+pub use skeleton::{skeleton, SkeletonNetwork};
+pub use trees::{full_grounded_tree, random_grounded_tree, star_network};

@@ -1,0 +1,92 @@
+//! The pruned tree of the label-length lower bound (Theorem 5.2, Figure 6b).
+
+use crate::{DiGraph, Network, NetworkError, NodeId};
+
+/// Builds the pruned tree of Figure 6b: the leftmost root-to-leaf path
+/// `w_0 → w_1 → … → w_h` of the full `arity`-ary tree of height `height` is kept;
+/// every other child edge of a path vertex is redirected straight to `t`.
+///
+/// The resulting network has only `height + 3` vertices and maximum out-degree
+/// `arity`, yet any labelling protocol must give the final path vertex the same
+/// label it would receive in the full tree — a label of `Ω(height · log arity)`
+/// bits (Theorem 5.2). Crucially, each `w_i` keeps out-degree `arity` and its edge
+/// towards `w_{i+1}` stays at out-port 0, exactly as in
+/// [`super::full_grounded_tree`], so a protocol execution along the path is
+/// bit-for-bit identical in the two networks.
+///
+/// Returns the network together with the path vertices `w_0 … w_h` in order.
+///
+/// # Errors
+///
+/// Returns [`NetworkError::InvalidParameter`] when `arity < 2`.
+pub fn pruned_tree(height: usize, arity: usize) -> Result<(Network, Vec<NodeId>), NetworkError> {
+    if arity < 2 {
+        return Err(NetworkError::InvalidParameter(
+            "pruned_tree needs arity >= 2".to_owned(),
+        ));
+    }
+    let mut g = DiGraph::with_capacity(height + 3);
+    let s = g.add_node();
+    let path = g.add_nodes(height + 1);
+    let t = g.add_node();
+    g.add_edge(s, path[0]);
+    for i in 0..height {
+        // Out-port 0 continues down the path; the remaining arity-1 ports go to t.
+        g.add_edge(path[i], path[i + 1]);
+        for _ in 1..arity {
+            g.add_edge(path[i], t);
+        }
+    }
+    // The final path vertex is a leaf of the original tree: single edge to t.
+    g.add_edge(path[height], t);
+    let network = Network::new(g, s, t)?;
+    Ok((network, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify;
+
+    #[test]
+    fn pruned_tree_has_h_plus_3_vertices() {
+        for (h, d) in [(1usize, 2usize), (4, 3), (10, 5), (0, 4)] {
+            let (net, path) = pruned_tree(h, d).unwrap();
+            assert_eq!(net.node_count(), h + 3, "h={h} d={d}");
+            assert_eq!(path.len(), h + 1);
+            assert!(classify::is_grounded_tree(&net));
+            assert!(classify::all_reachable_from_root(&net));
+            assert!(classify::all_connected_to_terminal(&net));
+            assert_eq!(net.max_out_degree(), if h == 0 { 1 } else { d });
+        }
+    }
+
+    #[test]
+    fn path_vertices_keep_full_tree_out_degree_and_port_order() {
+        let (net, path) = pruned_tree(6, 4).unwrap();
+        let g = net.graph();
+        for i in 0..6 {
+            assert_eq!(g.out_degree(path[i]), 4);
+            // Out-port 0 continues along the path.
+            assert_eq!(g.edge_dst(g.out_edges(path[i])[0]), path[i + 1]);
+            // All other ports go straight to t.
+            for port in 1..4 {
+                assert_eq!(g.edge_dst(g.out_edges(path[i])[port]), net.terminal());
+            }
+        }
+        assert_eq!(g.out_degree(path[6]), 1);
+    }
+
+    #[test]
+    fn edge_count_matches_formula() {
+        // 1 (s edge) + h·arity (path levels) + 1 (leaf edge).
+        let (net, _) = pruned_tree(5, 3).unwrap();
+        assert_eq!(net.edge_count(), 1 + 5 * 3 + 1);
+    }
+
+    #[test]
+    fn arity_below_two_is_rejected() {
+        assert!(pruned_tree(3, 1).is_err());
+        assert!(pruned_tree(3, 0).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! The skeleton graphs of the commodity-preserving lower bound (Theorem 3.8,
+//! Figure 4).
+
+use crate::{DiGraph, EdgeId, Network, NetworkError, NodeId};
+
+/// A skeleton network together with the vertices the lower-bound argument reasons
+/// about.
+///
+/// Built by [`skeleton`]; the experiment of Theorem 3.8 runs a commodity-preserving
+/// protocol on one skeleton per subset `S` of the even-indexed `u` vertices and
+/// shows that the quantity crossing [`SkeletonNetwork::w_to_t_edge`] is different
+/// for every subset, forcing `2^n` distinct symbols.
+#[derive(Debug, Clone)]
+pub struct SkeletonNetwork {
+    /// The validated network.
+    pub network: Network,
+    /// The spine vertices `v_0 … v_{2n-1}`.
+    pub v_nodes: Vec<NodeId>,
+    /// The side vertices `u_0 … u_{2n-2}`.
+    pub u_nodes: Vec<NodeId>,
+    /// The collector vertex `w`.
+    pub w: NodeId,
+    /// The single edge `w → t`.
+    pub w_to_t_edge: EdgeId,
+    /// Which even-indexed `u` vertices were routed to `w` (the subset `S`).
+    pub subset: Vec<bool>,
+}
+
+/// Builds the Figure 4 skeleton for parameter `n` and subset `S ⊆ {u_0, u_2, …,
+/// u_{2n-2}}` given as `subset[j] == true` ⇔ `u_{2j} ∈ S`.
+///
+/// Structure: `s → v_0`; each `v_i` (`i < 2n-1`) has out-port 0 to `v_{i+1}` and
+/// out-port 1 to `u_i`; `v_{2n-1} → t`. Odd-indexed `u_i → t`. Even-indexed
+/// `u_{2j}` goes to `w` when `subset[j]` and to `t` otherwise. Finally `w → t`.
+///
+/// Because each `v_i` splits its incoming commodity between the spine and `u_i`,
+/// the quantities reaching the even `u` vertices fall off geometrically, so the sum
+/// collected at `w` identifies the subset uniquely — the `2^n` distinct terminal
+/// quantities of the lower bound.
+///
+/// # Errors
+///
+/// Returns [`NetworkError::InvalidParameter`] when `n == 0` or `subset.len() != n`.
+pub fn skeleton(n: usize, subset: &[bool]) -> Result<SkeletonNetwork, NetworkError> {
+    if n == 0 {
+        return Err(NetworkError::InvalidParameter(
+            "skeleton needs n >= 1".to_owned(),
+        ));
+    }
+    if subset.len() != n {
+        return Err(NetworkError::InvalidParameter(format!(
+            "subset must have one entry per even u vertex: expected {n}, got {}",
+            subset.len()
+        )));
+    }
+    let spine_len = 2 * n;
+    let mut g = DiGraph::new();
+    let s = g.add_node();
+    let v_nodes = g.add_nodes(spine_len);
+    let u_nodes = g.add_nodes(spine_len - 1);
+    let w = g.add_node();
+    let t = g.add_node();
+
+    g.add_edge(s, v_nodes[0]);
+    for i in 0..spine_len - 1 {
+        // Out-port 0 continues down the spine ("left", smaller quantity in the
+        // paper's adaptive argument), out-port 1 goes to u_i.
+        g.add_edge(v_nodes[i], v_nodes[i + 1]);
+        g.add_edge(v_nodes[i], u_nodes[i]);
+    }
+    g.add_edge(v_nodes[spine_len - 1], t);
+
+    for i in 0..spine_len - 1 {
+        if i % 2 == 1 {
+            g.add_edge(u_nodes[i], t);
+        } else {
+            let j = i / 2;
+            if subset[j] {
+                g.add_edge(u_nodes[i], w);
+            } else {
+                g.add_edge(u_nodes[i], t);
+            }
+        }
+    }
+    let w_to_t_edge = g.add_edge(w, t);
+    let network = Network::new(g, s, t)?;
+    Ok(SkeletonNetwork {
+        network,
+        v_nodes,
+        u_nodes,
+        w,
+        w_to_t_edge,
+        subset: subset.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify;
+
+    #[test]
+    fn skeleton_shape_matches_figure_4() {
+        let n = 3;
+        let sk = skeleton(n, &[true, false, true]).unwrap();
+        // Vertices: s + 2n spine + (2n-1) side + w + t.
+        assert_eq!(sk.network.node_count(), 1 + 2 * n + (2 * n - 1) + 1 + 1);
+        assert_eq!(sk.v_nodes.len(), 2 * n);
+        assert_eq!(sk.u_nodes.len(), 2 * n - 1);
+        assert!(classify::is_dag(sk.network.graph()));
+        assert!(classify::all_reachable_from_root(&sk.network));
+        assert!(classify::all_connected_to_terminal(&sk.network));
+        // Every spine vertex except the last has out-degree 2.
+        for &v in &sk.v_nodes[..2 * n - 1] {
+            assert_eq!(sk.network.graph().out_degree(v), 2);
+        }
+        assert_eq!(sk.network.graph().out_degree(sk.v_nodes[2 * n - 1]), 1);
+        // w collects exactly the subset members.
+        assert_eq!(sk.network.graph().in_degree(sk.w), 2);
+        assert_eq!(sk.network.graph().edge_dst(sk.w_to_t_edge), sk.network.terminal());
+    }
+
+    #[test]
+    fn without_w_members_w_is_stranded_free_but_unreachable() {
+        // With the empty subset the collector has in-degree 0; it is not reachable
+        // from s, which the model tolerates (the protocols simply never visit it),
+        // but every *reachable* vertex is still connected to t.
+        let sk = skeleton(2, &[false, false]).unwrap();
+        assert_eq!(sk.network.graph().in_degree(sk.w), 0);
+        assert!(!classify::all_reachable_from_root(&sk.network));
+        assert!(classify::stranded_vertices(&sk.network).is_empty());
+    }
+
+    #[test]
+    fn skeleton_is_grounded_except_for_terminal_fanin() {
+        // With a single subset member every internal vertex (including w) has
+        // in-degree exactly one, so the skeleton is a grounded tree.
+        let sk = skeleton(4, &[true, false, false, false]).unwrap();
+        assert!(classify::is_grounded_tree(&sk.network));
+        // With several members w has larger in-degree and the skeleton is a DAG
+        // that is not a grounded tree.
+        let sk2 = skeleton(4, &[true, true, false, false]).unwrap();
+        assert!(!classify::is_grounded_tree(&sk2.network));
+        assert!(classify::is_dag(sk2.network.graph()));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(skeleton(0, &[]).is_err());
+        assert!(skeleton(3, &[true]).is_err());
+    }
+}

@@ -1,0 +1,372 @@
+//! Directed multigraphs with ordered ports.
+
+use std::fmt;
+
+/// Identifier of a vertex in a [`DiGraph`].
+///
+/// Node ids are dense indices assigned in insertion order; they are *simulation
+/// bookkeeping only* — the anonymous protocols never observe them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Identifier of a directed edge in a [`DiGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub usize);
+
+impl NodeId {
+    /// The dense index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl EdgeId {
+    /// The dense index of this edge.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct NodeData {
+    out_edges: Vec<EdgeId>,
+    in_edges: Vec<EdgeId>,
+}
+
+#[derive(Clone, Debug)]
+struct EdgeData {
+    src: NodeId,
+    dst: NodeId,
+    /// Position of this edge in `src`'s ordered out-edge list (the out-port).
+    out_port: usize,
+    /// Position of this edge in `dst`'s ordered in-edge list (the in-port).
+    in_port: usize,
+}
+
+/// A directed multigraph with ordered in/out ports per vertex.
+///
+/// Parallel edges and self-loops are allowed (the model does not forbid them, and
+/// cyclic test topologies use self-loops to exercise the β-carrying path).
+///
+/// # Example
+///
+/// ```
+/// use anet_graph::DiGraph;
+///
+/// let mut g = DiGraph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// let e = g.add_edge(a, b);
+/// assert_eq!(g.out_degree(a), 1);
+/// assert_eq!(g.edge_src(e), a);
+/// assert_eq!(g.out_port(e), 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DiGraph {
+    nodes: Vec<NodeData>,
+    edges: Vec<EdgeData>,
+}
+
+impl DiGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DiGraph::default()
+    }
+
+    /// Creates an empty graph with room for `nodes` vertices.
+    pub fn with_capacity(nodes: usize) -> Self {
+        DiGraph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a vertex and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.nodes.push(NodeData::default());
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds `count` vertices and returns their ids.
+    pub fn add_nodes(&mut self, count: usize) -> Vec<NodeId> {
+        (0..count).map(|_| self.add_node()).collect()
+    }
+
+    /// Adds a directed edge `src -> dst` and returns its id.
+    ///
+    /// The edge is appended to `src`'s out-port list and `dst`'s in-port list, so
+    /// port numbers reflect insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not a vertex of this graph.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId) -> EdgeId {
+        assert!(src.0 < self.nodes.len(), "source {src} out of bounds");
+        assert!(dst.0 < self.nodes.len(), "destination {dst} out of bounds");
+        let id = EdgeId(self.edges.len());
+        let out_port = self.nodes[src.0].out_edges.len();
+        let in_port = self.nodes[dst.0].in_edges.len();
+        self.edges.push(EdgeData {
+            src,
+            dst,
+            out_port,
+            in_port,
+        });
+        self.nodes[src.0].out_edges.push(id);
+        self.nodes[dst.0].in_edges.push(id);
+        id
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Iterates over all edge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(EdgeId)
+    }
+
+    /// Out-degree of a vertex.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.nodes[node.0].out_edges.len()
+    }
+
+    /// In-degree of a vertex.
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.nodes[node.0].in_edges.len()
+    }
+
+    /// The ordered out-edges (by out-port) of a vertex.
+    pub fn out_edges(&self, node: NodeId) -> &[EdgeId] {
+        &self.nodes[node.0].out_edges
+    }
+
+    /// The ordered in-edges (by in-port) of a vertex.
+    pub fn in_edges(&self, node: NodeId) -> &[EdgeId] {
+        &self.nodes[node.0].in_edges
+    }
+
+    /// Source vertex of an edge.
+    pub fn edge_src(&self, edge: EdgeId) -> NodeId {
+        self.edges[edge.0].src
+    }
+
+    /// Destination vertex of an edge.
+    pub fn edge_dst(&self, edge: EdgeId) -> NodeId {
+        self.edges[edge.0].dst
+    }
+
+    /// Both endpoints `(src, dst)` of an edge.
+    pub fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        (self.edges[edge.0].src, self.edges[edge.0].dst)
+    }
+
+    /// The out-port of an edge: its index in the source's ordered out-edge list.
+    pub fn out_port(&self, edge: EdgeId) -> usize {
+        self.edges[edge.0].out_port
+    }
+
+    /// The in-port of an edge: its index in the destination's ordered in-edge list.
+    pub fn in_port(&self, edge: EdgeId) -> usize {
+        self.edges[edge.0].in_port
+    }
+
+    /// Successor vertices (with multiplicity, in out-port order).
+    pub fn successors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[node.0]
+            .out_edges
+            .iter()
+            .map(move |&e| self.edges[e.0].dst)
+    }
+
+    /// Predecessor vertices (with multiplicity, in in-port order).
+    pub fn predecessors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[node.0]
+            .in_edges
+            .iter()
+            .map(move |&e| self.edges[e.0].src)
+    }
+
+    /// Returns `true` if there is at least one edge `src -> dst`.
+    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        self.nodes[src.0]
+            .out_edges
+            .iter()
+            .any(|&e| self.edges[e.0].dst == dst)
+    }
+
+    /// Largest out-degree over all vertices (`d_out` in the paper's bounds);
+    /// zero for the empty graph.
+    pub fn max_out_degree(&self) -> usize {
+        self.nodes.iter().map(|n| n.out_edges.len()).max().unwrap_or(0)
+    }
+
+    /// Largest in-degree over all vertices; zero for the empty graph.
+    pub fn max_in_degree(&self) -> usize {
+        self.nodes.iter().map(|n| n.in_edges.len()).max().unwrap_or(0)
+    }
+
+    /// The reverse graph (every edge flipped), preserving vertex ids.
+    ///
+    /// Port order in the reverse graph follows edge-insertion order, which is all
+    /// the classification algorithms need.
+    pub fn reversed(&self) -> DiGraph {
+        let mut g = DiGraph::with_capacity(self.node_count());
+        g.add_nodes(self.node_count());
+        for e in self.edges.iter() {
+            g.add_edge(e.dst, e.src);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (DiGraph, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let nodes = g.add_nodes(3);
+        g.add_edge(nodes[0], nodes[1]);
+        g.add_edge(nodes[1], nodes[2]);
+        g.add_edge(nodes[2], nodes[0]);
+        (g, nodes)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_out_degree(), 0);
+        assert_eq!(g.max_in_degree(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let (g, nodes) = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        for &n in &nodes {
+            assert_eq!(g.out_degree(n), 1);
+            assert_eq!(g.in_degree(n), 1);
+        }
+        assert!(g.has_edge(nodes[0], nodes[1]));
+        assert!(!g.has_edge(nodes[1], nodes[0]));
+    }
+
+    #[test]
+    fn ports_reflect_insertion_order() {
+        let mut g = DiGraph::new();
+        let hub = g.add_node();
+        let spokes = g.add_nodes(4);
+        let edge_ids: Vec<EdgeId> = spokes.iter().map(|&sp| g.add_edge(hub, sp)).collect();
+        for (i, &e) in edge_ids.iter().enumerate() {
+            assert_eq!(g.out_port(e), i);
+            assert_eq!(g.in_port(e), 0);
+            assert_eq!(g.out_edges(hub)[i], e);
+        }
+        assert_eq!(g.out_degree(hub), 4);
+        let succ: Vec<NodeId> = g.successors(hub).collect();
+        assert_eq!(succ, spokes);
+    }
+
+    #[test]
+    fn parallel_edges_get_distinct_ports() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let e1 = g.add_edge(a, b);
+        let e2 = g.add_edge(a, b);
+        assert_ne!(e1, e2);
+        assert_eq!(g.out_port(e1), 0);
+        assert_eq!(g.out_port(e2), 1);
+        assert_eq!(g.in_port(e2), 1);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(b), 2);
+    }
+
+    #[test]
+    fn self_loops_are_allowed() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let e = g.add_edge(a, a);
+        assert_eq!(g.edge_endpoints(e), (a, a));
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(g.in_degree(a), 1);
+    }
+
+    #[test]
+    fn reversed_flips_edges() {
+        let (g, nodes) = triangle();
+        let r = g.reversed();
+        assert_eq!(r.node_count(), 3);
+        assert_eq!(r.edge_count(), 3);
+        assert!(r.has_edge(nodes[1], nodes[0]));
+        assert!(r.has_edge(nodes[0], nodes[2]));
+        assert!(!r.has_edge(nodes[0], nodes[1]));
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let mut g = DiGraph::new();
+        let hub = g.add_node();
+        let sink = g.add_node();
+        for _ in 0..5 {
+            g.add_edge(hub, sink);
+        }
+        assert_eq!(g.max_out_degree(), 5);
+        assert_eq!(g.max_in_degree(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn adding_edge_with_unknown_node_panics() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        g.add_edge(a, NodeId(17));
+    }
+
+    #[test]
+    fn ids_are_displayable() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(EdgeId(4).to_string(), "e4");
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+    }
+}

@@ -1,0 +1,50 @@
+//! # anet-graph — directed anonymous network topologies
+//!
+//! The model of *Langberg, Schwartz, Bruck (PODC 2007)* is a directed graph
+//! `G = (V, E)` with a distinguished **root** `s` (no incoming edges, a single
+//! outgoing edge) and **terminal** `t` (no outgoing edges). Vertices are anonymous:
+//! a protocol may only use a vertex's in/out degree and the *index* ("port") of the
+//! edge a message arrived on or is sent on.
+//!
+//! This crate provides:
+//!
+//! * [`DiGraph`] — a directed multigraph with **ordered ports** per vertex, so that
+//!   "the j-th outgoing edge" is a well-defined notion, exactly as the model needs.
+//! * [`Network`] — a validated `(G, s, t)` triple.
+//! * [`classify`] — grounded-tree / DAG detection, reachability, co-reachability,
+//!   degree statistics; these are the hypotheses of the paper's theorems.
+//! * [`linear_cut`] — linear cuts of DAGs and the graph surgery of Lemma 3.5 /
+//!   Theorem 3.6, used by the lower-bound experiments.
+//! * [`generators`] — every topology family the paper uses: the chain `G_n`
+//!   (Figure 5), grounded trees, full and pruned trees (Figure 6), skeleton graphs
+//!   (Figure 4), DAGs and cyclic networks.
+//! * [`dot`] — Graphviz export for inspection.
+//!
+//! # Example
+//!
+//! ```
+//! use anet_graph::generators::chain_gn;
+//! use anet_graph::classify;
+//!
+//! # fn main() -> Result<(), anet_graph::NetworkError> {
+//! let network = chain_gn(8)?;
+//! assert!(classify::is_grounded_tree(&network));
+//! assert!(classify::all_connected_to_terminal(&network));
+//! assert_eq!(network.graph().edge_count(), 16);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod dot;
+pub mod generators;
+mod graph;
+pub mod linear_cut;
+mod network;
+pub mod traversal;
+
+pub use graph::{DiGraph, EdgeId, NodeId};
+pub use network::{Network, NetworkError};

@@ -1,0 +1,340 @@
+//! Linear cuts and the graph surgery of the lower-bound proofs.
+//!
+//! Definition 3.4 of the paper: a **linear cut** of a DAG partitions `V` into
+//! `V₁ ∪ V₂` such that no vertex of `V₁` is a descendant of a vertex of `V₂`
+//! (equivalently: there is no edge from `V₂` to `V₁`). Linear cuts are snapshots of
+//! asynchronous executions — the vertices of `V₁` have already acted, those of `V₂`
+//! have not — and the surgery of Lemma 3.5 / Theorem 3.6 turns such a snapshot back
+//! into a complete network on which the protocol must (or must not) terminate.
+
+use crate::{DiGraph, EdgeId, Network, NetworkError, NodeId};
+
+/// A linear cut, stored as the membership vector of `V₁` (indexed by node id).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearCut {
+    v1: Vec<bool>,
+}
+
+impl LinearCut {
+    /// Wraps a membership vector after validating it against `network`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::InvalidParameter`] when the vector has the wrong
+    /// length, either side is empty, the root is not in `V₁`, the terminal is not in
+    /// `V₂`, or some edge runs from `V₂` to `V₁`.
+    pub fn new(network: &Network, v1: Vec<bool>) -> Result<Self, NetworkError> {
+        let g = network.graph();
+        if v1.len() != g.node_count() {
+            return Err(NetworkError::InvalidParameter(format!(
+                "membership vector has length {} but the graph has {} vertices",
+                v1.len(),
+                g.node_count()
+            )));
+        }
+        if !v1[network.root().index()] {
+            return Err(NetworkError::InvalidParameter(
+                "the root must belong to V1".to_owned(),
+            ));
+        }
+        if v1[network.terminal().index()] {
+            return Err(NetworkError::InvalidParameter(
+                "the terminal must belong to V2".to_owned(),
+            ));
+        }
+        if v1.iter().all(|&b| b) || v1.iter().all(|&b| !b) {
+            return Err(NetworkError::InvalidParameter(
+                "both sides of a linear cut must be non-empty".to_owned(),
+            ));
+        }
+        for e in g.edges() {
+            let (u, v) = g.edge_endpoints(e);
+            if !v1[u.index()] && v1[v.index()] {
+                return Err(NetworkError::InvalidParameter(format!(
+                    "edge {u} -> {v} runs from V2 back into V1, so the partition is not a linear cut"
+                )));
+            }
+        }
+        Ok(LinearCut { v1 })
+    }
+
+    /// Returns `true` if `node` belongs to `V₁`.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.v1[node.index()]
+    }
+
+    /// The membership vector of `V₁`.
+    pub fn v1(&self) -> &[bool] {
+        &self.v1
+    }
+
+    /// The vertices of `V₁`.
+    pub fn v1_nodes(&self) -> Vec<NodeId> {
+        self.v1
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// The edges crossing the cut (from `V₁` to `V₂`), in global edge order.
+    pub fn crossing_edges(&self, network: &Network) -> Vec<EdgeId> {
+        let g = network.graph();
+        g.edges()
+            .filter(|&e| {
+                let (u, v) = g.edge_endpoints(e);
+                self.v1[u.index()] && !self.v1[v.index()]
+            })
+            .collect()
+    }
+}
+
+/// Enumerates every linear cut of `network` by exhaustive subset search over the
+/// internal vertices, stopping after `limit` cuts.
+///
+/// Exponential in the number of internal vertices — intended for the small
+/// topologies used by the lower-bound tests (Lemma 3.7, Theorem 3.6).
+pub fn enumerate_linear_cuts(network: &Network, limit: usize) -> Vec<LinearCut> {
+    let internal: Vec<NodeId> = network.internal_nodes().collect();
+    let n = internal.len();
+    let mut cuts = Vec::new();
+    if n >= usize::BITS as usize - 1 {
+        return cuts;
+    }
+    for mask in 0..(1usize << n) {
+        if cuts.len() >= limit {
+            break;
+        }
+        let mut v1 = vec![false; network.node_count()];
+        v1[network.root().index()] = true;
+        for (i, node) in internal.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                v1[node.index()] = true;
+            }
+        }
+        if let Ok(cut) = LinearCut::new(network, v1) {
+            cuts.push(cut);
+        }
+    }
+    cuts
+}
+
+/// Produces the linear cuts induced by prefixes of a topological order — a
+/// polynomial-sized family that exists for every DAG. Returns `None` if the graph
+/// has a cycle.
+pub fn topological_prefix_cuts(network: &Network) -> Option<Vec<LinearCut>> {
+    let order = crate::classify::topological_order(network.graph())?;
+    let mut v1 = vec![false; network.node_count()];
+    let mut cuts = Vec::new();
+    for node in order {
+        if node == network.terminal() {
+            continue;
+        }
+        v1[node.index()] = true;
+        if let Ok(cut) = LinearCut::new(network, v1.clone()) {
+            cuts.push(cut);
+        }
+    }
+    Some(cuts)
+}
+
+/// The Lemma 3.5 surgery: builds `G*` from a linear cut by keeping `V₁`, adding a
+/// fresh terminal, and redirecting every crossing edge to it.
+///
+/// Out-port order of every `V₁` vertex is preserved, so an anonymous protocol
+/// behaves identically on `G*` as it did on `G` up to the snapshot. Returns the new
+/// network together with, for each original crossing edge (in the order returned by
+/// [`LinearCut::crossing_edges`]), the corresponding new edge into the terminal.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError`] if the contracted graph violates the model (cannot
+/// happen for cuts produced by [`LinearCut::new`] on valid networks).
+pub fn contract_beyond_cut(
+    network: &Network,
+    cut: &LinearCut,
+) -> Result<(Network, Vec<EdgeId>), NetworkError> {
+    build_contracted(network, cut, None)
+}
+
+/// The Theorem 3.6 surgery: like [`contract_beyond_cut`], but the crossing edges
+/// whose indices (into [`LinearCut::crossing_edges`]) appear in `to_auxiliary` are
+/// redirected to an auxiliary vertex `t*` that is **not** connected to the terminal.
+///
+/// On the resulting network a *correct* protocol must not terminate, which is the
+/// contradiction at the heart of the lower bound. Returns the new network, the new
+/// edges into the real terminal, and the id of `t*`.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError`] if the surgered graph violates the model.
+pub fn contract_with_auxiliary(
+    network: &Network,
+    cut: &LinearCut,
+    to_auxiliary: &[usize],
+) -> Result<(Network, Vec<EdgeId>, NodeId), NetworkError> {
+    let (net, edges) = build_contracted(network, cut, Some(to_auxiliary))?;
+    let aux = NodeId(net.node_count() - 1);
+    Ok((net, edges, aux))
+}
+
+fn build_contracted(
+    network: &Network,
+    cut: &LinearCut,
+    to_auxiliary: Option<&[usize]>,
+) -> Result<(Network, Vec<EdgeId>), NetworkError> {
+    let g = network.graph();
+    let mut new = DiGraph::new();
+    // Map original V1 vertices to new ids, preserving relative order.
+    let mut map: Vec<Option<NodeId>> = vec![None; g.node_count()];
+    for node in g.nodes() {
+        if cut.contains(node) {
+            map[node.index()] = Some(new.add_node());
+        }
+    }
+    let terminal = new.add_node();
+    let auxiliary = if to_auxiliary.is_some() { Some(new.add_node()) } else { None };
+
+    // Pre-compute which crossing edge index each original edge has.
+    let crossing = cut.crossing_edges(network);
+    let crossing_index = |e: EdgeId| crossing.iter().position(|&c| c == e);
+
+    let mut new_terminal_edges: Vec<Option<EdgeId>> = vec![None; crossing.len()];
+    for node in g.nodes() {
+        if !cut.contains(node) {
+            continue;
+        }
+        let src = map[node.index()].expect("V1 vertices are mapped");
+        for &e in g.out_edges(node) {
+            let dst_old = g.edge_dst(e);
+            if let Some(dst_new) = map[dst_old.index()] {
+                new.add_edge(src, dst_new);
+            } else {
+                let idx = crossing_index(e).expect("edge leaving V1 crosses the cut");
+                let target = match (to_auxiliary, auxiliary) {
+                    (Some(aux_set), Some(aux)) if aux_set.contains(&idx) => aux,
+                    _ => terminal,
+                };
+                let new_edge = new.add_edge(src, target);
+                if target == terminal {
+                    new_terminal_edges[idx] = Some(new_edge);
+                }
+            }
+        }
+    }
+    let root_new = map[network.root().index()].expect("root belongs to V1");
+    let network_new = Network::new(new, root_new, terminal)?;
+    let edges = new_terminal_edges.into_iter().flatten().collect();
+    Ok((network_new, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify;
+    use crate::generators::chain_gn;
+
+    fn cut_after(network: &Network, k: usize) -> LinearCut {
+        // V1 = {s, v1..vk} in the chain family.
+        let mut v1 = vec![false; network.node_count()];
+        v1[network.root().index()] = true;
+        let internal: Vec<NodeId> = network.internal_nodes().collect();
+        for node in internal.iter().take(k) {
+            v1[node.index()] = true;
+        }
+        LinearCut::new(network, v1).unwrap()
+    }
+
+    #[test]
+    fn valid_cut_is_accepted_and_reports_crossing_edges() {
+        let net = chain_gn(5).unwrap();
+        let cut = cut_after(&net, 2);
+        assert!(cut.contains(net.root()));
+        assert!(!cut.contains(net.terminal()));
+        // Crossing edges: v1 -> t, v2 -> t, v2 -> v3.
+        assert_eq!(cut.crossing_edges(&net).len(), 3);
+        assert_eq!(cut.v1_nodes().len(), 3);
+    }
+
+    #[test]
+    fn invalid_cuts_are_rejected() {
+        let net = chain_gn(4).unwrap();
+        // Terminal inside V1.
+        let mut v1 = vec![true; net.node_count()];
+        assert!(LinearCut::new(&net, v1.clone()).is_err());
+        // Root outside V1.
+        v1 = vec![false; net.node_count()];
+        assert!(LinearCut::new(&net, v1.clone()).is_err());
+        // Non-ancestor-closed set: v2 in V1 but its ancestor v1 in V2.
+        v1 = vec![false; net.node_count()];
+        v1[net.root().index()] = true;
+        let internal: Vec<NodeId> = net.internal_nodes().collect();
+        v1[internal[1].index()] = true;
+        assert!(LinearCut::new(&net, v1.clone()).is_err());
+        // Wrong length.
+        assert!(LinearCut::new(&net, vec![true; 2]).is_err());
+    }
+
+    #[test]
+    fn chain_has_exactly_n_plus_one_minus_one_cuts() {
+        // In G_n the ancestor-closed proper subsets containing s are exactly
+        // {s, v1..vk} for k = 0..n — but k = n puts every internal vertex in V1,
+        // which is still valid since t stays in V2. So there are n + 1 cuts.
+        let n = 6;
+        let net = chain_gn(n).unwrap();
+        let cuts = enumerate_linear_cuts(&net, usize::MAX);
+        assert_eq!(cuts.len(), n + 1);
+    }
+
+    #[test]
+    fn topological_prefix_cuts_are_valid_and_cover_the_chain() {
+        let net = chain_gn(7).unwrap();
+        let cuts = topological_prefix_cuts(&net).unwrap();
+        assert!(!cuts.is_empty());
+        for cut in &cuts {
+            assert!(LinearCut::new(&net, cut.v1().to_vec()).is_ok());
+        }
+    }
+
+    #[test]
+    fn contraction_produces_valid_grounded_network() {
+        let net = chain_gn(6).unwrap();
+        let cut = cut_after(&net, 3);
+        let (g_star, new_edges) = contract_beyond_cut(&net, &cut).unwrap();
+        assert_eq!(new_edges.len(), cut.crossing_edges(&net).len());
+        assert!(classify::all_reachable_from_root(&g_star));
+        assert!(classify::all_connected_to_terminal(&g_star));
+        assert!(classify::is_grounded_tree(&g_star));
+        // V* = V1 ∪ {t}.
+        assert_eq!(g_star.node_count(), 4 + 1);
+    }
+
+    #[test]
+    fn contraction_preserves_out_degrees_of_v1_vertices() {
+        let net = chain_gn(6).unwrap();
+        let cut = cut_after(&net, 4);
+        let (g_star, _) = contract_beyond_cut(&net, &cut).unwrap();
+        // Each vi (i < 4) kept out-degree 2; v4's successors were redirected but the
+        // degree is unchanged. The new ids follow the original relative order:
+        // position 0 is s, positions 1..=4 are v1..v4.
+        for idx in 1..=4usize {
+            assert_eq!(g_star.graph().out_degree(NodeId(idx)), 2);
+        }
+        assert_eq!(g_star.graph().out_degree(g_star.root()), 1);
+    }
+
+    #[test]
+    fn auxiliary_contraction_creates_stranded_vertex() {
+        let net = chain_gn(6).unwrap();
+        let cut = cut_after(&net, 3);
+        let crossing = cut.crossing_edges(&net);
+        assert!(crossing.len() >= 2);
+        let (g_aux, to_terminal, aux) = contract_with_auxiliary(&net, &cut, &[0]).unwrap();
+        // One crossing edge was redirected to t*, the rest to t.
+        assert_eq!(to_terminal.len(), crossing.len() - 1);
+        assert!(!classify::all_connected_to_terminal(&g_aux));
+        assert!(classify::stranded_vertices(&g_aux).contains(&aux));
+        assert!(classify::all_reachable_from_root(&g_aux));
+    }
+}

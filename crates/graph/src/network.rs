@@ -1,0 +1,280 @@
+//! The `(G, s, t)` network model of Section 2.
+
+use std::fmt;
+
+use crate::{DiGraph, NodeId};
+
+/// Errors raised when a graph does not satisfy the model's structural assumptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// The root has incoming edges (the model requires in-degree zero).
+    RootHasIncomingEdges {
+        /// Offending in-degree.
+        in_degree: usize,
+    },
+    /// The root's out-degree differs from one (the base model requires exactly one
+    /// outgoing edge; the multi-root extension is handled by adding a super-root).
+    RootOutDegree {
+        /// Offending out-degree.
+        out_degree: usize,
+    },
+    /// The terminal has outgoing edges (the model requires out-degree zero).
+    TerminalHasOutgoingEdges {
+        /// Offending out-degree.
+        out_degree: usize,
+    },
+    /// The root and terminal are the same vertex.
+    RootIsTerminal,
+    /// A vertex id does not belong to the graph.
+    UnknownNode(NodeId),
+    /// A generator was asked for a degenerate size (e.g. a chain with zero internal
+    /// vertices, or a tree of arity below two for the pruning construction).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::RootHasIncomingEdges { in_degree } => {
+                write!(f, "root must have in-degree 0 but has {in_degree}")
+            }
+            NetworkError::RootOutDegree { out_degree } => {
+                write!(f, "root must have out-degree 1 but has {out_degree}")
+            }
+            NetworkError::TerminalHasOutgoingEdges { out_degree } => {
+                write!(f, "terminal must have out-degree 0 but has {out_degree}")
+            }
+            NetworkError::RootIsTerminal => write!(f, "root and terminal must be distinct"),
+            NetworkError::UnknownNode(n) => write!(f, "vertex {n} is not part of the graph"),
+            NetworkError::InvalidParameter(s) => write!(f, "invalid generator parameter: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// A validated anonymous-network instance: a directed graph together with its root
+/// `s` and terminal `t`.
+///
+/// Construction enforces the structural assumptions of Section 2 of the paper:
+/// `s` has no incoming edges and exactly one outgoing edge, `t` has no outgoing
+/// edges, and `s ≠ t`. Everything else (reachability, acyclicity, …) is a property
+/// of particular graph families and is checked by [`crate::classify`] instead.
+///
+/// # Example
+///
+/// ```
+/// use anet_graph::{DiGraph, Network};
+///
+/// let mut g = DiGraph::new();
+/// let s = g.add_node();
+/// let v = g.add_node();
+/// let t = g.add_node();
+/// g.add_edge(s, v);
+/// g.add_edge(v, t);
+/// let network = Network::new(g, s, t)?;
+/// assert_eq!(network.internal_nodes().count(), 1);
+/// # Ok::<(), anet_graph::NetworkError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Network {
+    graph: DiGraph,
+    root: NodeId,
+    terminal: NodeId,
+}
+
+impl Network {
+    /// Validates and wraps a `(G, s, t)` triple.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetworkError`] describing the first violated model assumption.
+    pub fn new(graph: DiGraph, root: NodeId, terminal: NodeId) -> Result<Self, NetworkError> {
+        if root.index() >= graph.node_count() {
+            return Err(NetworkError::UnknownNode(root));
+        }
+        if terminal.index() >= graph.node_count() {
+            return Err(NetworkError::UnknownNode(terminal));
+        }
+        if root == terminal {
+            return Err(NetworkError::RootIsTerminal);
+        }
+        if graph.in_degree(root) != 0 {
+            return Err(NetworkError::RootHasIncomingEdges {
+                in_degree: graph.in_degree(root),
+            });
+        }
+        if graph.out_degree(root) != 1 {
+            return Err(NetworkError::RootOutDegree {
+                out_degree: graph.out_degree(root),
+            });
+        }
+        if graph.out_degree(terminal) != 0 {
+            return Err(NetworkError::TerminalHasOutgoingEdges {
+                out_degree: graph.out_degree(terminal),
+            });
+        }
+        Ok(Network {
+            graph,
+            root,
+            terminal,
+        })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The root vertex `s`.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The terminal vertex `t`.
+    pub fn terminal(&self) -> NodeId {
+        self.terminal
+    }
+
+    /// Iterates over the internal vertices (`V \ {s, t}`).
+    pub fn internal_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let (root, terminal) = (self.root, self.terminal);
+        self.graph.nodes().filter(move |&n| n != root && n != terminal)
+    }
+
+    /// Number of internal vertices.
+    pub fn internal_count(&self) -> usize {
+        self.graph.node_count() - 2
+    }
+
+    /// `|V|` of the underlying graph (including `s` and `t`).
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// `|E|` of the underlying graph.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// `d_out`: the maximum out-degree, the parameter appearing in the paper's
+    /// general-graph bounds.
+    pub fn max_out_degree(&self) -> usize {
+        self.graph.max_out_degree()
+    }
+
+    /// Decomposes the network back into its parts.
+    pub fn into_parts(self) -> (DiGraph, NodeId, NodeId) {
+        (self.graph, self.root, self.terminal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> (DiGraph, NodeId, NodeId, NodeId) {
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let v = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, v);
+        g.add_edge(v, t);
+        (g, s, v, t)
+    }
+
+    #[test]
+    fn valid_network_is_accepted() {
+        let (g, s, v, t) = path_graph();
+        let n = Network::new(g, s, t).unwrap();
+        assert_eq!(n.root(), s);
+        assert_eq!(n.terminal(), t);
+        assert_eq!(n.internal_count(), 1);
+        assert_eq!(n.internal_nodes().collect::<Vec<_>>(), vec![v]);
+        assert_eq!(n.node_count(), 3);
+        assert_eq!(n.edge_count(), 2);
+        assert_eq!(n.max_out_degree(), 1);
+    }
+
+    #[test]
+    fn root_with_incoming_edge_is_rejected() {
+        let (mut g, s, v, t) = path_graph();
+        g.add_edge(v, s);
+        assert_eq!(
+            Network::new(g, s, t).unwrap_err(),
+            NetworkError::RootHasIncomingEdges { in_degree: 1 }
+        );
+    }
+
+    #[test]
+    fn root_out_degree_must_be_one() {
+        let (mut g, s, v, t) = path_graph();
+        g.add_edge(s, v);
+        assert_eq!(
+            Network::new(g.clone(), s, t).unwrap_err(),
+            NetworkError::RootOutDegree { out_degree: 2 }
+        );
+        let mut lonely = DiGraph::new();
+        let s2 = lonely.add_node();
+        let t2 = lonely.add_node();
+        assert_eq!(
+            Network::new(lonely, s2, t2).unwrap_err(),
+            NetworkError::RootOutDegree { out_degree: 0 }
+        );
+    }
+
+    #[test]
+    fn terminal_with_outgoing_edge_is_rejected() {
+        let (mut g, s, v, t) = path_graph();
+        g.add_edge(t, v);
+        assert_eq!(
+            Network::new(g, s, t).unwrap_err(),
+            NetworkError::TerminalHasOutgoingEdges { out_degree: 1 }
+        );
+    }
+
+    #[test]
+    fn root_equals_terminal_is_rejected() {
+        let (g, s, _, _) = path_graph();
+        assert_eq!(Network::new(g, s, s).unwrap_err(), NetworkError::RootIsTerminal);
+    }
+
+    #[test]
+    fn unknown_nodes_are_rejected() {
+        let (g, s, _, _) = path_graph();
+        assert_eq!(
+            Network::new(g.clone(), NodeId(99), s).unwrap_err(),
+            NetworkError::UnknownNode(NodeId(99))
+        );
+        assert_eq!(
+            Network::new(g, s, NodeId(99)).unwrap_err(),
+            NetworkError::UnknownNode(NodeId(99))
+        );
+    }
+
+    #[test]
+    fn into_parts_round_trips() {
+        let (g, s, _, t) = path_graph();
+        let n = Network::new(g, s, t).unwrap();
+        let (g2, s2, t2) = n.into_parts();
+        assert_eq!(s2, s);
+        assert_eq!(t2, t);
+        assert_eq!(g2.edge_count(), 2);
+    }
+
+    #[test]
+    fn errors_are_displayable() {
+        let errs: Vec<NetworkError> = vec![
+            NetworkError::RootHasIncomingEdges { in_degree: 2 },
+            NetworkError::RootOutDegree { out_degree: 0 },
+            NetworkError::TerminalHasOutgoingEdges { out_degree: 3 },
+            NetworkError::RootIsTerminal,
+            NetworkError::UnknownNode(NodeId(7)),
+            NetworkError::InvalidParameter("n must be positive".to_owned()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Breadth-first and depth-first traversal utilities.
+
+use std::collections::VecDeque;
+
+use crate::{DiGraph, NodeId};
+
+/// Returns the set of vertices reachable from `start` (including `start`), as a
+/// boolean vector indexed by [`NodeId::index`].
+pub fn reachable_from(graph: &DiGraph, start: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; graph.node_count()];
+    if start.index() >= graph.node_count() {
+        return seen;
+    }
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        for succ in graph.successors(n) {
+            if !seen[succ.index()] {
+                seen[succ.index()] = true;
+                queue.push_back(succ);
+            }
+        }
+    }
+    seen
+}
+
+/// Returns the set of vertices from which `target` is reachable (including
+/// `target` itself) — the paper's "connected to `t`" predicate.
+pub fn coreachable_to(graph: &DiGraph, target: NodeId) -> Vec<bool> {
+    reachable_from(&graph.reversed(), target)
+}
+
+/// BFS distances (edge counts) from `start`; `None` for unreachable vertices.
+pub fn bfs_distances(graph: &DiGraph, start: NodeId) -> Vec<Option<usize>> {
+    let mut dist = vec![None; graph.node_count()];
+    let mut queue = VecDeque::new();
+    dist[start.index()] = Some(0);
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        let d = dist[n.index()].expect("popped nodes have distances");
+        for succ in graph.successors(n) {
+            if dist[succ.index()].is_none() {
+                dist[succ.index()] = Some(d + 1);
+                queue.push_back(succ);
+            }
+        }
+    }
+    dist
+}
+
+/// Vertices in BFS order from `start` (only reachable ones).
+pub fn bfs_order(graph: &DiGraph, start: NodeId) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    let mut seen = vec![false; graph.node_count()];
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        order.push(n);
+        for succ in graph.successors(n) {
+            if !seen[succ.index()] {
+                seen[succ.index()] = true;
+                queue.push_back(succ);
+            }
+        }
+    }
+    order
+}
+
+/// Vertices in depth-first postorder from `start` (only reachable ones).
+pub fn dfs_postorder(graph: &DiGraph, start: NodeId) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    let mut seen = vec![false; graph.node_count()];
+    // Iterative DFS with an explicit "children pending" index per frame.
+    let mut stack: Vec<(NodeId, usize)> = Vec::new();
+    seen[start.index()] = true;
+    stack.push((start, 0));
+    while let Some(&mut (node, ref mut next_child)) = stack.last_mut() {
+        let out = graph.out_edges(node);
+        if *next_child < out.len() {
+            let child = graph.edge_dst(out[*next_child]);
+            *next_child += 1;
+            if !seen[child.index()] {
+                seen[child.index()] = true;
+                stack.push((child, 0));
+            }
+        } else {
+            order.push(node);
+            stack.pop();
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// s -> a -> b -> t, plus a -> t; c is disconnected.
+    fn sample() -> (DiGraph, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let nodes = g.add_nodes(5); // s, a, b, t, c
+        g.add_edge(nodes[0], nodes[1]);
+        g.add_edge(nodes[1], nodes[2]);
+        g.add_edge(nodes[2], nodes[3]);
+        g.add_edge(nodes[1], nodes[3]);
+        (g, nodes)
+    }
+
+    #[test]
+    fn reachability_from_root() {
+        let (g, n) = sample();
+        let r = reachable_from(&g, n[0]);
+        assert_eq!(r, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn coreachability_to_terminal() {
+        let (g, n) = sample();
+        let c = coreachable_to(&g, n[3]);
+        assert_eq!(c, vec![true, true, true, true, false]);
+        let c_from_b = coreachable_to(&g, n[2]);
+        assert_eq!(c_from_b, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn bfs_distances_count_edges() {
+        let (g, n) = sample();
+        let d = bfs_distances(&g, n[0]);
+        assert_eq!(d[n[0].index()], Some(0));
+        assert_eq!(d[n[1].index()], Some(1));
+        assert_eq!(d[n[2].index()], Some(2));
+        assert_eq!(d[n[3].index()], Some(2)); // via the shortcut a -> t
+        assert_eq!(d[n[4].index()], None);
+    }
+
+    #[test]
+    fn bfs_order_starts_at_start_and_visits_reachable_once() {
+        let (g, n) = sample();
+        let order = bfs_order(&g, n[0]);
+        assert_eq!(order[0], n[0]);
+        assert_eq!(order.len(), 4);
+        let mut sorted = order.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn dfs_postorder_puts_parents_after_children() {
+        let (g, n) = sample();
+        let order = dfs_postorder(&g, n[0]);
+        let pos = |x: NodeId| order.iter().position(|&y| y == x).unwrap();
+        assert!(pos(n[0]) > pos(n[1]));
+        assert!(pos(n[1]) > pos(n[2]));
+        assert!(pos(n[2]) > pos(n[3]));
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn traversal_handles_cycles() {
+        let mut g = DiGraph::new();
+        let n = g.add_nodes(3);
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[2]);
+        g.add_edge(n[2], n[0]);
+        assert_eq!(reachable_from(&g, n[0]), vec![true, true, true]);
+        assert_eq!(bfs_order(&g, n[1]).len(), 3);
+        assert_eq!(dfs_postorder(&g, n[2]).len(), 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Transmitted-alphabet extraction (`Σ_G` in the paper's notation).
+
+use anet_core::tree_broadcast::TreeBroadcast;
+use anet_core::{Payload, ScalarCommodity};
+use anet_graph::Network;
+use anet_num::bits;
+use anet_sim::engine::{run, ExecutionConfig};
+use anet_sim::scheduler::FifoScheduler;
+
+/// The alphabet statistics of one protocol run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlphabetStats {
+    /// Total messages transmitted.
+    pub messages: u64,
+    /// Number of *distinct* termination symbols transmitted (ignoring the payload,
+    /// which is identical in every message).
+    pub distinct_symbols: usize,
+    /// `⌈log₂ distinct_symbols⌉` — the minimum bits any encoding needs for an
+    /// average symbol, the quantity the communication lower bound multiplies by
+    /// `|E|`.
+    pub min_symbol_bits: u64,
+    /// Total bits actually transmitted (under the crate's concrete encodings).
+    pub total_bits: u64,
+    /// Maximum bits transmitted over a single edge (required bandwidth).
+    pub bandwidth_bits: u64,
+}
+
+/// Runs the grounded-tree broadcast on `network` and extracts its alphabet
+/// statistics.
+pub fn tree_broadcast_alphabet<C: ScalarCommodity>(
+    network: &Network,
+    payload: Payload,
+) -> AlphabetStats {
+    let protocol = TreeBroadcast::<C>::new(payload);
+    let result = run(
+        network,
+        &protocol,
+        &mut FifoScheduler::new(),
+        ExecutionConfig::with_trace(),
+    );
+    let trace = result.trace.expect("trace recording was requested");
+    let distinct = trace.distinct_symbols(|m| m.value.canonical_key());
+    AlphabetStats {
+        messages: result.metrics.messages_sent,
+        distinct_symbols: distinct.len(),
+        min_symbol_bits: bits::alphabet_index_bits(distinct.len() as u64),
+        total_bits: result.metrics.total_bits,
+        bandwidth_bits: result.metrics.max_edge_bits(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_core::{ExactCommodity, Pow2Commodity};
+    use anet_graph::generators::{chain_gn, path_network, star_network};
+
+    #[test]
+    fn path_needs_a_single_symbol() {
+        // Every vertex has out-degree one, so the unit commodity is forwarded
+        // unchanged: one distinct symbol suffices.
+        let stats =
+            tree_broadcast_alphabet::<Pow2Commodity>(&path_network(10).unwrap(), Payload::empty());
+        assert_eq!(stats.distinct_symbols, 1);
+        assert_eq!(stats.min_symbol_bits, 0);
+        assert_eq!(stats.messages, 11);
+    }
+
+    #[test]
+    fn star_needs_two_symbols() {
+        // The hub splits 1 into equal powers of two; the root edge carries 1.
+        let stats =
+            tree_broadcast_alphabet::<Pow2Commodity>(&star_network(8).unwrap(), Payload::empty());
+        assert_eq!(stats.distinct_symbols, 2);
+    }
+
+    #[test]
+    fn chain_alphabet_grows_linearly() {
+        for n in [2usize, 4, 8, 16] {
+            let stats = tree_broadcast_alphabet::<Pow2Commodity>(
+                &chain_gn(n).unwrap(),
+                Payload::empty(),
+            );
+            assert_eq!(stats.distinct_symbols, n, "n = {n}");
+            assert!(stats.min_symbol_bits >= (n as f64).log2().floor() as u64);
+        }
+    }
+
+    #[test]
+    fn naive_rule_produces_no_more_symbols_but_bigger_ones() {
+        let net = chain_gn(12).unwrap();
+        let pow2 = tree_broadcast_alphabet::<Pow2Commodity>(&net, Payload::empty());
+        let naive = tree_broadcast_alphabet::<ExactCommodity>(&net, Payload::empty());
+        assert_eq!(pow2.distinct_symbols, naive.distinct_symbols);
+        // On the chain the values are powers of two either way, so total bits are
+        // comparable; the divergence shows up on trees with non-power-of-two
+        // degrees (exercised in the E1 bench).
+        assert!(naive.total_bits >= pow2.total_bits);
+    }
+}

@@ -1,0 +1,97 @@
+//! The chain family `G_n` (Figure 5) and the Theorem 3.2 measurement.
+
+use anet_core::{Payload, ScalarCommodity};
+use anet_graph::generators::chain_gn;
+
+use crate::alphabet::{tree_broadcast_alphabet, AlphabetStats};
+
+/// One row of the Theorem 3.2 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainFamilyPoint {
+    /// The family parameter `n` (number of internal vertices).
+    pub n: usize,
+    /// `|E| = 2n`.
+    pub edges: usize,
+    /// Alphabet statistics of the run.
+    pub stats: AlphabetStats,
+    /// The paper's lower bound on the number of distinct symbols any correct
+    /// protocol needs on `G_n` (`Ω(n)`; Lemma 3.7 gives `n + 1` when counting the
+    /// initial symbol, `n` among the symbols our encoding distinguishes).
+    pub symbol_lower_bound: usize,
+    /// `c · |E| log₂ |E|` with `c = 1`: the shape the total communication must
+    /// follow asymptotically.
+    pub e_log_e: f64,
+}
+
+impl ChainFamilyPoint {
+    /// The measured total bits divided by `|E| log |E|`: should stay bounded by a
+    /// constant across the sweep (the Theorem 3.1 upper-bound shape).
+    pub fn normalized_total_bits(&self) -> f64 {
+        self.stats.total_bits as f64 / self.e_log_e
+    }
+}
+
+/// Runs the grounded-tree broadcast on `G_n` for each `n` and collects the
+/// Theorem 3.2 measurements.
+pub fn chain_family_experiment<C: ScalarCommodity>(
+    ns: &[usize],
+    payload_bits: u64,
+) -> Vec<ChainFamilyPoint> {
+    ns.iter()
+        .map(|&n| {
+            let network = chain_gn(n).expect("n >= 1");
+            let stats =
+                tree_broadcast_alphabet::<C>(&network, Payload::synthetic(payload_bits));
+            let edges = network.edge_count();
+            ChainFamilyPoint {
+                n,
+                edges,
+                stats,
+                symbol_lower_bound: n,
+                e_log_e: edges as f64 * (edges as f64).log2().max(1.0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_core::Pow2Commodity;
+
+    #[test]
+    fn alphabet_meets_the_lower_bound_exactly() {
+        for point in chain_family_experiment::<Pow2Commodity>(&[2, 4, 8, 32], 0) {
+            assert!(
+                point.stats.distinct_symbols >= point.symbol_lower_bound,
+                "n = {}",
+                point.n
+            );
+            // The power-of-two protocol is optimal: it uses no more than the bound
+            // plus a constant.
+            assert!(point.stats.distinct_symbols <= point.symbol_lower_bound + 1);
+        }
+    }
+
+    #[test]
+    fn total_bits_follow_e_log_e_shape() {
+        let points = chain_family_experiment::<Pow2Commodity>(&[8, 16, 32, 64, 128], 0);
+        let ratios: Vec<f64> = points.iter().map(ChainFamilyPoint::normalized_total_bits).collect();
+        // The normalised ratio must not blow up: allow a factor-three drift across a
+        // 16x size sweep (it would grow unboundedly if the protocol were, say,
+        // quadratic).
+        let first = ratios.first().copied().unwrap();
+        let last = ratios.last().copied().unwrap();
+        assert!(last < first * 3.0, "ratios {ratios:?}");
+    }
+
+    #[test]
+    fn payload_contributes_linearly_in_edges() {
+        let without = chain_family_experiment::<Pow2Commodity>(&[32], 0);
+        let with = chain_family_experiment::<Pow2Commodity>(&[32], 1024);
+        let delta = with[0].stats.total_bits - without[0].stats.total_bits;
+        let edges = with[0].edges as u64;
+        assert!(delta >= edges * 1024);
+        assert!(delta <= edges * (1024 + 64));
+    }
+}

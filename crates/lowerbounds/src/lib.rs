@@ -1,0 +1,30 @@
+//! # anet-lowerbounds — executable lower-bound machinery
+//!
+//! The paper's lower bounds (Theorems 3.2, 3.6, 3.8 and 5.2) are constructive:
+//! each one exhibits a family of networks and an argument about what any correct
+//! protocol must transmit on them. This crate turns those constructions into code
+//! that can be *run* against the protocols of [`anet_core`]:
+//!
+//! * [`alphabet`] — extracts the transmitted alphabet `Σ_G` of a run and the
+//!   information-theoretic bits needed to distinguish its symbols.
+//! * [`chain_family`] — the chain family `G_n` of Figure 5: any correct protocol
+//!   needs `Ω(n)` distinct termination symbols, hence `Ω(|E| log |E|)` total
+//!   communication (Theorem 3.2).
+//! * [`linear_cut`] — Lemmas 3.3–3.7: linear-cut snapshots are terminating
+//!   multisets, no cut multiset strictly contains another, and symbols must differ
+//!   along branching ancestor/descendant edge pairs.
+//! * [`skeleton`] — Theorem 3.8: on the Figure 4 skeletons, a commodity-preserving
+//!   protocol transports `2^n` distinguishable quantities over a single edge, so
+//!   its bandwidth is `Ω(|E|)` bits.
+//! * [`pruning`] — Theorem 5.2: pruning a full tree down to `h + 3` vertices
+//!   preserves the deep vertex's label, which therefore needs `Ω(|V| log d_out)`
+//!   bits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alphabet;
+pub mod chain_family;
+pub mod linear_cut;
+pub mod pruning;
+pub mod skeleton;

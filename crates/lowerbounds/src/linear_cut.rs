@@ -1,0 +1,249 @@
+//! Executable versions of the linear-cut lemmas (Lemmas 3.3, 3.5, 3.7 and
+//! Theorem 3.6) behind the grounded-tree communication lower bound.
+
+use anet_core::tree_broadcast::TreeBroadcast;
+use anet_core::{Payload, ScalarCommodity};
+use anet_graph::linear_cut::{contract_beyond_cut, contract_with_auxiliary, enumerate_linear_cuts};
+use anet_graph::{EdgeId, Network, NodeId};
+use anet_sim::engine::{run, ExecutionConfig, RunResult};
+use anet_sim::scheduler::FifoScheduler;
+use anet_sim::trace::Trace;
+
+/// The aggregated outcome of checking every linear-cut lemma on one network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutLemmasOutcome {
+    /// Number of linear cuts examined.
+    pub cuts_examined: usize,
+    /// Lemma 3.3: on a grounded tree every edge carried exactly one message.
+    pub one_message_per_edge: bool,
+    /// Lemma 3.5: for every cut, the protocol terminates on the contracted network
+    /// `G*` and the multiset entering the terminal there equals the multiset that
+    /// crossed the cut in the original run.
+    pub cut_multisets_terminating: bool,
+    /// Theorem 3.6: no cut multiset is a strict sub-multiset of another.
+    pub no_strict_submultiset_pair: bool,
+    /// Theorem 3.6 (contrapositive construction): redirecting part of a cut to an
+    /// auxiliary vertex `t*` makes the protocol refuse to terminate.
+    pub auxiliary_networks_never_terminate: bool,
+    /// Lemma 3.7: symbols differ along ancestor/descendant edge pairs separated by
+    /// a branching vertex.
+    pub branching_pairs_distinct: bool,
+}
+
+impl CutLemmasOutcome {
+    /// True when every lemma held.
+    pub fn all_hold(&self) -> bool {
+        self.one_message_per_edge
+            && self.cut_multisets_terminating
+            && self.no_strict_submultiset_pair
+            && self.auxiliary_networks_never_terminate
+            && self.branching_pairs_distinct
+    }
+}
+
+type TreeRun<C> = RunResult<
+    anet_core::tree_broadcast::TreeState<C>,
+    anet_core::tree_broadcast::TreeMessage<C>,
+>;
+
+fn traced_run<C: ScalarCommodity>(network: &Network) -> TreeRun<C> {
+    let protocol = TreeBroadcast::<C>::new(Payload::empty());
+    run(
+        network,
+        &protocol,
+        &mut FifoScheduler::new(),
+        ExecutionConfig::with_trace(),
+    )
+}
+
+fn multiset<C: ScalarCommodity>(
+    trace: &Trace<anet_core::tree_broadcast::TreeMessage<C>>,
+    edges: &[EdgeId],
+) -> Vec<String> {
+    trace.multiset_on_edges(edges, |m| m.value.canonical_key())
+}
+
+/// Is `a` a strict sub-multiset of `b`? Both inputs must be sorted.
+fn is_strict_submultiset(a: &[String], b: &[String]) -> bool {
+    if a.len() >= b.len() {
+        return false;
+    }
+    let mut bi = 0usize;
+    for item in a {
+        loop {
+            if bi >= b.len() {
+                return false;
+            }
+            if &b[bi] == item {
+                bi += 1;
+                break;
+            }
+            if b[bi].as_str() > item.as_str() {
+                return false;
+            }
+            bi += 1;
+        }
+    }
+    true
+}
+
+/// Checks Lemmas 3.3, 3.5, 3.7 and Theorem 3.6 on `network` (a grounded tree),
+/// examining at most `cut_limit` linear cuts.
+pub fn verify_cut_lemmas<C: ScalarCommodity>(network: &Network, cut_limit: usize) -> CutLemmasOutcome {
+    let base = traced_run::<C>(network);
+    let base_trace = base.trace.as_ref().expect("trace requested");
+    let one_message_per_edge = base
+        .metrics
+        .per_edge_messages
+        .iter()
+        .all(|&c| c == 1);
+
+    let cuts = enumerate_linear_cuts(network, cut_limit);
+    let mut cut_multisets: Vec<Vec<String>> = Vec::with_capacity(cuts.len());
+    let mut cut_multisets_terminating = true;
+    let mut auxiliary_networks_never_terminate = true;
+
+    for cut in &cuts {
+        let crossing = cut.crossing_edges(network);
+        let observed = multiset::<C>(base_trace, &crossing);
+
+        // Lemma 3.5: run on the contracted network G*; it must terminate and the
+        // multiset entering its terminal must equal the observed cut multiset.
+        let (g_star, _) = contract_beyond_cut(network, cut).expect("valid cut");
+        let star_run = traced_run::<C>(&g_star);
+        if !star_run.outcome.terminated() {
+            cut_multisets_terminating = false;
+        }
+        let star_trace = star_run.trace.as_ref().expect("trace requested");
+        let terminal_edges: Vec<EdgeId> = g_star
+            .graph()
+            .in_edges(g_star.terminal())
+            .to_vec();
+        let star_terminal_multiset = multiset::<C>(star_trace, &terminal_edges);
+        if star_terminal_multiset != observed {
+            cut_multisets_terminating = false;
+        }
+
+        // Theorem 3.6 construction: peel one crossing edge off to an auxiliary
+        // vertex; the protocol must now refuse to terminate.
+        if crossing.len() >= 2 {
+            let (g_aux, _, _) = contract_with_auxiliary(network, cut, &[0]).expect("valid cut");
+            let aux_run = traced_run::<C>(&g_aux);
+            if aux_run.outcome.terminated() {
+                auxiliary_networks_never_terminate = false;
+            }
+        }
+
+        cut_multisets.push(observed);
+    }
+
+    // Theorem 3.6: compare every pair of cut multisets.
+    let mut no_strict_submultiset_pair = true;
+    for i in 0..cut_multisets.len() {
+        for j in 0..cut_multisets.len() {
+            if i != j && is_strict_submultiset(&cut_multisets[i], &cut_multisets[j]) {
+                no_strict_submultiset_pair = false;
+            }
+        }
+    }
+
+    CutLemmasOutcome {
+        cuts_examined: cuts.len(),
+        one_message_per_edge,
+        cut_multisets_terminating,
+        no_strict_submultiset_pair,
+        auxiliary_networks_never_terminate,
+        branching_pairs_distinct: verify_branching_pairs::<C>(network, base_trace),
+    }
+}
+
+/// Lemma 3.7: if edge `e'` is an ancestor of edge `e''` and some vertex strictly
+/// between them (from the head of `e'` to the tail of `e''`, inclusive) has
+/// out-degree at least two, then the symbols transmitted on `e'` and `e''` differ.
+fn verify_branching_pairs<C: ScalarCommodity>(
+    network: &Network,
+    trace: &Trace<anet_core::tree_broadcast::TreeMessage<C>>,
+) -> bool {
+    let g = network.graph();
+    let symbol_of = |edge: EdgeId| -> Option<String> {
+        trace
+            .messages_on_edge(edge)
+            .first()
+            .map(|m| m.value.canonical_key())
+    };
+    // For a grounded tree, walk up the unique in-edges to find ancestor paths.
+    let parent_edge = |node: NodeId| -> Option<EdgeId> { g.in_edges(node).first().copied() };
+    for e2 in g.edges() {
+        // Reconstruct the root path of e2's tail and remember whether a branching
+        // vertex has been passed.
+        let mut current = g.edge_src(e2);
+        let mut branching_seen = g.out_degree(current) >= 2;
+        while let Some(pe) = parent_edge(current) {
+            // pe is an ancestor edge of e2: its head is `current`.
+            if branching_seen {
+                match (symbol_of(pe), symbol_of(e2)) {
+                    (Some(a), Some(b)) if a == b => return false,
+                    _ => {}
+                }
+            }
+            current = g.edge_src(pe);
+            if current == network.root() {
+                break;
+            }
+            if g.out_degree(current) >= 2 {
+                branching_seen = true;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_core::{ExactCommodity, Pow2Commodity};
+    use anet_graph::generators::{chain_gn, full_grounded_tree, random_grounded_tree, star_network};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lemmas_hold_on_the_chain_family() {
+        for n in [2usize, 4, 7] {
+            let outcome = verify_cut_lemmas::<Pow2Commodity>(&chain_gn(n).unwrap(), 1 << 12);
+            assert_eq!(outcome.cuts_examined, n + 1);
+            assert!(outcome.all_hold(), "n = {n}: {outcome:?}");
+        }
+    }
+
+    #[test]
+    fn lemmas_hold_on_assorted_grounded_trees() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let nets = vec![
+            star_network(5).unwrap(),
+            full_grounded_tree(2, 3).unwrap(),
+            random_grounded_tree(&mut rng, 10, 3, 0.5).unwrap(),
+        ];
+        for net in &nets {
+            let outcome = verify_cut_lemmas::<Pow2Commodity>(net, 4096);
+            assert!(outcome.cuts_examined > 0);
+            assert!(outcome.all_hold(), "{outcome:?}");
+        }
+    }
+
+    #[test]
+    fn lemmas_hold_for_the_naive_rule_too() {
+        let outcome = verify_cut_lemmas::<ExactCommodity>(&chain_gn(5).unwrap(), 4096);
+        assert!(outcome.all_hold(), "{outcome:?}");
+    }
+
+    #[test]
+    fn strict_submultiset_helper() {
+        let a = vec!["a".to_owned(), "b".to_owned()];
+        let b = vec!["a".to_owned(), "a".to_owned(), "b".to_owned()];
+        assert!(is_strict_submultiset(&a, &b));
+        assert!(!is_strict_submultiset(&b, &a));
+        assert!(!is_strict_submultiset(&a, &a));
+        let c = vec!["a".to_owned(), "c".to_owned()];
+        assert!(!is_strict_submultiset(&c, &b));
+    }
+}

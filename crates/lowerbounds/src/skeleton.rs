@@ -1,0 +1,134 @@
+//! The commodity-preserving bandwidth lower bound (Theorem 3.8, Figure 4).
+
+use anet_core::dag_broadcast::{DagBroadcast, ForwardingMode};
+use anet_core::{Payload, ScalarCommodity};
+use anet_sim::engine::{run, ExecutionConfig};
+use anet_sim::scheduler::FifoScheduler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use anet_graph::generators::skeleton;
+
+/// The outcome of the Theorem 3.8 experiment for one skeleton parameter `n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkeletonOutcome {
+    /// The skeleton parameter (number of even-indexed `u` vertices).
+    pub n: usize,
+    /// Number of vertices of each generated skeleton.
+    pub nodes: usize,
+    /// Number of edges of each generated skeleton.
+    pub edges: usize,
+    /// How many subsets `S` were tested (`2^n`, or a sample if that is too many).
+    pub subsets_tested: usize,
+    /// How many distinct collector quantities were observed.
+    pub distinct_quantities: usize,
+    /// Whether every tested subset produced a different quantity at the collector —
+    /// the heart of the `2^n`-symbols argument.
+    pub all_distinct: bool,
+    /// `⌈log₂ subsets⌉`: the bits any encoding needs on the collector edge, which is
+    /// `Ω(n) = Ω(|E|)` when all quantities are distinct.
+    pub min_bits_on_collector_edge: u64,
+    /// The largest single message (in bits) observed on the collector's outgoing
+    /// edge under this crate's concrete encoding.
+    pub observed_collector_message_bits: u64,
+}
+
+/// Runs a commodity-preserving protocol on the Figure 4 skeleton for (up to
+/// `max_subsets`) subsets `S` and checks that the collector vertex `w` receives a
+/// different total quantity for every subset.
+pub fn skeleton_experiment<C: ScalarCommodity>(n: usize, max_subsets: usize) -> SkeletonOutcome {
+    assert!(n >= 1, "skeleton parameter must be positive");
+    let total_subsets = 1usize.checked_shl(n as u32).unwrap_or(usize::MAX);
+    let exhaustive = total_subsets <= max_subsets;
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ n as u64);
+    let mut subsets: Vec<Vec<bool>> = if exhaustive {
+        (0..total_subsets)
+            .map(|mask| (0..n).map(|j| mask & (1 << j) != 0).collect())
+            .collect()
+    } else {
+        (0..max_subsets)
+            .map(|_| (0..n).map(|_| rng.gen_bool(0.5)).collect())
+            .collect()
+    };
+    // Sampling can repeat a subset; duplicates would trivially repeat a quantity
+    // and say nothing about the lower bound, so test each subset once.
+    subsets.sort();
+    subsets.dedup();
+
+    let mut quantities: Vec<String> = Vec::with_capacity(subsets.len());
+    let mut nodes = 0;
+    let mut edges = 0;
+    let mut observed_bits = 0u64;
+    for subset in &subsets {
+        let sk = skeleton(n, subset).expect("valid skeleton parameters");
+        nodes = sk.network.node_count();
+        edges = sk.network.edge_count();
+        let protocol = DagBroadcast::<C>::new(Payload::empty(), ForwardingMode::Eager);
+        let result = run(
+            &sk.network,
+            &protocol,
+            &mut FifoScheduler::new(),
+            ExecutionConfig::default(),
+        );
+        let w_state = &result.states[sk.w.index()];
+        quantities.push(w_state.accumulated.canonical_key());
+        observed_bits =
+            observed_bits.max(result.metrics.per_edge_bits[sk.w_to_t_edge.index()]);
+    }
+    let tested = quantities.len();
+    quantities.sort();
+    quantities.dedup();
+    let distinct = quantities.len();
+    SkeletonOutcome {
+        n,
+        nodes,
+        edges,
+        subsets_tested: tested,
+        distinct_quantities: distinct,
+        all_distinct: distinct == tested,
+        min_bits_on_collector_edge: anet_num::bits::alphabet_index_bits(tested as u64),
+        observed_collector_message_bits: observed_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anet_core::{ExactCommodity, Pow2Commodity};
+
+    #[test]
+    fn every_subset_gives_a_distinct_quantity() {
+        for n in [1usize, 2, 3, 4, 5] {
+            let outcome = skeleton_experiment::<Pow2Commodity>(n, 1 << n);
+            assert_eq!(outcome.subsets_tested, 1 << n);
+            assert!(outcome.all_distinct, "n = {n}");
+            assert_eq!(outcome.min_bits_on_collector_edge, n as u64);
+        }
+    }
+
+    #[test]
+    fn naive_commodity_is_also_commodity_preserving_and_distinct() {
+        let outcome = skeleton_experiment::<ExactCommodity>(4, 16);
+        assert!(outcome.all_distinct);
+    }
+
+    #[test]
+    fn collector_bits_grow_linearly_with_n() {
+        // The Ω(|E|) bandwidth shape: the bits needed to *name* the collector
+        // quantity grow linearly in n (and |E| = Θ(n)).
+        let small = skeleton_experiment::<Pow2Commodity>(2, 4);
+        let large = skeleton_experiment::<Pow2Commodity>(6, 64);
+        assert!(large.min_bits_on_collector_edge >= small.min_bits_on_collector_edge + 4);
+        assert!(large.observed_collector_message_bits > small.observed_collector_message_bits);
+        assert!(large.edges > small.edges);
+    }
+
+    #[test]
+    fn sampling_mode_caps_the_number_of_subsets() {
+        let outcome = skeleton_experiment::<Pow2Commodity>(12, 32);
+        assert!(outcome.subsets_tested <= 32 && outcome.subsets_tested > 1);
+        assert!(outcome.distinct_quantities <= outcome.subsets_tested);
+        // With duplicates removed, distinct subsets always give distinct quantities.
+        assert!(outcome.all_distinct);
+    }
+}

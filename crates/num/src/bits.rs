@@ -1,0 +1,118 @@
+//! Self-delimiting bit-size accounting.
+//!
+//! The paper's complexity statements count bits on the wire. Messages contain
+//! variable-length numbers (exponents, mantissas, interval counts), so any honest
+//! accounting must use *self-delimiting* codes — a receiver must be able to tell
+//! where one field ends and the next begins. This module provides the sizes of two
+//! standard codes used throughout the workspace:
+//!
+//! * [`elias_gamma_bits`] — the Elias-gamma code for positive integers, `2⌊log₂ n⌋ + 1`
+//!   bits. Used for exponents and counts; this is what makes the power-of-two
+//!   commodity rule cost `O(log |E|)` bits per edge.
+//! * [`length_prefixed_bits`] — a bit string preceded by its gamma-coded length.
+//!   Used for mantissas and binary-point expansions.
+
+/// Number of bits of the Elias-gamma code of `n + 1` (so that `n = 0` is encodable).
+///
+/// # Example
+///
+/// ```
+/// use anet_num::bits::elias_gamma_bits;
+///
+/// assert_eq!(elias_gamma_bits(0), 1);   // encodes 1
+/// assert_eq!(elias_gamma_bits(1), 3);   // encodes 2
+/// assert_eq!(elias_gamma_bits(6), 5);   // encodes 7
+/// ```
+pub fn elias_gamma_bits(n: u64) -> u64 {
+    let v = n + 1;
+    2 * (63 - v.leading_zeros() as u64) + 1
+}
+
+/// Number of bits to transmit a `payload_bits`-bit string with a gamma-coded length
+/// prefix, so the receiver knows where it ends.
+pub fn length_prefixed_bits(payload_bits: u64) -> u64 {
+    elias_gamma_bits(payload_bits) + payload_bits
+}
+
+/// Number of bits of the minimal binary representation of `n` (`1` for zero, by
+/// convention, since "nothing at all" still occupies a distinguishable slot).
+pub fn plain_bits(n: u64) -> u64 {
+    if n == 0 {
+        1
+    } else {
+        64 - u64::from(n.leading_zeros())
+    }
+}
+
+/// Information-theoretic lower bound on the bits needed to name one element out of
+/// an alphabet of `size` distinct symbols: `⌈log₂ size⌉`, with 0 for degenerate
+/// alphabets.
+pub fn alphabet_index_bits(size: u64) -> u64 {
+    if size <= 1 {
+        0
+    } else {
+        64 - u64::from((size - 1).leading_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_code_sizes() {
+        // value encoded is n+1; gamma(v) = 2*floor(log2 v)+1
+        assert_eq!(elias_gamma_bits(0), 1);
+        assert_eq!(elias_gamma_bits(1), 3);
+        assert_eq!(elias_gamma_bits(2), 3);
+        assert_eq!(elias_gamma_bits(3), 5);
+        assert_eq!(elias_gamma_bits(7), 7);
+        assert_eq!(elias_gamma_bits(100), 13);
+    }
+
+    #[test]
+    fn gamma_is_monotone() {
+        let mut prev = 0;
+        for n in 0..10_000u64 {
+            let b = elias_gamma_bits(n);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn gamma_is_logarithmic() {
+        for k in 1..60u32 {
+            let n = 1u64 << k;
+            assert!(elias_gamma_bits(n) <= 2 * u64::from(k) + 3);
+        }
+    }
+
+    #[test]
+    fn length_prefix_adds_logarithmic_overhead() {
+        assert_eq!(length_prefixed_bits(0), 1);
+        assert!(length_prefixed_bits(1000) < 1000 + 2 * 11);
+        assert!(length_prefixed_bits(1000) >= 1000);
+    }
+
+    #[test]
+    fn plain_bits_matches_bit_length() {
+        assert_eq!(plain_bits(0), 1);
+        assert_eq!(plain_bits(1), 1);
+        assert_eq!(plain_bits(2), 2);
+        assert_eq!(plain_bits(255), 8);
+        assert_eq!(plain_bits(256), 9);
+    }
+
+    #[test]
+    fn alphabet_index_bits_is_ceil_log2() {
+        assert_eq!(alphabet_index_bits(0), 0);
+        assert_eq!(alphabet_index_bits(1), 0);
+        assert_eq!(alphabet_index_bits(2), 1);
+        assert_eq!(alphabet_index_bits(3), 2);
+        assert_eq!(alphabet_index_bits(4), 2);
+        assert_eq!(alphabet_index_bits(5), 3);
+        assert_eq!(alphabet_index_bits(1 << 20), 20);
+        assert_eq!(alphabet_index_bits((1 << 20) + 1), 21);
+    }
+}

@@ -1,0 +1,432 @@
+//! Exact dyadic rationals (binary-point numbers of finite representation).
+//!
+//! The paper chooses interval endpoints and scalar commodities to be *"binary-point
+//! numbers of finite representation, i.e., a sum of powers of 2 with a finite number
+//! of summands"* (Section 4). [`Dyadic`] is exactly that set of numbers, restricted
+//! to non-negative values: `mantissa / 2^exponent` with an arbitrary-precision
+//! mantissa.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+use crate::{BigUint, NumError};
+
+/// A non-negative dyadic rational `mantissa / 2^exponent`.
+///
+/// The value is kept in canonical form: the mantissa is odd (or zero, in which case
+/// the exponent is zero). Equality and ordering are therefore value-based.
+///
+/// # Example
+///
+/// ```
+/// use anet_num::Dyadic;
+///
+/// let half = Dyadic::from_pow2_neg(1);
+/// let quarter = Dyadic::from_pow2_neg(2);
+/// assert_eq!(&half + &quarter, Dyadic::from_parts(3u64.into(), 2)); // 3/4
+/// assert!(quarter < half);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Dyadic {
+    mantissa: BigUint,
+    exponent: u32,
+}
+
+impl Dyadic {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Dyadic {
+            mantissa: BigUint::zero(),
+            exponent: 0,
+        }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        Dyadic {
+            mantissa: BigUint::one(),
+            exponent: 0,
+        }
+    }
+
+    /// Builds `mantissa / 2^exponent`, normalising to canonical form.
+    pub fn from_parts(mantissa: BigUint, exponent: u32) -> Self {
+        let mut d = Dyadic { mantissa, exponent };
+        d.normalize();
+        d
+    }
+
+    /// Returns `2^-k`, the commodity value after `k` binary halvings.
+    pub fn from_pow2_neg(k: u32) -> Self {
+        Dyadic {
+            mantissa: BigUint::one(),
+            exponent: k,
+        }
+    }
+
+    /// Builds a dyadic from an integer.
+    pub fn from_u64(v: u64) -> Self {
+        Dyadic::from_parts(BigUint::from(v), 0)
+    }
+
+    fn normalize(&mut self) {
+        if self.mantissa.is_zero() {
+            self.exponent = 0;
+            return;
+        }
+        if let Some(tz) = self.mantissa.trailing_zeros() {
+            let reduce = (tz as u32).min(self.exponent);
+            if reduce > 0 {
+                self.mantissa = &self.mantissa >> reduce;
+                self.exponent -= reduce;
+            }
+        }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.mantissa.is_zero()
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.exponent == 0 && self.mantissa.is_one()
+    }
+
+    /// The canonical (odd or zero) mantissa.
+    pub fn mantissa(&self) -> &BigUint {
+        &self.mantissa
+    }
+
+    /// The canonical exponent: the number of bits after the binary point.
+    pub fn exponent(&self) -> u32 {
+        self.exponent
+    }
+
+    /// Returns `true` if the value is an exact (non-negative) power of two,
+    /// including `1 = 2^0`. Zero is not a power of two.
+    pub fn is_pow2(&self) -> bool {
+        self.mantissa.is_one()
+    }
+
+    /// For a power of two `2^-k` (with `k >= 0`), returns `k`. Returns `None` for
+    /// any other value (including values `> 1`).
+    pub fn pow2_neg_exponent(&self) -> Option<u32> {
+        if self.mantissa.is_one() {
+            Some(self.exponent)
+        } else {
+            None
+        }
+    }
+
+    /// Checked subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Underflow`] when `other > self`.
+    pub fn checked_sub(&self, other: &Dyadic) -> Result<Dyadic, NumError> {
+        let exp = self.exponent.max(other.exponent);
+        let a = &self.mantissa << (exp - self.exponent);
+        let b = &other.mantissa << (exp - other.exponent);
+        Ok(Dyadic::from_parts(a.checked_sub(&b)?, exp))
+    }
+
+    /// Divides by `2^k` exactly.
+    pub fn div_pow2(&self, k: u32) -> Dyadic {
+        if self.is_zero() {
+            return Dyadic::zero();
+        }
+        Dyadic {
+            mantissa: self.mantissa.clone(),
+            exponent: self.exponent + k,
+        }
+    }
+
+    /// Multiplies by `2^k` exactly.
+    pub fn mul_pow2(&self, k: u32) -> Dyadic {
+        if self.is_zero() {
+            return Dyadic::zero();
+        }
+        if k <= self.exponent {
+            Dyadic {
+                mantissa: self.mantissa.clone(),
+                exponent: self.exponent - k,
+            }
+        } else {
+            Dyadic::from_parts(&self.mantissa << (k - self.exponent), 0)
+        }
+    }
+
+    /// Halves the value exactly.
+    pub fn halve(&self) -> Dyadic {
+        self.div_pow2(1)
+    }
+
+    /// Multiplies by a small integer exactly.
+    pub fn mul_u32(&self, factor: u32) -> Dyadic {
+        Dyadic::from_parts(self.mantissa.mul_small(factor), self.exponent)
+    }
+
+    /// Approximate `f64` value (for reporting only; never used in protocol logic).
+    pub fn to_f64(&self) -> f64 {
+        self.mantissa.to_f64() / 2f64.powi(self.exponent as i32)
+    }
+
+    /// Number of bits in a positional binary-point representation of the value:
+    /// the bits of the integer part plus the bits after the binary point.
+    ///
+    /// This is the size the paper ascribes to an interval endpoint: the endpoint is
+    /// "written down" as a binary expansion, and each canonical partition appends
+    /// `O(log k)` further bits to it (Theorem 4.3).
+    pub fn positional_bits(&self) -> u64 {
+        let int_bits = if self.mantissa.bit_len() > u64::from(self.exponent) {
+            self.mantissa.bit_len() - u64::from(self.exponent)
+        } else {
+            0
+        };
+        int_bits + u64::from(self.exponent)
+    }
+
+    /// Renders the value as a binary-point expansion, e.g. `0.1011` or `1.0`.
+    pub fn to_binary_string(&self) -> String {
+        if self.is_zero() {
+            return "0.0".to_owned();
+        }
+        let int_part = &self.mantissa >> self.exponent;
+        let frac_mask = (BigUint::one() << self.exponent) - BigUint::one();
+        let frac = if self.exponent == 0 {
+            BigUint::zero()
+        } else {
+            // mantissa mod 2^exponent
+            self.mantissa.clone().checked_sub(&(&int_part << self.exponent)).expect("int part <= value")
+        };
+        let _ = frac_mask;
+        let mut s = format!("{int_part:b}.");
+        if self.exponent == 0 {
+            s.push('0');
+        } else {
+            for i in (0..self.exponent).rev() {
+                s.push(if frac.bit(u64::from(i)) { '1' } else { '0' });
+            }
+        }
+        s
+    }
+}
+
+impl Default for Dyadic {
+    fn default() -> Self {
+        Dyadic::zero()
+    }
+}
+
+impl Ord for Dyadic {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let exp = self.exponent.max(other.exponent);
+        let a = &self.mantissa << (exp - self.exponent);
+        let b = &other.mantissa << (exp - other.exponent);
+        a.cmp(&b)
+    }
+}
+
+impl PartialOrd for Dyadic {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for &Dyadic {
+    type Output = Dyadic;
+    fn add(self, rhs: &Dyadic) -> Dyadic {
+        let exp = self.exponent.max(rhs.exponent);
+        let a = &self.mantissa << (exp - self.exponent);
+        let b = &rhs.mantissa << (exp - rhs.exponent);
+        Dyadic::from_parts(&a + &b, exp)
+    }
+}
+
+impl Add for Dyadic {
+    type Output = Dyadic;
+    fn add(self, rhs: Dyadic) -> Dyadic {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&Dyadic> for Dyadic {
+    fn add_assign(&mut self, rhs: &Dyadic) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub for &Dyadic {
+    type Output = Dyadic;
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`; use [`Dyadic::checked_sub`] for a fallible version.
+    fn sub(self, rhs: &Dyadic) -> Dyadic {
+        self.checked_sub(rhs)
+            .expect("Dyadic subtraction underflow; use checked_sub")
+    }
+}
+
+impl Sub for Dyadic {
+    type Output = Dyadic;
+    fn sub(self, rhs: Dyadic) -> Dyadic {
+        &self - &rhs
+    }
+}
+
+impl Mul for &Dyadic {
+    type Output = Dyadic;
+    fn mul(self, rhs: &Dyadic) -> Dyadic {
+        Dyadic::from_parts(
+            &self.mantissa * &rhs.mantissa,
+            self.exponent
+                .checked_add(rhs.exponent)
+                .expect("dyadic exponent overflow"),
+        )
+    }
+}
+
+impl fmt::Display for Dyadic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.exponent == 0 {
+            write!(f, "{}", self.mantissa)
+        } else {
+            write!(f, "{}/2^{}", self.mantissa, self.exponent)
+        }
+    }
+}
+
+impl fmt::Debug for Dyadic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dyadic({self} ≈ {})", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form_is_enforced() {
+        let d = Dyadic::from_parts(BigUint::from(4u64), 3); // 4/8 = 1/2
+        assert_eq!(d, Dyadic::from_pow2_neg(1));
+        assert_eq!(d.exponent(), 1);
+        assert!(d.mantissa().is_one());
+    }
+
+    #[test]
+    fn zero_normalizes_exponent() {
+        let d = Dyadic::from_parts(BigUint::zero(), 17);
+        assert!(d.is_zero());
+        assert_eq!(d.exponent(), 0);
+        assert_eq!(d, Dyadic::default());
+    }
+
+    #[test]
+    fn halving_chain_matches_pow2() {
+        let mut x = Dyadic::one();
+        for k in 1..=64u32 {
+            x = x.halve();
+            assert_eq!(x, Dyadic::from_pow2_neg(k));
+            assert!(x.is_pow2());
+            assert_eq!(x.pow2_neg_exponent(), Some(k));
+        }
+    }
+
+    #[test]
+    fn addition_of_halves_is_one() {
+        let h = Dyadic::from_pow2_neg(1);
+        assert!((&h + &h).is_one());
+        let q = Dyadic::from_pow2_neg(2);
+        assert_eq!(&(&q + &q) + &h, Dyadic::one());
+    }
+
+    #[test]
+    fn addition_with_different_exponents() {
+        // 3/8 + 1/4 = 5/8
+        let a = Dyadic::from_parts(BigUint::from(3u64), 3);
+        let b = Dyadic::from_pow2_neg(2);
+        assert_eq!(&a + &b, Dyadic::from_parts(BigUint::from(5u64), 3));
+    }
+
+    #[test]
+    fn subtraction_and_underflow() {
+        let a = Dyadic::from_parts(BigUint::from(5u64), 3);
+        let b = Dyadic::from_pow2_neg(3);
+        assert_eq!(&a - &b, Dyadic::from_pow2_neg(1));
+        assert_eq!(b.checked_sub(&a), Err(NumError::Underflow));
+    }
+
+    #[test]
+    fn ordering_matches_value() {
+        let third_ish = Dyadic::from_parts(BigUint::from(341u64), 10); // ~0.333
+        let half = Dyadic::from_pow2_neg(1);
+        assert!(third_ish < half);
+        assert!(half > third_ish);
+        assert!(Dyadic::zero() < third_ish);
+        assert!(half < Dyadic::one());
+    }
+
+    #[test]
+    fn multiplication_is_exact() {
+        let a = Dyadic::from_parts(BigUint::from(3u64), 2); // 3/4
+        let b = Dyadic::from_parts(BigUint::from(5u64), 3); // 5/8
+        assert_eq!(&a * &b, Dyadic::from_parts(BigUint::from(15u64), 5));
+    }
+
+    #[test]
+    fn mul_div_pow2_round_trip() {
+        let a = Dyadic::from_parts(BigUint::from(7u64), 5);
+        assert_eq!(a.div_pow2(3).mul_pow2(3), a);
+        assert_eq!(a.mul_pow2(5), Dyadic::from_u64(7));
+        assert_eq!(a.mul_pow2(7), Dyadic::from_u64(28));
+        assert_eq!(Dyadic::zero().mul_pow2(10), Dyadic::zero());
+    }
+
+    #[test]
+    fn mul_u32_matches_repeated_add() {
+        let a = Dyadic::from_pow2_neg(4);
+        let mut acc = Dyadic::zero();
+        for _ in 0..5 {
+            acc += &a;
+        }
+        assert_eq!(a.mul_u32(5), acc);
+    }
+
+    #[test]
+    fn positional_bits_counts_point_expansion() {
+        assert_eq!(Dyadic::zero().positional_bits(), 0);
+        assert_eq!(Dyadic::one().positional_bits(), 1);
+        assert_eq!(Dyadic::from_pow2_neg(7).positional_bits(), 7);
+        // 5/8 = 0.101 needs 3 fractional bits.
+        assert_eq!(Dyadic::from_parts(BigUint::from(5u64), 3).positional_bits(), 3);
+        // 3 = 11 binary needs 2 bits.
+        assert_eq!(Dyadic::from_u64(3).positional_bits(), 2);
+    }
+
+    #[test]
+    fn binary_string_rendering() {
+        assert_eq!(Dyadic::zero().to_binary_string(), "0.0");
+        assert_eq!(Dyadic::one().to_binary_string(), "1.0");
+        assert_eq!(Dyadic::from_pow2_neg(2).to_binary_string(), "0.01");
+        assert_eq!(
+            Dyadic::from_parts(BigUint::from(5u64), 3).to_binary_string(),
+            "0.101"
+        );
+    }
+
+    #[test]
+    fn to_f64_is_close() {
+        let d = Dyadic::from_parts(BigUint::from(5u64), 3);
+        assert!((d.to_f64() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Dyadic::from_u64(3).to_string(), "3");
+        assert_eq!(Dyadic::from_pow2_neg(3).to_string(), "1/2^3");
+        assert!(!format!("{:?}", Dyadic::zero()).is_empty());
+    }
+}

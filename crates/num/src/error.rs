@@ -1,0 +1,48 @@
+use std::fmt;
+
+/// Error type for the arithmetic substrate.
+///
+/// Arithmetic in this crate is deliberately restricted to the non-negative
+/// quantities that appear in the paper's protocols, so "impossible" operations
+/// (subtracting a larger value from a smaller one, building an interval whose
+/// endpoints are out of order, splitting into zero parts, …) are reported through
+/// this error rather than silently wrapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NumError {
+    /// Subtraction would have produced a negative value.
+    Underflow,
+    /// Division by zero was attempted.
+    DivisionByZero,
+    /// An interval `[a, b)` was requested with `a > b`.
+    InvalidInterval {
+        /// Rendered lower endpoint.
+        lo: String,
+        /// Rendered upper endpoint.
+        hi: String,
+    },
+    /// An interval or value outside the unit interval `[0, 1)` was supplied where
+    /// the protocols require a sub-unit quantity.
+    OutsideUnit,
+    /// A partition into zero parts was requested.
+    EmptyPartition,
+    /// A value could not be parsed from its textual representation.
+    Parse(String),
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::Underflow => write!(f, "subtraction underflow on unsigned quantity"),
+            NumError::DivisionByZero => write!(f, "division by zero"),
+            NumError::InvalidInterval { lo, hi } => {
+                write!(f, "invalid interval: lower endpoint {lo} exceeds upper endpoint {hi}")
+            }
+            NumError::OutsideUnit => write!(f, "value lies outside the unit interval [0, 1)"),
+            NumError::EmptyPartition => write!(f, "cannot partition into zero parts"),
+            NumError::Parse(s) => write!(f, "parse error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for NumError {}

@@ -1,0 +1,319 @@
+//! Half-open intervals `[a, b)` with dyadic endpoints (Definition 4.1 of the paper).
+
+use std::fmt;
+
+use crate::{BigUint, Dyadic, NumError};
+
+/// A half-open interval `[lo, hi)` with dyadic endpoints and `lo <= hi`.
+///
+/// The interval `[a, a)` is *the* empty interval; all empty intervals compare equal
+/// to each other only if their endpoints coincide, so protocol code uses
+/// [`Interval::is_empty`] rather than comparing against a particular empty value.
+///
+/// # Example
+///
+/// ```
+/// use anet_num::{Dyadic, Interval};
+///
+/// let unit = Interval::unit();
+/// let parts = unit.split(3)?;
+/// assert_eq!(parts.len(), 3);
+/// let total: Dyadic = parts.iter().map(Interval::length).fold(Dyadic::zero(), |a, b| &a + &b);
+/// assert!(total.is_one());
+/// # Ok::<(), anet_num::NumError>(())
+/// ```
+/// Ordering is lexicographic on `(lo, hi)`, which is what sorted interval lists and
+/// ordered containers of protocol records need; it is *not* a containment order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Interval {
+    lo: Dyadic,
+    hi: Dyadic,
+}
+
+impl Interval {
+    /// Builds `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInterval`] when `lo > hi`.
+    pub fn new(lo: Dyadic, hi: Dyadic) -> Result<Self, NumError> {
+        if lo > hi {
+            return Err(NumError::InvalidInterval {
+                lo: lo.to_string(),
+                hi: hi.to_string(),
+            });
+        }
+        Ok(Interval { lo, hi })
+    }
+
+    /// The canonical empty interval `[0, 0)`.
+    pub fn empty() -> Self {
+        Interval {
+            lo: Dyadic::zero(),
+            hi: Dyadic::zero(),
+        }
+    }
+
+    /// The unit interval `[0, 1)` — the commodity injected by the root.
+    pub fn unit() -> Self {
+        Interval {
+            lo: Dyadic::zero(),
+            hi: Dyadic::one(),
+        }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> &Dyadic {
+        &self.lo
+    }
+
+    /// Upper endpoint (exclusive).
+    pub fn hi(&self) -> &Dyadic {
+        &self.hi
+    }
+
+    /// Returns `true` if the interval contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The length `hi - lo`.
+    pub fn length(&self) -> Dyadic {
+        self.hi
+            .checked_sub(&self.lo)
+            .expect("interval invariant lo <= hi")
+    }
+
+    /// Returns `true` if `point` lies in `[lo, hi)`.
+    pub fn contains(&self, point: &Dyadic) -> bool {
+        &self.lo <= point && point < &self.hi
+    }
+
+    /// Returns `true` if the other interval is fully contained in this one.
+    /// The empty interval is contained in every interval (paper convention).
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Returns `true` if the two intervals share at least one point.
+    pub fn intersects(&self, other: &Interval) -> bool {
+        !self.intersection(other).is_empty()
+    }
+
+    /// The intersection of two intervals (possibly empty).
+    pub fn intersection(&self, other: &Interval) -> Interval {
+        let lo = if self.lo >= other.lo { self.lo.clone() } else { other.lo.clone() };
+        let hi = if self.hi <= other.hi { self.hi.clone() } else { other.hi.clone() };
+        if lo >= hi {
+            Interval::empty()
+        } else {
+            Interval { lo, hi }
+        }
+    }
+
+    /// Splits the interval into `k >= 1` disjoint sub-intervals covering it exactly,
+    /// using the paper's rule (proof of Theorem 4.3):
+    ///
+    /// let `N` be the smallest power of two with `N >= k` and `Δ = (hi - lo) / N`;
+    /// produce `k - 1` intervals of length `Δ` and one final interval of length
+    /// `(hi - lo) - (k - 1)Δ`.
+    ///
+    /// Each produced endpoint extends the binary expansion of the original endpoints
+    /// by `O(log k)` bits, which is what bounds label and endpoint sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::EmptyPartition`] when `k == 0`.
+    pub fn split(&self, k: usize) -> Result<Vec<Interval>, NumError> {
+        if k == 0 {
+            return Err(NumError::EmptyPartition);
+        }
+        if k == 1 {
+            return Ok(vec![self.clone()]);
+        }
+        if self.is_empty() {
+            return Ok(vec![Interval::empty(); k]);
+        }
+        let log = (usize::BITS - (k - 1).leading_zeros()) as u32; // ceil(log2 k)
+        let delta = self.length().div_pow2(log);
+        let mut parts = Vec::with_capacity(k);
+        let mut cursor = self.lo.clone();
+        for _ in 0..k - 1 {
+            let next = &cursor + &delta;
+            parts.push(Interval {
+                lo: cursor,
+                hi: next.clone(),
+            });
+            cursor = next;
+        }
+        parts.push(Interval {
+            lo: cursor,
+            hi: self.hi.clone(),
+        });
+        Ok(parts)
+    }
+
+    /// Bits needed to write down both endpoints as binary-point expansions, with
+    /// self-delimiting length prefixes.
+    pub fn endpoint_bits(&self) -> u64 {
+        crate::bits::length_prefixed_bits(self.lo.positional_bits())
+            + crate::bits::length_prefixed_bits(self.hi.positional_bits())
+    }
+
+    /// Convenience constructor for tests and examples: the interval
+    /// `[num_lo/2^exp, num_hi/2^exp)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInterval`] when the endpoints are out of order.
+    pub fn from_dyadic_parts(num_lo: u64, num_hi: u64, exp: u32) -> Result<Self, NumError> {
+        Interval::new(
+            Dyadic::from_parts(BigUint::from(num_lo), exp),
+            Dyadic::from_parts(BigUint::from(num_hi), exp),
+        )
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Interval::empty()
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.lo, self.hi)
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {})", self.lo.to_f64(), self.hi.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: u64, hi: u64, exp: u32) -> Interval {
+        Interval::from_dyadic_parts(lo, hi, exp).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_order() {
+        assert!(Interval::new(Dyadic::one(), Dyadic::zero()).is_err());
+        assert!(Interval::new(Dyadic::zero(), Dyadic::zero()).is_ok());
+    }
+
+    #[test]
+    fn unit_and_empty() {
+        assert!(Interval::empty().is_empty());
+        assert!(!Interval::unit().is_empty());
+        assert!(Interval::unit().length().is_one());
+        assert_eq!(Interval::default(), Interval::empty());
+    }
+
+    #[test]
+    fn contains_point_is_half_open() {
+        let i = iv(1, 3, 2); // [1/4, 3/4)
+        assert!(i.contains(&Dyadic::from_pow2_neg(2)));
+        assert!(i.contains(&Dyadic::from_pow2_neg(1)));
+        assert!(!i.contains(&Dyadic::from_parts(BigUint::from(3u64), 2)));
+        assert!(!i.contains(&Dyadic::zero()));
+    }
+
+    #[test]
+    fn empty_interval_is_subset_of_everything() {
+        let i = iv(1, 3, 2);
+        assert!(i.contains_interval(&Interval::empty()));
+        assert!(Interval::empty().contains_interval(&Interval::empty()));
+        assert!(!Interval::empty().contains_interval(&i));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = iv(0, 2, 2); // [0, 1/2)
+        let b = iv(1, 3, 2); // [1/4, 3/4)
+        let c = iv(2, 4, 2); // [1/2, 1)
+        assert_eq!(a.intersection(&b), iv(1, 2, 2));
+        assert!(a.intersection(&c).is_empty());
+        assert!(!a.intersects(&c));
+        assert!(a.intersects(&b));
+        assert_eq!(b.intersection(&b), b);
+        assert!(a.intersection(&Interval::empty()).is_empty());
+    }
+
+    #[test]
+    fn split_covers_exactly_and_in_order() {
+        for k in 1..=17usize {
+            let parts = Interval::unit().split(k).unwrap();
+            assert_eq!(parts.len(), k);
+            // Consecutive and covering: each part starts where the previous ended.
+            assert_eq!(parts[0].lo(), &Dyadic::zero());
+            for w in parts.windows(2) {
+                assert_eq!(w[0].hi(), w[1].lo());
+            }
+            assert!(parts[k - 1].hi().is_one());
+            // All non-empty.
+            for p in &parts {
+                assert!(!p.is_empty(), "k = {k}, part {p}");
+            }
+            // Total length is 1.
+            let total = parts
+                .iter()
+                .map(Interval::length)
+                .fold(Dyadic::zero(), |a, b| &a + &b);
+            assert!(total.is_one());
+        }
+    }
+
+    #[test]
+    fn split_matches_paper_rule_sizes() {
+        // k = 3: N = 4, Δ = 1/4, parts of length 1/4, 1/4, 1/2.
+        let parts = Interval::unit().split(3).unwrap();
+        assert_eq!(parts[0].length(), Dyadic::from_pow2_neg(2));
+        assert_eq!(parts[1].length(), Dyadic::from_pow2_neg(2));
+        assert_eq!(parts[2].length(), Dyadic::from_pow2_neg(1));
+        // k = 4 (already a power of two): four quarters.
+        let parts = Interval::unit().split(4).unwrap();
+        for p in &parts {
+            assert_eq!(p.length(), Dyadic::from_pow2_neg(2));
+        }
+    }
+
+    #[test]
+    fn split_of_empty_and_zero_parts() {
+        assert!(Interval::unit().split(0).is_err());
+        let parts = Interval::empty().split(5).unwrap();
+        assert_eq!(parts.len(), 5);
+        assert!(parts.iter().all(Interval::is_empty));
+    }
+
+    #[test]
+    fn split_nested_endpoints_grow_logarithmically() {
+        // Splitting repeatedly into d parts adds ceil(log2 d) fractional bits per level.
+        let mut current = Interval::unit();
+        for level in 1..=10u64 {
+            current = current.split(5).unwrap()[0].clone();
+            assert!(u64::from(current.lo().exponent()) <= 3 * level);
+            assert!(u64::from(current.hi().exponent()) <= 3 * level);
+        }
+    }
+
+    #[test]
+    fn endpoint_bits_is_positive_and_monotone_under_nesting() {
+        let coarse = Interval::unit();
+        let fine = coarse.split(8).unwrap()[3].clone();
+        assert!(fine.endpoint_bits() > coarse.endpoint_bits());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Interval::unit().to_string(), "[0, 1)");
+        assert!(!format!("{:?}", iv(1, 2, 3)).is_empty());
+    }
+}

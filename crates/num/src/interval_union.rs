@@ -1,0 +1,552 @@
+//! Finite unions of disjoint intervals over `[0, 1)` — the commodity of the
+//! general-graph protocols (Definition 4.1).
+
+use std::fmt;
+
+use crate::{bits, Dyadic, Interval, NumError};
+
+/// An element of `U[0, 1)`: a finite union of disjoint half-open intervals.
+///
+/// The representation is canonical — intervals are sorted, non-empty, pairwise
+/// disjoint, and *non-adjacent* (touching intervals are merged) — so two values
+/// compare equal with `==` exactly when they denote the same point set.
+///
+/// All set operations (`union`, `intersection`, `difference`) are exact.
+///
+/// # Example
+///
+/// ```
+/// use anet_num::{Interval, IntervalUnion};
+///
+/// let left = IntervalUnion::from(Interval::from_dyadic_parts(0, 1, 1)?);  // [0, 1/2)
+/// let right = IntervalUnion::from(Interval::from_dyadic_parts(1, 2, 1)?); // [1/2, 1)
+/// assert_eq!(left.union(&right), IntervalUnion::unit());
+/// assert!(left.intersection(&right).is_empty());
+/// # Ok::<(), anet_num::NumError>(())
+/// ```
+/// Ordering is lexicographic on the canonical interval list (useful for ordered
+/// containers and deterministic reports); it is *not* the subset order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct IntervalUnion {
+    /// Sorted, disjoint, non-empty, non-adjacent intervals.
+    intervals: Vec<Interval>,
+}
+
+impl IntervalUnion {
+    /// The empty union (the paper's `[0, 0)` state component).
+    pub fn empty() -> Self {
+        IntervalUnion { intervals: Vec::new() }
+    }
+
+    /// The full unit interval `[0, 1)`.
+    pub fn unit() -> Self {
+        IntervalUnion {
+            intervals: vec![Interval::unit()],
+        }
+    }
+
+    /// Builds a union from arbitrary (possibly overlapping, unordered, empty)
+    /// intervals.
+    pub fn from_intervals<I: IntoIterator<Item = Interval>>(intervals: I) -> Self {
+        let mut v: Vec<Interval> = intervals.into_iter().filter(|i| !i.is_empty()).collect();
+        v.sort_by(|a, b| a.lo().cmp(b.lo()).then_with(|| a.hi().cmp(b.hi())));
+        let mut out: Vec<Interval> = Vec::with_capacity(v.len());
+        for iv in v {
+            match out.last_mut() {
+                Some(last) if iv.lo() <= last.hi() => {
+                    // Overlapping or adjacent: extend.
+                    if iv.hi() > last.hi() {
+                        *last = Interval::new(last.lo().clone(), iv.hi().clone())
+                            .expect("sorted endpoints are ordered");
+                    }
+                }
+                _ => out.push(iv),
+            }
+        }
+        IntervalUnion { intervals: out }
+    }
+
+    /// Returns `true` if the union contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Returns `true` if the union is exactly `[0, 1)` — the terminal's acceptance
+    /// condition `α ∪ β = [0, 1)`.
+    pub fn is_unit(&self) -> bool {
+        self.intervals.len() == 1
+            && self.intervals[0].lo().is_zero()
+            && self.intervals[0].hi().is_one()
+    }
+
+    /// The disjoint intervals making up the union, in increasing order.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Number of maximal disjoint intervals.
+    pub fn interval_count(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Iterates over the maximal disjoint intervals in increasing order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Interval> {
+        self.intervals.iter()
+    }
+
+    /// Total measure of the union.
+    pub fn total_length(&self) -> Dyadic {
+        self.intervals
+            .iter()
+            .map(Interval::length)
+            .fold(Dyadic::zero(), |a, b| &a + &b)
+    }
+
+    /// Returns `true` if the point lies in the union.
+    pub fn contains_point(&self, point: &Dyadic) -> bool {
+        self.intervals.iter().any(|i| i.contains(point))
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalUnion) -> IntervalUnion {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        IntervalUnion::from_intervals(
+            self.intervals.iter().chain(other.intervals.iter()).cloned(),
+        )
+    }
+
+    /// In-place set union; returns `true` if the value changed.
+    ///
+    /// The general-graph protocol sends a message on an edge *iff* the relevant
+    /// state component changed (Section 4), so change detection is part of the API.
+    pub fn union_in_place(&mut self, other: &IntervalUnion) -> bool {
+        if other.is_empty() {
+            return false;
+        }
+        let merged = self.union(other);
+        if merged == *self {
+            false
+        } else {
+            *self = merged;
+            true
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &IntervalUnion) -> IntervalUnion {
+        let mut out = Vec::new();
+        // Two-pointer sweep over the sorted interval lists.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let a = &self.intervals[i];
+            let b = &other.intervals[j];
+            let inter = a.intersection(b);
+            if !inter.is_empty() {
+                out.push(inter);
+            }
+            if a.hi() <= b.hi() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalUnion::from_intervals(out)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &IntervalUnion) -> IntervalUnion {
+        if self.is_empty() || other.is_empty() {
+            return self.clone();
+        }
+        let mut out: Vec<Interval> = Vec::new();
+        for a in &self.intervals {
+            // Carve the overlapping pieces of `other` out of `a`.
+            let mut cursor = a.lo().clone();
+            for b in &other.intervals {
+                if b.hi() <= &cursor {
+                    continue;
+                }
+                if b.lo() >= a.hi() {
+                    break;
+                }
+                // b overlaps [cursor, a.hi)
+                if b.lo() > &cursor {
+                    out.push(
+                        Interval::new(cursor.clone(), b.lo().clone())
+                            .expect("cursor < b.lo within a"),
+                    );
+                }
+                if b.hi() < a.hi() {
+                    cursor = b.hi().clone();
+                } else {
+                    cursor = a.hi().clone();
+                    break;
+                }
+            }
+            if &cursor < a.hi() {
+                out.push(
+                    Interval::new(cursor, a.hi().clone()).expect("cursor < a.hi"),
+                );
+            }
+        }
+        IntervalUnion::from_intervals(out)
+    }
+
+    /// Returns `true` if `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &IntervalUnion) -> bool {
+        self.difference(other).is_empty()
+    }
+
+    /// Returns `true` if the two unions share at least one point.
+    pub fn intersects(&self, other: &IntervalUnion) -> bool {
+        !self.intersection(other).is_empty()
+    }
+
+    /// Bits needed to transmit the union: a gamma-coded interval count followed by
+    /// each interval's self-delimited endpoints.
+    ///
+    /// Theorem 4.3 bounds this by `O(|E| · |V| log d_out)` for any union transmitted
+    /// by the general-graph protocol.
+    pub fn wire_bits(&self) -> u64 {
+        bits::elias_gamma_bits(self.intervals.len() as u64)
+            + self.intervals.iter().map(Interval::endpoint_bits).sum::<u64>()
+    }
+}
+
+impl From<Interval> for IntervalUnion {
+    fn from(interval: Interval) -> Self {
+        IntervalUnion::from_intervals(std::iter::once(interval))
+    }
+}
+
+impl FromIterator<Interval> for IntervalUnion {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
+        IntervalUnion::from_intervals(iter)
+    }
+}
+
+impl Extend<Interval> for IntervalUnion {
+    fn extend<T: IntoIterator<Item = Interval>>(&mut self, iter: T) {
+        let extra = IntervalUnion::from_intervals(iter);
+        self.union_in_place(&extra);
+    }
+}
+
+impl<'a> IntoIterator for &'a IntervalUnion {
+    type Item = &'a Interval;
+    type IntoIter = std::slice::Iter<'a, Interval>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.intervals.iter()
+    }
+}
+
+impl fmt::Display for IntervalUnion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.intervals.is_empty() {
+            return write!(f, "∅");
+        }
+        let parts: Vec<String> = self.intervals.iter().map(|i| i.to_string()).collect();
+        write!(f, "{}", parts.join(" ∪ "))
+    }
+}
+
+impl fmt::Debug for IntervalUnion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IntervalUnion({self})")
+    }
+}
+
+/// Partitions an interval union `α` into `parts` disjoint interval unions whose
+/// union is `α`, following the paper's *canonical partition* (Section 4):
+///
+/// write `α = I₁ ∪ … ∪ I_r` (maximal intervals in increasing order); split the first
+/// interval `I₁` into `parts - 1` pieces with [`Interval::split`]; the pieces become
+/// parts `1 … parts-1`, and the remaining intervals `I₂ ∪ … ∪ I_r` become the final
+/// part.
+///
+/// When `α` is empty, every part is empty. When `parts == 1` the single part is `α`.
+///
+/// # Errors
+///
+/// Returns [`NumError::EmptyPartition`] when `parts == 0`.
+pub fn canonical_partition(alpha: &IntervalUnion, parts: usize) -> Result<Vec<IntervalUnion>, NumError> {
+    if parts == 0 {
+        return Err(NumError::EmptyPartition);
+    }
+    if parts == 1 {
+        return Ok(vec![alpha.clone()]);
+    }
+    if alpha.is_empty() {
+        return Ok(vec![IntervalUnion::empty(); parts]);
+    }
+    let first = &alpha.intervals()[0];
+    let rest: IntervalUnion =
+        IntervalUnion::from_intervals(alpha.intervals()[1..].iter().cloned());
+    let mut out: Vec<IntervalUnion> = first
+        .split(parts - 1)?
+        .into_iter()
+        .map(IntervalUnion::from)
+        .collect();
+    out.push(rest);
+    Ok(out)
+}
+
+/// Like [`canonical_partition`], but guarantees that **every** part is non-empty
+/// whenever `alpha` itself is non-empty: when `alpha` consists of a single maximal
+/// interval, that interval is split into `parts` pieces (instead of `parts - 1`
+/// pieces plus an empty remainder).
+///
+/// The labelling and mapping protocols use this variant so that every vertex
+/// reachable from the root is guaranteed to eventually receive interval mass —
+/// and therefore a non-empty label — on every out-edge of its predecessors. The
+/// paper's literal partition can starve the *last* out-port when the incoming mass
+/// is a single interval, which would leave some vertices unlabelled on certain
+/// topologies; see DESIGN.md ("Substitutions and clarifications").
+///
+/// # Errors
+///
+/// Returns [`NumError::EmptyPartition`] when `parts == 0`.
+pub fn canonical_partition_nonempty(
+    alpha: &IntervalUnion,
+    parts: usize,
+) -> Result<Vec<IntervalUnion>, NumError> {
+    if parts == 0 {
+        return Err(NumError::EmptyPartition);
+    }
+    if parts == 1 || alpha.is_empty() || alpha.interval_count() > 1 {
+        return canonical_partition(alpha, parts);
+    }
+    // A single maximal interval: split it into `parts` non-empty pieces.
+    let out: Vec<IntervalUnion> = alpha.intervals()[0]
+        .split(parts)?
+        .into_iter()
+        .map(IntervalUnion::from)
+        .collect();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BigUint;
+
+    fn iv(lo: u64, hi: u64, exp: u32) -> Interval {
+        Interval::from_dyadic_parts(lo, hi, exp).unwrap()
+    }
+
+    fn union_of(list: &[(u64, u64, u32)]) -> IntervalUnion {
+        IntervalUnion::from_intervals(list.iter().map(|&(l, h, e)| iv(l, h, e)))
+    }
+
+    #[test]
+    fn canonical_form_merges_overlaps_and_adjacency() {
+        let u = union_of(&[(0, 2, 3), (2, 4, 3), (6, 7, 3), (5, 6, 3)]);
+        // [0,1/4) ∪ [1/4,1/2) merge; [5/8,6/8) ∪ [6/8,7/8) merge.
+        assert_eq!(u.interval_count(), 2);
+        assert_eq!(u, union_of(&[(0, 4, 3), (5, 7, 3)]));
+    }
+
+    #[test]
+    fn empty_intervals_are_dropped() {
+        let u = IntervalUnion::from_intervals(vec![Interval::empty(), iv(1, 1, 4)]);
+        assert!(u.is_empty());
+        assert_eq!(u, IntervalUnion::empty());
+        assert_eq!(u, IntervalUnion::default());
+    }
+
+    #[test]
+    fn unit_detection() {
+        assert!(IntervalUnion::unit().is_unit());
+        assert!(!IntervalUnion::empty().is_unit());
+        // Two halves reassemble into the unit.
+        let u = union_of(&[(0, 1, 1), (1, 2, 1)]);
+        assert!(u.is_unit());
+        // Missing a piece: not the unit.
+        let v = union_of(&[(0, 1, 2), (2, 4, 2)]);
+        assert!(!v.is_unit());
+    }
+
+    #[test]
+    fn union_covers_both_operands() {
+        let a = union_of(&[(0, 2, 3)]);
+        let b = union_of(&[(4, 6, 3)]);
+        let u = a.union(&b);
+        assert_eq!(u, union_of(&[(0, 2, 3), (4, 6, 3)]));
+        assert!(a.is_subset_of(&u));
+        assert!(b.is_subset_of(&u));
+        assert_eq!(a.union(&IntervalUnion::empty()), a);
+        assert_eq!(IntervalUnion::empty().union(&b), b);
+    }
+
+    #[test]
+    fn union_in_place_reports_change() {
+        let mut a = union_of(&[(0, 2, 3)]);
+        assert!(!a.union_in_place(&IntervalUnion::empty()));
+        assert!(!a.union_in_place(&union_of(&[(0, 1, 3)]))); // already covered
+        assert!(a.union_in_place(&union_of(&[(4, 5, 3)])));
+        assert_eq!(a, union_of(&[(0, 2, 3), (4, 5, 3)]));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = union_of(&[(0, 4, 3), (6, 8, 3)]);
+        let b = union_of(&[(2, 7, 3)]);
+        assert_eq!(a.intersection(&b), union_of(&[(2, 4, 3), (6, 7, 3)]));
+        assert_eq!(b.intersection(&a), a.intersection(&b));
+        assert!(a.intersection(&IntervalUnion::empty()).is_empty());
+        assert!(!a.intersects(&union_of(&[(4, 6, 3)])));
+        assert!(a.intersects(&union_of(&[(3, 5, 3)])));
+    }
+
+    #[test]
+    fn difference_cases() {
+        let a = IntervalUnion::unit();
+        let b = union_of(&[(1, 2, 2)]); // [1/4, 1/2)
+        let d = a.difference(&b);
+        assert_eq!(d, union_of(&[(0, 1, 2), (2, 4, 2)]));
+        // Removing what we kept plus what we removed gives the empty set.
+        assert!(a.difference(&d).difference(&b).is_empty());
+        // Difference with self or a superset is empty.
+        assert!(a.difference(&a).is_empty());
+        assert!(b.difference(&a).is_empty());
+        // Difference with empty leaves the value unchanged.
+        assert_eq!(a.difference(&IntervalUnion::empty()), a);
+    }
+
+    #[test]
+    fn difference_across_multiple_intervals() {
+        let a = union_of(&[(0, 3, 3), (4, 8, 3)]);
+        let b = union_of(&[(1, 2, 3), (5, 6, 3), (7, 8, 3)]);
+        let d = a.difference(&b);
+        assert_eq!(d, union_of(&[(0, 1, 3), (2, 3, 3), (4, 5, 3), (6, 7, 3)]));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = union_of(&[(0, 2, 3), (4, 6, 3)]);
+        let sub = union_of(&[(0, 1, 3), (5, 6, 3)]);
+        assert!(sub.is_subset_of(&a));
+        assert!(!a.is_subset_of(&sub));
+        assert!(IntervalUnion::empty().is_subset_of(&a));
+        assert!(a.is_subset_of(&IntervalUnion::unit()));
+    }
+
+    #[test]
+    fn total_length_and_contains_point() {
+        let a = union_of(&[(0, 1, 2), (2, 3, 2)]);
+        assert_eq!(a.total_length(), Dyadic::from_pow2_neg(1));
+        assert!(a.contains_point(&Dyadic::zero()));
+        assert!(a.contains_point(&Dyadic::from_pow2_neg(1)));
+        assert!(!a.contains_point(&Dyadic::from_pow2_neg(2)));
+        assert!(!a.contains_point(&Dyadic::from_parts(BigUint::from(3u64), 2)));
+    }
+
+    #[test]
+    fn canonical_partition_is_a_partition() {
+        let alpha = union_of(&[(0, 3, 3), (5, 7, 3)]);
+        for parts in 1..=8usize {
+            let pieces = canonical_partition(&alpha, parts).unwrap();
+            assert_eq!(pieces.len(), parts);
+            // Pairwise disjoint.
+            for i in 0..pieces.len() {
+                for j in i + 1..pieces.len() {
+                    assert!(
+                        !pieces[i].intersects(&pieces[j]),
+                        "parts {i} and {j} overlap for split into {parts}"
+                    );
+                }
+            }
+            // Union reassembles alpha.
+            let mut total = IntervalUnion::empty();
+            for p in &pieces {
+                total.union_in_place(p);
+            }
+            assert_eq!(total, alpha, "partition into {parts} loses mass");
+        }
+    }
+
+    #[test]
+    fn canonical_partition_of_unit_gives_nonempty_leading_parts() {
+        // Used for labels: every vertex with out-degree d keeps piece 0 of a
+        // (d+1)-way partition, which must be non-empty whenever the input is.
+        for parts in 2..=9usize {
+            let pieces = canonical_partition(&IntervalUnion::unit(), parts).unwrap();
+            for (idx, p) in pieces.iter().enumerate().take(parts - 1) {
+                assert!(!p.is_empty(), "piece {idx} of {parts} is empty");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_partition_edge_cases() {
+        assert!(canonical_partition(&IntervalUnion::unit(), 0).is_err());
+        let single = canonical_partition(&IntervalUnion::unit(), 1).unwrap();
+        assert_eq!(single, vec![IntervalUnion::unit()]);
+        let of_empty = canonical_partition(&IntervalUnion::empty(), 4).unwrap();
+        assert!(of_empty.iter().all(IntervalUnion::is_empty));
+    }
+
+    #[test]
+    fn canonical_partition_single_interval_last_part_empty() {
+        // With a single maximal interval, the "rest" part is empty, as in the paper.
+        let alpha = IntervalUnion::unit();
+        let pieces = canonical_partition(&alpha, 4).unwrap();
+        assert!(pieces[3].is_empty());
+        assert!(!pieces[0].is_empty());
+    }
+
+    #[test]
+    fn nonempty_partition_never_starves_a_part() {
+        for parts in 1..=8usize {
+            let pieces = canonical_partition_nonempty(&IntervalUnion::unit(), parts).unwrap();
+            assert_eq!(pieces.len(), parts);
+            let mut acc = IntervalUnion::empty();
+            for p in &pieces {
+                assert!(!p.is_empty(), "part empty for {parts}-way split");
+                assert!(!acc.intersects(p));
+                acc.union_in_place(p);
+            }
+            assert!(acc.is_unit());
+        }
+    }
+
+    #[test]
+    fn nonempty_partition_falls_back_for_fragmented_input() {
+        let alpha = union_of(&[(0, 3, 3), (5, 7, 3)]);
+        let a = canonical_partition(&alpha, 4).unwrap();
+        let b = canonical_partition_nonempty(&alpha, 4).unwrap();
+        assert_eq!(a, b);
+        assert!(canonical_partition_nonempty(&IntervalUnion::unit(), 0).is_err());
+        let of_empty = canonical_partition_nonempty(&IntervalUnion::empty(), 3).unwrap();
+        assert!(of_empty.iter().all(IntervalUnion::is_empty));
+    }
+
+    #[test]
+    fn wire_bits_grow_with_fragmentation() {
+        let coarse = IntervalUnion::unit();
+        let fine = union_of(&[(0, 1, 4), (2, 3, 4), (4, 5, 4), (6, 7, 4)]);
+        assert!(fine.wire_bits() > coarse.wire_bits());
+        assert!(IntervalUnion::empty().wire_bits() >= 1);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let parts = Interval::unit().split(4).unwrap();
+        let collected: IntervalUnion = parts.iter().cloned().collect();
+        assert!(collected.is_unit());
+        let mut partial = IntervalUnion::from(parts[0].clone());
+        partial.extend(parts[1..].iter().cloned());
+        assert!(partial.is_unit());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(IntervalUnion::empty().to_string(), "∅");
+        assert!(IntervalUnion::unit().to_string().contains("[0, 1)"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # anet-num — exact arithmetic for anonymous-network protocols
+//!
+//! The protocols of *Langberg, Schwartz, Bruck (PODC 2007)* transmit *commodities*:
+//! scalar flow values on grounded trees and DAGs, and interval unions over `[0, 1)`
+//! on general graphs. The paper's complexity theorems count the number of **bits**
+//! needed to represent those commodities, so the arithmetic must be exact and the
+//! representation size must be measurable. This crate provides that substrate:
+//!
+//! * [`BigUint`] — arbitrary-precision natural numbers (no external bignum crate).
+//! * [`Dyadic`] — non-negative binary-point numbers `m / 2^k` of finite
+//!   representation, exactly the numbers the paper chooses for interval endpoints.
+//! * [`Ratio`] — exact non-negative rationals, used by the *naive* `x/d` flow rule
+//!   that the paper's power-of-two rule improves upon (the E1 ablation).
+//! * [`Interval`] — half-open intervals `[a, b)` with dyadic endpoints.
+//! * [`IntervalUnion`] — finite unions of disjoint intervals, the commodity of the
+//!   general-graph broadcasting and labelling protocols (Definition 4.1).
+//! * [`partition`] — the paper's splitting rules: the power-of-two scalar rule of
+//!   Section 3.1 and the canonical interval partition of Section 4.
+//! * [`bits`] — self-delimiting integer codes used to account for wire sizes.
+//!
+//! # Example
+//!
+//! ```
+//! use anet_num::{Dyadic, Interval, IntervalUnion};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let unit = Interval::unit();                 // [0, 1)
+//! let parts = unit.split(3)?;                  // canonical 3-way split
+//! let reassembled: IntervalUnion = parts.iter().cloned().collect();
+//! assert_eq!(reassembled, IntervalUnion::unit());
+//! assert_eq!(parts[0].length(), Dyadic::from_pow2_neg(2)); // 1/4
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+mod biguint;
+mod dyadic;
+mod error;
+mod interval;
+mod interval_union;
+pub mod partition;
+mod ratio;
+
+pub use biguint::BigUint;
+pub use dyadic::Dyadic;
+pub use error::NumError;
+pub use interval::Interval;
+pub use interval_union::IntervalUnion;
+pub use ratio::Ratio;

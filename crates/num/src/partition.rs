@@ -1,0 +1,166 @@
+//! The paper's commodity-splitting rules.
+//!
+//! * [`pow2_split`] — the grounded-tree rule of Section 3.1: a vertex of out-degree
+//!   `d` that received flow `x` forwards `x / 2^⌈log₂ d⌉` on its first
+//!   `2d − 2^⌈log₂ d⌉` outgoing edges and `x / 2^{⌈log₂ d⌉−1}` on the rest.
+//!   Every transmitted value stays a power of two, so it can be encoded by its
+//!   exponent alone — this is what brings total communication down to
+//!   `O(|E| log |E|)`.
+//! * [`even_split`] — the naive rule (`x / d` on every edge), kept as the ablation
+//!   baseline the paper improves upon (`O(|E|^{3/2})` total communication).
+//! * [`canonical_partition`] — the interval-union partition of Section 4
+//!   (re-exported from [`crate::IntervalUnion`]'s module).
+//!
+//! All rules are *commodity preserving*: the outgoing parts sum (or union) back to
+//! the incoming commodity exactly. Property tests in this module and in the
+//! protocol crates check that invariant directly.
+
+use crate::{Dyadic, NumError, Ratio};
+
+pub use crate::interval_union::{canonical_partition, canonical_partition_nonempty};
+
+/// `⌈log₂ d⌉` for `d >= 1`.
+///
+/// # Panics
+///
+/// Panics if `d == 0` (a vertex with zero out-degree never splits anything).
+pub fn ceil_log2(d: usize) -> u32 {
+    assert!(d > 0, "ceil_log2 of zero");
+    usize::BITS - (d - 1).leading_zeros()
+}
+
+/// Splits the scalar commodity `x` among `d` outgoing edges using the paper's
+/// power-of-two rule; the returned vector has length `d` and sums to exactly `x`.
+///
+/// If `x` itself is a (non-negative) power of two, every part is again a power of
+/// two — the invariant the protocol's encoding relies on.
+///
+/// # Errors
+///
+/// Returns [`NumError::EmptyPartition`] when `d == 0`.
+pub fn pow2_split(x: &Dyadic, d: usize) -> Result<Vec<Dyadic>, NumError> {
+    if d == 0 {
+        return Err(NumError::EmptyPartition);
+    }
+    let log = ceil_log2(d);
+    // First `2d - 2^log` edges carry x / 2^log, the rest carry x / 2^(log-1).
+    let pow = 1usize << log;
+    let small_count = 2 * d - pow;
+    let mut parts = Vec::with_capacity(d);
+    for i in 0..d {
+        if i < small_count {
+            parts.push(x.div_pow2(log));
+        } else {
+            parts.push(x.div_pow2(log - 1));
+        }
+    }
+    Ok(parts)
+}
+
+/// Splits the scalar commodity `x` evenly among `d` outgoing edges (`x / d` each) —
+/// the naive rule used as the E1 ablation baseline.
+///
+/// # Errors
+///
+/// Returns [`NumError::EmptyPartition`] when `d == 0`.
+pub fn even_split(x: &Ratio, d: usize) -> Result<Vec<Ratio>, NumError> {
+    if d == 0 {
+        return Err(NumError::EmptyPartition);
+    }
+    let part = x.div_u32(u32::try_from(d).map_err(|_| NumError::EmptyPartition)?)?;
+    Ok(vec![part; d])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BigUint;
+
+    #[test]
+    fn ceil_log2_small_values() {
+        let expected = [(1usize, 0u32), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (16, 4), (17, 5)];
+        for (d, e) in expected {
+            assert_eq!(ceil_log2(d), e, "d = {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ceil_log2 of zero")]
+    fn ceil_log2_zero_panics() {
+        ceil_log2(0);
+    }
+
+    #[test]
+    fn pow2_split_is_commodity_preserving() {
+        for d in 1..=16usize {
+            let x = Dyadic::from_pow2_neg(3);
+            let parts = pow2_split(&x, d).unwrap();
+            assert_eq!(parts.len(), d);
+            let sum = parts.iter().fold(Dyadic::zero(), |a, b| &a + b);
+            assert_eq!(sum, x, "d = {d}");
+        }
+    }
+
+    #[test]
+    fn pow2_split_of_unit_stays_pow2() {
+        for d in 1..=32usize {
+            let parts = pow2_split(&Dyadic::one(), d).unwrap();
+            for p in &parts {
+                assert!(p.is_pow2(), "d = {d}, part {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow2_split_matches_paper_example() {
+        // d = 3: ⌈log 3⌉ = 2, 2·3 − 4 = 2 edges get x/4, one edge gets x/2.
+        let parts = pow2_split(&Dyadic::one(), 3).unwrap();
+        assert_eq!(parts[0], Dyadic::from_pow2_neg(2));
+        assert_eq!(parts[1], Dyadic::from_pow2_neg(2));
+        assert_eq!(parts[2], Dyadic::from_pow2_neg(1));
+        // d = 5: ⌈log 5⌉ = 3, 10 − 8 = 2 edges get x/8, three edges get x/4.
+        let parts = pow2_split(&Dyadic::one(), 5).unwrap();
+        assert_eq!(parts.iter().filter(|p| **p == Dyadic::from_pow2_neg(3)).count(), 2);
+        assert_eq!(parts.iter().filter(|p| **p == Dyadic::from_pow2_neg(2)).count(), 3);
+    }
+
+    #[test]
+    fn pow2_split_degree_one_forwards_unchanged() {
+        let x = Dyadic::from_parts(BigUint::from(5u64), 4);
+        assert_eq!(pow2_split(&x, 1).unwrap(), vec![x]);
+    }
+
+    #[test]
+    fn pow2_split_zero_parts_is_error() {
+        assert!(pow2_split(&Dyadic::one(), 0).is_err());
+    }
+
+    #[test]
+    fn even_split_is_commodity_preserving() {
+        for d in 1..=12usize {
+            let parts = even_split(&Ratio::one(), d).unwrap();
+            assert_eq!(parts.len(), d);
+            let mut sum = Ratio::zero();
+            for p in &parts {
+                sum += p;
+            }
+            assert!(sum.is_one(), "d = {d}");
+        }
+    }
+
+    #[test]
+    fn even_split_zero_parts_is_error() {
+        assert!(even_split(&Ratio::one(), 0).is_err());
+    }
+
+    #[test]
+    fn exponent_growth_is_logarithmic_in_degree() {
+        // Splitting repeatedly through out-degree-d vertices grows the exponent by
+        // ⌈log₂ d⌉ per hop — the crux of the O(|E| log |E|) upper bound.
+        let mut x = Dyadic::one();
+        for hop in 1..=20u32 {
+            x = pow2_split(&x, 6).unwrap()[0].clone();
+            assert_eq!(x.pow2_neg_exponent(), Some(3 * hop));
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Exact non-negative rationals.
+//!
+//! The *naive* grounded-tree broadcast rule sends `x / d` on each of the `d`
+//! outgoing edges, which produces denominators that are products of out-degrees
+//! along the root path — not powers of two in general. [`Ratio`] provides exact
+//! arithmetic for that rule so the E1 ablation can measure precisely how many bits
+//! the naive rule needs compared with the paper's power-of-two rule.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use crate::{BigUint, Dyadic, NumError};
+
+/// An exact non-negative rational `numerator / denominator` in lowest terms.
+///
+/// # Example
+///
+/// ```
+/// use anet_num::Ratio;
+///
+/// let third = Ratio::new(1u64.into(), 3u64.into()).unwrap();
+/// let sixth = Ratio::new(1u64.into(), 6u64.into()).unwrap();
+/// assert_eq!(&third + &sixth, Ratio::new(1u64.into(), 2u64.into()).unwrap());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    numerator: BigUint,
+    denominator: BigUint,
+}
+
+impl Ratio {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Ratio {
+            numerator: BigUint::zero(),
+            denominator: BigUint::one(),
+        }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        Ratio {
+            numerator: BigUint::one(),
+            denominator: BigUint::one(),
+        }
+    }
+
+    /// Builds `numerator / denominator`, reducing to lowest terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DivisionByZero`] if `denominator` is zero.
+    pub fn new(numerator: BigUint, denominator: BigUint) -> Result<Self, NumError> {
+        if denominator.is_zero() {
+            return Err(NumError::DivisionByZero);
+        }
+        let mut r = Ratio {
+            numerator,
+            denominator,
+        };
+        r.reduce();
+        Ok(r)
+    }
+
+    /// Builds a rational from an integer.
+    pub fn from_u64(v: u64) -> Self {
+        Ratio {
+            numerator: BigUint::from(v),
+            denominator: BigUint::one(),
+        }
+    }
+
+    fn reduce(&mut self) {
+        if self.numerator.is_zero() {
+            self.denominator = BigUint::one();
+            return;
+        }
+        let g = self.numerator.gcd(&self.denominator);
+        if !g.is_one() {
+            self.numerator = self
+                .numerator
+                .div_rem(&g)
+                .expect("gcd of non-zero values is non-zero")
+                .0;
+            self.denominator = self
+                .denominator
+                .div_rem(&g)
+                .expect("gcd of non-zero values is non-zero")
+                .0;
+        }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.numerator.is_zero()
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.numerator == self.denominator
+    }
+
+    /// The reduced numerator.
+    pub fn numerator(&self) -> &BigUint {
+        &self.numerator
+    }
+
+    /// The reduced denominator.
+    pub fn denominator(&self) -> &BigUint {
+        &self.denominator
+    }
+
+    /// Divides the value by a small positive integer exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DivisionByZero`] if `d` is zero.
+    pub fn div_u32(&self, d: u32) -> Result<Ratio, NumError> {
+        if d == 0 {
+            return Err(NumError::DivisionByZero);
+        }
+        Ratio::new(self.numerator.clone(), self.denominator.mul_small(d))
+    }
+
+    /// Checked subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Underflow`] when `other > self`.
+    pub fn checked_sub(&self, other: &Ratio) -> Result<Ratio, NumError> {
+        let a = &self.numerator * &other.denominator;
+        let b = &other.numerator * &self.denominator;
+        Ratio::new(a.checked_sub(&b)?, &self.denominator * &other.denominator)
+    }
+
+    /// Converts a dyadic into a rational.
+    pub fn from_dyadic(d: &Dyadic) -> Ratio {
+        Ratio {
+            numerator: d.mantissa().clone(),
+            denominator: BigUint::pow2(d.exponent()),
+        }
+    }
+
+    /// Approximate `f64` value (for reporting only).
+    pub fn to_f64(&self) -> f64 {
+        self.numerator.to_f64() / self.denominator.to_f64()
+    }
+
+    /// Bits needed to write down the reduced numerator and denominator.
+    ///
+    /// This is the quantity the paper's complexity accounting charges for a scalar
+    /// commodity that is *not* constrained to powers of two.
+    pub fn representation_bits(&self) -> u64 {
+        self.numerator.bit_len().max(1) + self.denominator.bit_len().max(1)
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Ratio::zero()
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (&self.numerator * &other.denominator).cmp(&(&other.numerator * &self.denominator))
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for &Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: &Ratio) -> Ratio {
+        let num = &(&self.numerator * &rhs.denominator) + &(&rhs.numerator * &self.denominator);
+        Ratio::new(num, &self.denominator * &rhs.denominator)
+            .expect("product of non-zero denominators is non-zero")
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&Ratio> for Ratio {
+    fn add_assign(&mut self, rhs: &Ratio) {
+        *self = &*self + rhs;
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.denominator.is_one() {
+            write!(f, "{}", self.numerator)
+        } else {
+            write!(f, "{}/{}", self.numerator, self.denominator)
+        }
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ratio({self} ≈ {})", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u64, d: u64) -> Ratio {
+        Ratio::new(BigUint::from(n), BigUint::from(d)).unwrap()
+    }
+
+    #[test]
+    fn construction_reduces() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(6, 9), r(2, 3));
+        assert_eq!(r(0, 7), Ratio::zero());
+        assert!(r(5, 5).is_one());
+    }
+
+    #[test]
+    fn zero_denominator_is_error() {
+        assert!(Ratio::new(BigUint::one(), BigUint::zero()).is_err());
+        assert!(Ratio::one().div_u32(0).is_err());
+    }
+
+    #[test]
+    fn addition_reduces() {
+        assert_eq!(&r(1, 3) + &r(1, 6), r(1, 2));
+        assert_eq!(&r(1, 2) + &r(1, 2), Ratio::one());
+        assert_eq!(&Ratio::zero() + &r(3, 7), r(3, 7));
+    }
+
+    #[test]
+    fn naive_split_sums_back_to_whole() {
+        // Splitting 1 into d equal parts and summing them must give exactly 1
+        // for any out-degree d — the commodity-preservation invariant.
+        for d in 1..=12u32 {
+            let part = Ratio::one().div_u32(d).unwrap();
+            let mut acc = Ratio::zero();
+            for _ in 0..d {
+                acc += &part;
+            }
+            assert!(acc.is_one(), "d = {d}");
+        }
+    }
+
+    #[test]
+    fn subtraction_and_underflow() {
+        assert_eq!(r(3, 4).checked_sub(&r(1, 4)).unwrap(), r(1, 2));
+        assert_eq!(r(1, 4).checked_sub(&r(3, 4)), Err(NumError::Underflow));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(2, 3) > r(1, 2));
+        assert!(r(5, 10) == r(1, 2));
+        assert!(Ratio::zero() < r(1, 1000));
+    }
+
+    #[test]
+    fn dyadic_conversion_preserves_value() {
+        let d = Dyadic::from_parts(BigUint::from(5u64), 3);
+        assert_eq!(Ratio::from_dyadic(&d), r(5, 8));
+        assert_eq!(Ratio::from_dyadic(&Dyadic::zero()), Ratio::zero());
+    }
+
+    #[test]
+    fn representation_bits_grow_with_denominator() {
+        let shallow = r(1, 2);
+        let mut deep = Ratio::one();
+        for _ in 0..50 {
+            deep = deep.div_u32(3).unwrap();
+        }
+        assert!(deep.representation_bits() > shallow.representation_bits());
+        assert!(deep.representation_bits() >= 50); // 3^50 needs ~79 bits
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(r(3, 4).to_string(), "3/4");
+        assert_eq!(Ratio::from_u64(7).to_string(), "7");
+        assert!(!format!("{:?}", r(1, 3)).is_empty());
+    }
+
+    #[test]
+    fn to_f64_is_close() {
+        assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

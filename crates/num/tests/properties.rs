@@ -1,0 +1,227 @@
+//! Property-based tests for the arithmetic substrate.
+//!
+//! The protocols' correctness proofs rest on exact algebraic identities
+//! (commodity preservation, monotone set algebra), so the arithmetic layer is
+//! exercised here with randomised inputs rather than hand-picked cases only.
+
+use anet_num::partition::{canonical_partition, even_split, pow2_split};
+use anet_num::{BigUint, Dyadic, Interval, IntervalUnion, Ratio};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary `BigUint` of up to ~128 bits.
+fn biguint() -> impl Strategy<Value = BigUint> {
+    (any::<u64>(), any::<u64>(), 0u32..64).prop_map(|(a, b, shift)| {
+        (&(BigUint::from(a) << 64) + &BigUint::from(b)) >> shift
+    })
+}
+
+/// Strategy: a dyadic value in `[0, 1)` with up to 24 fractional bits.
+fn unit_dyadic() -> impl Strategy<Value = Dyadic> {
+    (0u32..(1 << 24), Just(24u32)).prop_map(|(m, e)| Dyadic::from_parts(BigUint::from(m), e))
+}
+
+/// Strategy: an interval inside `[0, 1)`.
+fn unit_interval() -> impl Strategy<Value = Interval> {
+    (unit_dyadic(), unit_dyadic()).prop_map(|(a, b)| {
+        if a <= b {
+            Interval::new(a, b).expect("ordered")
+        } else {
+            Interval::new(b, a).expect("ordered")
+        }
+    })
+}
+
+/// Strategy: an interval union made of up to 6 random intervals.
+fn unit_union() -> impl Strategy<Value = IntervalUnion> {
+    prop::collection::vec(unit_interval(), 0..6).prop_map(IntervalUnion::from_intervals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---- BigUint ring laws -------------------------------------------------
+
+    #[test]
+    fn biguint_add_commutes(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn biguint_add_associates(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn biguint_mul_commutes(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn biguint_mul_distributes(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn biguint_sub_inverts_add(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn biguint_div_rem_reconstructs(a in biguint(), b in biguint()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b).unwrap();
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn biguint_gcd_divides_both(a in biguint(), b in biguint()) {
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!(a.div_rem(&g).unwrap().1.is_zero());
+            prop_assert!(b.div_rem(&g).unwrap().1.is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn biguint_decimal_round_trip(a in biguint()) {
+        let s = a.to_string();
+        prop_assert_eq!(BigUint::from_decimal_str(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn biguint_shift_round_trip(a in biguint(), s in 0u32..200) {
+        prop_assert_eq!((&a << s) >> s, a);
+    }
+
+    // ---- Dyadic / Ratio ----------------------------------------------------
+
+    #[test]
+    fn dyadic_add_commutes(a in unit_dyadic(), b in unit_dyadic()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn dyadic_sub_inverts_add(a in unit_dyadic(), b in unit_dyadic()) {
+        prop_assert_eq!((&a + &b).checked_sub(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn dyadic_order_agrees_with_f64(a in unit_dyadic(), b in unit_dyadic()) {
+        // f64 with 24 fractional bits is exact, so ordering must agree.
+        prop_assert_eq!(a < b, a.to_f64() < b.to_f64());
+    }
+
+    #[test]
+    fn dyadic_ratio_conversion_preserves_order(a in unit_dyadic(), b in unit_dyadic()) {
+        let (ra, rb) = (Ratio::from_dyadic(&a), Ratio::from_dyadic(&b));
+        prop_assert_eq!(a.cmp(&b), ra.cmp(&rb));
+    }
+
+    // ---- Splitting rules: commodity preservation ----------------------------
+
+    #[test]
+    fn pow2_split_preserves_commodity(x in unit_dyadic(), d in 1usize..20) {
+        let parts = pow2_split(&x, d).unwrap();
+        prop_assert_eq!(parts.len(), d);
+        let sum = parts.iter().fold(Dyadic::zero(), |acc, p| &acc + p);
+        prop_assert_eq!(sum, x);
+    }
+
+    #[test]
+    fn even_split_preserves_commodity(n in 0u64..1_000_000, den in 1u64..1_000_000, d in 1usize..20) {
+        let x = Ratio::new(BigUint::from(n), BigUint::from(den)).unwrap();
+        let parts = even_split(&x, d).unwrap();
+        let mut sum = Ratio::zero();
+        for p in &parts {
+            sum += p;
+        }
+        prop_assert_eq!(sum, x);
+    }
+
+    // ---- Interval unions: boolean-algebra laws ------------------------------
+
+    #[test]
+    fn union_is_commutative(a in unit_union(), b in unit_union()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn union_is_associative(a in unit_union(), b in unit_union(), c in unit_union()) {
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn union_is_idempotent(a in unit_union()) {
+        prop_assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn intersection_is_commutative(a in unit_union(), b in unit_union()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+    }
+
+    #[test]
+    fn intersection_distributes_over_union(a in unit_union(), b in unit_union(), c in unit_union()) {
+        prop_assert_eq!(
+            a.intersection(&b.union(&c)),
+            a.intersection(&b).union(&a.intersection(&c))
+        );
+    }
+
+    #[test]
+    fn difference_partitions_the_left_operand(a in unit_union(), b in unit_union()) {
+        let kept = a.difference(&b);
+        let removed = a.intersection(&b);
+        prop_assert!(!kept.intersects(&removed));
+        prop_assert_eq!(kept.union(&removed), a);
+    }
+
+    #[test]
+    fn difference_then_union_restores_superset(a in unit_union(), b in unit_union()) {
+        // (a \ b) ∪ b ⊇ a
+        prop_assert!(a.is_subset_of(&a.difference(&b).union(&b)));
+    }
+
+    #[test]
+    fn subset_iff_union_absorbs(a in unit_union(), b in unit_union()) {
+        prop_assert_eq!(a.is_subset_of(&b), a.union(&b) == b);
+    }
+
+    #[test]
+    fn total_length_is_additive_for_disjoint(a in unit_union(), b in unit_union()) {
+        let b_only = b.difference(&a);
+        let combined = a.union(&b_only);
+        prop_assert_eq!(combined.total_length(), &a.total_length() + &b_only.total_length());
+    }
+
+    // ---- Canonical partition (the Section 4 rule) ----------------------------
+
+    #[test]
+    fn canonical_partition_is_disjoint_and_covering(alpha in unit_union(), d in 1usize..10) {
+        let parts = canonical_partition(&alpha, d).unwrap();
+        prop_assert_eq!(parts.len(), d);
+        let mut acc = IntervalUnion::empty();
+        for (i, p) in parts.iter().enumerate() {
+            prop_assert!(!acc.intersects(p), "part {} overlaps earlier parts", i);
+            acc.union_in_place(p);
+        }
+        prop_assert_eq!(acc, alpha);
+    }
+
+    #[test]
+    fn interval_split_is_exact(lo in unit_dyadic(), len_num in 1u32..(1 << 20), k in 1usize..12) {
+        let len = Dyadic::from_parts(BigUint::from(len_num), 24);
+        let hi = &lo + &len;
+        let interval = Interval::new(lo, hi).unwrap();
+        let parts = interval.split(k).unwrap();
+        prop_assert_eq!(parts.len(), k);
+        let total = parts.iter().map(Interval::length).fold(Dyadic::zero(), |a, b| &a + &b);
+        prop_assert_eq!(total, interval.length());
+        for w in parts.windows(2) {
+            prop_assert_eq!(w[0].hi(), w[1].lo());
+        }
+    }
+}

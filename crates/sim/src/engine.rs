@@ -1,0 +1,396 @@
+//! The asynchronous execution engine.
+
+use std::collections::VecDeque;
+
+use anet_graph::Network;
+
+use crate::metrics::RunMetrics;
+use crate::scheduler::{PendingEdge, Scheduler};
+use crate::trace::{SendEvent, Trace};
+use crate::{AnonymousProtocol, NodeContext, Wire};
+
+/// Execution limits and instrumentation switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionConfig {
+    /// Maximum number of message deliveries before the run is aborted. The paper's
+    /// protocols always quiesce on their own; the budget is a guard against buggy
+    /// protocols that would otherwise loop forever.
+    pub max_deliveries: u64,
+    /// Whether to record a full [`Trace`] of every send (needed by the lower-bound
+    /// experiments, skipped by the benchmarks for speed).
+    pub record_trace: bool,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        ExecutionConfig {
+            max_deliveries: 10_000_000,
+            record_trace: false,
+        }
+    }
+}
+
+impl ExecutionConfig {
+    /// Default limits with trace recording switched on.
+    pub fn with_trace() -> Self {
+        ExecutionConfig {
+            record_trace: true,
+            ..ExecutionConfig::default()
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The terminal's stopping predicate `S` became true: the protocol terminated.
+    Terminated,
+    /// All in-flight messages were delivered without the terminal ever accepting.
+    /// For a correct protocol this is the expected outcome exactly when some vertex
+    /// reachable from the root is not connected to the terminal.
+    Quiescent,
+    /// The delivery budget was exhausted (only possible for misbehaving protocols).
+    BudgetExhausted,
+}
+
+impl Outcome {
+    /// Returns `true` for [`Outcome::Terminated`].
+    pub fn terminated(self) -> bool {
+        self == Outcome::Terminated
+    }
+}
+
+/// The result of one protocol run.
+#[derive(Debug, Clone)]
+pub struct RunResult<S, M> {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Final state of every vertex, indexed by node id.
+    pub states: Vec<S>,
+    /// Communication metrics.
+    pub metrics: RunMetrics,
+    /// Number of deliveries performed when the terminal first accepted (if it did).
+    pub deliveries_at_termination: Option<u64>,
+    /// Full send trace, when requested via [`ExecutionConfig::record_trace`].
+    pub trace: Option<Trace<M>>,
+}
+
+impl<S, M> RunResult<S, M> {
+    /// The terminal's final state.
+    pub fn terminal_state<'a>(&'a self, network: &Network) -> &'a S {
+        &self.states[network.terminal().index()]
+    }
+}
+
+/// Runs `protocol` on `network` under the delivery order chosen by `scheduler`.
+///
+/// The run proceeds exactly as in the paper's model: the root's initial messages
+/// are placed on its out-edges, then one in-flight message at a time is delivered
+/// to its destination, which updates its state (`f`) and emits messages on its
+/// out-ports (`g`); the run stops as soon as the terminal's stopping predicate `S`
+/// holds, or when no messages remain in flight, or when the delivery budget is
+/// exhausted.
+///
+/// # Panics
+///
+/// Panics if the protocol emits a message on an out-port that does not exist at the
+/// emitting vertex — that is a bug in the protocol, not a run-time condition.
+pub fn run<P, Sch>(
+    network: &Network,
+    protocol: &P,
+    scheduler: &mut Sch,
+    config: ExecutionConfig,
+) -> RunResult<P::State, P::Message>
+where
+    P: AnonymousProtocol,
+    Sch: Scheduler + ?Sized,
+{
+    let graph = network.graph();
+    let contexts: Vec<NodeContext> = graph
+        .nodes()
+        .map(|n| NodeContext::new(graph.in_degree(n), graph.out_degree(n)))
+        .collect();
+    let mut states: Vec<P::State> = contexts
+        .iter()
+        .map(|ctx| protocol.initial_state(ctx))
+        .collect();
+
+    let mut queues: Vec<VecDeque<(u64, P::Message)>> = vec![VecDeque::new(); graph.edge_count()];
+    let mut metrics = RunMetrics::new(graph.edge_count());
+    let mut trace = if config.record_trace { Some(Trace::new()) } else { None };
+    let mut next_seq: u64 = 0;
+
+    let send = |from: anet_graph::NodeId,
+                    port: usize,
+                    message: P::Message,
+                    queues: &mut Vec<VecDeque<(u64, P::Message)>>,
+                    metrics: &mut RunMetrics,
+                    trace: &mut Option<Trace<P::Message>>,
+                    next_seq: &mut u64| {
+        let out_edges = graph.out_edges(from);
+        assert!(
+            port < out_edges.len(),
+            "protocol {} emitted on out-port {port} of a vertex with out-degree {}",
+            protocol.name(),
+            out_edges.len()
+        );
+        let edge = out_edges[port];
+        let bits = message.wire_bits();
+        metrics.record_send(edge.index(), bits);
+        if let Some(t) = trace.as_mut() {
+            t.push(SendEvent {
+                seq: *next_seq,
+                edge,
+                src: from,
+                dst: graph.edge_dst(edge),
+                bits,
+                message: message.clone(),
+            });
+        }
+        queues[edge.index()].push_back((*next_seq, message));
+        *next_seq += 1;
+    };
+
+    // σ₀: the root transmits its initial messages.
+    for (port, message) in protocol.root_messages(graph.out_degree(network.root())) {
+        send(
+            network.root(),
+            port,
+            message,
+            &mut queues,
+            &mut metrics,
+            &mut trace,
+            &mut next_seq,
+        );
+    }
+
+    let terminal = network.terminal();
+    let mut outcome = Outcome::Quiescent;
+    let mut deliveries_at_termination = None;
+
+    // A protocol whose terminal accepts in its initial state terminates immediately.
+    if protocol.should_terminate(&states[terminal.index()]) {
+        outcome = Outcome::Terminated;
+        deliveries_at_termination = Some(0);
+        return RunResult {
+            outcome,
+            states,
+            metrics,
+            deliveries_at_termination,
+            trace,
+        };
+    }
+
+    loop {
+        let candidates: Vec<PendingEdge> = graph
+            .edges()
+            .filter_map(|e| {
+                queues[e.index()].front().map(|(seq, _)| PendingEdge {
+                    edge: e,
+                    head_seq: *seq,
+                    queue_len: queues[e.index()].len(),
+                    into_terminal: graph.edge_dst(e) == terminal,
+                })
+            })
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        if metrics.messages_delivered >= config.max_deliveries {
+            outcome = Outcome::BudgetExhausted;
+            break;
+        }
+        let pick = scheduler.pick(&candidates);
+        let chosen = candidates[pick];
+        let (_, message) = queues[chosen.edge.index()]
+            .pop_front()
+            .expect("candidate edges have queued messages");
+        let dst = graph.edge_dst(chosen.edge);
+        let in_port = graph.in_port(chosen.edge);
+        metrics.record_delivery();
+
+        let emitted = protocol.on_receive(
+            &contexts[dst.index()],
+            &mut states[dst.index()],
+            in_port,
+            &message,
+        );
+        for (port, out_message) in emitted {
+            send(
+                dst,
+                port,
+                out_message,
+                &mut queues,
+                &mut metrics,
+                &mut trace,
+                &mut next_seq,
+            );
+        }
+
+        if dst == terminal && protocol.should_terminate(&states[terminal.index()]) {
+            outcome = Outcome::Terminated;
+            deliveries_at_termination = Some(metrics.messages_delivered);
+            break;
+        }
+    }
+
+    RunResult {
+        outcome,
+        states,
+        metrics,
+        deliveries_at_termination,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{FifoScheduler, RandomScheduler};
+    use anet_graph::generators::{chain_gn, path_network};
+
+    /// A toy protocol: forwards a unit token on every out-port the first time it is
+    /// hit; the terminal accepts after receiving `needed` tokens.
+    #[derive(Debug, Clone)]
+    struct Flood {
+        needed: u64,
+    }
+
+    #[derive(Debug, Clone)]
+    struct FloodState {
+        received: u64,
+        forwarded: bool,
+    }
+
+    impl AnonymousProtocol for Flood {
+        type State = FloodState;
+        type Message = ();
+
+        fn name(&self) -> &'static str {
+            "flood"
+        }
+
+        fn initial_state(&self, _ctx: &NodeContext) -> FloodState {
+            FloodState { received: 0, forwarded: false }
+        }
+
+        fn root_messages(&self, root_out_degree: usize) -> Vec<(usize, ())> {
+            (0..root_out_degree).map(|p| (p, ())).collect()
+        }
+
+        fn on_receive(
+            &self,
+            ctx: &NodeContext,
+            state: &mut FloodState,
+            _in_port: usize,
+            _message: &(),
+        ) -> Vec<(usize, ())> {
+            state.received += 1;
+            if state.forwarded {
+                return Vec::new();
+            }
+            state.forwarded = true;
+            (0..ctx.out_degree).map(|p| (p, ())).collect()
+        }
+
+        fn should_terminate(&self, terminal_state: &FloodState) -> bool {
+            terminal_state.received >= self.needed
+        }
+    }
+
+    #[test]
+    fn flood_on_path_terminates_and_counts_messages() {
+        let net = path_network(4).unwrap();
+        let res = run(&net, &Flood { needed: 1 }, &mut FifoScheduler::new(), ExecutionConfig::default());
+        assert_eq!(res.outcome, Outcome::Terminated);
+        assert_eq!(res.metrics.messages_sent, 5);
+        assert_eq!(res.metrics.messages_delivered, 5);
+        assert_eq!(res.deliveries_at_termination, Some(5));
+        assert_eq!(res.metrics.max_edge_messages(), 1);
+        assert_eq!(res.terminal_state(&net).received, 1);
+    }
+
+    #[test]
+    fn flood_quiesces_when_terminal_needs_more_than_it_gets() {
+        let net = path_network(3).unwrap();
+        let res = run(&net, &Flood { needed: 2 }, &mut FifoScheduler::new(), ExecutionConfig::default());
+        assert_eq!(res.outcome, Outcome::Quiescent);
+        assert_eq!(res.deliveries_at_termination, None);
+    }
+
+    #[test]
+    fn chain_delivers_one_message_per_edge_under_any_schedule() {
+        let net = chain_gn(6).unwrap();
+        for seed in 0..5 {
+            let mut sched = RandomScheduler::seeded(seed);
+            let res = run(&net, &Flood { needed: 6 }, &mut sched, ExecutionConfig::default());
+            assert_eq!(res.outcome, Outcome::Terminated);
+            assert_eq!(res.metrics.messages_sent as usize, net.edge_count());
+            assert!(res.metrics.per_edge_messages.iter().all(|&c| c == 1));
+        }
+    }
+
+    #[test]
+    fn trace_records_every_send() {
+        let net = chain_gn(3).unwrap();
+        let res = run(
+            &net,
+            &Flood { needed: 3 },
+            &mut FifoScheduler::new(),
+            ExecutionConfig::with_trace(),
+        );
+        let trace = res.trace.expect("trace requested");
+        assert_eq!(trace.len(), net.edge_count());
+        // Sequence numbers are unique and increasing.
+        let seqs: Vec<u64> = trace.events().iter().map(|e| e.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seqs.len());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let net = chain_gn(8).unwrap();
+        let config = ExecutionConfig { max_deliveries: 3, record_trace: false };
+        let res = run(&net, &Flood { needed: 8 }, &mut FifoScheduler::new(), config);
+        assert_eq!(res.outcome, Outcome::BudgetExhausted);
+        assert_eq!(res.metrics.messages_delivered, 3);
+    }
+
+    /// A deliberately broken protocol that emits on a non-existent port.
+    #[derive(Debug)]
+    struct BadPort;
+
+    impl AnonymousProtocol for BadPort {
+        type State = ();
+        type Message = ();
+
+        fn name(&self) -> &'static str {
+            "bad-port"
+        }
+        fn initial_state(&self, _ctx: &NodeContext) -> () {}
+        fn root_messages(&self, _root_out_degree: usize) -> Vec<(usize, ())> {
+            vec![(0, ())]
+        }
+        fn on_receive(
+            &self,
+            _ctx: &NodeContext,
+            _state: &mut (),
+            _in_port: usize,
+            _message: &(),
+        ) -> Vec<(usize, ())> {
+            vec![(99, ())]
+        }
+        fn should_terminate(&self, _terminal_state: &()) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out-port")]
+    fn emitting_on_missing_port_panics() {
+        let net = path_network(2).unwrap();
+        let _ = run(&net, &BadPort, &mut FifoScheduler::new(), ExecutionConfig::default());
+    }
+}

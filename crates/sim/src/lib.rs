@@ -1,0 +1,43 @@
+//! # anet-sim — asynchronous anonymous-protocol execution engine
+//!
+//! Section 2 of *Langberg, Schwartz, Bruck (PODC 2007)* defines an anonymous
+//! protocol by a state space `Π`, a message space `Σ`, an initial state `π₀`, an
+//! initial message `σ₀`, a state function `f`, a message function `g`, and a
+//! stopping predicate `S` evaluated at the terminal. The network is asynchronous:
+//! messages are delivered one at a time in an arbitrary order.
+//!
+//! This crate realises that model:
+//!
+//! * [`AnonymousProtocol`] — the `(Π, Σ, π₀, σ₀, f, g, S)` tuple as a trait. The
+//!   per-vertex information available to the protocol is **only** the vertex's
+//!   in/out degree and the port a message arrived on, enforcing anonymity.
+//! * [`engine::run`] — the asynchronous executor: a pool of in-flight messages is
+//!   drained in an order chosen by a pluggable [`scheduler::Scheduler`]
+//!   (FIFO, LIFO, seeded-random, and adversarial terminal-starving orders), so a
+//!   single protocol run can be replayed under many different asynchronous
+//!   interleavings.
+//! * [`metrics::RunMetrics`] — communication-complexity accounting: total bits,
+//!   per-edge bits (bandwidth), message counts and maximum message size, measured
+//!   through the [`Wire`] size of every transmitted message.
+//! * [`trace::Trace`] — an optional full record of every delivery, used by the
+//!   lower-bound experiments to extract transmitted alphabets and cut snapshots.
+//!
+//! The simulator is deterministic given a scheduler, which is what makes the
+//! adversarial-schedule regression tests reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod metrics;
+mod protocol;
+pub mod runner;
+pub mod scheduler;
+pub mod synchronous;
+pub mod trace;
+mod wire;
+
+pub use engine::{ExecutionConfig, Outcome, RunResult};
+pub use protocol::{AnonymousProtocol, NodeContext};
+pub use synchronous::{run_synchronous, SynchronousRun};
+pub use wire::Wire;

@@ -1,0 +1,105 @@
+//! Communication-complexity accounting.
+
+/// Per-run communication metrics, the raw material of every experiment table.
+///
+/// A message is charged at *send* time (when it is placed on an edge); the paper's
+/// quantities map onto this struct as follows:
+///
+/// * **total communication complexity** — [`RunMetrics::total_bits`];
+/// * **required bandwidth** (maximum bits over a single edge) —
+///   [`RunMetrics::max_edge_bits`];
+/// * **maximum message length** — [`RunMetrics::max_message_bits`];
+/// * number of messages — [`RunMetrics::messages_sent`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunMetrics {
+    /// Total number of messages placed on edges (including the root's `σ₀`).
+    pub messages_sent: u64,
+    /// Total number of messages delivered to their destination.
+    pub messages_delivered: u64,
+    /// Sum of the wire sizes of all sent messages, in bits.
+    pub total_bits: u64,
+    /// Largest single message, in bits.
+    pub max_message_bits: u64,
+    /// Number of messages sent per edge, indexed by edge id.
+    pub per_edge_messages: Vec<u64>,
+    /// Bits sent per edge, indexed by edge id.
+    pub per_edge_bits: Vec<u64>,
+}
+
+impl RunMetrics {
+    /// Creates zeroed metrics for a graph with `edge_count` edges.
+    pub fn new(edge_count: usize) -> Self {
+        RunMetrics {
+            per_edge_messages: vec![0; edge_count],
+            per_edge_bits: vec![0; edge_count],
+            ..RunMetrics::default()
+        }
+    }
+
+    /// Records one sent message of `bits` bits on edge `edge_index`.
+    pub fn record_send(&mut self, edge_index: usize, bits: u64) {
+        self.messages_sent += 1;
+        self.total_bits += bits;
+        self.max_message_bits = self.max_message_bits.max(bits);
+        self.per_edge_messages[edge_index] += 1;
+        self.per_edge_bits[edge_index] += bits;
+    }
+
+    /// Records one delivery.
+    pub fn record_delivery(&mut self) {
+        self.messages_delivered += 1;
+    }
+
+    /// The paper's *required bandwidth*: the largest number of bits transmitted over
+    /// any single edge during the whole run.
+    pub fn max_edge_bits(&self) -> u64 {
+        self.per_edge_bits.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The largest number of messages transmitted over any single edge.
+    pub fn max_edge_messages(&self) -> u64 {
+        self.per_edge_messages.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean message size in bits (0 when nothing was sent).
+    pub fn mean_message_bits(&self) -> f64 {
+        if self.messages_sent == 0 {
+            0.0
+        } else {
+            self.total_bits as f64 / self.messages_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_construction() {
+        let m = RunMetrics::new(3);
+        assert_eq!(m.messages_sent, 0);
+        assert_eq!(m.total_bits, 0);
+        assert_eq!(m.per_edge_bits.len(), 3);
+        assert_eq!(m.max_edge_bits(), 0);
+        assert_eq!(m.mean_message_bits(), 0.0);
+    }
+
+    #[test]
+    fn send_accounting() {
+        let mut m = RunMetrics::new(2);
+        m.record_send(0, 10);
+        m.record_send(1, 30);
+        m.record_send(1, 5);
+        m.record_delivery();
+        assert_eq!(m.messages_sent, 3);
+        assert_eq!(m.messages_delivered, 1);
+        assert_eq!(m.total_bits, 45);
+        assert_eq!(m.max_message_bits, 30);
+        assert_eq!(m.per_edge_bits, vec![10, 35]);
+        assert_eq!(m.per_edge_messages, vec![1, 2]);
+        assert_eq!(m.max_edge_bits(), 35);
+        assert_eq!(m.max_edge_messages(), 2);
+        assert!((m.mean_message_bits() - 15.0).abs() < 1e-9);
+    }
+}

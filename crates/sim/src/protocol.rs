@@ -1,0 +1,89 @@
+//! The anonymous-protocol abstraction (`Π, Σ, π₀, σ₀, f, g, S`).
+
+use crate::Wire;
+
+/// The only per-vertex information an anonymous protocol may use: local degrees.
+///
+/// Deliberately, neither the vertex id nor "am I the terminal?" is exposed — the
+/// paper's vertices know *only* how many incoming and outgoing edges they have and
+/// can tell their incident edges apart by index. A vertex with out-degree zero
+/// simply has nowhere to forward anything, whether or not it happens to be `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeContext {
+    /// Number of incoming edges of the executing vertex.
+    pub in_degree: usize,
+    /// Number of outgoing edges of the executing vertex.
+    pub out_degree: usize,
+}
+
+impl NodeContext {
+    /// Convenience constructor.
+    pub fn new(in_degree: usize, out_degree: usize) -> Self {
+        NodeContext {
+            in_degree,
+            out_degree,
+        }
+    }
+}
+
+/// An anonymous protocol in the sense of Section 2 of the paper.
+///
+/// * `State` is the state space `Π` and [`initial_state`](Self::initial_state) is `π₀`
+///   (which may depend only on the local degrees).
+/// * `Message` is the message space `Σ`; [`root_messages`](Self::root_messages) is the
+///   initial message `σ₀` injected by the root on its out-ports.
+/// * [`on_receive`](Self::on_receive) combines the state function `f` and the message
+///   function `g`: it updates the local state and returns, per out-port, the message to
+///   transmit (absent ports transmit nothing, the paper's `φ`).
+/// * [`should_terminate`](Self::should_terminate) is the stopping predicate `S`,
+///   evaluated on the terminal's state after each delivery to the terminal.
+///
+/// Protocol values themselves carry only *global* protocol parameters (such as the
+/// payload `m` being broadcast); everything per-vertex lives in `State`.
+pub trait AnonymousProtocol {
+    /// Per-vertex protocol state (`Π`).
+    type State: Clone + std::fmt::Debug;
+    /// Messages transmitted on edges (`Σ`).
+    type Message: Clone + std::fmt::Debug + Wire;
+
+    /// A short human-readable protocol name used in reports and traces.
+    fn name(&self) -> &'static str;
+
+    /// `π₀`: the initial state of a vertex with the given local degrees.
+    fn initial_state(&self, ctx: &NodeContext) -> Self::State;
+
+    /// `σ₀`: the messages the root sends at time zero, as `(out_port, message)`
+    /// pairs. In the base model the root has a single outgoing edge, so this is one
+    /// message on port 0.
+    fn root_messages(&self, root_out_degree: usize) -> Vec<(usize, Self::Message)>;
+
+    /// `f` and `g`: deliver `message` on `in_port`, update `state`, and return the
+    /// messages to transmit as `(out_port, message)` pairs.
+    ///
+    /// Out-ports must be smaller than `ctx.out_degree`; the engine treats a larger
+    /// port as a protocol bug and panics.
+    fn on_receive(
+        &self,
+        ctx: &NodeContext,
+        state: &mut Self::State,
+        in_port: usize,
+        message: &Self::Message,
+    ) -> Vec<(usize, Self::Message)>;
+
+    /// `S`: whether the terminal, in `terminal_state`, declares termination.
+    fn should_terminate(&self, terminal_state: &Self::State) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_context_is_constructible_and_comparable() {
+        let a = NodeContext::new(2, 3);
+        assert_eq!(a.in_degree, 2);
+        assert_eq!(a.out_degree, 3);
+        assert_eq!(a, NodeContext { in_degree: 2, out_degree: 3 });
+        assert_ne!(a, NodeContext::new(3, 2));
+    }
+}

@@ -1,0 +1,252 @@
+//! Delivery schedulers — the "adversary" choosing the asynchronous interleaving.
+//!
+//! The model is asynchronous: in-flight messages may be delivered in any order.
+//! Correctness claims (Theorems 3.1, 4.2, 5.1) must therefore hold for *every*
+//! delivery order, and the tests replay each protocol under all the schedulers
+//! defined here plus several random seeds. Messages on a single edge stay in FIFO
+//! order (the engine keeps one queue per edge); the scheduler picks which edge
+//! delivers next.
+
+use anet_graph::EdgeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A candidate delivery offered to the scheduler: the head message of one edge's
+/// queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingEdge {
+    /// The edge whose head message would be delivered.
+    pub edge: EdgeId,
+    /// Global send sequence number of the head message (smaller = older).
+    pub head_seq: u64,
+    /// Number of messages queued on this edge.
+    pub queue_len: usize,
+    /// Whether this edge points at the terminal vertex.
+    pub into_terminal: bool,
+}
+
+/// Chooses which pending edge delivers its head message next.
+///
+/// Implementations must return an index into the (non-empty) candidate slice.
+pub trait Scheduler {
+    /// Picks the next delivery among `candidates` (guaranteed non-empty).
+    fn pick(&mut self, candidates: &[PendingEdge]) -> usize;
+
+    /// A short name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Delivers the globally oldest in-flight message first (classic FIFO network).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoScheduler;
+
+impl FifoScheduler {
+    /// Creates a FIFO scheduler.
+    pub fn new() -> Self {
+        FifoScheduler
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn pick(&mut self, candidates: &[PendingEdge]) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.head_seq)
+            .map(|(i, _)| i)
+            .expect("candidates are non-empty")
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+/// Delivers the newest in-flight message first — a "bursty" adversary that lets
+/// freshly created messages overtake old ones.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LifoScheduler;
+
+impl LifoScheduler {
+    /// Creates a LIFO scheduler.
+    pub fn new() -> Self {
+        LifoScheduler
+    }
+}
+
+impl Scheduler for LifoScheduler {
+    fn pick(&mut self, candidates: &[PendingEdge]) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| c.head_seq)
+            .map(|(i, _)| i)
+            .expect("candidates are non-empty")
+    }
+
+    fn name(&self) -> &'static str {
+        "lifo"
+    }
+}
+
+/// Delivers a uniformly random pending message (seeded, hence reproducible).
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn pick(&mut self, candidates: &[PendingEdge]) -> usize {
+        self.rng.gen_range(0..candidates.len())
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Starves the terminal: edges *not* pointing at the terminal are drained first
+/// (oldest first), and messages into the terminal are delivered only when nothing
+/// else is pending. This is the adversary that maximises how much of the graph has
+/// acted before the terminal sees anything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TerminalLastScheduler;
+
+impl TerminalLastScheduler {
+    /// Creates a terminal-starving scheduler.
+    pub fn new() -> Self {
+        TerminalLastScheduler
+    }
+}
+
+impl Scheduler for TerminalLastScheduler {
+    fn pick(&mut self, candidates: &[PendingEdge]) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| (c.into_terminal, c.head_seq))
+            .map(|(i, _)| i)
+            .expect("candidates are non-empty")
+    }
+
+    fn name(&self) -> &'static str {
+        "terminal-last"
+    }
+}
+
+/// Rushes the terminal: messages into the terminal are delivered as soon as they
+/// exist. This adversary tries to make the terminal accept *early* and is the one
+/// that catches premature-termination bugs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TerminalFirstScheduler;
+
+impl TerminalFirstScheduler {
+    /// Creates a terminal-rushing scheduler.
+    pub fn new() -> Self {
+        TerminalFirstScheduler
+    }
+}
+
+impl Scheduler for TerminalFirstScheduler {
+    fn pick(&mut self, candidates: &[PendingEdge]) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| (!c.into_terminal, c.head_seq))
+            .map(|(i, _)| i)
+            .expect("candidates are non-empty")
+    }
+
+    fn name(&self) -> &'static str {
+        "terminal-first"
+    }
+}
+
+/// The standard battery of schedulers used by correctness tests: FIFO, LIFO, both
+/// adversaries and `random_count` seeded random schedules derived from `seed`.
+pub fn standard_battery(seed: u64, random_count: usize) -> Vec<Box<dyn Scheduler>> {
+    let mut battery: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(FifoScheduler::new()),
+        Box::new(LifoScheduler::new()),
+        Box::new(TerminalLastScheduler::new()),
+        Box::new(TerminalFirstScheduler::new()),
+    ];
+    for i in 0..random_count {
+        battery.push(Box::new(RandomScheduler::seeded(seed.wrapping_add(i as u64))));
+    }
+    battery
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates() -> Vec<PendingEdge> {
+        vec![
+            PendingEdge { edge: EdgeId(0), head_seq: 5, queue_len: 1, into_terminal: false },
+            PendingEdge { edge: EdgeId(1), head_seq: 2, queue_len: 2, into_terminal: true },
+            PendingEdge { edge: EdgeId(2), head_seq: 9, queue_len: 1, into_terminal: false },
+        ]
+    }
+
+    #[test]
+    fn fifo_picks_oldest() {
+        assert_eq!(FifoScheduler::new().pick(&candidates()), 1);
+    }
+
+    #[test]
+    fn lifo_picks_newest() {
+        assert_eq!(LifoScheduler::new().pick(&candidates()), 2);
+    }
+
+    #[test]
+    fn terminal_last_avoids_terminal_edges() {
+        assert_eq!(TerminalLastScheduler::new().pick(&candidates()), 0);
+        // If only terminal edges are pending it must still pick one.
+        let only_terminal = vec![PendingEdge {
+            edge: EdgeId(3),
+            head_seq: 1,
+            queue_len: 1,
+            into_terminal: true,
+        }];
+        assert_eq!(TerminalLastScheduler::new().pick(&only_terminal), 0);
+    }
+
+    #[test]
+    fn terminal_first_prefers_terminal_edges() {
+        assert_eq!(TerminalFirstScheduler::new().pick(&candidates()), 1);
+    }
+
+    #[test]
+    fn random_is_reproducible_and_in_range() {
+        let cands = candidates();
+        let picks_a: Vec<usize> = {
+            let mut s = RandomScheduler::seeded(3);
+            (0..20).map(|_| s.pick(&cands)).collect()
+        };
+        let picks_b: Vec<usize> = {
+            let mut s = RandomScheduler::seeded(3);
+            (0..20).map(|_| s.pick(&cands)).collect()
+        };
+        assert_eq!(picks_a, picks_b);
+        assert!(picks_a.iter().all(|&p| p < cands.len()));
+    }
+
+    #[test]
+    fn battery_has_expected_size_and_names() {
+        let battery = standard_battery(1, 3);
+        assert_eq!(battery.len(), 7);
+        let names: Vec<&str> = battery.iter().map(|s| s.name()).collect();
+        assert!(names.contains(&"fifo"));
+        assert!(names.contains(&"terminal-last"));
+    }
+}

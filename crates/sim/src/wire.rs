@@ -1,0 +1,56 @@
+//! Wire-size accounting for protocol messages.
+
+/// A message that knows its own transmitted size in bits.
+///
+/// The paper's complexity theorems count bits on edges; every protocol message type
+/// therefore reports the size of its (self-delimiting) encoding. Implementations
+/// must be consistent — two equal messages report equal sizes — and should reflect
+/// an encoding a real implementation could use (length-prefixed binary expansions,
+/// gamma-coded exponents, …), not merely `size_of`.
+pub trait Wire {
+    /// Number of bits this message occupies on an edge.
+    fn wire_bits(&self) -> u64;
+}
+
+impl Wire for () {
+    fn wire_bits(&self) -> u64 {
+        1
+    }
+}
+
+impl Wire for u64 {
+    fn wire_bits(&self) -> u64 {
+        64
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn wire_bits(&self) -> u64 {
+        1 + self.as_ref().map_or(0, Wire::wire_bits)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn wire_bits(&self) -> u64 {
+        self.0.wire_bits() + self.1.wire_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(().wire_bits(), 1);
+        assert_eq!(7u64.wire_bits(), 64);
+        assert_eq!((3u64, ()).wire_bits(), 65);
+    }
+
+    #[test]
+    fn option_adds_presence_bit() {
+        let none: Option<u64> = None;
+        assert_eq!(none.wire_bits(), 1);
+        assert_eq!(Some(1u64).wire_bits(), 65);
+    }
+}

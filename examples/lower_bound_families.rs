@@ -1,0 +1,57 @@
+//! A tour of the paper's lower-bound constructions, executed rather than proved:
+//! the chain family `G_n` (Figure 5), the skeleton graphs (Figure 4) and the
+//! pruned trees (Figure 6).
+//!
+//! Run with: `cargo run --example lower_bound_families`
+
+use anet::lowerbounds::chain_family::chain_family_experiment;
+use anet::lowerbounds::pruning::pruning_experiment;
+use anet::lowerbounds::skeleton::skeleton_experiment;
+use anet::protocols::Pow2Commodity;
+
+fn main() {
+    println!("== Figure 5 / Theorem 3.2: the chain family G_n ==");
+    println!("Any correct broadcast needs Ω(n) distinct symbols on G_n; the paper's");
+    println!("power-of-two protocol meets that with equality:");
+    for point in chain_family_experiment::<Pow2Commodity>(&[4, 16, 64, 256], 0) {
+        println!(
+            "  n = {:>4}  |E| = {:>4}  distinct symbols = {:>4}  total bits = {:>7}  total/(|E| log|E|) = {:.2}",
+            point.n,
+            point.edges,
+            point.stats.distinct_symbols,
+            point.stats.total_bits,
+            point.normalized_total_bits()
+        );
+    }
+
+    println!();
+    println!("== Figure 4 / Theorem 3.8: skeleton graphs ==");
+    println!("Every subset S of even side-vertices produces a different quantity at the");
+    println!("collector w, so a commodity-preserving protocol needs Ω(|E|) bits on one edge:");
+    for n in [2usize, 4, 6, 8] {
+        let o = skeleton_experiment::<Pow2Commodity>(n, 1 << n);
+        println!(
+            "  n = {:>2}  subsets = {:>4}  distinct quantities = {:>4}  all distinct = {}  bits needed on w->t >= {}",
+            o.n, o.subsets_tested, o.distinct_quantities, o.all_distinct, o.min_bits_on_collector_edge
+        );
+    }
+
+    println!();
+    println!("== Figure 6 / Theorem 5.2: pruned trees ==");
+    println!("The pruned tree has only h+3 vertices, yet the deep vertex keeps the label it");
+    println!("would get in the full d-ary tree — Ω(h log d) bits:");
+    for (h, d) in [(3usize, 3usize), (8, 4), (32, 4), (16, 16)] {
+        let o = pruning_experiment(h, d, h <= 3);
+        println!(
+            "  h = {:>2} d = {:>2}  pruned |V| = {:>3}  deep label = {:>5} bits  h·log2(d) = {:>6.1}  match vs full tree: {}",
+            o.height,
+            o.arity,
+            o.pruned_nodes,
+            o.pruned_deep_label_bits,
+            o.h_log_d,
+            o.labels_match_along_path
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "(full tree too large to simulate)".to_owned())
+        );
+    }
+}

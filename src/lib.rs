@@ -1,0 +1,47 @@
+//! # anet — Distributed broadcasting and mapping in directed anonymous networks
+//!
+//! This is the facade crate of a full reproduction of
+//! *"Distributed Broadcasting and Mapping Protocols in Directed Anonymous Networks"*
+//! (Langberg, Schwartz, Bruck — PODC 2007).
+//!
+//! It re-exports the workspace crates so downstream users can depend on a single
+//! crate:
+//!
+//! * [`num`] — exact arithmetic: arbitrary-precision naturals, dyadic rationals,
+//!   exact rationals, intervals and interval unions over `[0, 1)`.
+//! * [`graph`] — directed multigraphs with ordered ports, the rooted/terminated
+//!   [`graph::Network`] model of the paper, classification, linear cuts and every
+//!   topology generator used by the paper's constructions.
+//! * [`sim`] — the asynchronous anonymous-protocol execution engine with pluggable
+//!   (including adversarial) delivery schedules and communication-complexity metrics.
+//! * [`protocols`] — the paper's protocols: grounded-tree broadcast, DAG broadcast,
+//!   general-graph broadcast, unique label assignment and topology mapping.
+//! * [`lowerbounds`] — executable versions of the paper's lower-bound constructions.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use anet::graph::generators::chain_gn;
+//! use anet::protocols::tree_broadcast::{run_tree_broadcast, Pow2Commodity};
+//! use anet::protocols::Payload;
+//! use anet::sim::scheduler::FifoScheduler;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The chain family G_n from Figure 5 of the paper.
+//! let network = chain_gn(16)?;
+//! let report = run_tree_broadcast::<Pow2Commodity>(
+//!     &network,
+//!     Payload::from_bytes(b"hello"),
+//!     &mut FifoScheduler::new(),
+//! )?;
+//! assert!(report.terminated);
+//! assert!(report.all_received);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use anet_core as protocols;
+pub use anet_graph as graph;
+pub use anet_lowerbounds as lowerbounds;
+pub use anet_num as num;
+pub use anet_sim as sim;

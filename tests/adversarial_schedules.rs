@@ -1,0 +1,120 @@
+//! Cross-crate integration test: the correctness statements are universally
+//! quantified over asynchronous delivery orders, so every protocol is replayed
+//! under the full scheduler battery (FIFO, LIFO, terminal-rushing,
+//! terminal-starving and several random orders) on topologies from every family.
+
+use anet::graph::{generators, Network};
+use anet::protocols::dag_broadcast::{DagBroadcast, ForwardingMode};
+use anet::protocols::general_broadcast::GeneralBroadcast;
+use anet::protocols::labeling::Labeling;
+use anet::protocols::tree_broadcast::TreeBroadcast;
+use anet::protocols::{Payload, Pow2Commodity};
+use anet::sim::engine::ExecutionConfig;
+use anet::sim::runner::run_under_battery;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const RANDOM_SCHEDULES: usize = 6;
+
+fn battery_terminates<P: anet::sim::AnonymousProtocol>(net: &Network, protocol: &P) {
+    for named in run_under_battery(net, protocol, ExecutionConfig::default(), 2024, RANDOM_SCHEDULES)
+    {
+        assert!(
+            named.result.outcome.terminated(),
+            "scheduler {} failed on a {}-vertex network",
+            named.scheduler,
+            net.node_count()
+        );
+    }
+}
+
+fn battery_never_terminates<P: anet::sim::AnonymousProtocol>(net: &Network, protocol: &P) {
+    for named in run_under_battery(net, protocol, ExecutionConfig::default(), 99, RANDOM_SCHEDULES) {
+        assert!(
+            !named.result.outcome.terminated(),
+            "scheduler {} terminated on a network with a stranded vertex",
+            named.scheduler
+        );
+    }
+}
+
+#[test]
+fn tree_broadcast_all_schedules() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let nets = vec![
+        generators::chain_gn(14).unwrap(),
+        generators::random_grounded_tree(&mut rng, 30, 4, 0.3).unwrap(),
+    ];
+    let protocol = TreeBroadcast::<Pow2Commodity>::new(Payload::from_bytes(b"x"));
+    for net in &nets {
+        battery_terminates(net, &protocol);
+        let broken = generators::with_stranded_vertex(net).unwrap();
+        battery_never_terminates(&broken, &protocol);
+    }
+}
+
+#[test]
+fn dag_broadcast_all_schedules() {
+    let mut rng = StdRng::seed_from_u64(32);
+    let nets = vec![
+        generators::diamond_stack(5).unwrap(),
+        generators::random_dag(&mut rng, 25, 0.2).unwrap(),
+    ];
+    for net in &nets {
+        for mode in [ForwardingMode::Eager, ForwardingMode::WaitForAllInputs] {
+            let protocol = DagBroadcast::<Pow2Commodity>::new(Payload::empty(), mode);
+            battery_terminates(net, &protocol);
+        }
+        let broken = generators::with_stranded_vertex(net).unwrap();
+        let eager = DagBroadcast::<Pow2Commodity>::new(Payload::empty(), ForwardingMode::Eager);
+        battery_never_terminates(&broken, &eager);
+    }
+}
+
+#[test]
+fn general_broadcast_all_schedules() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let nets = vec![
+        generators::cycle_with_tail(10).unwrap(),
+        generators::nested_cycles(2, 6).unwrap(),
+        generators::random_cyclic(&mut rng, 20, 0.12, 0.2).unwrap(),
+    ];
+    let protocol = GeneralBroadcast::new(Payload::from_bytes(b"g"));
+    for net in &nets {
+        battery_terminates(net, &protocol);
+        let broken = generators::with_stranded_vertex(net).unwrap();
+        battery_never_terminates(&broken, &protocol);
+    }
+}
+
+#[test]
+fn labeling_all_schedules() {
+    let mut rng = StdRng::seed_from_u64(34);
+    let nets = vec![
+        generators::complete_dag(8).unwrap(),
+        generators::random_cyclic(&mut rng, 16, 0.15, 0.25).unwrap(),
+    ];
+    let protocol = Labeling::new();
+    for net in &nets {
+        for named in
+            run_under_battery(net, &protocol, ExecutionConfig::default(), 5, RANDOM_SCHEDULES)
+        {
+            assert!(named.result.outcome.terminated(), "sched {}", named.scheduler);
+            // Uniqueness under every schedule.
+            let labels: Vec<_> = net
+                .graph()
+                .nodes()
+                .filter(|&n| n != net.root())
+                .map(|n| named.result.states[n.index()].label.clone())
+                .collect();
+            for (i, a) in labels.iter().enumerate() {
+                assert!(!a.is_empty(), "sched {}", named.scheduler);
+                for b in &labels[i + 1..] {
+                    assert!(!a.intersects(b), "sched {}", named.scheduler);
+                }
+            }
+        }
+        let broken = generators::with_stranded_vertex(net).unwrap();
+        battery_never_terminates(&broken, &protocol);
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration test: the paper's central correctness statement.
+//!
+//! For every protocol and every topology family: the protocol terminates if and
+//! only if every vertex (reachable from the root) is connected to the terminal,
+//! and on termination every vertex has received the broadcast.
+
+use anet::graph::{classify, generators, Network};
+use anet::protocols::dag_broadcast::{run_dag_broadcast, ForwardingMode};
+use anet::protocols::general_broadcast::run_general_broadcast;
+use anet::protocols::tree_broadcast::run_tree_broadcast;
+use anet::protocols::{ExactCommodity, Payload, Pow2Commodity};
+use anet::sim::scheduler::FifoScheduler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn grounded_trees() -> Vec<Network> {
+    let mut rng = StdRng::seed_from_u64(1);
+    vec![
+        generators::path_network(6).unwrap(),
+        generators::chain_gn(12).unwrap(),
+        generators::star_network(7).unwrap(),
+        generators::full_grounded_tree(3, 3).unwrap(),
+        generators::pruned_tree(9, 4).unwrap().0,
+        generators::random_grounded_tree(&mut rng, 35, 4, 0.4).unwrap(),
+    ]
+}
+
+fn dags() -> Vec<Network> {
+    let mut rng = StdRng::seed_from_u64(2);
+    vec![
+        generators::diamond_stack(5).unwrap(),
+        generators::layered_dag(&mut rng, 4, 5, 2).unwrap(),
+        generators::random_dag(&mut rng, 30, 0.15).unwrap(),
+        generators::complete_dag(9).unwrap(),
+    ]
+}
+
+fn cyclic() -> Vec<Network> {
+    let mut rng = StdRng::seed_from_u64(3);
+    vec![
+        generators::cycle_with_tail(6).unwrap(),
+        generators::nested_cycles(3, 4).unwrap(),
+        generators::random_cyclic(&mut rng, 25, 0.12, 0.2).unwrap(),
+    ]
+}
+
+#[test]
+fn tree_broadcast_is_correct_on_grounded_trees_and_refuses_otherwise() {
+    for net in grounded_trees() {
+        assert!(classify::is_grounded_tree(&net));
+        let ok = run_tree_broadcast::<Pow2Commodity>(
+            &net,
+            Payload::from_bytes(b"it"),
+            &mut FifoScheduler::new(),
+        )
+        .unwrap();
+        assert!(ok.terminated && ok.all_received);
+
+        let naive = run_tree_broadcast::<ExactCommodity>(
+            &net,
+            Payload::from_bytes(b"it"),
+            &mut FifoScheduler::new(),
+        )
+        .unwrap();
+        assert!(naive.terminated && naive.all_received);
+
+        let broken = generators::with_stranded_vertex(&net).unwrap();
+        assert!(!classify::all_connected_to_terminal(&broken));
+        let refused = run_tree_broadcast::<Pow2Commodity>(
+            &broken,
+            Payload::empty(),
+            &mut FifoScheduler::new(),
+        )
+        .unwrap();
+        assert!(!refused.terminated && refused.quiescent);
+    }
+}
+
+#[test]
+fn dag_broadcast_is_correct_on_dags_and_refuses_otherwise() {
+    for net in grounded_trees().into_iter().chain(dags()) {
+        assert!(classify::is_dag(net.graph()));
+        for mode in [ForwardingMode::Eager, ForwardingMode::WaitForAllInputs] {
+            let ok = run_dag_broadcast::<Pow2Commodity>(
+                &net,
+                Payload::from_bytes(b"d"),
+                mode,
+                &mut FifoScheduler::new(),
+            )
+            .unwrap();
+            assert!(ok.terminated && ok.all_received, "mode {mode:?}");
+        }
+        let broken = generators::with_stranded_vertex(&net).unwrap();
+        let refused = run_dag_broadcast::<Pow2Commodity>(
+            &broken,
+            Payload::empty(),
+            ForwardingMode::Eager,
+            &mut FifoScheduler::new(),
+        )
+        .unwrap();
+        assert!(!refused.terminated && refused.quiescent);
+    }
+}
+
+#[test]
+fn general_broadcast_is_correct_on_every_family_and_refuses_otherwise() {
+    for net in grounded_trees().into_iter().chain(dags()).chain(cyclic()) {
+        let ok = run_general_broadcast(
+            &net,
+            Payload::from_bytes(b"g"),
+            &mut FifoScheduler::new(),
+        )
+        .unwrap();
+        assert!(ok.terminated && ok.all_received, "|V| = {}", net.node_count());
+
+        let broken = generators::with_stranded_vertex(&net).unwrap();
+        let refused =
+            run_general_broadcast(&broken, Payload::empty(), &mut FifoScheduler::new()).unwrap();
+        assert!(!refused.terminated && refused.quiescent, "|V| = {}", net.node_count());
+    }
+}
+
+#[test]
+fn general_broadcast_subsumes_the_tree_protocol_on_grounded_trees() {
+    // On grounded trees both protocols must succeed; the scalar protocol is the
+    // cheaper of the two (that is the whole point of having it).
+    for net in grounded_trees() {
+        let tree = run_tree_broadcast::<Pow2Commodity>(
+            &net,
+            Payload::empty(),
+            &mut FifoScheduler::new(),
+        )
+        .unwrap();
+        let general =
+            run_general_broadcast(&net, Payload::empty(), &mut FifoScheduler::new()).unwrap();
+        assert!(tree.terminated && general.terminated);
+        assert!(tree.total_bits() <= general.total_bits());
+    }
+}

@@ -1,0 +1,119 @@
+//! Cross-crate integration test for the lower-bound machinery of Section 3.2:
+//! linear cuts, the Lemma 3.5 / Theorem 3.6 surgery, and the cross-network version
+//! of the no-strict-submultiset property.
+
+use anet::graph::linear_cut::{contract_beyond_cut, enumerate_linear_cuts, topological_prefix_cuts};
+use anet::graph::{classify, generators};
+use anet::lowerbounds::linear_cut::verify_cut_lemmas;
+use anet::protocols::tree_broadcast::TreeBroadcast;
+use anet::protocols::{Payload, Pow2Commodity, ScalarCommodity};
+use anet::sim::engine::{run, ExecutionConfig};
+use anet::sim::scheduler::FifoScheduler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn cut_lemmas_hold_across_grounded_tree_families() {
+    let mut rng = StdRng::seed_from_u64(404);
+    let nets = vec![
+        generators::chain_gn(8).unwrap(),
+        generators::star_network(6).unwrap(),
+        generators::full_grounded_tree(2, 4).unwrap(),
+        generators::random_grounded_tree(&mut rng, 11, 3, 0.6).unwrap(),
+    ];
+    for net in &nets {
+        let outcome = verify_cut_lemmas::<Pow2Commodity>(net, 1 << 14);
+        assert!(outcome.cuts_examined > 0);
+        assert!(outcome.all_hold(), "{outcome:?}");
+    }
+}
+
+#[test]
+fn no_cut_multiset_is_a_strict_submultiset_even_across_different_trees() {
+    // Theorem 3.6 is stated for cuts of possibly *different* grounded trees; check
+    // a pair of different chain lengths against each other.
+    let short = generators::chain_gn(4).unwrap();
+    let long = generators::chain_gn(7).unwrap();
+    let collect = |net: &anet::graph::Network| -> Vec<Vec<String>> {
+        let protocol = TreeBroadcast::<Pow2Commodity>::new(Payload::empty());
+        let result = run(net, &protocol, &mut FifoScheduler::new(), ExecutionConfig::with_trace());
+        let trace = result.trace.unwrap();
+        enumerate_linear_cuts(net, usize::MAX)
+            .iter()
+            .map(|cut| {
+                trace.multiset_on_edges(&cut.crossing_edges(net), |m| m.value.canonical_key())
+            })
+            .collect()
+    };
+    let cuts_short = collect(&short);
+    let cuts_long = collect(&long);
+    let is_strict_sub = |a: &[String], b: &[String]| -> bool {
+        if a.len() >= b.len() {
+            return false;
+        }
+        let mut b_rest = b.to_vec();
+        for item in a {
+            match b_rest.iter().position(|x| x == item) {
+                Some(pos) => {
+                    b_rest.remove(pos);
+                }
+                None => return false,
+            }
+        }
+        true
+    };
+    for a in cuts_short.iter().chain(cuts_long.iter()) {
+        for b in cuts_short.iter().chain(cuts_long.iter()) {
+            if a != b {
+                assert!(!is_strict_sub(a, b), "{a:?} ⊂ {b:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn contraction_preserves_the_protocol_view_of_v1() {
+    // Lemma 3.5's graph surgery: running on G* is indistinguishable, for the
+    // vertices of V1, from running on G.
+    let net = generators::chain_gn(9).unwrap();
+    let cuts = topological_prefix_cuts(&net).unwrap();
+    let protocol = TreeBroadcast::<Pow2Commodity>::new(Payload::from_bytes(b"m"));
+    let base = run(&net, &protocol, &mut FifoScheduler::new(), ExecutionConfig::default());
+    for cut in cuts {
+        let (g_star, _) = contract_beyond_cut(&net, &cut).unwrap();
+        assert!(classify::all_connected_to_terminal(&g_star));
+        let star = run(&g_star, &protocol, &mut FifoScheduler::new(), ExecutionConfig::default());
+        assert!(star.outcome.terminated());
+        // V1 vertices keep their original relative order in G*, so compare the
+        // forwarded flags pairwise.
+        let v1 = cut.v1_nodes();
+        for (new_index, old_node) in v1.iter().enumerate() {
+            assert_eq!(
+                base.states[old_node.index()].received,
+                star.states[new_index].received
+            );
+        }
+    }
+}
+
+#[test]
+fn auxiliary_surgery_produces_a_non_terminating_network() {
+    let net = generators::chain_gn(6).unwrap();
+    let cuts = enumerate_linear_cuts(&net, usize::MAX);
+    let protocol = TreeBroadcast::<Pow2Commodity>::new(Payload::empty());
+    let mut exercised = 0;
+    for cut in &cuts {
+        let crossing = cut.crossing_edges(&net);
+        if crossing.len() < 2 {
+            continue;
+        }
+        let (g_aux, _, aux) =
+            anet::graph::linear_cut::contract_with_auxiliary(&net, cut, &[crossing.len() - 1])
+                .unwrap();
+        assert!(classify::stranded_vertices(&g_aux).contains(&aux));
+        let run_aux = run(&g_aux, &protocol, &mut FifoScheduler::new(), ExecutionConfig::default());
+        assert!(!run_aux.outcome.terminated());
+        exercised += 1;
+    }
+    assert!(exercised >= 3);
+}

@@ -1,0 +1,81 @@
+//! Cross-crate integration test for the synchronous extension mentioned in
+//! Section 2 of the paper: every protocol behaves identically (terminates iff all
+//! vertices are connected to `t`, labels stay unique, maps stay exact) when
+//! messages are delivered in lock-step rounds instead of adversarial asynchrony.
+
+use anet::graph::generators;
+use anet::protocols::general_broadcast::GeneralBroadcast;
+use anet::protocols::labeling::Labeling;
+use anet::protocols::mapping::{Mapping, ReconstructedTopology};
+use anet::protocols::tree_broadcast::TreeBroadcast;
+use anet::protocols::{Payload, Pow2Commodity};
+use anet::sim::engine::ExecutionConfig;
+use anet::sim::run_synchronous;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn tree_broadcast_rounds_track_network_depth() {
+    // On the chain family the synchronous time is Θ(n): one hop per round.
+    for n in [4usize, 8, 16] {
+        let net = generators::chain_gn(n).unwrap();
+        let protocol = TreeBroadcast::<Pow2Commodity>::new(Payload::from_bytes(b"m"));
+        let run = run_synchronous(&net, &protocol, ExecutionConfig::default());
+        assert!(run.result.outcome.terminated());
+        assert!(run.rounds as usize >= n && run.rounds as usize <= n + 2, "n = {n}, rounds = {}", run.rounds);
+    }
+}
+
+#[test]
+fn general_broadcast_terminates_synchronously_on_cyclic_networks() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let nets = vec![
+        generators::cycle_with_tail(8).unwrap(),
+        generators::nested_cycles(2, 5).unwrap(),
+        generators::random_cyclic(&mut rng, 20, 0.12, 0.2).unwrap(),
+    ];
+    for net in &nets {
+        let protocol = GeneralBroadcast::new(Payload::from_bytes(b"g"));
+        let run = run_synchronous(net, &protocol, ExecutionConfig::default());
+        assert!(run.result.outcome.terminated());
+        for node in net.internal_nodes() {
+            assert!(run.result.states[node.index()].received);
+        }
+        // A stranded vertex must still prevent termination.
+        let broken = generators::with_stranded_vertex(net).unwrap();
+        let refused = run_synchronous(&broken, &protocol, ExecutionConfig::default());
+        assert!(!refused.result.outcome.terminated());
+    }
+}
+
+#[test]
+fn labeling_is_unique_synchronously() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let net = generators::random_cyclic(&mut rng, 18, 0.15, 0.2).unwrap();
+    let run = run_synchronous(&net, &Labeling::new(), ExecutionConfig::default());
+    assert!(run.result.outcome.terminated());
+    let labels: Vec<_> = net
+        .graph()
+        .nodes()
+        .filter(|&n| n != net.root())
+        .map(|n| run.result.states[n.index()].label.clone())
+        .collect();
+    for (i, a) in labels.iter().enumerate() {
+        assert!(!a.is_empty());
+        for b in &labels[i + 1..] {
+            assert!(!a.intersects(b));
+        }
+    }
+}
+
+#[test]
+fn mapping_is_exact_synchronously() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let net = generators::random_cyclic(&mut rng, 14, 0.15, 0.2).unwrap();
+    let run = run_synchronous(&net, &Mapping::new(), ExecutionConfig::default());
+    assert!(run.result.outcome.terminated());
+    let labels: Vec<_> = run.result.states.iter().map(|s| s.label.clone()).collect();
+    let topo = ReconstructedTopology::from_terminal_state(&run.result.states[net.terminal().index()]);
+    assert!(topo.matches_exactly(&net, &labels));
+    assert!(run.rounds > 0);
+}
