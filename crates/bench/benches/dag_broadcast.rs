@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench_dag_broadcast(c: &mut Criterion) {
     let mut group = c.benchmark_group("dag_broadcast");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     for workload in dag_workloads(&[8, 32, 64]) {
         for (label, mode) in [
             ("eager", ForwardingMode::Eager),

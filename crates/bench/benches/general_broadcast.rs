@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench_general_broadcast(c: &mut Criterion) {
     let mut group = c.benchmark_group("general_broadcast");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     let mut workloads = cyclic_workloads(&[10, 20, 40]);
     workloads.push(anet_bench::Workload {
         name: "cycle-with-tail/32".to_owned(),

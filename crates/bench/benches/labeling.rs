@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench_labeling(c: &mut Criterion) {
     let mut group = c.benchmark_group("labeling");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     for workload in cyclic_workloads(&[10, 20, 40]) {
         group.bench_with_input(
             BenchmarkId::new("cyclic", &workload.name),

@@ -11,7 +11,10 @@ use std::time::Duration;
 
 fn bench_lower_bounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("lower_bounds");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
 
     group.bench_function("chain_family/n=64", |b| {
         b.iter(|| chain_family_experiment::<Pow2Commodity>(&[64], 0))

@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench_mapping(c: &mut Criterion) {
     let mut group = c.benchmark_group("mapping");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     let mut workloads = cyclic_workloads(&[10, 20, 40]);
     workloads.push(anet_bench::Workload {
         name: "complete-dag/10".to_owned(),
@@ -20,7 +23,9 @@ fn bench_mapping(c: &mut Criterion) {
             BenchmarkId::from_parameter(&workload.name),
             workload,
             |b, w| {
-                b.iter(|| run_mapping(&w.network, &mut FifoScheduler::new()).expect("run completes"))
+                b.iter(|| {
+                    run_mapping(&w.network, &mut FifoScheduler::new()).expect("run completes")
+                })
             },
         );
     }

@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench_tree_broadcast(c: &mut Criterion) {
     let mut group = c.benchmark_group("tree_broadcast");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(1));
     for workload in grounded_tree_workloads(&[32, 128, 512]) {
         group.bench_with_input(
             BenchmarkId::new("pow2", &workload.name),

@@ -50,9 +50,8 @@ fn main() {
     let mut nonterm_rows = Vec::new();
     for workload in workloads.iter().take(3) {
         let stranded = with_stranded_vertex(&workload.network).expect("has internal vertices");
-        let report =
-            run_general_broadcast(&stranded, Payload::empty(), &mut FifoScheduler::new())
-                .expect("run completes");
+        let report = run_general_broadcast(&stranded, Payload::empty(), &mut FifoScheduler::new())
+            .expect("run completes");
         nonterm_rows.push(vec![
             format!("{}+stranded", workload.name),
             report.terminated.to_string(),

@@ -18,8 +18,8 @@ fn main() {
 
     let mut rows = Vec::new();
     for workload in &workloads {
-        let report = run_labeling(&workload.network, &mut FifoScheduler::new())
-            .expect("run completes");
+        let report =
+            run_labeling(&workload.network, &mut FifoScheduler::new()).expect("run completes");
         assert!(report.terminated && report.labels_unique);
         let v = workload.network.node_count() as f64;
         let d = (workload.network.max_out_degree() as f64).max(2.0);
@@ -33,7 +33,10 @@ fn main() {
             report.max_label_bits.to_string(),
             f3(report.max_label_bits as f64 / (v * d.log2())),
             report.metrics.total_bits.to_string(),
-            format!("{:.6}", report.metrics.total_bits as f64 / (e * e * v * d.log2())),
+            format!(
+                "{:.6}",
+                report.metrics.total_bits as f64 / (e * e * v * d.log2())
+            ),
         ]);
     }
     print!(

@@ -24,7 +24,10 @@ fn main() {
             run_mapping(&workload.network, &mut FifoScheduler::new()).expect("run completes");
         assert!(report.terminated);
         let exact = report.reconstruction_is_exact(&workload.network);
-        let topo = report.topology.as_ref().expect("terminated runs carry a topology");
+        let topo = report
+            .topology
+            .as_ref()
+            .expect("terminated runs carry a topology");
         let e = workload.network.edge_count() as f64;
         let v = workload.network.node_count() as f64;
         rows.push(vec![

@@ -14,7 +14,10 @@ fn main() {
         ("chain-gn/6".to_owned(), chain_gn(6).expect("valid")),
         ("chain-gn/10".to_owned(), chain_gn(10).expect("valid")),
         ("star/8".to_owned(), star_network(8).expect("valid")),
-        ("full-tree/h2-d3".to_owned(), full_grounded_tree(2, 3).expect("valid")),
+        (
+            "full-tree/h2-d3".to_owned(),
+            full_grounded_tree(2, 3).expect("valid"),
+        ),
         (
             "random-tree/12".to_owned(),
             random_grounded_tree(&mut rng, 12, 3, 0.5).expect("valid"),

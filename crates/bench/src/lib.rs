@@ -141,7 +141,11 @@ mod tests {
             assert!(classify::all_connected_to_terminal(&w.network));
         }
         for w in cyclic_workloads(&[10, 20]) {
-            assert!(classify::all_connected_to_terminal(&w.network), "{}", w.name);
+            assert!(
+                classify::all_connected_to_terminal(&w.network),
+                "{}",
+                w.name
+            );
             assert!(classify::all_reachable_from_root(&w.network));
         }
     }

@@ -205,7 +205,13 @@ pub fn run_dag_broadcast<C: ScalarCommodity>(
     mode: ForwardingMode,
     scheduler: &mut (impl Scheduler + ?Sized),
 ) -> Result<BroadcastReport, CoreError> {
-    run_dag_broadcast_with_config::<C>(network, payload, mode, scheduler, ExecutionConfig::default())
+    run_dag_broadcast_with_config::<C>(
+        network,
+        payload,
+        mode,
+        scheduler,
+        ExecutionConfig::default(),
+    )
 }
 
 /// [`run_dag_broadcast`] with an explicit engine configuration.
@@ -316,7 +322,11 @@ mod tests {
         let protocol =
             DagBroadcast::<Pow2Commodity>::new(Payload::from_bytes(b"x"), ForwardingMode::Eager);
         for named in run_under_battery(&net, &protocol, ExecutionConfig::default(), 3, 4) {
-            assert!(named.result.outcome.terminated(), "sched {}", named.scheduler);
+            assert!(
+                named.result.outcome.terminated(),
+                "sched {}",
+                named.scheduler
+            );
             for node in net.internal_nodes() {
                 assert!(named.result.states[node.index()].received);
             }
@@ -326,22 +336,22 @@ mod tests {
     #[test]
     fn wait_for_all_mode_is_correct_under_every_scheduler() {
         let net = diamond_stack(5).unwrap();
-        let protocol = DagBroadcast::<Pow2Commodity>::new(
-            Payload::empty(),
-            ForwardingMode::WaitForAllInputs,
-        );
+        let protocol =
+            DagBroadcast::<Pow2Commodity>::new(Payload::empty(), ForwardingMode::WaitForAllInputs);
         for named in run_under_battery(&net, &protocol, ExecutionConfig::default(), 11, 4) {
-            assert!(named.result.outcome.terminated(), "sched {}", named.scheduler);
+            assert!(
+                named.result.outcome.terminated(),
+                "sched {}",
+                named.scheduler
+            );
         }
     }
 
     #[test]
     fn wait_for_all_sends_exactly_one_message_per_edge() {
         let net = complete_dag(7).unwrap();
-        let protocol = DagBroadcast::<Pow2Commodity>::new(
-            Payload::empty(),
-            ForwardingMode::WaitForAllInputs,
-        );
+        let protocol =
+            DagBroadcast::<Pow2Commodity>::new(Payload::empty(), ForwardingMode::WaitForAllInputs);
         let result = run(&net, &protocol, &mut fifo(), ExecutionConfig::default());
         assert!(result.outcome.terminated());
         assert!(result.metrics.per_edge_messages.iter().all(|&c| c == 1));
@@ -355,11 +365,14 @@ mod tests {
         for mask in 0..(1u32 << 3) {
             let subset: Vec<bool> = (0..3).map(|j| mask & (1 << j) != 0).collect();
             let sk = skeleton(3, &subset).unwrap();
-            let protocol = DagBroadcast::<Pow2Commodity>::new(
-                Payload::empty(),
-                ForwardingMode::Eager,
+            let protocol =
+                DagBroadcast::<Pow2Commodity>::new(Payload::empty(), ForwardingMode::Eager);
+            let result = run(
+                &sk.network,
+                &protocol,
+                &mut fifo(),
+                ExecutionConfig::default(),
             );
-            let result = run(&sk.network, &protocol, &mut fifo(), ExecutionConfig::default());
             let w_state = &result.states[sk.w.index()];
             totals.push(w_state.accumulated.canonical_key());
         }

@@ -182,8 +182,8 @@ impl AnonymousProtocol for GeneralBroadcast {
         // ports where neither changed.
         let beta_delta = state.beta.difference(&old_beta);
         let mut out = Vec::new();
-        for j in 0..d {
-            let alpha_delta = state.alpha[j].difference(&old_alpha[j]);
+        for (j, old) in old_alpha.iter().enumerate().take(d) {
+            let alpha_delta = state.alpha[j].difference(old);
             if !alpha_delta.is_empty() || !beta_delta.is_empty() {
                 out.push((
                     j,
@@ -336,7 +336,11 @@ mod tests {
         let net = random_cyclic(&mut rng, 18, 0.15, 0.25).unwrap();
         let protocol = GeneralBroadcast::new(Payload::from_bytes(b"s"));
         for named in run_under_battery(&net, &protocol, ExecutionConfig::default(), 5, 5) {
-            assert!(named.result.outcome.terminated(), "sched {}", named.scheduler);
+            assert!(
+                named.result.outcome.terminated(),
+                "sched {}",
+                named.scheduler
+            );
             for node in net.internal_nodes() {
                 assert!(
                     named.result.states[node.index()].received,
@@ -356,9 +360,19 @@ mod tests {
         for mode in 0..2 {
             let protocol = GeneralBroadcast::new(Payload::empty());
             let result = if mode == 0 {
-                run(&net, &protocol, &mut TerminalLastScheduler::new(), ExecutionConfig::default())
+                run(
+                    &net,
+                    &protocol,
+                    &mut TerminalLastScheduler::new(),
+                    ExecutionConfig::default(),
+                )
             } else {
-                run(&net, &protocol, &mut LifoScheduler::new(), ExecutionConfig::default())
+                run(
+                    &net,
+                    &protocol,
+                    &mut LifoScheduler::new(),
+                    ExecutionConfig::default(),
+                )
             };
             assert!(result.outcome.terminated());
             for node in net.internal_nodes() {
@@ -418,7 +432,11 @@ mod tests {
         let net = Network::new(g, s, t).unwrap();
         let protocol = GeneralBroadcast::new(Payload::from_bytes(b"z"));
         for named in run_under_battery(&net, &protocol, ExecutionConfig::default(), 41, 6) {
-            assert!(named.result.outcome.terminated(), "sched {}", named.scheduler);
+            assert!(
+                named.result.outcome.terminated(),
+                "sched {}",
+                named.scheduler
+            );
             assert!(named.result.states[v.index()].received);
         }
     }
@@ -440,10 +458,12 @@ mod tests {
     #[test]
     fn budget_exhaustion_maps_to_error() {
         let net = cycle_with_tail(4).unwrap();
-        let config = ExecutionConfig { max_deliveries: 1, record_trace: false };
-        let err =
-            run_general_broadcast_with_config(&net, Payload::empty(), &mut fifo(), config)
-                .unwrap_err();
+        let config = ExecutionConfig {
+            max_deliveries: 1,
+            record_trace: false,
+        };
+        let err = run_general_broadcast_with_config(&net, Payload::empty(), &mut fifo(), config)
+            .unwrap_err();
         assert_eq!(err, CoreError::BudgetExhausted);
     }
 }

@@ -130,8 +130,8 @@ impl AnonymousProtocol for Labeling {
 
         if !state.partitioned && !message.alpha.is_empty() {
             state.partitioned = true;
-            let parts = canonical_partition_nonempty(&message.alpha, d + 1)
-                .expect("d + 1 >= 2 parts");
+            let parts =
+                canonical_partition_nonempty(&message.alpha, d + 1).expect("d + 1 >= 2 parts");
             let mut parts = parts.into_iter();
             let own = parts.next().expect("partition has d + 1 parts");
             state.label = own.clone();
@@ -158,8 +158,8 @@ impl AnonymousProtocol for Labeling {
 
         let beta_delta = state.beta.difference(&old_beta);
         let mut out = Vec::new();
-        for j in 0..d {
-            let alpha_delta = state.alpha[j].difference(&old_alpha[j]);
+        for (j, old) in old_alpha.iter().enumerate().take(d) {
+            let alpha_delta = state.alpha[j].difference(old);
             if !alpha_delta.is_empty() || !beta_delta.is_empty() {
                 out.push((
                     j,
@@ -261,11 +261,7 @@ pub fn run_labeling_with_config(
     if result.outcome == anet_sim::Outcome::BudgetExhausted {
         return Err(CoreError::BudgetExhausted);
     }
-    let labels: Vec<IntervalUnion> = result
-        .states
-        .iter()
-        .map(|st| st.label.clone())
-        .collect();
+    let labels: Vec<IntervalUnion> = result.states.iter().map(|st| st.label.clone()).collect();
     let participants: Vec<NodeId> = network
         .graph()
         .nodes()
@@ -376,7 +372,11 @@ mod tests {
         let net = random_cyclic(&mut rng, 15, 0.2, 0.3).unwrap();
         let protocol = Labeling::new();
         for named in run_under_battery(&net, &protocol, ExecutionConfig::default(), 8, 5) {
-            assert!(named.result.outcome.terminated(), "sched {}", named.scheduler);
+            assert!(
+                named.result.outcome.terminated(),
+                "sched {}",
+                named.scheduler
+            );
             let labels: Vec<&IntervalUnion> = net
                 .graph()
                 .nodes()

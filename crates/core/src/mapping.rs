@@ -90,7 +90,11 @@ pub enum MapRecord {
 impl MapRecord {
     fn wire_bits(&self) -> u64 {
         match self {
-            MapRecord::Vertex { label, in_degree, out_degree } => {
+            MapRecord::Vertex {
+                label,
+                in_degree,
+                out_degree,
+            } => {
                 2 + label.endpoint_bits()
                     + bits::elias_gamma_bits(*in_degree as u64)
                     + bits::elias_gamma_bits(*out_degree as u64)
@@ -209,7 +213,14 @@ impl MappingState {
         }
         // The root's single out-edge must be known.
         let root_edge_known = self.known.iter().any(|r| {
-            matches!(r, MapRecord::Edge { src: VertexRef::Root, src_port: 0, .. })
+            matches!(
+                r,
+                MapRecord::Edge {
+                    src: VertexRef::Root,
+                    src_port: 0,
+                    ..
+                }
+            )
         });
         if !root_edge_known {
             return false;
@@ -218,7 +229,9 @@ impl MappingState {
         // edge destination must be known (or the terminal itself).
         for record in &self.known {
             match record {
-                MapRecord::Vertex { label, out_degree, .. } => {
+                MapRecord::Vertex {
+                    label, out_degree, ..
+                } => {
                     for port in 0..*out_degree {
                         let found = self.known.iter().any(|r| {
                             matches!(r, MapRecord::Edge { src: VertexRef::Labeled(l), src_port, .. }
@@ -287,7 +300,10 @@ impl AnonymousProtocol for Mapping {
             MappingMessage {
                 alpha: IntervalUnion::unit(),
                 beta: IntervalUnion::empty(),
-                announce: Some(Announce { src: VertexRef::Root, src_port: 0 }),
+                announce: Some(Announce {
+                    src: VertexRef::Root,
+                    src_port: 0,
+                }),
                 records: Vec::new(),
             },
         )]
@@ -319,8 +335,8 @@ impl AnonymousProtocol for Mapping {
             state.beta.union_in_place(&message.beta);
         } else if !state.partitioned && !message.alpha.is_empty() {
             state.partitioned = true;
-            let parts = canonical_partition_nonempty(&message.alpha, d + 1)
-                .expect("d + 1 >= 2 parts");
+            let parts =
+                canonical_partition_nonempty(&message.alpha, d + 1).expect("d + 1 >= 2 parts");
             let mut parts = parts.into_iter();
             state.label = parts.next().expect("partition has d + 1 parts");
             for (j, part) in parts.enumerate() {
@@ -394,10 +410,13 @@ impl AnonymousProtocol for Mapping {
         }
         let beta_delta = state.beta.difference(&old_beta);
         let mut out = Vec::new();
-        for j in 0..d {
-            let alpha_delta = state.alpha[j].difference(&old_alpha[j]);
+        for (j, old) in old_alpha.iter().enumerate().take(d) {
+            let alpha_delta = state.alpha[j].difference(old);
             let announce = if just_labeled {
-                Some(Announce { src: state.own_ref(), src_port: j })
+                Some(Announce {
+                    src: state.own_ref(),
+                    src_port: j,
+                })
             } else {
                 None
             };
@@ -468,7 +487,11 @@ impl ReconstructedTopology {
         let mut edges = Vec::new();
         for record in &state.known {
             match record {
-                MapRecord::Vertex { label, in_degree, out_degree } => vertices.push(ReconVertex {
+                MapRecord::Vertex {
+                    label,
+                    in_degree,
+                    out_degree,
+                } => vertices.push(ReconVertex {
                     reference: VertexRef::Labeled(label.clone()),
                     in_degree: *in_degree,
                     out_degree: *out_degree,
@@ -515,9 +538,7 @@ impl ReconstructedTopology {
         // Edges must be added in (source, port) order so the rebuilt graph has the
         // same port structure as the original.
         let mut ordered: Vec<&ReconEdge> = self.edges.iter().collect();
-        ordered.sort_by_key(|e| {
-            (find(&e.src).unwrap_or(usize::MAX), e.src_port)
-        });
+        ordered.sort_by_key(|e| (find(&e.src).unwrap_or(usize::MAX), e.src_port));
         for edge in ordered {
             let (Some(src), Some(dst)) = (find(&edge.src), find(&edge.dst)) else {
                 return Err(anet_graph::NetworkError::InvalidParameter(
@@ -558,7 +579,9 @@ impl ReconstructedTopology {
         };
         let g = network.graph();
         for node in g.nodes() {
-            let Some(node_ref) = refer(node) else { return false };
+            let Some(node_ref) = refer(node) else {
+                return false;
+            };
             // Degree bookkeeping must match.
             let found = self.vertices.iter().find(|v| v.reference == node_ref);
             let Some(found) = found else { return false };
@@ -567,10 +590,13 @@ impl ReconstructedTopology {
             }
             // Every out-edge must be present with the right port and destination.
             for (port, &edge) in g.out_edges(node).iter().enumerate() {
-                let Some(dst_ref) = refer(g.edge_dst(edge)) else { return false };
-                let present = self.edges.iter().any(|e| {
-                    e.src == node_ref && e.src_port == port && e.dst == dst_ref
-                });
+                let Some(dst_ref) = refer(g.edge_dst(edge)) else {
+                    return false;
+                };
+                let present = self
+                    .edges
+                    .iter()
+                    .any(|e| e.src == node_ref && e.src_port == port && e.dst == dst_ref);
                 if !present {
                     return false;
                 }
@@ -736,7 +762,11 @@ mod tests {
         let net = random_cyclic(&mut rng, 10, 0.2, 0.25).unwrap();
         let protocol = Mapping::new();
         for named in run_under_battery(&net, &protocol, ExecutionConfig::default(), 6, 4) {
-            assert!(named.result.outcome.terminated(), "sched {}", named.scheduler);
+            assert!(
+                named.result.outcome.terminated(),
+                "sched {}",
+                named.scheduler
+            );
             let labels: Vec<IntervalUnion> = named
                 .result
                 .states
@@ -774,10 +804,7 @@ mod tests {
             in_degree: 1,
             out_degree: 1,
         };
-        let nested = Interval::unit().split(8).unwrap()[5]
-            .split(8)
-            .unwrap()[3]
-            .clone();
+        let nested = Interval::unit().split(8).unwrap()[5].split(8).unwrap()[3].clone();
         let big = MapRecord::Vertex {
             label: nested,
             in_degree: 1,

@@ -70,7 +70,12 @@ mod tests {
         let mut metrics = RunMetrics::new(2);
         metrics.record_send(0, 10);
         metrics.record_send(1, 20);
-        let r = BroadcastReport::from_run(Outcome::Terminated, Some(5), metrics.clone(), &[true, true, true]);
+        let r = BroadcastReport::from_run(
+            Outcome::Terminated,
+            Some(5),
+            metrics.clone(),
+            &[true, true, true],
+        );
         assert!(r.terminated);
         assert!(!r.quiescent);
         assert!(r.all_received);

@@ -329,9 +329,8 @@ mod tests {
         let net = chain_gn(16).unwrap();
         let small =
             run_tree_broadcast::<Pow2Commodity>(&net, Payload::empty(), &mut fifo()).unwrap();
-        let big =
-            run_tree_broadcast::<Pow2Commodity>(&net, Payload::synthetic(4096), &mut fifo())
-                .unwrap();
+        let big = run_tree_broadcast::<Pow2Commodity>(&net, Payload::synthetic(4096), &mut fifo())
+            .unwrap();
         // Each of the 2n edges carries the payload once: the difference must be at
         // least |E| * |m|.
         assert!(big.total_bits() >= small.total_bits() + 32 * 4096);
@@ -340,7 +339,10 @@ mod tests {
     #[test]
     fn budget_exhaustion_maps_to_error() {
         let net = chain_gn(8).unwrap();
-        let config = ExecutionConfig { max_deliveries: 2, record_trace: false };
+        let config = ExecutionConfig {
+            max_deliveries: 2,
+            record_trace: false,
+        };
         let err = run_tree_broadcast_with_config::<Pow2Commodity>(
             &net,
             Payload::empty(),

@@ -136,7 +136,10 @@ pub fn strongly_connected_components(graph: &DiGraph) -> (Vec<usize>, usize) {
         if index[start] != usize::MAX {
             continue;
         }
-        let mut call_stack = vec![Frame { node: start, next_edge: 0 }];
+        let mut call_stack = vec![Frame {
+            node: start,
+            next_edge: 0,
+        }];
         index[start] = next_index;
         lowlink[start] = next_index;
         next_index += 1;
@@ -155,7 +158,10 @@ pub fn strongly_connected_components(graph: &DiGraph) -> (Vec<usize>, usize) {
                     next_index += 1;
                     stack.push(succ);
                     on_stack[succ] = true;
-                    call_stack.push(Frame { node: succ, next_edge: 0 });
+                    call_stack.push(Frame {
+                        node: succ,
+                        next_edge: 0,
+                    });
                 } else if on_stack[succ] {
                     lowlink[node] = lowlink[node].min(index[succ]);
                 }

@@ -116,15 +116,15 @@ pub fn random_cyclic<R: Rng + ?Sized>(
         }
     }
     let t = g.add_node();
-    for i in 0..internal {
+    for &v in &vs {
         // Sinks of the DAG backbone keep their edge to t even if back edges were
         // added, so every vertex still has a forward path to t.
         let only_back_edges = g
-            .out_edges(vs[i])
+            .out_edges(v)
             .iter()
-            .all(|&e| g.edge_dst(e).index() <= vs[i].index() && g.edge_dst(e) != t);
+            .all(|&e| g.edge_dst(e).index() <= v.index() && g.edge_dst(e) != t);
         if only_back_edges {
-            g.add_edge(vs[i], t);
+            g.add_edge(v, t);
         }
     }
     Network::new(g, s, t)
@@ -140,10 +140,9 @@ pub fn random_cyclic<R: Rng + ?Sized>(
 /// Returns [`NetworkError::InvalidParameter`] when the network has no internal
 /// vertices, and propagates validation errors from rebuilding the network.
 pub fn with_stranded_vertex(network: &Network) -> Result<Network, NetworkError> {
-    let host = network
-        .internal_nodes()
-        .next()
-        .ok_or_else(|| NetworkError::InvalidParameter("network has no internal vertices".to_owned()))?;
+    let host = network.internal_nodes().next().ok_or_else(|| {
+        NetworkError::InvalidParameter("network has no internal vertices".to_owned())
+    })?;
     let mut g = network.graph().clone();
     let stranded = g.add_node();
     g.add_edge(host, stranded);
@@ -193,7 +192,10 @@ mod tests {
             assert!(classify::all_connected_to_terminal(&net), "n={internal}");
             saw_cycle |= !classify::is_dag(net.graph());
         }
-        assert!(saw_cycle, "expected at least one generated network to contain a cycle");
+        assert!(
+            saw_cycle,
+            "expected at least one generated network to contain a cycle"
+        );
         assert!(random_cyclic(&mut rng, 0, 0.1, 0.1).is_err());
         assert!(random_cyclic(&mut rng, 5, 1.4, 0.1).is_err());
     }

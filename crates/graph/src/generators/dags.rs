@@ -132,9 +132,9 @@ pub fn random_dag<R: Rng + ?Sized>(
         }
     }
     let t = g.add_node();
-    for i in 0..internal {
-        if g.out_degree(vs[i]) == 0 {
-            g.add_edge(vs[i], t);
+    for &v in &vs {
+        if g.out_degree(v) == 0 {
+            g.add_edge(v, t);
         }
     }
     Network::new(g, s, t)

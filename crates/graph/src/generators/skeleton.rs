@@ -70,15 +70,15 @@ pub fn skeleton(n: usize, subset: &[bool]) -> Result<SkeletonNetwork, NetworkErr
     }
     g.add_edge(v_nodes[spine_len - 1], t);
 
-    for i in 0..spine_len - 1 {
+    for (i, &u) in u_nodes.iter().enumerate().take(spine_len - 1) {
         if i % 2 == 1 {
-            g.add_edge(u_nodes[i], t);
+            g.add_edge(u, t);
         } else {
             let j = i / 2;
             if subset[j] {
-                g.add_edge(u_nodes[i], w);
+                g.add_edge(u, w);
             } else {
-                g.add_edge(u_nodes[i], t);
+                g.add_edge(u, t);
             }
         }
     }
@@ -117,7 +117,10 @@ mod tests {
         assert_eq!(sk.network.graph().out_degree(sk.v_nodes[2 * n - 1]), 1);
         // w collects exactly the subset members.
         assert_eq!(sk.network.graph().in_degree(sk.w), 2);
-        assert_eq!(sk.network.graph().edge_dst(sk.w_to_t_edge), sk.network.terminal());
+        assert_eq!(
+            sk.network.graph().edge_dst(sk.w_to_t_edge),
+            sk.network.terminal()
+        );
     }
 
     #[test]

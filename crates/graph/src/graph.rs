@@ -233,12 +233,20 @@ impl DiGraph {
     /// Largest out-degree over all vertices (`d_out` in the paper's bounds);
     /// zero for the empty graph.
     pub fn max_out_degree(&self) -> usize {
-        self.nodes.iter().map(|n| n.out_edges.len()).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|n| n.out_edges.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Largest in-degree over all vertices; zero for the empty graph.
     pub fn max_in_degree(&self) -> usize {
-        self.nodes.iter().map(|n| n.in_edges.len()).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|n| n.in_edges.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// The reverse graph (every edge flipped), preserving vertex ids.

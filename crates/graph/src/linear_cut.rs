@@ -194,7 +194,11 @@ fn build_contracted(
         }
     }
     let terminal = new.add_node();
-    let auxiliary = if to_auxiliary.is_some() { Some(new.add_node()) } else { None };
+    let auxiliary = if to_auxiliary.is_some() {
+        Some(new.add_node())
+    } else {
+        None
+    };
 
     // Pre-compute which crossing edge index each original edge has.
     let crossing = cut.crossing_edges(network);

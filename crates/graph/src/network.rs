@@ -140,7 +140,9 @@ impl Network {
     /// Iterates over the internal vertices (`V \ {s, t}`).
     pub fn internal_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         let (root, terminal) = (self.root, self.terminal);
-        self.graph.nodes().filter(move |&n| n != root && n != terminal)
+        self.graph
+            .nodes()
+            .filter(move |&n| n != root && n != terminal)
     }
 
     /// Number of internal vertices.
@@ -237,7 +239,10 @@ mod tests {
     #[test]
     fn root_equals_terminal_is_rejected() {
         let (g, s, _, _) = path_graph();
-        assert_eq!(Network::new(g, s, s).unwrap_err(), NetworkError::RootIsTerminal);
+        assert_eq!(
+            Network::new(g, s, s).unwrap_err(),
+            NetworkError::RootIsTerminal
+        );
     }
 
     #[test]

@@ -77,10 +77,8 @@ mod tests {
     #[test]
     fn chain_alphabet_grows_linearly() {
         for n in [2usize, 4, 8, 16] {
-            let stats = tree_broadcast_alphabet::<Pow2Commodity>(
-                &chain_gn(n).unwrap(),
-                Payload::empty(),
-            );
+            let stats =
+                tree_broadcast_alphabet::<Pow2Commodity>(&chain_gn(n).unwrap(), Payload::empty());
             assert_eq!(stats.distinct_symbols, n, "n = {n}");
             assert!(stats.min_symbol_bits >= (n as f64).log2().floor() as u64);
         }

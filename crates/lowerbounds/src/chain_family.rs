@@ -40,8 +40,7 @@ pub fn chain_family_experiment<C: ScalarCommodity>(
     ns.iter()
         .map(|&n| {
             let network = chain_gn(n).expect("n >= 1");
-            let stats =
-                tree_broadcast_alphabet::<C>(&network, Payload::synthetic(payload_bits));
+            let stats = tree_broadcast_alphabet::<C>(&network, Payload::synthetic(payload_bits));
             let edges = network.edge_count();
             ChainFamilyPoint {
                 n,
@@ -76,7 +75,10 @@ mod tests {
     #[test]
     fn total_bits_follow_e_log_e_shape() {
         let points = chain_family_experiment::<Pow2Commodity>(&[8, 16, 32, 64, 128], 0);
-        let ratios: Vec<f64> = points.iter().map(ChainFamilyPoint::normalized_total_bits).collect();
+        let ratios: Vec<f64> = points
+            .iter()
+            .map(ChainFamilyPoint::normalized_total_bits)
+            .collect();
         // The normalised ratio must not blow up: allow a factor-three drift across a
         // 16x size sweep (it would grow unboundedly if the protocol were, say,
         // quadratic).

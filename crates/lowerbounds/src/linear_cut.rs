@@ -41,10 +41,8 @@ impl CutLemmasOutcome {
     }
 }
 
-type TreeRun<C> = RunResult<
-    anet_core::tree_broadcast::TreeState<C>,
-    anet_core::tree_broadcast::TreeMessage<C>,
->;
+type TreeRun<C> =
+    RunResult<anet_core::tree_broadcast::TreeState<C>, anet_core::tree_broadcast::TreeMessage<C>>;
 
 fn traced_run<C: ScalarCommodity>(network: &Network) -> TreeRun<C> {
     let protocol = TreeBroadcast::<C>::new(Payload::empty());
@@ -89,14 +87,13 @@ fn is_strict_submultiset(a: &[String], b: &[String]) -> bool {
 
 /// Checks Lemmas 3.3, 3.5, 3.7 and Theorem 3.6 on `network` (a grounded tree),
 /// examining at most `cut_limit` linear cuts.
-pub fn verify_cut_lemmas<C: ScalarCommodity>(network: &Network, cut_limit: usize) -> CutLemmasOutcome {
+pub fn verify_cut_lemmas<C: ScalarCommodity>(
+    network: &Network,
+    cut_limit: usize,
+) -> CutLemmasOutcome {
     let base = traced_run::<C>(network);
     let base_trace = base.trace.as_ref().expect("trace requested");
-    let one_message_per_edge = base
-        .metrics
-        .per_edge_messages
-        .iter()
-        .all(|&c| c == 1);
+    let one_message_per_edge = base.metrics.per_edge_messages.iter().all(|&c| c == 1);
 
     let cuts = enumerate_linear_cuts(network, cut_limit);
     let mut cut_multisets: Vec<Vec<String>> = Vec::with_capacity(cuts.len());
@@ -115,10 +112,7 @@ pub fn verify_cut_lemmas<C: ScalarCommodity>(network: &Network, cut_limit: usize
             cut_multisets_terminating = false;
         }
         let star_trace = star_run.trace.as_ref().expect("trace requested");
-        let terminal_edges: Vec<EdgeId> = g_star
-            .graph()
-            .in_edges(g_star.terminal())
-            .to_vec();
+        let terminal_edges: Vec<EdgeId> = g_star.graph().in_edges(g_star.terminal()).to_vec();
         let star_terminal_multiset = multiset::<C>(star_trace, &terminal_edges);
         if star_terminal_multiset != observed {
             cut_multisets_terminating = false;
@@ -202,7 +196,9 @@ fn verify_branching_pairs<C: ScalarCommodity>(
 mod tests {
     use super::*;
     use anet_core::{ExactCommodity, Pow2Commodity};
-    use anet_graph::generators::{chain_gn, full_grounded_tree, random_grounded_tree, star_network};
+    use anet_graph::generators::{
+        chain_gn, full_grounded_tree, random_grounded_tree, star_network,
+    };
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

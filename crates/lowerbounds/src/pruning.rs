@@ -44,7 +44,10 @@ pub fn pruning_experiment(
     let (pruned, path) = pruned_tree(height, arity).expect("arity >= 2");
     let pruned_report =
         run_labeling(&pruned, &mut FifoScheduler::new()).expect("default budget suffices");
-    assert!(pruned_report.terminated, "labelling must terminate on the pruned tree");
+    assert!(
+        pruned_report.terminated,
+        "labelling must terminate on the pruned tree"
+    );
     let deep = *path.last().expect("path is non-empty");
     let pruned_deep_label_bits = label_bits(pruned_report.label_of(deep));
 
@@ -65,7 +68,9 @@ pub fn pruning_experiment(
             .zip(path.iter())
             .all(|(f, p)| full_report.label_of(*f) == pruned_report.label_of(*p));
         (
-            Some(label_bits(full_report.label_of(*full_path.last().expect("non-empty")))),
+            Some(label_bits(
+                full_report.label_of(*full_path.last().expect("non-empty")),
+            )),
             Some(matches),
         )
     } else {

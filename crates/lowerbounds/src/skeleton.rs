@@ -72,8 +72,7 @@ pub fn skeleton_experiment<C: ScalarCommodity>(n: usize, max_subsets: usize) -> 
         );
         let w_state = &result.states[sk.w.index()];
         quantities.push(w_state.accumulated.canonical_key());
-        observed_bits =
-            observed_bits.max(result.metrics.per_edge_bits[sk.w_to_t_edge.index()]);
+        observed_bits = observed_bits.max(result.metrics.per_edge_bits[sk.w_to_t_edge.index()]);
     }
     let tested = quantities.len();
     quantities.sort();

@@ -67,7 +67,7 @@ impl BigUint {
 
     /// Returns `true` if the value is even. Zero is considered even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of bits in the minimal binary representation (`0` for zero).
@@ -85,7 +85,7 @@ impl BigUint {
     pub fn bit(&self, i: u64) -> bool {
         let limb = (i / u64::from(LIMB_BITS)) as usize;
         let off = (i % u64::from(LIMB_BITS)) as u32;
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Number of trailing zero bits; `None` for zero.
@@ -617,7 +617,12 @@ mod tests {
 
     #[test]
     fn addition_matches_u64() {
-        for (a, b) in [(0u64, 0u64), (1, 2), (u32::MAX as u64, 1), (1 << 40, 1 << 41)] {
+        for (a, b) in [
+            (0u64, 0u64),
+            (1, 2),
+            (u32::MAX as u64, 1),
+            (1 << 40, 1 << 41),
+        ] {
             let sum = &BigUint::from(a) + &BigUint::from(b);
             assert_eq!(sum.to_u64(), Some(a + b));
         }
@@ -740,7 +745,13 @@ mod tests {
 
     #[test]
     fn gcd_matches_euclid() {
-        let cases = [(12u64, 18u64, 6u64), (0, 5, 5), (5, 0, 5), (17, 13, 1), (48, 180, 12)];
+        let cases = [
+            (12u64, 18u64, 6u64),
+            (0, 5, 5),
+            (5, 0, 5),
+            (17, 13, 1),
+            (48, 180, 12),
+        ];
         for (a, b, g) in cases {
             assert_eq!(
                 BigUint::from(a).gcd(&BigUint::from(b)).to_u64(),
@@ -760,7 +771,10 @@ mod tests {
         // gcd(9·2^200, 5·2^101) = 2^101, gcd(5·2^101, 15·2^101) = 5·2^101.
         let c = BigUint::pow2(100).mul_small(10);
         assert_eq!(a.gcd(&c), BigUint::pow2(101));
-        assert_eq!(c.gcd(&BigUint::pow2(101).mul_small(15)), BigUint::pow2(101).mul_small(5));
+        assert_eq!(
+            c.gcd(&BigUint::pow2(101).mul_small(15)),
+            BigUint::pow2(101).mul_small(5)
+        );
     }
 
     #[test]
@@ -772,7 +786,13 @@ mod tests {
 
     #[test]
     fn decimal_display_round_trips() {
-        let cases = ["0", "1", "999999999", "1000000000", "123456789012345678901234567890"];
+        let cases = [
+            "0",
+            "1",
+            "999999999",
+            "1000000000",
+            "123456789012345678901234567890",
+        ];
         for c in cases {
             let v = BigUint::from_decimal_str(c).unwrap();
             assert_eq!(v.to_string(), c);

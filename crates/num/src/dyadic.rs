@@ -194,14 +194,15 @@ impl Dyadic {
             return "0.0".to_owned();
         }
         let int_part = &self.mantissa >> self.exponent;
-        let frac_mask = (BigUint::one() << self.exponent) - BigUint::one();
         let frac = if self.exponent == 0 {
             BigUint::zero()
         } else {
             // mantissa mod 2^exponent
-            self.mantissa.clone().checked_sub(&(&int_part << self.exponent)).expect("int part <= value")
+            self.mantissa
+                .clone()
+                .checked_sub(&(&int_part << self.exponent))
+                .expect("int part <= value")
         };
-        let _ = frac_mask;
         let mut s = format!("{int_part:b}.");
         if self.exponent == 0 {
             s.push('0');
@@ -401,7 +402,10 @@ mod tests {
         assert_eq!(Dyadic::one().positional_bits(), 1);
         assert_eq!(Dyadic::from_pow2_neg(7).positional_bits(), 7);
         // 5/8 = 0.101 needs 3 fractional bits.
-        assert_eq!(Dyadic::from_parts(BigUint::from(5u64), 3).positional_bits(), 3);
+        assert_eq!(
+            Dyadic::from_parts(BigUint::from(5u64), 3).positional_bits(),
+            3
+        );
         // 3 = 11 binary needs 2 bits.
         assert_eq!(Dyadic::from_u64(3).positional_bits(), 2);
     }

@@ -36,7 +36,10 @@ impl fmt::Display for NumError {
             NumError::Underflow => write!(f, "subtraction underflow on unsigned quantity"),
             NumError::DivisionByZero => write!(f, "division by zero"),
             NumError::InvalidInterval { lo, hi } => {
-                write!(f, "invalid interval: lower endpoint {lo} exceeds upper endpoint {hi}")
+                write!(
+                    f,
+                    "invalid interval: lower endpoint {lo} exceeds upper endpoint {hi}"
+                )
             }
             NumError::OutsideUnit => write!(f, "value lies outside the unit interval [0, 1)"),
             NumError::EmptyPartition => write!(f, "cannot partition into zero parts"),

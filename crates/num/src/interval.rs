@@ -105,8 +105,16 @@ impl Interval {
 
     /// The intersection of two intervals (possibly empty).
     pub fn intersection(&self, other: &Interval) -> Interval {
-        let lo = if self.lo >= other.lo { self.lo.clone() } else { other.lo.clone() };
-        let hi = if self.hi <= other.hi { self.hi.clone() } else { other.hi.clone() };
+        let lo = if self.lo >= other.lo {
+            self.lo.clone()
+        } else {
+            other.lo.clone()
+        };
+        let hi = if self.hi <= other.hi {
+            self.hi.clone()
+        } else {
+            other.hi.clone()
+        };
         if lo >= hi {
             Interval::empty()
         } else {
@@ -137,7 +145,7 @@ impl Interval {
         if self.is_empty() {
             return Ok(vec![Interval::empty(); k]);
         }
-        let log = (usize::BITS - (k - 1).leading_zeros()) as u32; // ceil(log2 k)
+        let log = usize::BITS - (k - 1).leading_zeros(); // ceil(log2 k)
         let delta = self.length().div_pow2(log);
         let mut parts = Vec::with_capacity(k);
         let mut cursor = self.lo.clone();

@@ -35,7 +35,9 @@ pub struct IntervalUnion {
 impl IntervalUnion {
     /// The empty union (the paper's `[0, 0)` state component).
     pub fn empty() -> Self {
-        IntervalUnion { intervals: Vec::new() }
+        IntervalUnion {
+            intervals: Vec::new(),
+        }
     }
 
     /// The full unit interval `[0, 1)`.
@@ -115,9 +117,7 @@ impl IntervalUnion {
         if other.is_empty() {
             return self.clone();
         }
-        IntervalUnion::from_intervals(
-            self.intervals.iter().chain(other.intervals.iter()).cloned(),
-        )
+        IntervalUnion::from_intervals(self.intervals.iter().chain(other.intervals.iter()).cloned())
     }
 
     /// In-place set union; returns `true` if the value changed.
@@ -189,9 +189,7 @@ impl IntervalUnion {
                 }
             }
             if &cursor < a.hi() {
-                out.push(
-                    Interval::new(cursor, a.hi().clone()).expect("cursor < a.hi"),
-                );
+                out.push(Interval::new(cursor, a.hi().clone()).expect("cursor < a.hi"));
             }
         }
         IntervalUnion::from_intervals(out)
@@ -214,7 +212,11 @@ impl IntervalUnion {
     /// by the general-graph protocol.
     pub fn wire_bits(&self) -> u64 {
         bits::elias_gamma_bits(self.intervals.len() as u64)
-            + self.intervals.iter().map(Interval::endpoint_bits).sum::<u64>()
+            + self
+                .intervals
+                .iter()
+                .map(Interval::endpoint_bits)
+                .sum::<u64>()
     }
 }
 
@@ -274,7 +276,10 @@ impl fmt::Debug for IntervalUnion {
 /// # Errors
 ///
 /// Returns [`NumError::EmptyPartition`] when `parts == 0`.
-pub fn canonical_partition(alpha: &IntervalUnion, parts: usize) -> Result<Vec<IntervalUnion>, NumError> {
+pub fn canonical_partition(
+    alpha: &IntervalUnion,
+    parts: usize,
+) -> Result<Vec<IntervalUnion>, NumError> {
     if parts == 0 {
         return Err(NumError::EmptyPartition);
     }
@@ -285,8 +290,7 @@ pub fn canonical_partition(alpha: &IntervalUnion, parts: usize) -> Result<Vec<In
         return Ok(vec![IntervalUnion::empty(); parts]);
     }
     let first = &alpha.intervals()[0];
-    let rest: IntervalUnion =
-        IntervalUnion::from_intervals(alpha.intervals()[1..].iter().cloned());
+    let rest: IntervalUnion = IntervalUnion::from_intervals(alpha.intervals()[1..].iter().cloned());
     let mut out: Vec<IntervalUnion> = first
         .split(parts - 1)?
         .into_iter()

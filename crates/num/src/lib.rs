@@ -36,8 +36,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod bits;
 mod biguint;
+pub mod bits;
 mod dyadic;
 mod error;
 mod interval;

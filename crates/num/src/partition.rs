@@ -78,7 +78,17 @@ mod tests {
 
     #[test]
     fn ceil_log2_small_values() {
-        let expected = [(1usize, 0u32), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (16, 4), (17, 5)];
+        let expected = [
+            (1usize, 0u32),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (8, 3),
+            (9, 4),
+            (16, 4),
+            (17, 5),
+        ];
         for (d, e) in expected {
             assert_eq!(ceil_log2(d), e, "d = {d}");
         }
@@ -120,8 +130,20 @@ mod tests {
         assert_eq!(parts[2], Dyadic::from_pow2_neg(1));
         // d = 5: ⌈log 5⌉ = 3, 10 − 8 = 2 edges get x/8, three edges get x/4.
         let parts = pow2_split(&Dyadic::one(), 5).unwrap();
-        assert_eq!(parts.iter().filter(|p| **p == Dyadic::from_pow2_neg(3)).count(), 2);
-        assert_eq!(parts.iter().filter(|p| **p == Dyadic::from_pow2_neg(2)).count(), 3);
+        assert_eq!(
+            parts
+                .iter()
+                .filter(|p| **p == Dyadic::from_pow2_neg(3))
+                .count(),
+            2
+        );
+        assert_eq!(
+            parts
+                .iter()
+                .filter(|p| **p == Dyadic::from_pow2_neg(2))
+                .count(),
+            3
+        );
     }
 
     #[test]

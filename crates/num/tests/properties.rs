@@ -10,9 +10,8 @@ use proptest::prelude::*;
 
 /// Strategy: an arbitrary `BigUint` of up to ~128 bits.
 fn biguint() -> impl Strategy<Value = BigUint> {
-    (any::<u64>(), any::<u64>(), 0u32..64).prop_map(|(a, b, shift)| {
-        (&(BigUint::from(a) << 64) + &BigUint::from(b)) >> shift
-    })
+    (any::<u64>(), any::<u64>(), 0u32..64)
+        .prop_map(|(a, b, shift)| (&(BigUint::from(a) << 64) + &BigUint::from(b)) >> shift)
 }
 
 /// Strategy: a dyadic value in `[0, 1)` with up to 24 fractional bits.

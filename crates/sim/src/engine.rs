@@ -1,11 +1,26 @@
-//! The asynchronous execution engine.
+//! The asynchronous execution engine, built around an incrementally maintained
+//! active-edge set.
+//!
+//! Earlier versions of this engine rebuilt the full list of pending edges on
+//! every delivery — an O(E) scan in the innermost loop, making a run cost
+//! O(E · deliveries). The loop below never scans: it tracks the number of
+//! in-flight messages, notifies the [`Scheduler`] whenever an edge's head
+//! message changes ([`Scheduler::on_head`]) or an edge drains
+//! ([`Scheduler::on_idle`]), and asks the scheduler for the next edge directly
+//! ([`Scheduler::next_edge`]). Every scheduler in [`crate::scheduler`] answers
+//! in O(1) or O(log E), so a delivery costs O(log E) regardless of graph size.
+//!
+//! The naive full-scan semantics survive in [`crate::reference`], which drives
+//! the same schedulers through their [`Scheduler::pick_full_scan`] method; the
+//! equivalence property tests assert that both engines produce bit-identical
+//! traces, metrics and outcomes for every scheduler in the standard battery.
 
 use std::collections::VecDeque;
 
 use anet_graph::Network;
 
 use crate::metrics::RunMetrics;
-use crate::scheduler::{PendingEdge, Scheduler};
+use crate::scheduler::Scheduler;
 use crate::trace::{SendEvent, Trace};
 use crate::{AnonymousProtocol, NodeContext, Wire};
 
@@ -91,10 +106,15 @@ impl<S, M> RunResult<S, M> {
 /// holds, or when no messages remain in flight, or when the delivery budget is
 /// exhausted.
 ///
+/// The scheduler is kept in sync incrementally (see the [module docs](self)):
+/// each delivery performs O(1) queue work plus O(1)–O(log E) scheduler work, and
+/// never scans the edge set.
+///
 /// # Panics
 ///
-/// Panics if the protocol emits a message on an out-port that does not exist at the
-/// emitting vertex — that is a bug in the protocol, not a run-time condition.
+/// Panics if the protocol emits a message on an out-port that does not exist at
+/// the emitting vertex, or if the scheduler returns an edge with no queued
+/// message — both are bugs in the protocol or scheduler, not run-time conditions.
 pub fn run<P, Sch>(
     network: &Network,
     protocol: &P,
@@ -106,6 +126,7 @@ where
     Sch: Scheduler + ?Sized,
 {
     let graph = network.graph();
+    let terminal = network.terminal();
     let contexts: Vec<NodeContext> = graph
         .nodes()
         .map(|n| NodeContext::new(graph.in_degree(n), graph.out_degree(n)))
@@ -117,16 +138,25 @@ where
 
     let mut queues: Vec<VecDeque<(u64, P::Message)>> = vec![VecDeque::new(); graph.edge_count()];
     let mut metrics = RunMetrics::new(graph.edge_count());
-    let mut trace = if config.record_trace { Some(Trace::new()) } else { None };
+    let mut trace = if config.record_trace {
+        Some(Trace::new())
+    } else {
+        None
+    };
     let mut next_seq: u64 = 0;
+    let mut in_flight: usize = 0;
+
+    scheduler.begin_run(graph.edge_count());
 
     let send = |from: anet_graph::NodeId,
-                    port: usize,
-                    message: P::Message,
-                    queues: &mut Vec<VecDeque<(u64, P::Message)>>,
-                    metrics: &mut RunMetrics,
-                    trace: &mut Option<Trace<P::Message>>,
-                    next_seq: &mut u64| {
+                port: usize,
+                message: P::Message,
+                queues: &mut Vec<VecDeque<(u64, P::Message)>>,
+                scheduler: &mut Sch,
+                in_flight: &mut usize,
+                metrics: &mut RunMetrics,
+                trace: &mut Option<Trace<P::Message>>,
+                next_seq: &mut u64| {
         let out_edges = graph.out_edges(from);
         assert!(
             port < out_edges.len(),
@@ -147,7 +177,13 @@ where
                 message: message.clone(),
             });
         }
-        queues[edge.index()].push_back((*next_seq, message));
+        let queue = &mut queues[edge.index()];
+        if queue.is_empty() {
+            // The edge turns active and this message becomes its head.
+            scheduler.on_head(edge, *next_seq, graph.edge_dst(edge) == terminal);
+        }
+        queue.push_back((*next_seq, message));
+        *in_flight += 1;
         *next_seq += 1;
     };
 
@@ -158,13 +194,14 @@ where
             port,
             message,
             &mut queues,
+            scheduler,
+            &mut in_flight,
             &mut metrics,
             &mut trace,
             &mut next_seq,
         );
     }
 
-    let terminal = network.terminal();
     let mut outcome = Outcome::Quiescent;
     let mut deliveries_at_termination = None;
 
@@ -182,31 +219,30 @@ where
     }
 
     loop {
-        let candidates: Vec<PendingEdge> = graph
-            .edges()
-            .filter_map(|e| {
-                queues[e.index()].front().map(|(seq, _)| PendingEdge {
-                    edge: e,
-                    head_seq: *seq,
-                    queue_len: queues[e.index()].len(),
-                    into_terminal: graph.edge_dst(e) == terminal,
-                })
-            })
-            .collect();
-        if candidates.is_empty() {
+        if in_flight == 0 {
             break;
         }
         if metrics.messages_delivered >= config.max_deliveries {
             outcome = Outcome::BudgetExhausted;
             break;
         }
-        let pick = scheduler.pick(&candidates);
-        let chosen = candidates[pick];
-        let (_, message) = queues[chosen.edge.index()]
-            .pop_front()
-            .expect("candidate edges have queued messages");
-        let dst = graph.edge_dst(chosen.edge);
-        let in_port = graph.in_port(chosen.edge);
+        let edge = scheduler.next_edge();
+        let queue = &mut queues[edge.index()];
+        let (_, message) = queue.pop_front().unwrap_or_else(|| {
+            panic!(
+                "scheduler {} chose edge {edge:?} which has no queued message",
+                scheduler.name()
+            )
+        });
+        in_flight -= 1;
+        // Report the edge's new state before the protocol reacts, so a
+        // re-activating send during `on_receive` observes a consistent queue.
+        match queue.front() {
+            Some(&(seq, _)) => scheduler.on_head(edge, seq, graph.edge_dst(edge) == terminal),
+            None => scheduler.on_idle(edge),
+        }
+        let dst = graph.edge_dst(edge);
+        let in_port = graph.in_port(edge);
         metrics.record_delivery();
 
         let emitted = protocol.on_receive(
@@ -221,6 +257,8 @@ where
                 port,
                 out_message,
                 &mut queues,
+                scheduler,
+                &mut in_flight,
                 &mut metrics,
                 &mut trace,
                 &mut next_seq,
@@ -246,7 +284,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheduler::{FifoScheduler, RandomScheduler};
+    use crate::scheduler::{FifoScheduler, RandomScheduler, ReplayScheduler};
     use anet_graph::generators::{chain_gn, path_network};
 
     /// A toy protocol: forwards a unit token on every out-port the first time it is
@@ -271,7 +309,10 @@ mod tests {
         }
 
         fn initial_state(&self, _ctx: &NodeContext) -> FloodState {
-            FloodState { received: 0, forwarded: false }
+            FloodState {
+                received: 0,
+                forwarded: false,
+            }
         }
 
         fn root_messages(&self, root_out_degree: usize) -> Vec<(usize, ())> {
@@ -301,7 +342,12 @@ mod tests {
     #[test]
     fn flood_on_path_terminates_and_counts_messages() {
         let net = path_network(4).unwrap();
-        let res = run(&net, &Flood { needed: 1 }, &mut FifoScheduler::new(), ExecutionConfig::default());
+        let res = run(
+            &net,
+            &Flood { needed: 1 },
+            &mut FifoScheduler::new(),
+            ExecutionConfig::default(),
+        );
         assert_eq!(res.outcome, Outcome::Terminated);
         assert_eq!(res.metrics.messages_sent, 5);
         assert_eq!(res.metrics.messages_delivered, 5);
@@ -313,7 +359,12 @@ mod tests {
     #[test]
     fn flood_quiesces_when_terminal_needs_more_than_it_gets() {
         let net = path_network(3).unwrap();
-        let res = run(&net, &Flood { needed: 2 }, &mut FifoScheduler::new(), ExecutionConfig::default());
+        let res = run(
+            &net,
+            &Flood { needed: 2 },
+            &mut FifoScheduler::new(),
+            ExecutionConfig::default(),
+        );
         assert_eq!(res.outcome, Outcome::Quiescent);
         assert_eq!(res.deliveries_at_termination, None);
     }
@@ -323,7 +374,12 @@ mod tests {
         let net = chain_gn(6).unwrap();
         for seed in 0..5 {
             let mut sched = RandomScheduler::seeded(seed);
-            let res = run(&net, &Flood { needed: 6 }, &mut sched, ExecutionConfig::default());
+            let res = run(
+                &net,
+                &Flood { needed: 6 },
+                &mut sched,
+                ExecutionConfig::default(),
+            );
             assert_eq!(res.outcome, Outcome::Terminated);
             assert_eq!(res.metrics.messages_sent as usize, net.edge_count());
             assert!(res.metrics.per_edge_messages.iter().all(|&c| c == 1));
@@ -352,10 +408,49 @@ mod tests {
     #[test]
     fn budget_exhaustion_is_reported() {
         let net = chain_gn(8).unwrap();
-        let config = ExecutionConfig { max_deliveries: 3, record_trace: false };
-        let res = run(&net, &Flood { needed: 8 }, &mut FifoScheduler::new(), config);
+        let config = ExecutionConfig {
+            max_deliveries: 3,
+            record_trace: false,
+        };
+        let res = run(
+            &net,
+            &Flood { needed: 8 },
+            &mut FifoScheduler::new(),
+            config,
+        );
         assert_eq!(res.outcome, Outcome::BudgetExhausted);
         assert_eq!(res.metrics.messages_delivered, 3);
+    }
+
+    #[test]
+    fn replaying_a_fifo_order_reproduces_the_run() {
+        // Capture the delivery order of a FIFO run via its trace (FIFO delivers
+        // in send order), then replay it and check the run is identical.
+        let net = chain_gn(4).unwrap();
+        let fifo = run(
+            &net,
+            &Flood { needed: 4 },
+            &mut FifoScheduler::new(),
+            ExecutionConfig::with_trace(),
+        );
+        let order: Vec<_> = fifo
+            .trace
+            .as_ref()
+            .expect("trace requested")
+            .events()
+            .iter()
+            .map(|e| e.edge)
+            .collect();
+        let mut replay = ReplayScheduler::new(order);
+        let res = run(
+            &net,
+            &Flood { needed: 4 },
+            &mut replay,
+            ExecutionConfig::with_trace(),
+        );
+        assert_eq!(res.outcome, fifo.outcome);
+        assert_eq!(res.metrics, fifo.metrics);
+        assert_eq!(res.trace.unwrap(), fifo.trace.unwrap());
     }
 
     /// A deliberately broken protocol that emits on a non-existent port.
@@ -369,7 +464,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "bad-port"
         }
-        fn initial_state(&self, _ctx: &NodeContext) -> () {}
+        fn initial_state(&self, _ctx: &NodeContext) {}
         fn root_messages(&self, _root_out_degree: usize) -> Vec<(usize, ())> {
             vec![(0, ())]
         }
@@ -391,6 +486,11 @@ mod tests {
     #[should_panic(expected = "out-port")]
     fn emitting_on_missing_port_panics() {
         let net = path_network(2).unwrap();
-        let _ = run(&net, &BadPort, &mut FifoScheduler::new(), ExecutionConfig::default());
+        let _ = run(
+            &net,
+            &BadPort,
+            &mut FifoScheduler::new(),
+            ExecutionConfig::default(),
+        );
     }
 }

@@ -11,16 +11,47 @@
 //! * [`AnonymousProtocol`] — the `(Π, Σ, π₀, σ₀, f, g, S)` tuple as a trait. The
 //!   per-vertex information available to the protocol is **only** the vertex's
 //!   in/out degree and the port a message arrived on, enforcing anonymity.
-//! * [`engine::run`] — the asynchronous executor: a pool of in-flight messages is
-//!   drained in an order chosen by a pluggable [`scheduler::Scheduler`]
-//!   (FIFO, LIFO, seeded-random, and adversarial terminal-starving orders), so a
-//!   single protocol run can be replayed under many different asynchronous
-//!   interleavings.
+//! * [`engine::run`] — the asynchronous executor, built around an incrementally
+//!   maintained **active-edge set** (see below).
+//! * [`scheduler`] — pluggable delivery orders (FIFO, LIFO, seeded-random, and
+//!   adversarial terminal-starving/rushing orders, plus exact replay), so a
+//!   single protocol run can be replayed under many asynchronous interleavings.
+//! * [`reference::run_full_scan`] — the naive specification engine, kept so the
+//!   incremental core is cross-checkable and benchmarkable against it.
 //! * [`metrics::RunMetrics`] — communication-complexity accounting: total bits,
 //!   per-edge bits (bandwidth), message counts and maximum message size, measured
 //!   through the [`Wire`] size of every transmitted message.
 //! * [`trace::Trace`] — an optional full record of every delivery, used by the
 //!   lower-bound experiments to extract transmitted alphabets and cut snapshots.
+//!
+//! # The active-edge-set architecture
+//!
+//! The engine keeps one FIFO queue per edge, as the model requires. An edge is
+//! **active** while its queue is non-empty; the set of active edges is exactly
+//! the set of candidate deliveries. Rather than rebuilding that set by scanning
+//! all E edges on every delivery (which makes a run O(E · deliveries)), the
+//! engine maintains it incrementally and streams the changes to the scheduler:
+//!
+//! * a send onto an empty queue activates the edge —
+//!   [`scheduler::Scheduler::on_head`] announces its head message;
+//! * a delivery that leaves the queue non-empty advances the head — `on_head`
+//!   again, with the next message's sequence number;
+//! * a delivery that drains the queue deactivates the edge —
+//!   [`scheduler::Scheduler::on_idle`].
+//!
+//! The scheduler answers [`scheduler::Scheduler::next_edge`] from its own
+//! incrementally maintained structures: an ordered heap of active-edge heads for
+//! the deterministic policies (FIFO/LIFO are a single seq-ordered heap,
+//! terminal-first/last are two-class heaps), and a Fenwick-indexed active set
+//! with order-statistics sampling for the random policy. Every operation is O(1)
+//! or O(log E) per delivery, so the per-delivery cost no longer grows with the
+//! size of the graph.
+//!
+//! Each scheduler also carries its naive full-scan specification
+//! ([`scheduler::Scheduler::pick_full_scan`]); [`reference::run_full_scan`]
+//! executes runs entirely through it, and the `engine_equivalence` property
+//! tests assert the two engines produce bit-identical traces, metrics and
+//! outcomes across the whole battery × topology × seed grid.
 //!
 //! The simulator is deterministic given a scheduler, which is what makes the
 //! adversarial-schedule regression tests reproducible.
@@ -31,6 +62,7 @@
 pub mod engine;
 pub mod metrics;
 mod protocol;
+pub mod reference;
 pub mod runner;
 pub mod scheduler;
 pub mod synchronous;
@@ -39,5 +71,6 @@ mod wire;
 
 pub use engine::{ExecutionConfig, Outcome, RunResult};
 pub use protocol::{AnonymousProtocol, NodeContext};
+pub use reference::run_full_scan;
 pub use synchronous::{run_synchronous, SynchronousRun};
 pub use wire::Wire;

@@ -83,7 +83,13 @@ mod tests {
         let a = NodeContext::new(2, 3);
         assert_eq!(a.in_degree, 2);
         assert_eq!(a.out_degree, 3);
-        assert_eq!(a, NodeContext { in_degree: 2, out_degree: 3 });
+        assert_eq!(
+            a,
+            NodeContext {
+                in_degree: 2,
+                out_degree: 3
+            }
+        );
         assert_ne!(a, NodeContext::new(3, 2));
     }
 }

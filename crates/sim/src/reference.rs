@@ -1,0 +1,273 @@
+//! The naive full-scan reference engine.
+//!
+//! This is the original, specification-grade executor: on every delivery it
+//! rebuilds the complete list of pending edges (an O(E) scan) and hands it to
+//! [`Scheduler::pick_full_scan`]. It exists for two reasons:
+//!
+//! 1. **Cross-checking.** The incremental engine in [`crate::engine`] must be
+//!    behaviour-preserving; the equivalence property tests run both engines with
+//!    identically seeded schedulers and assert bit-identical traces, metrics and
+//!    outcomes. Any divergence in the incremental bookkeeping shows up as a test
+//!    failure against this reference.
+//! 2. **Benchmark baseline.** The `engine_throughput` bench measures the speedup
+//!    of the incremental active-edge-set core over this full scan.
+//!
+//! Do not use it for real workloads: a run costs O(E · deliveries).
+
+use std::collections::VecDeque;
+
+use anet_graph::Network;
+
+use crate::engine::{ExecutionConfig, Outcome, RunResult};
+use crate::metrics::RunMetrics;
+use crate::scheduler::{PendingEdge, Scheduler};
+use crate::trace::{SendEvent, Trace};
+use crate::{AnonymousProtocol, NodeContext, Wire};
+
+/// Runs `protocol` on `network` under `scheduler`, rebuilding the full candidate
+/// list on every delivery and choosing via [`Scheduler::pick_full_scan`].
+///
+/// Semantically identical to [`crate::engine::run`]; see the [module docs](self)
+/// for why it is kept.
+///
+/// # Panics
+///
+/// Panics if the protocol emits a message on an out-port that does not exist at
+/// the emitting vertex — that is a bug in the protocol, not a run-time condition.
+pub fn run_full_scan<P, Sch>(
+    network: &Network,
+    protocol: &P,
+    scheduler: &mut Sch,
+    config: ExecutionConfig,
+) -> RunResult<P::State, P::Message>
+where
+    P: AnonymousProtocol,
+    Sch: Scheduler + ?Sized,
+{
+    let graph = network.graph();
+    let contexts: Vec<NodeContext> = graph
+        .nodes()
+        .map(|n| NodeContext::new(graph.in_degree(n), graph.out_degree(n)))
+        .collect();
+    let mut states: Vec<P::State> = contexts
+        .iter()
+        .map(|ctx| protocol.initial_state(ctx))
+        .collect();
+
+    let mut queues: Vec<VecDeque<(u64, P::Message)>> = vec![VecDeque::new(); graph.edge_count()];
+    let mut metrics = RunMetrics::new(graph.edge_count());
+    let mut trace = if config.record_trace {
+        Some(Trace::new())
+    } else {
+        None
+    };
+    let mut next_seq: u64 = 0;
+
+    let send = |from: anet_graph::NodeId,
+                port: usize,
+                message: P::Message,
+                queues: &mut Vec<VecDeque<(u64, P::Message)>>,
+                metrics: &mut RunMetrics,
+                trace: &mut Option<Trace<P::Message>>,
+                next_seq: &mut u64| {
+        let out_edges = graph.out_edges(from);
+        assert!(
+            port < out_edges.len(),
+            "protocol {} emitted on out-port {port} of a vertex with out-degree {}",
+            protocol.name(),
+            out_edges.len()
+        );
+        let edge = out_edges[port];
+        let bits = message.wire_bits();
+        metrics.record_send(edge.index(), bits);
+        if let Some(t) = trace.as_mut() {
+            t.push(SendEvent {
+                seq: *next_seq,
+                edge,
+                src: from,
+                dst: graph.edge_dst(edge),
+                bits,
+                message: message.clone(),
+            });
+        }
+        queues[edge.index()].push_back((*next_seq, message));
+        *next_seq += 1;
+    };
+
+    // σ₀: the root transmits its initial messages.
+    for (port, message) in protocol.root_messages(graph.out_degree(network.root())) {
+        send(
+            network.root(),
+            port,
+            message,
+            &mut queues,
+            &mut metrics,
+            &mut trace,
+            &mut next_seq,
+        );
+    }
+
+    let terminal = network.terminal();
+    let mut outcome = Outcome::Quiescent;
+    let mut deliveries_at_termination = None;
+
+    // A protocol whose terminal accepts in its initial state terminates immediately.
+    if protocol.should_terminate(&states[terminal.index()]) {
+        outcome = Outcome::Terminated;
+        deliveries_at_termination = Some(0);
+        return RunResult {
+            outcome,
+            states,
+            metrics,
+            deliveries_at_termination,
+            trace,
+        };
+    }
+
+    loop {
+        // The defining full scan: every pending edge, in edge-id order.
+        let candidates: Vec<PendingEdge> = graph
+            .edges()
+            .filter_map(|e| {
+                queues[e.index()].front().map(|(seq, _)| PendingEdge {
+                    edge: e,
+                    head_seq: *seq,
+                    queue_len: queues[e.index()].len(),
+                    into_terminal: graph.edge_dst(e) == terminal,
+                })
+            })
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        if metrics.messages_delivered >= config.max_deliveries {
+            outcome = Outcome::BudgetExhausted;
+            break;
+        }
+        let pick = scheduler.pick_full_scan(&candidates);
+        let chosen = candidates[pick];
+        let (_, message) = queues[chosen.edge.index()]
+            .pop_front()
+            .expect("candidate edges have queued messages");
+        let dst = graph.edge_dst(chosen.edge);
+        let in_port = graph.in_port(chosen.edge);
+        metrics.record_delivery();
+
+        let emitted = protocol.on_receive(
+            &contexts[dst.index()],
+            &mut states[dst.index()],
+            in_port,
+            &message,
+        );
+        for (port, out_message) in emitted {
+            send(
+                dst,
+                port,
+                out_message,
+                &mut queues,
+                &mut metrics,
+                &mut trace,
+                &mut next_seq,
+            );
+        }
+
+        if dst == terminal && protocol.should_terminate(&states[terminal.index()]) {
+            outcome = Outcome::Terminated;
+            deliveries_at_termination = Some(metrics.messages_delivered);
+            break;
+        }
+    }
+
+    RunResult {
+        outcome,
+        states,
+        metrics,
+        deliveries_at_termination,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+    use crate::scheduler::standard_battery;
+    use anet_graph::generators::chain_gn;
+
+    /// The toy flood protocol used across the engine tests.
+    #[derive(Debug)]
+    struct Flood {
+        needed: u64,
+    }
+
+    #[derive(Debug, Clone)]
+    struct FloodState {
+        received: u64,
+        forwarded: bool,
+    }
+
+    impl AnonymousProtocol for Flood {
+        type State = FloodState;
+        type Message = ();
+
+        fn name(&self) -> &'static str {
+            "flood"
+        }
+        fn initial_state(&self, _ctx: &NodeContext) -> FloodState {
+            FloodState {
+                received: 0,
+                forwarded: false,
+            }
+        }
+        fn root_messages(&self, root_out_degree: usize) -> Vec<(usize, ())> {
+            (0..root_out_degree).map(|p| (p, ())).collect()
+        }
+        fn on_receive(
+            &self,
+            ctx: &NodeContext,
+            state: &mut FloodState,
+            _in_port: usize,
+            _message: &(),
+        ) -> Vec<(usize, ())> {
+            state.received += 1;
+            if state.forwarded {
+                return Vec::new();
+            }
+            state.forwarded = true;
+            (0..ctx.out_degree).map(|p| (p, ())).collect()
+        }
+        fn should_terminate(&self, terminal_state: &FloodState) -> bool {
+            terminal_state.received >= self.needed
+        }
+    }
+
+    #[test]
+    fn both_engines_agree_on_the_chain_under_the_whole_battery() {
+        let net = chain_gn(6).unwrap();
+        let incremental = standard_battery(11, 3);
+        let reference = standard_battery(11, 3);
+        for (mut inc, mut full) in incremental.into_iter().zip(reference) {
+            let a = run(
+                &net,
+                &Flood { needed: 6 },
+                inc.as_mut(),
+                ExecutionConfig::with_trace(),
+            );
+            let b = run_full_scan(
+                &net,
+                &Flood { needed: 6 },
+                full.as_mut(),
+                ExecutionConfig::with_trace(),
+            );
+            assert_eq!(a.outcome, b.outcome, "scheduler {}", inc.name());
+            assert_eq!(a.metrics, b.metrics, "scheduler {}", inc.name());
+            assert_eq!(
+                a.deliveries_at_termination,
+                b.deliveries_at_termination,
+                "scheduler {}",
+                inc.name()
+            );
+            assert_eq!(a.trace, b.trace, "scheduler {}", inc.name());
+        }
+    }
+}

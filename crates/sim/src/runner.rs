@@ -85,15 +85,23 @@ mod tests {
         let runs = run_under_battery(&net, &Ping, ExecutionConfig::default(), 7, 3);
         assert_eq!(runs.len(), 7);
         for named in &runs {
-            assert!(named.result.outcome.terminated(), "scheduler {}", named.scheduler);
+            assert!(
+                named.result.outcome.terminated(),
+                "scheduler {}",
+                named.scheduler
+            );
         }
         // The adversarial orders genuinely differ: under terminal-last the terminal
         // accepts late, under terminal-first it accepts after a single delivery of a
         // terminal-bound message.
-        let first = runs.iter().find(|r| r.scheduler == "terminal-first").unwrap();
-        let last = runs.iter().find(|r| r.scheduler == "terminal-last").unwrap();
-        assert!(
-            first.result.deliveries_at_termination <= last.result.deliveries_at_termination
-        );
+        let first = runs
+            .iter()
+            .find(|r| r.scheduler == "terminal-first")
+            .unwrap();
+        let last = runs
+            .iter()
+            .find(|r| r.scheduler == "terminal-last")
+            .unwrap();
+        assert!(first.result.deliveries_at_termination <= last.result.deliveries_at_termination);
     }
 }

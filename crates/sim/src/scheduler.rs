@@ -6,13 +6,53 @@
 //! defined here plus several random seeds. Messages on a single edge stay in FIFO
 //! order (the engine keeps one queue per edge); the scheduler picks which edge
 //! delivers next.
+//!
+//! # The incremental scheduler contract
+//!
+//! Schedulers are *stateful*: instead of being handed a freshly built list of all
+//! pending edges on every delivery (which costs O(E) per delivery), they maintain
+//! their own view of the **active-edge set** — the edges whose queues are
+//! non-empty — from a stream of engine notifications:
+//!
+//! 1. [`Scheduler::begin_run`] is called once per run with the edge count.
+//! 2. [`Scheduler::on_head`] is called whenever an edge's *head* message changes:
+//!    when a send makes an idle edge active, and after a delivery that leaves the
+//!    edge's queue non-empty (the next queued message becomes the head).
+//! 3. [`Scheduler::on_idle`] is called when a delivery empties an edge's queue.
+//! 4. [`Scheduler::next_edge`] is called only while at least one edge is active,
+//!    and must return an active edge; the engine then delivers that edge's head
+//!    and reports the edge's new state via exactly one `on_head` / `on_idle`
+//!    before the next `next_edge` call.
+//!
+//! Under this contract every scheduler here runs in O(1) or O(log E) per
+//! delivery: FIFO/LIFO and the two terminal adversaries keep binary heaps ordered
+//! by head sequence number (one entry per *active edge*, never per message), and
+//! the random scheduler keeps a Fenwick-indexed active set supporting uniform
+//! order-statistics sampling.
+//!
+//! # The full-scan reference semantics
+//!
+//! Every scheduler also implements [`Scheduler::pick_full_scan`], the naive
+//! specification it must agree with: given the complete candidate list (all
+//! active edges in edge-id order), return the index of the edge to deliver. The
+//! [`crate::reference`] engine drives runs entirely through `pick_full_scan`,
+//! rebuilding the candidate list on every delivery, and the equivalence property
+//! tests assert that both paths produce bit-identical traces. The incremental
+//! implementations are constructed to agree *exactly*: sequence numbers are
+//! unique, so each deterministic policy has a unique argmin/argmax, and the
+//! random policy consumes one RNG draw per delivery in both paths and maps it to
+//! the same rank in the same edge-id ordering.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 use anet_graph::EdgeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// A candidate delivery offered to the scheduler: the head message of one edge's
-/// queue.
+/// A candidate delivery offered to [`Scheduler::pick_full_scan`]: the head
+/// message of one edge's queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PendingEdge {
     /// The edge whose head message would be delivered.
@@ -27,28 +67,96 @@ pub struct PendingEdge {
 
 /// Chooses which pending edge delivers its head message next.
 ///
-/// Implementations must return an index into the (non-empty) candidate slice.
+/// See the [module docs](self) for the incremental contract and how it relates
+/// to the full-scan reference semantics.
 pub trait Scheduler {
-    /// Picks the next delivery among `candidates` (guaranteed non-empty).
-    fn pick(&mut self, candidates: &[PendingEdge]) -> usize;
-
     /// A short name used in reports.
     fn name(&self) -> &'static str;
+
+    /// Resets per-run structural state for a network with `edge_count` edges.
+    ///
+    /// Persistent state that deliberately survives across runs — the random
+    /// scheduler's RNG stream — is *not* reset, matching the historical
+    /// behaviour of reusing one scheduler for several runs.
+    fn begin_run(&mut self, edge_count: usize);
+
+    /// Notifies that `edge`'s head message is now the send with `head_seq`.
+    fn on_head(&mut self, edge: EdgeId, head_seq: u64, into_terminal: bool);
+
+    /// Notifies that `edge`'s queue drained and the edge is now idle.
+    fn on_idle(&mut self, edge: EdgeId);
+
+    /// Picks the next edge to deliver from. Called only while an edge is active.
+    fn next_edge(&mut self) -> EdgeId;
+
+    /// Reference semantics: picks an index into the (non-empty) candidate slice
+    /// holding all active edges in increasing edge-id order.
+    fn pick_full_scan(&mut self, candidates: &[PendingEdge]) -> usize;
+}
+
+/// A binary heap over the heads of active edges, keyed by head sequence number.
+///
+/// The engine's notification contract guarantees one live entry per active edge:
+/// an edge's head only changes when its own head is delivered, and the delivered
+/// entry is exactly the one `pop` removed. No lazy invalidation is needed.
+#[derive(Debug, Clone, Default)]
+struct MinHeadHeap {
+    heap: BinaryHeap<Reverse<(u64, EdgeId)>>,
+}
+
+impl MinHeadHeap {
+    fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    fn push(&mut self, seq: u64, edge: EdgeId) {
+        self.heap.push(Reverse((seq, edge)));
+    }
+
+    fn pop(&mut self) -> Option<EdgeId> {
+        self.heap.pop().map(|Reverse((_, edge))| edge)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
 }
 
 /// Delivers the globally oldest in-flight message first (classic FIFO network).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct FifoScheduler;
+#[derive(Debug, Clone, Default)]
+pub struct FifoScheduler {
+    heads: MinHeadHeap,
+}
 
 impl FifoScheduler {
     /// Creates a FIFO scheduler.
     pub fn new() -> Self {
-        FifoScheduler
+        FifoScheduler::default()
     }
 }
 
 impl Scheduler for FifoScheduler {
-    fn pick(&mut self, candidates: &[PendingEdge]) -> usize {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn begin_run(&mut self, _edge_count: usize) {
+        self.heads.clear();
+    }
+
+    fn on_head(&mut self, edge: EdgeId, head_seq: u64, _into_terminal: bool) {
+        self.heads.push(head_seq, edge);
+    }
+
+    fn on_idle(&mut self, _edge: EdgeId) {}
+
+    fn next_edge(&mut self) -> EdgeId {
+        self.heads
+            .pop()
+            .expect("next_edge called with no active edge")
+    }
+
+    fn pick_full_scan(&mut self, candidates: &[PendingEdge]) -> usize {
         candidates
             .iter()
             .enumerate()
@@ -56,26 +164,47 @@ impl Scheduler for FifoScheduler {
             .map(|(i, _)| i)
             .expect("candidates are non-empty")
     }
-
-    fn name(&self) -> &'static str {
-        "fifo"
-    }
 }
 
-/// Delivers the newest in-flight message first — a "bursty" adversary that lets
-/// freshly created messages overtake old ones.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct LifoScheduler;
+/// Delivers the newest *head* message first — a "bursty" adversary that lets
+/// freshly created messages overtake old ones (per-edge queues stay FIFO, so the
+/// comparison is over the head of each active edge).
+#[derive(Debug, Clone, Default)]
+pub struct LifoScheduler {
+    heads: BinaryHeap<(u64, EdgeId)>,
+}
 
 impl LifoScheduler {
     /// Creates a LIFO scheduler.
     pub fn new() -> Self {
-        LifoScheduler
+        LifoScheduler::default()
     }
 }
 
 impl Scheduler for LifoScheduler {
-    fn pick(&mut self, candidates: &[PendingEdge]) -> usize {
+    fn name(&self) -> &'static str {
+        "lifo"
+    }
+
+    fn begin_run(&mut self, _edge_count: usize) {
+        self.heads.clear();
+    }
+
+    fn on_head(&mut self, edge: EdgeId, head_seq: u64, _into_terminal: bool) {
+        self.heads.push((head_seq, edge));
+    }
+
+    fn on_idle(&mut self, _edge: EdgeId) {}
+
+    fn next_edge(&mut self) -> EdgeId {
+        let (_, edge) = self
+            .heads
+            .pop()
+            .expect("next_edge called with no active edge");
+        edge
+    }
+
+    fn pick_full_scan(&mut self, candidates: &[PendingEdge]) -> usize {
         candidates
             .iter()
             .enumerate()
@@ -83,34 +212,40 @@ impl Scheduler for LifoScheduler {
             .map(|(i, _)| i)
             .expect("candidates are non-empty")
     }
+}
 
-    fn name(&self) -> &'static str {
-        "lifo"
+/// Shared core of the two terminal adversaries: active edges are kept in two
+/// oldest-first classes, edges into the terminal and everything else, and
+/// `next_edge` drains one class before touching the other.
+#[derive(Debug, Clone, Default)]
+struct TwoClassHeads {
+    terminal: MinHeadHeap,
+    other: MinHeadHeap,
+}
+
+impl TwoClassHeads {
+    fn clear(&mut self) {
+        self.terminal.clear();
+        self.other.clear();
     }
-}
 
-/// Delivers a uniformly random pending message (seeded, hence reproducible).
-#[derive(Debug, Clone)]
-pub struct RandomScheduler {
-    rng: StdRng,
-}
-
-impl RandomScheduler {
-    /// Creates a random scheduler from a seed.
-    pub fn seeded(seed: u64) -> Self {
-        RandomScheduler {
-            rng: StdRng::seed_from_u64(seed),
+    fn push(&mut self, edge: EdgeId, head_seq: u64, into_terminal: bool) {
+        if into_terminal {
+            self.terminal.push(head_seq, edge);
+        } else {
+            self.other.push(head_seq, edge);
         }
     }
-}
 
-impl Scheduler for RandomScheduler {
-    fn pick(&mut self, candidates: &[PendingEdge]) -> usize {
-        self.rng.gen_range(0..candidates.len())
-    }
-
-    fn name(&self) -> &'static str {
-        "random"
+    /// Pops the oldest head from the preferred class, falling back to the other.
+    fn pop_preferring(&mut self, terminal_first: bool) -> EdgeId {
+        let (first, second) = if terminal_first {
+            (&mut self.terminal, &mut self.other)
+        } else {
+            (&mut self.other, &mut self.terminal)
+        };
+        let heap = if first.is_empty() { second } else { first };
+        heap.pop().expect("next_edge called with no active edge")
     }
 }
 
@@ -118,18 +253,38 @@ impl Scheduler for RandomScheduler {
 /// (oldest first), and messages into the terminal are delivered only when nothing
 /// else is pending. This is the adversary that maximises how much of the graph has
 /// acted before the terminal sees anything.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct TerminalLastScheduler;
+#[derive(Debug, Clone, Default)]
+pub struct TerminalLastScheduler {
+    heads: TwoClassHeads,
+}
 
 impl TerminalLastScheduler {
     /// Creates a terminal-starving scheduler.
     pub fn new() -> Self {
-        TerminalLastScheduler
+        TerminalLastScheduler::default()
     }
 }
 
 impl Scheduler for TerminalLastScheduler {
-    fn pick(&mut self, candidates: &[PendingEdge]) -> usize {
+    fn name(&self) -> &'static str {
+        "terminal-last"
+    }
+
+    fn begin_run(&mut self, _edge_count: usize) {
+        self.heads.clear();
+    }
+
+    fn on_head(&mut self, edge: EdgeId, head_seq: u64, into_terminal: bool) {
+        self.heads.push(edge, head_seq, into_terminal);
+    }
+
+    fn on_idle(&mut self, _edge: EdgeId) {}
+
+    fn next_edge(&mut self) -> EdgeId {
+        self.heads.pop_preferring(false)
+    }
+
+    fn pick_full_scan(&mut self, candidates: &[PendingEdge]) -> usize {
         candidates
             .iter()
             .enumerate()
@@ -137,27 +292,43 @@ impl Scheduler for TerminalLastScheduler {
             .map(|(i, _)| i)
             .expect("candidates are non-empty")
     }
-
-    fn name(&self) -> &'static str {
-        "terminal-last"
-    }
 }
 
 /// Rushes the terminal: messages into the terminal are delivered as soon as they
 /// exist. This adversary tries to make the terminal accept *early* and is the one
 /// that catches premature-termination bugs.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct TerminalFirstScheduler;
+#[derive(Debug, Clone, Default)]
+pub struct TerminalFirstScheduler {
+    heads: TwoClassHeads,
+}
 
 impl TerminalFirstScheduler {
     /// Creates a terminal-rushing scheduler.
     pub fn new() -> Self {
-        TerminalFirstScheduler
+        TerminalFirstScheduler::default()
     }
 }
 
 impl Scheduler for TerminalFirstScheduler {
-    fn pick(&mut self, candidates: &[PendingEdge]) -> usize {
+    fn name(&self) -> &'static str {
+        "terminal-first"
+    }
+
+    fn begin_run(&mut self, _edge_count: usize) {
+        self.heads.clear();
+    }
+
+    fn on_head(&mut self, edge: EdgeId, head_seq: u64, into_terminal: bool) {
+        self.heads.push(edge, head_seq, into_terminal);
+    }
+
+    fn on_idle(&mut self, _edge: EdgeId) {}
+
+    fn next_edge(&mut self) -> EdgeId {
+        self.heads.pop_preferring(true)
+    }
+
+    fn pick_full_scan(&mut self, candidates: &[PendingEdge]) -> usize {
         candidates
             .iter()
             .enumerate()
@@ -165,9 +336,183 @@ impl Scheduler for TerminalFirstScheduler {
             .map(|(i, _)| i)
             .expect("candidates are non-empty")
     }
+}
 
+/// A Fenwick-indexed set of active edges supporting O(log E) insert, remove and
+/// *select-by-rank* (the k-th smallest active edge id).
+///
+/// Rank selection is what lets the incremental random scheduler agree exactly
+/// with the full-scan reference: the reference samples an index into the
+/// candidate list, which holds active edges in increasing edge-id order, so the
+/// sampled index *is* a rank in this set.
+#[derive(Debug, Clone, Default)]
+struct ActiveEdgeSet {
+    /// Fenwick (binary indexed) tree over edge ids; `tree[i]` covers a dyadic
+    /// block of ids, 1-based.
+    tree: Vec<u32>,
+    active: Vec<bool>,
+    len: usize,
+}
+
+impl ActiveEdgeSet {
+    fn reset(&mut self, edge_count: usize) {
+        self.tree.clear();
+        self.tree.resize(edge_count + 1, 0);
+        self.active.clear();
+        self.active.resize(edge_count, false);
+        self.len = 0;
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[cfg(test)]
+    fn contains(&self, edge: EdgeId) -> bool {
+        self.active[edge.index()]
+    }
+
+    fn add(&mut self, delta: i32, index: usize) {
+        let mut i = index + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i32 + delta) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn insert(&mut self, edge: EdgeId) {
+        if !self.active[edge.index()] {
+            self.active[edge.index()] = true;
+            self.len += 1;
+            self.add(1, edge.index());
+        }
+    }
+
+    fn remove(&mut self, edge: EdgeId) {
+        if self.active[edge.index()] {
+            self.active[edge.index()] = false;
+            self.len -= 1;
+            self.add(-1, edge.index());
+        }
+    }
+
+    /// Returns the active edge with exactly `rank` active edges below it
+    /// (`rank` is 0-based and must be `< len`).
+    fn select(&self, rank: usize) -> EdgeId {
+        debug_assert!(rank < self.len);
+        let mut remaining = rank as u32 + 1;
+        let mut pos = 0usize;
+        let mut step = (self.tree.len() - 1).next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next < self.tree.len() && self.tree[next] < remaining {
+                remaining -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        EdgeId(pos)
+    }
+}
+
+/// Delivers a uniformly random pending message (seeded, hence reproducible).
+///
+/// The RNG stream deliberately persists across [`Scheduler::begin_run`] calls so
+/// one seeded scheduler reused for several runs explores different orders.
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    rng: StdRng,
+    active: ActiveEdgeSet,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+            active: ActiveEdgeSet::default(),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
     fn name(&self) -> &'static str {
-        "terminal-first"
+        "random"
+    }
+
+    fn begin_run(&mut self, edge_count: usize) {
+        self.active.reset(edge_count);
+    }
+
+    fn on_head(&mut self, edge: EdgeId, _head_seq: u64, _into_terminal: bool) {
+        self.active.insert(edge);
+    }
+
+    fn on_idle(&mut self, edge: EdgeId) {
+        self.active.remove(edge);
+    }
+
+    fn next_edge(&mut self) -> EdgeId {
+        assert!(
+            self.active.len() > 0,
+            "next_edge called with no active edge"
+        );
+        let rank = self.rng.gen_range(0..self.active.len());
+        self.active.select(rank)
+    }
+
+    fn pick_full_scan(&mut self, candidates: &[PendingEdge]) -> usize {
+        self.rng.gen_range(0..candidates.len())
+    }
+}
+
+/// Replays a prescribed edge delivery order — the reference path for pinning an
+/// exact interleaving (for example one observed under another scheduler, or a
+/// hand-written adversarial order) and re-running it through either engine.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayScheduler {
+    order: VecDeque<EdgeId>,
+}
+
+impl ReplayScheduler {
+    /// Creates a scheduler that delivers edges in exactly the given order.
+    ///
+    /// The order must be *feasible*: at each step the named edge must have a
+    /// queued message. Both engines panic on an infeasible replay, which is the
+    /// desired behaviour for a cross-checking tool.
+    pub fn new<I: IntoIterator<Item = EdgeId>>(order: I) -> Self {
+        ReplayScheduler {
+            order: order.into_iter().collect(),
+        }
+    }
+
+    /// Number of replay steps left.
+    pub fn remaining(&self) -> usize {
+        self.order.len()
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    fn begin_run(&mut self, _edge_count: usize) {}
+
+    fn on_head(&mut self, _edge: EdgeId, _head_seq: u64, _into_terminal: bool) {}
+
+    fn on_idle(&mut self, _edge: EdgeId) {}
+
+    fn next_edge(&mut self) -> EdgeId {
+        self.order.pop_front().expect("replay order exhausted")
+    }
+
+    fn pick_full_scan(&mut self, candidates: &[PendingEdge]) -> usize {
+        let edge = self.next_edge();
+        candidates
+            .iter()
+            .position(|c| c.edge == edge)
+            .expect("replayed edge is not pending — infeasible replay order")
     }
 }
 
@@ -181,7 +526,9 @@ pub fn standard_battery(seed: u64, random_count: usize) -> Vec<Box<dyn Scheduler
         Box::new(TerminalFirstScheduler::new()),
     ];
     for i in 0..random_count {
-        battery.push(Box::new(RandomScheduler::seeded(seed.wrapping_add(i as u64))));
+        battery.push(Box::new(RandomScheduler::seeded(
+            seed.wrapping_add(i as u64),
+        )));
     }
     battery
 }
@@ -192,25 +539,58 @@ mod tests {
 
     fn candidates() -> Vec<PendingEdge> {
         vec![
-            PendingEdge { edge: EdgeId(0), head_seq: 5, queue_len: 1, into_terminal: false },
-            PendingEdge { edge: EdgeId(1), head_seq: 2, queue_len: 2, into_terminal: true },
-            PendingEdge { edge: EdgeId(2), head_seq: 9, queue_len: 1, into_terminal: false },
+            PendingEdge {
+                edge: EdgeId(0),
+                head_seq: 5,
+                queue_len: 1,
+                into_terminal: false,
+            },
+            PendingEdge {
+                edge: EdgeId(1),
+                head_seq: 2,
+                queue_len: 2,
+                into_terminal: true,
+            },
+            PendingEdge {
+                edge: EdgeId(2),
+                head_seq: 9,
+                queue_len: 1,
+                into_terminal: false,
+            },
         ]
+    }
+
+    /// Feeds the candidate set into the incremental API and returns the pick.
+    fn incremental_pick<S: Scheduler>(sched: &mut S) -> EdgeId {
+        sched.begin_run(4);
+        for c in candidates() {
+            sched.on_head(c.edge, c.head_seq, c.into_terminal);
+        }
+        sched.next_edge()
     }
 
     #[test]
     fn fifo_picks_oldest() {
-        assert_eq!(FifoScheduler::new().pick(&candidates()), 1);
+        assert_eq!(FifoScheduler::new().pick_full_scan(&candidates()), 1);
+        assert_eq!(incremental_pick(&mut FifoScheduler::new()), EdgeId(1));
     }
 
     #[test]
     fn lifo_picks_newest() {
-        assert_eq!(LifoScheduler::new().pick(&candidates()), 2);
+        assert_eq!(LifoScheduler::new().pick_full_scan(&candidates()), 2);
+        assert_eq!(incremental_pick(&mut LifoScheduler::new()), EdgeId(2));
     }
 
     #[test]
     fn terminal_last_avoids_terminal_edges() {
-        assert_eq!(TerminalLastScheduler::new().pick(&candidates()), 0);
+        assert_eq!(
+            TerminalLastScheduler::new().pick_full_scan(&candidates()),
+            0
+        );
+        assert_eq!(
+            incremental_pick(&mut TerminalLastScheduler::new()),
+            EdgeId(0)
+        );
         // If only terminal edges are pending it must still pick one.
         let only_terminal = vec![PendingEdge {
             edge: EdgeId(3),
@@ -218,12 +598,42 @@ mod tests {
             queue_len: 1,
             into_terminal: true,
         }];
-        assert_eq!(TerminalLastScheduler::new().pick(&only_terminal), 0);
+        assert_eq!(
+            TerminalLastScheduler::new().pick_full_scan(&only_terminal),
+            0
+        );
+        let mut sched = TerminalLastScheduler::new();
+        sched.begin_run(4);
+        sched.on_head(EdgeId(3), 1, true);
+        assert_eq!(sched.next_edge(), EdgeId(3));
     }
 
     #[test]
     fn terminal_first_prefers_terminal_edges() {
-        assert_eq!(TerminalFirstScheduler::new().pick(&candidates()), 1);
+        assert_eq!(
+            TerminalFirstScheduler::new().pick_full_scan(&candidates()),
+            1
+        );
+        assert_eq!(
+            incremental_pick(&mut TerminalFirstScheduler::new()),
+            EdgeId(1)
+        );
+    }
+
+    #[test]
+    fn head_heaps_follow_head_changes() {
+        // Edge 0 holds seqs [1, 4], edge 1 holds [3]. FIFO must deliver 1, 3, 4:
+        // after edge 0's head advances past seq 1, seq 3 on edge 1 is older than
+        // edge 0's new head.
+        let mut sched = FifoScheduler::new();
+        sched.begin_run(2);
+        sched.on_head(EdgeId(0), 1, false);
+        sched.on_head(EdgeId(1), 3, false);
+        assert_eq!(sched.next_edge(), EdgeId(0));
+        sched.on_head(EdgeId(0), 4, false); // seq 4 becomes edge 0's head
+        assert_eq!(sched.next_edge(), EdgeId(1));
+        sched.on_idle(EdgeId(1));
+        assert_eq!(sched.next_edge(), EdgeId(0));
     }
 
     #[test]
@@ -231,14 +641,80 @@ mod tests {
         let cands = candidates();
         let picks_a: Vec<usize> = {
             let mut s = RandomScheduler::seeded(3);
-            (0..20).map(|_| s.pick(&cands)).collect()
+            (0..20).map(|_| s.pick_full_scan(&cands)).collect()
         };
         let picks_b: Vec<usize> = {
             let mut s = RandomScheduler::seeded(3);
-            (0..20).map(|_| s.pick(&cands)).collect()
+            (0..20).map(|_| s.pick_full_scan(&cands)).collect()
         };
         assert_eq!(picks_a, picks_b);
         assert!(picks_a.iter().all(|&p| p < cands.len()));
+    }
+
+    #[test]
+    fn random_incremental_matches_full_scan_rank() {
+        // Same seed: the incremental path must choose exactly the edge that the
+        // full-scan path's sampled index denotes in the edge-id-ordered
+        // candidate list, draw for draw.
+        let active = [EdgeId(2), EdgeId(5), EdgeId(7), EdgeId(11)];
+        for seed in 0..50 {
+            let mut inc = RandomScheduler::seeded(seed);
+            inc.begin_run(16);
+            for (i, &e) in active.iter().enumerate() {
+                inc.on_head(e, i as u64, false);
+            }
+            let mut full = RandomScheduler::seeded(seed);
+            let cands: Vec<PendingEdge> = active
+                .iter()
+                .enumerate()
+                .map(|(i, &edge)| PendingEdge {
+                    edge,
+                    head_seq: i as u64,
+                    queue_len: 1,
+                    into_terminal: false,
+                })
+                .collect();
+            for _ in 0..10 {
+                let chosen = inc.next_edge();
+                let idx = full.pick_full_scan(&cands);
+                assert_eq!(chosen, cands[idx].edge);
+                // Both sides keep the edge active (head advance, not idle).
+            }
+        }
+    }
+
+    #[test]
+    fn active_edge_set_select_is_order_statistics() {
+        let mut set = ActiveEdgeSet::default();
+        set.reset(10);
+        for e in [3usize, 0, 7, 9, 4] {
+            set.insert(EdgeId(e));
+        }
+        assert_eq!(set.len(), 5);
+        let ranks: Vec<EdgeId> = (0..5).map(|k| set.select(k)).collect();
+        assert_eq!(
+            ranks,
+            vec![EdgeId(0), EdgeId(3), EdgeId(4), EdgeId(7), EdgeId(9)]
+        );
+        set.remove(EdgeId(3));
+        assert_eq!(set.select(1), EdgeId(4));
+        assert!(set.contains(EdgeId(7)));
+        assert!(!set.contains(EdgeId(3)));
+        // Idempotent inserts and removes keep the count exact.
+        set.insert(EdgeId(7));
+        set.remove(EdgeId(3));
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn replay_scheduler_replays_in_order() {
+        let mut sched = ReplayScheduler::new([EdgeId(2), EdgeId(0)]);
+        assert_eq!(sched.remaining(), 2);
+        sched.begin_run(3);
+        assert_eq!(sched.next_edge(), EdgeId(2));
+        let idx = sched.pick_full_scan(&candidates());
+        assert_eq!(candidates()[idx].edge, EdgeId(0));
+        assert_eq!(sched.remaining(), 0);
     }
 
     #[test]

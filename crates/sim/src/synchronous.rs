@@ -56,7 +56,11 @@ where
         .map(|ctx| protocol.initial_state(ctx))
         .collect();
     let mut metrics = RunMetrics::new(graph.edge_count());
-    let mut trace = if config.record_trace { Some(Trace::new()) } else { None };
+    let mut trace = if config.record_trace {
+        Some(Trace::new())
+    } else {
+        None
+    };
     let mut next_seq = 0u64;
     let terminal = network.terminal();
 
@@ -64,12 +68,12 @@ where
     let mut current: VecDeque<(anet_graph::EdgeId, P::Message)> = VecDeque::new();
 
     let send = |src: anet_graph::NodeId,
-                    port: usize,
-                    message: P::Message,
-                    queue: &mut VecDeque<(anet_graph::EdgeId, P::Message)>,
-                    metrics: &mut RunMetrics,
-                    trace: &mut Option<Trace<P::Message>>,
-                    next_seq: &mut u64| {
+                port: usize,
+                message: P::Message,
+                queue: &mut VecDeque<(anet_graph::EdgeId, P::Message)>,
+                metrics: &mut RunMetrics,
+                trace: &mut Option<Trace<P::Message>>,
+                next_seq: &mut u64| {
         let out = graph.out_edges(src);
         assert!(
             port < out.len(),
@@ -196,7 +200,10 @@ mod tests {
             "flood"
         }
         fn initial_state(&self, _ctx: &NodeContext) -> FloodState {
-            FloodState { received: 0, forwarded: false }
+            FloodState {
+                received: 0,
+                forwarded: false,
+            }
         }
         fn root_messages(&self, root_out_degree: usize) -> Vec<(usize, ())> {
             (0..root_out_degree).map(|p| (p, ())).collect()
@@ -252,7 +259,10 @@ mod tests {
     #[test]
     fn budget_exhaustion_is_reported() {
         let net = chain_gn(10).unwrap();
-        let config = ExecutionConfig { max_deliveries: 3, record_trace: false };
+        let config = ExecutionConfig {
+            max_deliveries: 3,
+            record_trace: false,
+        };
         let run = run_synchronous(&net, &Flood { needed: 10 }, config);
         assert_eq!(run.result.outcome, Outcome::BudgetExhausted);
     }

@@ -30,25 +30,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("label assignment terminated: {}", labels.terminated);
     println!("labels unique:               {}", labels.labels_unique);
-    println!("largest label:               {} bits", labels.max_label_bits);
+    println!(
+        "largest label:               {} bits",
+        labels.max_label_bits
+    );
     let v = overlay.node_count() as f64;
     let d = overlay.max_out_degree() as f64;
     println!(
         "paper bound O(|V| log d_out): {} x log2({}) = {:.0} bits (same order)",
-        v, d, v * d.log2()
+        v,
+        d,
+        v * d.log2()
     );
 
     // Phase 2 — extract the whole topology at the tracker (Section 6).
     let map = run_mapping(&overlay, &mut FifoScheduler::new())?;
     println!();
     println!("mapping terminated:          {}", map.terminated);
-    let topo = map.topology.as_ref().expect("terminated mapping carries a topology");
+    let topo = map
+        .topology
+        .as_ref()
+        .expect("terminated mapping carries a topology");
     println!(
         "tracker's map:               {} peers, {} connections",
         topo.vertex_count(),
         topo.edge_count()
     );
-    println!("map is exact:                {}", map.reconstruction_is_exact(&overlay));
+    println!(
+        "map is exact:                {}",
+        map.reconstruction_is_exact(&overlay)
+    );
 
     // Render the overlay with its assigned labels for inspection.
     let dot = dot::to_dot_with_labels(&overlay, |node| {

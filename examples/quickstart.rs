@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let network = generators::chain_gn(16)?;
     let stats = classify::stats(&network);
     println!("network: {} vertices, {} edges", stats.nodes, stats.edges);
-    println!("grounded tree: {}, every vertex connected to t: {}", stats.grounded_tree, stats.all_coreachable);
+    println!(
+        "grounded tree: {}, every vertex connected to t: {}",
+        stats.grounded_tree, stats.all_coreachable
+    );
 
     // Broadcast a payload with the power-of-two commodity rule (Theorem 3.1).
     let report = run_tree_broadcast::<Pow2Commodity>(

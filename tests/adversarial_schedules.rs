@@ -17,8 +17,13 @@ use rand::SeedableRng;
 const RANDOM_SCHEDULES: usize = 6;
 
 fn battery_terminates<P: anet::sim::AnonymousProtocol>(net: &Network, protocol: &P) {
-    for named in run_under_battery(net, protocol, ExecutionConfig::default(), 2024, RANDOM_SCHEDULES)
-    {
+    for named in run_under_battery(
+        net,
+        protocol,
+        ExecutionConfig::default(),
+        2024,
+        RANDOM_SCHEDULES,
+    ) {
         assert!(
             named.result.outcome.terminated(),
             "scheduler {} failed on a {}-vertex network",
@@ -29,7 +34,13 @@ fn battery_terminates<P: anet::sim::AnonymousProtocol>(net: &Network, protocol: 
 }
 
 fn battery_never_terminates<P: anet::sim::AnonymousProtocol>(net: &Network, protocol: &P) {
-    for named in run_under_battery(net, protocol, ExecutionConfig::default(), 99, RANDOM_SCHEDULES) {
+    for named in run_under_battery(
+        net,
+        protocol,
+        ExecutionConfig::default(),
+        99,
+        RANDOM_SCHEDULES,
+    ) {
         assert!(
             !named.result.outcome.terminated(),
             "scheduler {} terminated on a network with a stranded vertex",
@@ -96,10 +107,18 @@ fn labeling_all_schedules() {
     ];
     let protocol = Labeling::new();
     for net in &nets {
-        for named in
-            run_under_battery(net, &protocol, ExecutionConfig::default(), 5, RANDOM_SCHEDULES)
-        {
-            assert!(named.result.outcome.terminated(), "sched {}", named.scheduler);
+        for named in run_under_battery(
+            net,
+            &protocol,
+            ExecutionConfig::default(),
+            5,
+            RANDOM_SCHEDULES,
+        ) {
+            assert!(
+                named.result.outcome.terminated(),
+                "sched {}",
+                named.scheduler
+            );
             // Uniqueness under every schedule.
             let labels: Vec<_> = net
                 .graph()

@@ -105,18 +105,22 @@ fn dag_broadcast_is_correct_on_dags_and_refuses_otherwise() {
 #[test]
 fn general_broadcast_is_correct_on_every_family_and_refuses_otherwise() {
     for net in grounded_trees().into_iter().chain(dags()).chain(cyclic()) {
-        let ok = run_general_broadcast(
-            &net,
-            Payload::from_bytes(b"g"),
-            &mut FifoScheduler::new(),
-        )
-        .unwrap();
-        assert!(ok.terminated && ok.all_received, "|V| = {}", net.node_count());
+        let ok = run_general_broadcast(&net, Payload::from_bytes(b"g"), &mut FifoScheduler::new())
+            .unwrap();
+        assert!(
+            ok.terminated && ok.all_received,
+            "|V| = {}",
+            net.node_count()
+        );
 
         let broken = generators::with_stranded_vertex(&net).unwrap();
         let refused =
             run_general_broadcast(&broken, Payload::empty(), &mut FifoScheduler::new()).unwrap();
-        assert!(!refused.terminated && refused.quiescent, "|V| = {}", net.node_count());
+        assert!(
+            !refused.terminated && refused.quiescent,
+            "|V| = {}",
+            net.node_count()
+        );
     }
 }
 
@@ -125,12 +129,9 @@ fn general_broadcast_subsumes_the_tree_protocol_on_grounded_trees() {
     // On grounded trees both protocols must succeed; the scalar protocol is the
     // cheaper of the two (that is the whole point of having it).
     for net in grounded_trees() {
-        let tree = run_tree_broadcast::<Pow2Commodity>(
-            &net,
-            Payload::empty(),
-            &mut FifoScheduler::new(),
-        )
-        .unwrap();
+        let tree =
+            run_tree_broadcast::<Pow2Commodity>(&net, Payload::empty(), &mut FifoScheduler::new())
+                .unwrap();
         let general =
             run_general_broadcast(&net, Payload::empty(), &mut FifoScheduler::new()).unwrap();
         assert!(tree.terminated && general.terminated);

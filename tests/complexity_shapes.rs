@@ -37,8 +37,9 @@ fn e1_e2_chain_total_bits_grow_like_e_log_e() {
 fn e1_naive_rule_overhead_grows_with_size() {
     let overhead = |height: usize| {
         let net = generators::full_grounded_tree(height, 3).unwrap();
-        let pow2 = run_tree_broadcast::<Pow2Commodity>(&net, Payload::empty(), &mut FifoScheduler::new())
-            .unwrap();
+        let pow2 =
+            run_tree_broadcast::<Pow2Commodity>(&net, Payload::empty(), &mut FifoScheduler::new())
+                .unwrap();
         let naive =
             run_tree_broadcast::<ExactCommodity>(&net, Payload::empty(), &mut FifoScheduler::new())
                 .unwrap();
@@ -46,7 +47,10 @@ fn e1_naive_rule_overhead_grows_with_size() {
     };
     let small = overhead(3);
     let large = overhead(6);
-    assert!(large > small, "naive/pow2 overhead should grow: {small} -> {large}");
+    assert!(
+        large > small,
+        "naive/pow2 overhead should grow: {small} -> {large}"
+    );
     assert!(large > 1.2);
 }
 

@@ -19,7 +19,10 @@ fn labels_are_unique_and_within_the_length_bound_on_named_families() {
         ("complete-dag", generators::complete_dag(10).unwrap()),
         ("cycle", generators::cycle_with_tail(12).unwrap()),
         ("nested-cycles", generators::nested_cycles(3, 5).unwrap()),
-        ("random-cyclic", generators::random_cyclic(&mut rng, 30, 0.1, 0.15).unwrap()),
+        (
+            "random-cyclic",
+            generators::random_cyclic(&mut rng, 30, 0.1, 0.15).unwrap(),
+        ),
     ];
     for (name, net) in nets {
         let report = run_labeling(&net, &mut FifoScheduler::new()).unwrap();

@@ -2,7 +2,9 @@
 //! linear cuts, the Lemma 3.5 / Theorem 3.6 surgery, and the cross-network version
 //! of the no-strict-submultiset property.
 
-use anet::graph::linear_cut::{contract_beyond_cut, enumerate_linear_cuts, topological_prefix_cuts};
+use anet::graph::linear_cut::{
+    contract_beyond_cut, enumerate_linear_cuts, topological_prefix_cuts,
+};
 use anet::graph::{classify, generators};
 use anet::lowerbounds::linear_cut::verify_cut_lemmas;
 use anet::protocols::tree_broadcast::TreeBroadcast;
@@ -36,7 +38,12 @@ fn no_cut_multiset_is_a_strict_submultiset_even_across_different_trees() {
     let long = generators::chain_gn(7).unwrap();
     let collect = |net: &anet::graph::Network| -> Vec<Vec<String>> {
         let protocol = TreeBroadcast::<Pow2Commodity>::new(Payload::empty());
-        let result = run(net, &protocol, &mut FifoScheduler::new(), ExecutionConfig::with_trace());
+        let result = run(
+            net,
+            &protocol,
+            &mut FifoScheduler::new(),
+            ExecutionConfig::with_trace(),
+        );
         let trace = result.trace.unwrap();
         enumerate_linear_cuts(net, usize::MAX)
             .iter()
@@ -78,11 +85,21 @@ fn contraction_preserves_the_protocol_view_of_v1() {
     let net = generators::chain_gn(9).unwrap();
     let cuts = topological_prefix_cuts(&net).unwrap();
     let protocol = TreeBroadcast::<Pow2Commodity>::new(Payload::from_bytes(b"m"));
-    let base = run(&net, &protocol, &mut FifoScheduler::new(), ExecutionConfig::default());
+    let base = run(
+        &net,
+        &protocol,
+        &mut FifoScheduler::new(),
+        ExecutionConfig::default(),
+    );
     for cut in cuts {
         let (g_star, _) = contract_beyond_cut(&net, &cut).unwrap();
         assert!(classify::all_connected_to_terminal(&g_star));
-        let star = run(&g_star, &protocol, &mut FifoScheduler::new(), ExecutionConfig::default());
+        let star = run(
+            &g_star,
+            &protocol,
+            &mut FifoScheduler::new(),
+            ExecutionConfig::default(),
+        );
         assert!(star.outcome.terminated());
         // V1 vertices keep their original relative order in G*, so compare the
         // forwarded flags pairwise.
@@ -111,7 +128,12 @@ fn auxiliary_surgery_produces_a_non_terminating_network() {
             anet::graph::linear_cut::contract_with_auxiliary(&net, cut, &[crossing.len() - 1])
                 .unwrap();
         assert!(classify::stranded_vertices(&g_aux).contains(&aux));
-        let run_aux = run(&g_aux, &protocol, &mut FifoScheduler::new(), ExecutionConfig::default());
+        let run_aux = run(
+            &g_aux,
+            &protocol,
+            &mut FifoScheduler::new(),
+            ExecutionConfig::default(),
+        );
         assert!(!run_aux.outcome.terminated());
         exercised += 1;
     }

@@ -25,7 +25,11 @@ fn mapping_roundtrips_named_families() {
     for net in &nets {
         let report = run_mapping(net, &mut FifoScheduler::new()).unwrap();
         assert!(report.terminated);
-        assert!(report.reconstruction_is_exact(net), "|V| = {}", net.node_count());
+        assert!(
+            report.reconstruction_is_exact(net),
+            "|V| = {}",
+            net.node_count()
+        );
         let rebuilt = report.topology.as_ref().unwrap().to_network().unwrap();
         assert_eq!(rebuilt.node_count(), net.node_count());
         assert_eq!(rebuilt.edge_count(), net.edge_count());
@@ -37,12 +41,25 @@ fn mapping_roundtrips_under_adversarial_schedules() {
     let mut rng = StdRng::seed_from_u64(77);
     let net = generators::random_cyclic(&mut rng, 12, 0.15, 0.2).unwrap();
     for named in run_under_battery(&net, &Mapping::new(), ExecutionConfig::default(), 13, 4) {
-        assert!(named.result.outcome.terminated(), "sched {}", named.scheduler);
-        let labels: Vec<_> = named.result.states.iter().map(|s| s.label.clone()).collect();
+        assert!(
+            named.result.outcome.terminated(),
+            "sched {}",
+            named.scheduler
+        );
+        let labels: Vec<_> = named
+            .result
+            .states
+            .iter()
+            .map(|s| s.label.clone())
+            .collect();
         let topo = ReconstructedTopology::from_terminal_state(
             &named.result.states[net.terminal().index()],
         );
-        assert!(topo.matches_exactly(&net, &labels), "sched {}", named.scheduler);
+        assert!(
+            topo.matches_exactly(&net, &labels),
+            "sched {}",
+            named.scheduler
+        );
     }
 }
 

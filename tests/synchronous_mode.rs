@@ -22,7 +22,11 @@ fn tree_broadcast_rounds_track_network_depth() {
         let protocol = TreeBroadcast::<Pow2Commodity>::new(Payload::from_bytes(b"m"));
         let run = run_synchronous(&net, &protocol, ExecutionConfig::default());
         assert!(run.result.outcome.terminated());
-        assert!(run.rounds as usize >= n && run.rounds as usize <= n + 2, "n = {n}, rounds = {}", run.rounds);
+        assert!(
+            run.rounds as usize >= n && run.rounds as usize <= n + 2,
+            "n = {n}, rounds = {}",
+            run.rounds
+        );
     }
 }
 
@@ -75,7 +79,8 @@ fn mapping_is_exact_synchronously() {
     let run = run_synchronous(&net, &Mapping::new(), ExecutionConfig::default());
     assert!(run.result.outcome.terminated());
     let labels: Vec<_> = run.result.states.iter().map(|s| s.label.clone()).collect();
-    let topo = ReconstructedTopology::from_terminal_state(&run.result.states[net.terminal().index()]);
+    let topo =
+        ReconstructedTopology::from_terminal_state(&run.result.states[net.terminal().index()]);
     assert!(topo.matches_exactly(&net, &labels));
     assert!(run.rounds > 0);
 }

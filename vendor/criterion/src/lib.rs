@@ -1,0 +1,297 @@
+//! A minimal, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment for this repository has no access to crates.io, so this
+//! shim vendors the surface the workspace's benches use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `sample_size` / `warm_up_time` /
+//! `measurement_time`, `bench_function` / `bench_with_input`, [`Bencher::iter`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery it reports, per benchmark, the
+//! minimum / median / mean time per iteration over `sample_size` samples. That is
+//! plenty to compare engine variants and catch order-of-magnitude regressions;
+//! swap in the real crate via `[workspace.dependencies]` when network access is
+//! available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter rendering alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Reads the command line: the first non-flag argument becomes a substring
+    /// filter on benchmark ids (cargo passes `--bench`; flags are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets how long to warm up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark that needs no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if self.is_selected(&id) {
+            let report = self.run_samples(|b| f(b));
+            self.print_report(&id, &report);
+        }
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        if self.is_selected(&id) {
+            let report = self.run_samples(|b| f(b, input));
+            self.print_report(&id, &report);
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reports print eagerly).
+    pub fn finish(self) {}
+
+    fn is_selected(&self, id: &BenchmarkId) -> bool {
+        match &self.criterion.filter {
+            Some(f) => format!("{}/{}", self.name, id.id).contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_samples<F: FnMut(&mut Bencher)>(&self, mut f: F) -> Report {
+        // Warm-up: run until the warm-up budget is spent, measuring nothing.
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        let mut iters_per_sample = 1u64;
+        while Instant::now() < warm_up_end {
+            let mut bencher = Bencher {
+                iterations: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            // Aim each sample at measurement_time / sample_size.
+            let target = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+            let per_iter = bencher.elapsed.as_secs_f64() / iters_per_sample as f64;
+            if per_iter > 0.0 {
+                iters_per_sample = ((target / per_iter).ceil() as u64).clamp(1, 1 << 24);
+            }
+        }
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                iterations: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        Report {
+            min_ns: per_iter_ns[0],
+            median_ns: per_iter_ns[per_iter_ns.len() / 2],
+            mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
+            iterations: iters_per_sample,
+            samples: per_iter_ns.len(),
+        }
+    }
+
+    fn print_report(&self, id: &BenchmarkId, report: &Report) {
+        println!(
+            "{}/{:<40} min {:>12} median {:>12} mean {:>12} ({} samples x {} iters)",
+            self.name,
+            id.id,
+            format_ns(report.min_ns),
+            format_ns(report.median_ns),
+            format_ns(report.mean_ns),
+            report.samples,
+            report.iterations,
+        );
+    }
+}
+
+#[derive(Debug)]
+struct Report {
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+    iterations: u64,
+    samples: usize,
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times closures for one sample.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for this sample's iteration count, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` function of a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", "p").id, "f/p");
+        assert_eq!(BenchmarkId::from_parameter(32).id, "32");
+        assert_eq!(BenchmarkId::from("name").id, "name");
+    }
+
+    #[test]
+    fn groups_run_and_report() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(5.0).ends_with("ns"));
+        assert!(format_ns(5_000.0).ends_with("us"));
+        assert!(format_ns(5_000_000.0).ends_with("ms"));
+        assert!(format_ns(5_000_000_000.0).ends_with('s'));
+    }
+}
