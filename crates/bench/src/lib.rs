@@ -121,6 +121,47 @@ pub fn f3(x: f64) -> String {
     format!("{x:.3}")
 }
 
+/// Builds an adversarially fragmented element of `U[0, 1)`-style interval
+/// algebra workloads: `count` stripes `[i·stride + offset, i·stride + offset + len)`
+/// on the dyadic grid `1/2^k` (the smallest `k` that fits every stripe).
+///
+/// With `stride > len` the stripes are pairwise disjoint and non-adjacent, so
+/// the union has exactly `count` maximal intervals — the worst case for the
+/// set-algebra merges. Two interleaved stripings (`offset` 0 and 1 at
+/// `stride = 2, len = 1`) merge into a single interval; at `stride = 4,
+/// len = 2` they produce `count` intersection/difference fragments.
+///
+/// `heap_endpoints` selects endpoint representation: `false` keeps every
+/// endpoint mantissa inline (≤ 64 bits), `true` widens each endpoint with 70
+/// extra low-order bits so every mantissa spills to the heap `BigUint` path.
+pub fn striped_union(
+    count: usize,
+    stride: u64,
+    offset: u64,
+    len: u64,
+    heap_endpoints: bool,
+) -> anet_num::IntervalUnion {
+    use anet_num::{BigUint, Dyadic, Interval, IntervalUnion};
+    assert!(stride > 0 && len > 0, "degenerate striping");
+    let span = count as u64 * stride + offset + len + 1;
+    let k = 64 - span.leading_zeros(); // ceil(log2(span + 1)) for span >= 1
+    let endpoint = |cell: u64| -> Dyadic {
+        if heap_endpoints {
+            // Widen the mantissa far past a machine word while keeping the
+            // stripes ordered and disjoint; the 2^65 + 1 tail keeps even the
+            // cell-0 endpoint above the inline limit (and the mantissa odd).
+            let widened = &(&(BigUint::from(cell) << 70) + &BigUint::pow2(65)) + &BigUint::one();
+            Dyadic::from_parts(widened, k + 70)
+        } else {
+            Dyadic::from_u64_parts(cell, k)
+        }
+    };
+    IntervalUnion::from_intervals((0..count as u64).map(|i| {
+        let lo = i * stride + offset;
+        Interval::new(endpoint(lo), endpoint(lo + len)).expect("stripe endpoints are ordered")
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +188,28 @@ mod tests {
                 w.name
             );
             assert!(classify::all_reachable_from_root(&w.network));
+        }
+    }
+
+    #[test]
+    fn striped_union_shapes_are_as_documented() {
+        for heap in [false, true] {
+            let evens = striped_union(100, 2, 0, 1, heap);
+            let odds = striped_union(100, 2, 1, 1, heap);
+            assert_eq!(evens.interval_count(), 100, "heap = {heap}");
+            assert_eq!(odds.interval_count(), 100, "heap = {heap}");
+            assert!(!evens.intersects(&odds), "heap = {heap}");
+            // Interleaved stripes are all mutually adjacent: the union collapses
+            // into one maximal interval (the adversarial all-merge case).
+            assert_eq!(evens.union(&odds).interval_count(), 1, "heap = {heap}");
+            let wide_a = striped_union(50, 4, 0, 2, heap);
+            let wide_b = striped_union(50, 4, 1, 2, heap);
+            assert_eq!(wide_a.intersection(&wide_b).interval_count(), 50);
+            assert_eq!(wide_a.difference(&wide_b).interval_count(), 50);
+            for iv in evens.iter() {
+                assert_eq!(iv.lo().is_inline(), !heap);
+                assert_eq!(iv.hi().is_inline(), !heap);
+            }
         }
     }
 

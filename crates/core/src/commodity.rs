@@ -128,7 +128,7 @@ impl Wire for Pow2Commodity {
         // Mantissa (length-prefixed) + gamma-coded exponent. For the values the
         // grounded-tree protocol transmits the mantissa is a single 1-bit, so the
         // size is dominated by the exponent: O(log of the splitting depth).
-        bits::length_prefixed_bits(self.0.mantissa().bit_len())
+        bits::length_prefixed_bits(self.0.mantissa_bit_len())
             + bits::elias_gamma_bits(u64::from(self.0.exponent()))
     }
 }

@@ -73,9 +73,11 @@ pub struct GeneralState {
 impl GeneralState {
     /// The union of all α components — the interval mass this vertex has routed.
     pub fn alpha_union(&self) -> IntervalUnion {
-        self.alpha
-            .iter()
-            .fold(IntervalUnion::empty(), |acc, a| acc.union(a))
+        let mut acc = IntervalUnion::empty();
+        for a in &self.alpha {
+            acc.union_in_place(a);
+        }
+        acc
     }
 
     /// The terminal's coverage: everything it has received (α and β alike).
@@ -149,18 +151,35 @@ impl AnonymousProtocol for GeneralBroadcast {
             return Vec::new();
         }
 
-        let old_alpha = state.alpha.clone();
-        let old_beta = state.beta.clone();
-
+        // The α/β increments are computed *before* the state is updated, so no
+        // snapshot of the (ever-growing) prior state is ever cloned: incoming
+        // message components are small deltas, and the in-place set ops merge
+        // them into the state without intermediate allocations.
+        let mut out = Vec::new();
         if !state.partitioned && !message.alpha.is_empty() {
             // First interval mass: one-time canonical partition among the out-ports.
             state.partitioned = true;
             let parts = canonical_partition_nonempty(&message.alpha, d)
                 .expect("out-degree is positive, so the partition is well-defined");
+            let mut beta_delta = message.beta.clone();
+            beta_delta.subtract_assign(&state.beta);
+            state.beta.union_in_place(&beta_delta);
             for (j, part) in parts.into_iter().enumerate() {
-                state.alpha[j].union_in_place(&part);
+                // β-only traffic never touches α, so each α_j is still empty
+                // here and the partition piece *is* the port's α increment.
+                debug_assert!(state.alpha[j].is_empty());
+                if !part.is_empty() || !beta_delta.is_empty() {
+                    out.push((
+                        j,
+                        GeneralMessage {
+                            alpha: part.clone(),
+                            beta: beta_delta.clone(),
+                            payload: self.payload.clone(),
+                        },
+                    ));
+                }
+                state.alpha[j] = part;
             }
-            state.beta.union_in_place(&message.beta);
         } else {
             // Subsequent mass: anything already seen on some out-port is cycle
             // evidence (β); genuinely new mass is routed to the last out-port.
@@ -168,28 +187,37 @@ impl AnonymousProtocol for GeneralBroadcast {
             for routed in &state.alpha {
                 overlap.union_in_place(&message.alpha.intersection(routed));
             }
-            let mut earlier_ports = IntervalUnion::empty();
+            let mut fresh = message.alpha.clone();
             for routed in &state.alpha[..d - 1] {
-                earlier_ports.union_in_place(routed);
+                fresh.subtract_assign(routed);
             }
-            let fresh = message.alpha.difference(&earlier_ports);
+            // What the last port has already routed is not an increment either.
+            fresh.subtract_assign(&state.alpha[d - 1]);
+            let mut beta_delta = message.beta.union(&overlap);
+            beta_delta.subtract_assign(&state.beta);
+            state.beta.union_in_place(&beta_delta);
             state.alpha[d - 1].union_in_place(&fresh);
-            state.beta.union_in_place(&message.beta);
-            state.beta.union_in_place(&overlap);
-        }
-
-        // g: on port j send the α_j increment and the β increment; send nothing on
-        // ports where neither changed.
-        let beta_delta = state.beta.difference(&old_beta);
-        let mut out = Vec::new();
-        for (j, old) in old_alpha.iter().enumerate().take(d) {
-            let alpha_delta = state.alpha[j].difference(old);
-            if !alpha_delta.is_empty() || !beta_delta.is_empty() {
+            // g: on port j send the α_j increment and the β increment; send
+            // nothing on ports where neither changed. Only the last port can
+            // carry an α increment outside the partition step.
+            if !beta_delta.is_empty() {
+                for j in 0..d - 1 {
+                    out.push((
+                        j,
+                        GeneralMessage {
+                            alpha: IntervalUnion::empty(),
+                            beta: beta_delta.clone(),
+                            payload: self.payload.clone(),
+                        },
+                    ));
+                }
+            }
+            if !fresh.is_empty() || !beta_delta.is_empty() {
                 out.push((
-                    j,
+                    d - 1,
                     GeneralMessage {
-                        alpha: alpha_delta,
-                        beta: beta_delta.clone(),
+                        alpha: fresh,
+                        beta: beta_delta,
                         payload: self.payload.clone(),
                     },
                 ));

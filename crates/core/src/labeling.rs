@@ -125,47 +125,64 @@ impl AnonymousProtocol for Labeling {
             return Vec::new();
         }
 
-        let old_alpha = state.alpha.clone();
-        let old_beta = state.beta.clone();
-
+        // Increments are computed before the state is updated (see
+        // `general_broadcast`): no `old_alpha`/`old_beta` snapshots are cloned.
+        let mut out = Vec::new();
         if !state.partitioned && !message.alpha.is_empty() {
             state.partitioned = true;
             let parts =
                 canonical_partition_nonempty(&message.alpha, d + 1).expect("d + 1 >= 2 parts");
             let mut parts = parts.into_iter();
             let own = parts.next().expect("partition has d + 1 parts");
-            state.label = own.clone();
-            for (j, part) in parts.enumerate() {
-                state.alpha[j].union_in_place(&part);
-            }
             // β'' = β' ∪ α_0: the claimed label must still reach the terminal.
-            state.beta.union_in_place(&message.beta);
-            state.beta.union_in_place(&own);
+            let mut beta_delta = message.beta.union(&own);
+            beta_delta.subtract_assign(&state.beta);
+            state.beta.union_in_place(&beta_delta);
+            state.label = own;
+            for (j, part) in parts.enumerate() {
+                debug_assert!(state.alpha[j].is_empty());
+                if !part.is_empty() || !beta_delta.is_empty() {
+                    out.push((
+                        j,
+                        LabelMessage {
+                            alpha: part.clone(),
+                            beta: beta_delta.clone(),
+                        },
+                    ));
+                }
+                state.alpha[j] = part;
+            }
         } else {
             let mut overlap = message.alpha.intersection(&state.label);
             for routed in &state.alpha {
                 overlap.union_in_place(&message.alpha.intersection(routed));
             }
-            let mut earlier_ports = IntervalUnion::empty();
+            let mut fresh = message.alpha.clone();
             for routed in &state.alpha[..d - 1] {
-                earlier_ports.union_in_place(routed);
+                fresh.subtract_assign(routed);
             }
-            let fresh = message.alpha.difference(&earlier_ports);
+            fresh.subtract_assign(&state.alpha[d - 1]);
+            let mut beta_delta = message.beta.union(&overlap);
+            beta_delta.subtract_assign(&state.beta);
+            state.beta.union_in_place(&beta_delta);
             state.alpha[d - 1].union_in_place(&fresh);
-            state.beta.union_in_place(&message.beta);
-            state.beta.union_in_place(&overlap);
-        }
-
-        let beta_delta = state.beta.difference(&old_beta);
-        let mut out = Vec::new();
-        for (j, old) in old_alpha.iter().enumerate().take(d) {
-            let alpha_delta = state.alpha[j].difference(old);
-            if !alpha_delta.is_empty() || !beta_delta.is_empty() {
+            if !beta_delta.is_empty() {
+                for j in 0..d - 1 {
+                    out.push((
+                        j,
+                        LabelMessage {
+                            alpha: IntervalUnion::empty(),
+                            beta: beta_delta.clone(),
+                        },
+                    ));
+                }
+            }
+            if !fresh.is_empty() || !beta_delta.is_empty() {
                 out.push((
-                    j,
+                    d - 1,
                     LabelMessage {
-                        alpha: alpha_delta,
-                        beta: beta_delta.clone(),
+                        alpha: fresh,
+                        beta: beta_delta,
                     },
                 ));
             }

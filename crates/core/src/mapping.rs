@@ -325,10 +325,12 @@ impl AnonymousProtocol for Mapping {
         }
 
         // 2. Labelling core (note: labels are *not* folded into β here; the vertex
-        //    record carries them instead).
-        let old_alpha = state.alpha.clone();
-        let old_beta = state.beta.clone();
+        //    record carries them instead). As in `general_broadcast`, the per-port
+        //    α increments and the β increment are computed *before* the state is
+        //    updated, so no `old_alpha`/`old_beta` snapshots are cloned.
         let was_labeled = state.is_labeled();
+        let mut alpha_deltas: Vec<IntervalUnion> = vec![IntervalUnion::empty(); d];
+        let mut beta_delta = IntervalUnion::empty();
 
         if d == 0 {
             state.label.union_in_place(&message.alpha);
@@ -339,25 +341,29 @@ impl AnonymousProtocol for Mapping {
                 canonical_partition_nonempty(&message.alpha, d + 1).expect("d + 1 >= 2 parts");
             let mut parts = parts.into_iter();
             state.label = parts.next().expect("partition has d + 1 parts");
+            beta_delta = message.beta.clone();
+            beta_delta.subtract_assign(&state.beta);
+            state.beta.union_in_place(&beta_delta);
             for (j, part) in parts.enumerate() {
-                state.alpha[j].union_in_place(&part);
+                debug_assert!(state.alpha[j].is_empty());
+                state.alpha[j] = part.clone();
+                alpha_deltas[j] = part;
             }
-            state.beta.union_in_place(&message.beta);
         } else {
             let mut overlap = message.alpha.intersection(&state.label);
             for routed in &state.alpha {
                 overlap.union_in_place(&message.alpha.intersection(routed));
             }
-            if d > 0 {
-                let mut earlier_ports = IntervalUnion::empty();
-                for routed in &state.alpha[..d - 1] {
-                    earlier_ports.union_in_place(routed);
-                }
-                let fresh = message.alpha.difference(&earlier_ports);
-                state.alpha[d - 1].union_in_place(&fresh);
+            let mut fresh = message.alpha.clone();
+            for routed in &state.alpha[..d - 1] {
+                fresh.subtract_assign(routed);
             }
-            state.beta.union_in_place(&message.beta);
-            state.beta.union_in_place(&overlap);
+            fresh.subtract_assign(&state.alpha[d - 1]);
+            beta_delta = message.beta.union(&overlap);
+            beta_delta.subtract_assign(&state.beta);
+            state.beta.union_in_place(&beta_delta);
+            state.alpha[d - 1].union_in_place(&fresh);
+            alpha_deltas[d - 1] = fresh;
         }
 
         let just_labeled = !was_labeled && state.is_labeled();
@@ -408,10 +414,8 @@ impl AnonymousProtocol for Mapping {
         for record in &new_records {
             state.sent.insert(record.clone());
         }
-        let beta_delta = state.beta.difference(&old_beta);
         let mut out = Vec::new();
-        for (j, old) in old_alpha.iter().enumerate().take(d) {
-            let alpha_delta = state.alpha[j].difference(old);
+        for (j, alpha_delta) in alpha_deltas.into_iter().enumerate() {
             let announce = if just_labeled {
                 Some(Announce {
                     src: state.own_ref(),

@@ -98,6 +98,33 @@ impl BigUint {
         None
     }
 
+    /// Builds a value from a `u128` (the widest intermediate the inline dyadic
+    /// fast path produces).
+    pub fn from_u128(v: u128) -> Self {
+        let mut out = BigUint {
+            limbs: vec![
+                v as Limb,
+                (v >> 32) as Limb,
+                (v >> 64) as Limb,
+                (v >> 96) as Limb,
+            ],
+        };
+        out.normalize();
+        out
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.limbs.len() > 4 {
+            return None;
+        }
+        let mut acc: u128 = 0;
+        for (i, &l) in self.limbs.iter().enumerate() {
+            acc |= u128::from(l) << (32 * i);
+        }
+        Some(acc)
+    }
+
     /// Converts to `u64` if the value fits.
     pub fn to_u64(&self) -> Option<u64> {
         match self.limbs.len() {
@@ -613,6 +640,28 @@ mod tests {
         for v in [0u64, 1, 2, 0xffff_ffff, 0x1_0000_0000, u64::MAX] {
             assert_eq!(BigUint::from(v).to_u64(), Some(v));
         }
+    }
+
+    #[test]
+    fn from_u128_round_trips() {
+        for v in [
+            0u128,
+            1,
+            u128::from(u64::MAX),
+            u128::from(u64::MAX) + 1,
+            u128::MAX,
+        ] {
+            let big = BigUint::from_u128(v);
+            assert_eq!(big.to_u128(), Some(v));
+            if let Ok(small) = u64::try_from(v) {
+                assert_eq!(big, BigUint::from(small));
+            }
+        }
+        assert_eq!(BigUint::pow2(128).to_u128(), None);
+        assert_eq!(
+            BigUint::from_u128(u128::MAX),
+            (BigUint::pow2(128) - BigUint::one())
+        );
     }
 
     #[test]

@@ -12,10 +12,42 @@ use std::ops::{Add, AddAssign, Mul, Sub};
 
 use crate::{BigUint, NumError};
 
+/// The mantissa of a [`Dyadic`]: an inline machine word for the overwhelmingly
+/// common case, spilling to an arbitrary-precision [`BigUint`] only when the
+/// value genuinely needs more than 64 bits.
+///
+/// # Representation invariant
+///
+/// `Big` is used **iff** the mantissa does not fit in a `u64`. A mantissa that
+/// fits is always stored as `Small`, so two equal values have identical
+/// representations and the derived `PartialEq`/`Hash` are value-based.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Mantissa {
+    /// Mantissa fits in a machine word — no heap allocation anywhere.
+    Small(u64),
+    /// Mantissa exceeds `u64::MAX` (more than 64 significant bits).
+    Big(BigUint),
+}
+
 /// A non-negative dyadic rational `mantissa / 2^exponent`.
 ///
-/// The value is kept in canonical form: the mantissa is odd (or zero, in which case
-/// the exponent is zero). Equality and ordering are therefore value-based.
+/// # Representation invariants
+///
+/// The value is kept in canonical form at all times:
+///
+/// 1. the mantissa is odd whenever `exponent > 0` (zero has `exponent == 0`), so
+///    equal values have equal `(mantissa, exponent)` pairs;
+/// 2. the mantissa is stored **inline as a `u64`** whenever it fits, and spills
+///    to a heap-allocated [`BigUint`] only beyond 64 significant bits.
+///
+/// Invariant 2 is the small-value fast path: interval endpoints produced by
+/// repeated halvings and canonical partitions stay within a machine word for
+/// all practical network depths, so comparisons, `+`, `-` and normalisation
+/// run branch-cheap inline `u64`/`u128` arithmetic and **never allocate**. The
+/// `BigUint` spill path preserves exactness for adversarially deep values; the
+/// two representations never coexist for the same value, so equality and
+/// hashing stay value-based. The always-heap implementations are retained in
+/// [`crate::reference`] for differential testing.
 ///
 /// # Example
 ///
@@ -24,100 +56,222 @@ use crate::{BigUint, NumError};
 ///
 /// let half = Dyadic::from_pow2_neg(1);
 /// let quarter = Dyadic::from_pow2_neg(2);
-/// assert_eq!(&half + &quarter, Dyadic::from_parts(3u64.into(), 2)); // 3/4
+/// assert_eq!(&half + &quarter, Dyadic::from_u64_parts(3, 2)); // 3/4
 /// assert!(quarter < half);
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Dyadic {
-    mantissa: BigUint,
+    mantissa: Mantissa,
     exponent: u32,
+}
+
+/// Bit length of a non-zero `u64` mantissa.
+#[inline]
+fn bit_len_u64(m: u64) -> u32 {
+    u64::BITS - m.leading_zeros()
 }
 
 impl Dyadic {
     /// The value zero.
+    #[inline]
     pub fn zero() -> Self {
         Dyadic {
-            mantissa: BigUint::zero(),
+            mantissa: Mantissa::Small(0),
             exponent: 0,
         }
     }
 
     /// The value one.
+    #[inline]
     pub fn one() -> Self {
         Dyadic {
-            mantissa: BigUint::one(),
+            mantissa: Mantissa::Small(1),
             exponent: 0,
         }
     }
 
-    /// Builds `mantissa / 2^exponent`, normalising to canonical form.
+    /// Builds `mantissa / 2^exponent`, normalising to canonical form (this
+    /// includes demoting a heap mantissa that fits in a `u64` to the inline
+    /// representation).
     pub fn from_parts(mantissa: BigUint, exponent: u32) -> Self {
-        let mut d = Dyadic { mantissa, exponent };
-        d.normalize();
-        d
+        match mantissa.to_u64() {
+            Some(small) => Dyadic::from_u64_parts(small, exponent),
+            None => {
+                let mut d = Dyadic {
+                    mantissa: Mantissa::Big(mantissa),
+                    exponent,
+                };
+                d.normalize_big();
+                d
+            }
+        }
+    }
+
+    /// Builds `mantissa / 2^exponent` from an inline mantissa — the
+    /// allocation-free constructor for endpoints with at most 64 mantissa bits.
+    #[inline]
+    pub fn from_u64_parts(mantissa: u64, exponent: u32) -> Self {
+        if mantissa == 0 {
+            return Dyadic::zero();
+        }
+        let reduce = (mantissa.trailing_zeros()).min(exponent);
+        Dyadic {
+            mantissa: Mantissa::Small(mantissa >> reduce),
+            exponent: exponent - reduce,
+        }
+    }
+
+    /// Builds `mantissa / 2^exponent` from a double-word intermediate, spilling
+    /// to the heap only when more than 64 bits survive normalisation.
+    #[inline]
+    fn from_u128_parts(mantissa: u128, exponent: u32) -> Self {
+        if mantissa == 0 {
+            return Dyadic::zero();
+        }
+        let reduce = (mantissa.trailing_zeros()).min(exponent);
+        let m = mantissa >> reduce;
+        let exponent = exponent - reduce;
+        match u64::try_from(m) {
+            Ok(small) => Dyadic {
+                mantissa: Mantissa::Small(small),
+                exponent,
+            },
+            Err(_) => Dyadic {
+                mantissa: Mantissa::Big(BigUint::from_u128(m)),
+                exponent,
+            },
+        }
     }
 
     /// Returns `2^-k`, the commodity value after `k` binary halvings.
+    #[inline]
     pub fn from_pow2_neg(k: u32) -> Self {
         Dyadic {
-            mantissa: BigUint::one(),
+            mantissa: Mantissa::Small(1),
             exponent: k,
         }
     }
 
     /// Builds a dyadic from an integer.
+    #[inline]
     pub fn from_u64(v: u64) -> Self {
-        Dyadic::from_parts(BigUint::from(v), 0)
+        Dyadic {
+            mantissa: Mantissa::Small(v),
+            exponent: 0,
+        }
     }
 
-    fn normalize(&mut self) {
-        if self.mantissa.is_zero() {
+    /// Restores canonical form for a heap mantissa: strips the trailing zeros
+    /// covered by the exponent and demotes to the inline representation when 64
+    /// bits suffice.
+    fn normalize_big(&mut self) {
+        let Mantissa::Big(big) = &self.mantissa else {
+            return;
+        };
+        if big.is_zero() {
+            self.mantissa = Mantissa::Small(0);
             self.exponent = 0;
             return;
         }
-        if let Some(tz) = self.mantissa.trailing_zeros() {
-            let reduce = (tz as u32).min(self.exponent);
+        if let Some(tz) = big.trailing_zeros() {
+            let reduce = u32::try_from(tz).unwrap_or(u32::MAX).min(self.exponent);
             if reduce > 0 {
-                self.mantissa = &self.mantissa >> reduce;
+                let reduced = big >> reduce;
                 self.exponent -= reduce;
+                self.mantissa = match reduced.to_u64() {
+                    Some(small) => Mantissa::Small(small),
+                    None => Mantissa::Big(reduced),
+                };
+                return;
             }
+        }
+        if let Some(small) = big.to_u64() {
+            self.mantissa = Mantissa::Small(small);
         }
     }
 
     /// Returns `true` if the value is zero.
+    #[inline]
     pub fn is_zero(&self) -> bool {
-        self.mantissa.is_zero()
+        matches!(self.mantissa, Mantissa::Small(0))
     }
 
     /// Returns `true` if the value is one.
+    #[inline]
     pub fn is_one(&self) -> bool {
-        self.exponent == 0 && self.mantissa.is_one()
+        self.exponent == 0 && matches!(self.mantissa, Mantissa::Small(1))
     }
 
-    /// The canonical (odd or zero) mantissa.
-    pub fn mantissa(&self) -> &BigUint {
-        &self.mantissa
+    /// The canonical (odd or zero) mantissa, widened to a [`BigUint`].
+    ///
+    /// This is a reporting/interop accessor: it allocates when the mantissa is
+    /// inline. Hot paths use [`Dyadic::mantissa_bit_len`] or
+    /// [`Dyadic::inline_mantissa`] instead.
+    pub fn mantissa(&self) -> BigUint {
+        match &self.mantissa {
+            Mantissa::Small(m) => BigUint::from(*m),
+            Mantissa::Big(b) => b.clone(),
+        }
+    }
+
+    /// The inline mantissa, when the value is on the small-value fast path.
+    #[inline]
+    pub fn inline_mantissa(&self) -> Option<u64> {
+        match &self.mantissa {
+            Mantissa::Small(m) => Some(*m),
+            Mantissa::Big(_) => None,
+        }
+    }
+
+    /// Returns `true` while the mantissa is stored inline (≤ 64 significant
+    /// bits — no heap allocation held by this value).
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.mantissa, Mantissa::Small(_))
+    }
+
+    /// Number of significant bits of the mantissa (`0` for zero).
+    #[inline]
+    pub fn mantissa_bit_len(&self) -> u64 {
+        match &self.mantissa {
+            Mantissa::Small(0) => 0,
+            Mantissa::Small(m) => u64::from(bit_len_u64(*m)),
+            Mantissa::Big(b) => b.bit_len(),
+        }
     }
 
     /// The canonical exponent: the number of bits after the binary point.
+    #[inline]
     pub fn exponent(&self) -> u32 {
         self.exponent
     }
 
     /// Returns `true` if the value is an exact (non-negative) power of two,
     /// including `1 = 2^0`. Zero is not a power of two.
+    #[inline]
     pub fn is_pow2(&self) -> bool {
-        self.mantissa.is_one()
+        matches!(self.mantissa, Mantissa::Small(1))
     }
 
     /// For a power of two `2^-k` (with `k >= 0`), returns `k`. Returns `None` for
     /// any other value (including values `> 1`).
+    #[inline]
     pub fn pow2_neg_exponent(&self) -> Option<u32> {
-        if self.mantissa.is_one() {
+        if self.is_pow2() {
             Some(self.exponent)
         } else {
             None
         }
+    }
+
+    /// The aligned big-mantissa pair `(a << (e - ea), b << (e - eb))` with
+    /// `e = max(ea, eb)` — the slow path shared by comparison, addition and
+    /// subtraction when either operand has spilled to the heap.
+    fn aligned_big(&self, other: &Dyadic) -> (BigUint, BigUint, u32) {
+        let exp = self.exponent.max(other.exponent);
+        let a = self.mantissa() << (exp - self.exponent);
+        let b = other.mantissa() << (exp - other.exponent);
+        (a, b, exp)
     }
 
     /// Checked subtraction.
@@ -126,20 +280,44 @@ impl Dyadic {
     ///
     /// Returns [`NumError::Underflow`] when `other > self`.
     pub fn checked_sub(&self, other: &Dyadic) -> Result<Dyadic, NumError> {
-        let exp = self.exponent.max(other.exponent);
-        let a = &self.mantissa << (exp - self.exponent);
-        let b = &other.mantissa << (exp - other.exponent);
+        if let (Mantissa::Small(ma), Mantissa::Small(mb)) = (&self.mantissa, &other.mantissa) {
+            let exp = self.exponent.max(other.exponent);
+            let sa = exp - self.exponent;
+            let sb = exp - other.exponent;
+            if sa < 64 && sb < 64 {
+                let va = u128::from(*ma) << sa;
+                let vb = u128::from(*mb) << sb;
+                return match va.checked_sub(vb) {
+                    Some(diff) => Ok(Dyadic::from_u128_parts(diff, exp)),
+                    None => Err(NumError::Underflow),
+                };
+            }
+        }
+        let (a, b, exp) = self.aligned_big(other);
         Ok(Dyadic::from_parts(a.checked_sub(&b)?, exp))
     }
 
     /// Divides by `2^k` exactly.
+    #[inline]
     pub fn div_pow2(&self, k: u32) -> Dyadic {
         if self.is_zero() {
             return Dyadic::zero();
         }
+        if self.exponent == 0 {
+            // An integer may have an even mantissa; renormalise so the new
+            // positive exponent keeps the mantissa odd.
+            return match &self.mantissa {
+                Mantissa::Small(m) => Dyadic::from_u64_parts(*m, k),
+                Mantissa::Big(b) => Dyadic::from_parts(b.clone(), k),
+            };
+        }
+        // Canonical with a positive exponent means the mantissa is already odd.
         Dyadic {
             mantissa: self.mantissa.clone(),
-            exponent: self.exponent + k,
+            exponent: self
+                .exponent
+                .checked_add(k)
+                .expect("dyadic exponent overflow"),
         }
     }
 
@@ -149,28 +327,43 @@ impl Dyadic {
             return Dyadic::zero();
         }
         if k <= self.exponent {
-            Dyadic {
+            return Dyadic {
                 mantissa: self.mantissa.clone(),
                 exponent: self.exponent - k,
+            };
+        }
+        let shift = k - self.exponent;
+        match &self.mantissa {
+            Mantissa::Small(m) if shift <= 64 => {
+                Dyadic::from_u128_parts(u128::from(*m) << shift, 0)
             }
-        } else {
-            Dyadic::from_parts(&self.mantissa << (k - self.exponent), 0)
+            _ => Dyadic::from_parts(self.mantissa() << shift, 0),
         }
     }
 
     /// Halves the value exactly.
+    #[inline]
     pub fn halve(&self) -> Dyadic {
         self.div_pow2(1)
     }
 
     /// Multiplies by a small integer exactly.
     pub fn mul_u32(&self, factor: u32) -> Dyadic {
-        Dyadic::from_parts(self.mantissa.mul_small(factor), self.exponent)
+        match &self.mantissa {
+            Mantissa::Small(m) => {
+                Dyadic::from_u128_parts(u128::from(*m) * u128::from(factor), self.exponent)
+            }
+            Mantissa::Big(b) => Dyadic::from_parts(b.mul_small(factor), self.exponent),
+        }
     }
 
     /// Approximate `f64` value (for reporting only; never used in protocol logic).
     pub fn to_f64(&self) -> f64 {
-        self.mantissa.to_f64() / 2f64.powi(self.exponent as i32)
+        let m = match &self.mantissa {
+            Mantissa::Small(m) => *m as f64,
+            Mantissa::Big(b) => b.to_f64(),
+        };
+        m / 2f64.powi(self.exponent as i32)
     }
 
     /// Number of bits in a positional binary-point representation of the value:
@@ -180,11 +373,8 @@ impl Dyadic {
     /// "written down" as a binary expansion, and each canonical partition appends
     /// `O(log k)` further bits to it (Theorem 4.3).
     pub fn positional_bits(&self) -> u64 {
-        let int_bits = if self.mantissa.bit_len() > u64::from(self.exponent) {
-            self.mantissa.bit_len() - u64::from(self.exponent)
-        } else {
-            0
-        };
+        let bits = self.mantissa_bit_len();
+        let int_bits = bits.saturating_sub(u64::from(self.exponent));
         int_bits + u64::from(self.exponent)
     }
 
@@ -193,13 +383,13 @@ impl Dyadic {
         if self.is_zero() {
             return "0.0".to_owned();
         }
-        let int_part = &self.mantissa >> self.exponent;
+        let mantissa = self.mantissa();
+        let int_part = &mantissa >> self.exponent;
         let frac = if self.exponent == 0 {
             BigUint::zero()
         } else {
             // mantissa mod 2^exponent
-            self.mantissa
-                .clone()
+            mantissa
                 .checked_sub(&(&int_part << self.exponent))
                 .expect("int part <= value")
         };
@@ -223,10 +413,58 @@ impl Default for Dyadic {
 
 impl Ord for Dyadic {
     fn cmp(&self, other: &Self) -> Ordering {
-        let exp = self.exponent.max(other.exponent);
-        let a = &self.mantissa << (exp - self.exponent);
-        let b = &other.mantissa << (exp - other.exponent);
-        a.cmp(&b)
+        match (&self.mantissa, &other.mantissa) {
+            (Mantissa::Small(ma), Mantissa::Small(mb)) => {
+                let (ma, mb) = (*ma, *mb);
+                if self.exponent == other.exponent || ma == 0 || mb == 0 {
+                    return ma.cmp(&mb);
+                }
+                // Compare the binary-point position of the leading bit first;
+                // only equal magnitudes need aligned mantissas, and then the
+                // exponent difference equals the bit-length difference, < 64.
+                let pa = i64::from(bit_len_u64(ma)) - i64::from(self.exponent);
+                let pb = i64::from(bit_len_u64(mb)) - i64::from(other.exponent);
+                if pa != pb {
+                    return pa.cmp(&pb);
+                }
+                if self.exponent >= other.exponent {
+                    u128::from(ma).cmp(&(u128::from(mb) << (self.exponent - other.exponent)))
+                } else {
+                    (u128::from(ma) << (other.exponent - self.exponent)).cmp(&u128::from(mb))
+                }
+            }
+            // Equal scales compare by mantissa alone; a spilled mantissa always
+            // exceeds an inline one (> 64 significant bits vs at most 64).
+            (Mantissa::Small(_), Mantissa::Big(_)) if self.exponent == other.exponent => {
+                Ordering::Less
+            }
+            (Mantissa::Big(_), Mantissa::Small(_)) if self.exponent == other.exponent => {
+                Ordering::Greater
+            }
+            (Mantissa::Big(a), Mantissa::Big(b)) if self.exponent == other.exponent => a.cmp(b),
+            _ => {
+                // At least one operand spilled to the heap, so it is non-zero;
+                // the inline side may still be zero, which the leading-bit
+                // position formula below does not cover.
+                if self.is_zero() {
+                    return Ordering::Less;
+                }
+                if other.is_zero() {
+                    return Ordering::Greater;
+                }
+                // Mixed scales: the magnitude pre-check usually decides without
+                // allocating aligned mantissas.
+                let pa = i128::from(self.mantissa_bit_len()) - i128::from(self.exponent);
+                let pb = i128::from(other.mantissa_bit_len()) - i128::from(other.exponent);
+                match pa.cmp(&pb) {
+                    Ordering::Equal => {
+                        let (a, b, _) = self.aligned_big(other);
+                        a.cmp(&b)
+                    }
+                    ord => ord,
+                }
+            }
+        }
     }
 }
 
@@ -239,9 +477,17 @@ impl PartialOrd for Dyadic {
 impl Add for &Dyadic {
     type Output = Dyadic;
     fn add(self, rhs: &Dyadic) -> Dyadic {
-        let exp = self.exponent.max(rhs.exponent);
-        let a = &self.mantissa << (exp - self.exponent);
-        let b = &rhs.mantissa << (exp - rhs.exponent);
+        if let (Mantissa::Small(ma), Mantissa::Small(mb)) = (&self.mantissa, &rhs.mantissa) {
+            let exp = self.exponent.max(rhs.exponent);
+            let sa = exp - self.exponent;
+            let sb = exp - rhs.exponent;
+            if sa < 64 && sb < 64 {
+                // Each summand is < 2^127, so the u128 sum cannot overflow.
+                let sum = (u128::from(*ma) << sa) + (u128::from(*mb) << sb);
+                return Dyadic::from_u128_parts(sum, exp);
+            }
+        }
+        let (a, b, exp) = self.aligned_big(rhs);
         Dyadic::from_parts(&a + &b, exp)
     }
 }
@@ -280,21 +526,24 @@ impl Sub for Dyadic {
 impl Mul for &Dyadic {
     type Output = Dyadic;
     fn mul(self, rhs: &Dyadic) -> Dyadic {
-        Dyadic::from_parts(
-            &self.mantissa * &rhs.mantissa,
-            self.exponent
-                .checked_add(rhs.exponent)
-                .expect("dyadic exponent overflow"),
-        )
+        let exp = self
+            .exponent
+            .checked_add(rhs.exponent)
+            .expect("dyadic exponent overflow");
+        if let (Mantissa::Small(ma), Mantissa::Small(mb)) = (&self.mantissa, &rhs.mantissa) {
+            return Dyadic::from_u128_parts(u128::from(*ma) * u128::from(*mb), exp);
+        }
+        Dyadic::from_parts(&self.mantissa() * &rhs.mantissa(), exp)
     }
 }
 
 impl fmt::Display for Dyadic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.exponent == 0 {
-            write!(f, "{}", self.mantissa)
-        } else {
-            write!(f, "{}/2^{}", self.mantissa, self.exponent)
+        match (&self.mantissa, self.exponent) {
+            (Mantissa::Small(m), 0) => write!(f, "{m}"),
+            (Mantissa::Small(m), e) => write!(f, "{m}/2^{e}"),
+            (Mantissa::Big(b), 0) => write!(f, "{b}"),
+            (Mantissa::Big(b), e) => write!(f, "{b}/2^{e}"),
         }
     }
 }
@@ -315,6 +564,7 @@ mod tests {
         assert_eq!(d, Dyadic::from_pow2_neg(1));
         assert_eq!(d.exponent(), 1);
         assert!(d.mantissa().is_one());
+        assert_eq!(d.inline_mantissa(), Some(1));
     }
 
     #[test]
@@ -323,6 +573,7 @@ mod tests {
         assert!(d.is_zero());
         assert_eq!(d.exponent(), 0);
         assert_eq!(d, Dyadic::default());
+        assert_eq!(Dyadic::from_u64_parts(0, 9), Dyadic::zero());
     }
 
     #[test]
@@ -347,14 +598,14 @@ mod tests {
     #[test]
     fn addition_with_different_exponents() {
         // 3/8 + 1/4 = 5/8
-        let a = Dyadic::from_parts(BigUint::from(3u64), 3);
+        let a = Dyadic::from_u64_parts(3, 3);
         let b = Dyadic::from_pow2_neg(2);
-        assert_eq!(&a + &b, Dyadic::from_parts(BigUint::from(5u64), 3));
+        assert_eq!(&a + &b, Dyadic::from_u64_parts(5, 3));
     }
 
     #[test]
     fn subtraction_and_underflow() {
-        let a = Dyadic::from_parts(BigUint::from(5u64), 3);
+        let a = Dyadic::from_u64_parts(5, 3);
         let b = Dyadic::from_pow2_neg(3);
         assert_eq!(&a - &b, Dyadic::from_pow2_neg(1));
         assert_eq!(b.checked_sub(&a), Err(NumError::Underflow));
@@ -362,7 +613,7 @@ mod tests {
 
     #[test]
     fn ordering_matches_value() {
-        let third_ish = Dyadic::from_parts(BigUint::from(341u64), 10); // ~0.333
+        let third_ish = Dyadic::from_u64_parts(341, 10); // ~0.333
         let half = Dyadic::from_pow2_neg(1);
         assert!(third_ish < half);
         assert!(half > third_ish);
@@ -371,15 +622,26 @@ mod tests {
     }
 
     #[test]
+    fn ordering_across_far_exponents() {
+        // Exponent gaps larger than a word must still compare correctly.
+        let tiny = Dyadic::from_pow2_neg(500);
+        let small = Dyadic::from_u64_parts(3, 2);
+        assert!(tiny < small);
+        assert!(small > tiny);
+        assert_eq!(tiny.cmp(&tiny), Ordering::Equal);
+        assert_eq!((&tiny + &small).checked_sub(&small).unwrap(), tiny);
+    }
+
+    #[test]
     fn multiplication_is_exact() {
-        let a = Dyadic::from_parts(BigUint::from(3u64), 2); // 3/4
-        let b = Dyadic::from_parts(BigUint::from(5u64), 3); // 5/8
-        assert_eq!(&a * &b, Dyadic::from_parts(BigUint::from(15u64), 5));
+        let a = Dyadic::from_u64_parts(3, 2); // 3/4
+        let b = Dyadic::from_u64_parts(5, 3); // 5/8
+        assert_eq!(&a * &b, Dyadic::from_u64_parts(15, 5));
     }
 
     #[test]
     fn mul_div_pow2_round_trip() {
-        let a = Dyadic::from_parts(BigUint::from(7u64), 5);
+        let a = Dyadic::from_u64_parts(7, 5);
         assert_eq!(a.div_pow2(3).mul_pow2(3), a);
         assert_eq!(a.mul_pow2(5), Dyadic::from_u64(7));
         assert_eq!(a.mul_pow2(7), Dyadic::from_u64(28));
@@ -397,15 +659,58 @@ mod tests {
     }
 
     #[test]
+    fn inline_heap_boundary_round_trips() {
+        // u64::MAX stays inline; one more bit spills to the heap; halving the
+        // spilled value back below 64 bits demotes it to inline again.
+        let max = Dyadic::from_u64(u64::MAX);
+        assert!(max.is_inline());
+        let spilled = &max + &Dyadic::one();
+        assert!(!spilled.is_inline());
+        assert_eq!(spilled.mantissa(), BigUint::pow2(64));
+        assert_eq!(&spilled - &Dyadic::one(), max);
+        // 2^64 has a single set bit: dividing by 2^64 renormalises to 1 inline.
+        let back = spilled.div_pow2(64);
+        assert!(back.is_inline());
+        assert!(back.is_one());
+        // A genuinely odd wide mantissa stays on the heap through add/sub.
+        let wide = Dyadic::from_parts(BigUint::pow2(80) + BigUint::one(), 90);
+        assert!(!wide.is_inline());
+        let doubled = &wide + &wide;
+        assert!(!doubled.is_inline());
+        assert_eq!(doubled, wide.mul_pow2(1));
+        assert_eq!(doubled.checked_sub(&wide).unwrap(), wide);
+    }
+
+    #[test]
+    fn zero_orders_below_heap_values() {
+        // Regression: the mixed-representation magnitude pre-check must not be
+        // applied to zero (its leading-bit position is undefined).
+        let heap = Dyadic::from_parts(BigUint::pow2(66) + BigUint::one(), 69);
+        assert!(!heap.is_inline());
+        assert!(Dyadic::zero() < heap);
+        assert!(heap > Dyadic::zero());
+        assert_eq!(Dyadic::zero().cmp(&heap), Ordering::Less);
+        assert_eq!(heap.cmp(&Dyadic::zero()), Ordering::Greater);
+    }
+
+    #[test]
+    fn mixed_representation_arithmetic_is_exact() {
+        let big = Dyadic::from_parts(BigUint::pow2(70) + BigUint::one(), 75);
+        let small = Dyadic::from_pow2_neg(75);
+        let sum = &big + &small;
+        assert_eq!(sum.checked_sub(&small).unwrap(), big);
+        assert!(big > small);
+        assert!(small < big);
+        assert_eq!(&big * &Dyadic::one(), big);
+    }
+
+    #[test]
     fn positional_bits_counts_point_expansion() {
         assert_eq!(Dyadic::zero().positional_bits(), 0);
         assert_eq!(Dyadic::one().positional_bits(), 1);
         assert_eq!(Dyadic::from_pow2_neg(7).positional_bits(), 7);
         // 5/8 = 0.101 needs 3 fractional bits.
-        assert_eq!(
-            Dyadic::from_parts(BigUint::from(5u64), 3).positional_bits(),
-            3
-        );
+        assert_eq!(Dyadic::from_u64_parts(5, 3).positional_bits(), 3);
         // 3 = 11 binary needs 2 bits.
         assert_eq!(Dyadic::from_u64(3).positional_bits(), 2);
     }
@@ -415,15 +720,12 @@ mod tests {
         assert_eq!(Dyadic::zero().to_binary_string(), "0.0");
         assert_eq!(Dyadic::one().to_binary_string(), "1.0");
         assert_eq!(Dyadic::from_pow2_neg(2).to_binary_string(), "0.01");
-        assert_eq!(
-            Dyadic::from_parts(BigUint::from(5u64), 3).to_binary_string(),
-            "0.101"
-        );
+        assert_eq!(Dyadic::from_u64_parts(5, 3).to_binary_string(), "0.101");
     }
 
     #[test]
     fn to_f64_is_close() {
-        let d = Dyadic::from_parts(BigUint::from(5u64), 3);
+        let d = Dyadic::from_u64_parts(5, 3);
         assert!((d.to_f64() - 0.625).abs() < 1e-12);
     }
 
@@ -432,5 +734,9 @@ mod tests {
         assert_eq!(Dyadic::from_u64(3).to_string(), "3");
         assert_eq!(Dyadic::from_pow2_neg(3).to_string(), "1/2^3");
         assert!(!format!("{:?}", Dyadic::zero()).is_empty());
+        let big = Dyadic::from_parts(BigUint::pow2(70), 90);
+        assert_eq!(big.to_string(), "1/2^20");
+        let wide = Dyadic::from_parts(BigUint::pow2(70) + BigUint::one(), 1);
+        assert!(wide.to_string().contains("/2^1"));
     }
 }

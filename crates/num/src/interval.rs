@@ -46,6 +46,24 @@ impl Interval {
         Ok(Interval { lo, hi })
     }
 
+    /// Builds `[lo, hi)` from endpoints already known to be ordered — the
+    /// allocation-free constructor the canonical linear merges use.
+    #[inline]
+    pub(crate) fn new_unchecked(lo: Dyadic, hi: Dyadic) -> Self {
+        debug_assert!(
+            lo <= hi,
+            "interval endpoints out of order: lo={lo:?} hi={hi:?}"
+        );
+        Interval { lo, hi }
+    }
+
+    /// Extends the upper endpoint in place; the caller guarantees `hi >= lo`.
+    #[inline]
+    pub(crate) fn set_hi(&mut self, hi: Dyadic) {
+        debug_assert!(self.lo <= hi, "interval endpoints out of order");
+        self.hi = hi;
+    }
+
     /// The canonical empty interval `[0, 0)`.
     pub fn empty() -> Self {
         Interval {
@@ -63,16 +81,19 @@ impl Interval {
     }
 
     /// Lower endpoint.
+    #[inline]
     pub fn lo(&self) -> &Dyadic {
         &self.lo
     }
 
     /// Upper endpoint (exclusive).
+    #[inline]
     pub fn hi(&self) -> &Dyadic {
         &self.hi
     }
 
     /// Returns `true` if the interval contains no points.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.lo == self.hi
     }
@@ -85,6 +106,7 @@ impl Interval {
     }
 
     /// Returns `true` if `point` lies in `[lo, hi)`.
+    #[inline]
     pub fn contains(&self, point: &Dyadic) -> bool {
         &self.lo <= point && point < &self.hi
     }

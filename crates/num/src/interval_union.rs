@@ -1,15 +1,36 @@
 //! Finite unions of disjoint intervals over `[0, 1)` — the commodity of the
 //! general-graph protocols (Definition 4.1).
 
+use std::cell::RefCell;
 use std::fmt;
 
 use crate::{bits, Dyadic, Interval, NumError};
 
 /// An element of `U[0, 1)`: a finite union of disjoint half-open intervals.
 ///
-/// The representation is canonical — intervals are sorted, non-empty, pairwise
-/// disjoint, and *non-adjacent* (touching intervals are merged) — so two values
-/// compare equal with `==` exactly when they denote the same point set.
+/// # The canonical-form contract
+///
+/// The representation is canonical — the interval list is **sorted by lower
+/// endpoint, non-empty, pairwise disjoint and non-adjacent** (touching
+/// intervals are merged), so two values compare equal with `==` exactly when
+/// they denote the same point set. Every constructor and operation maintains
+/// this invariant, and the set operations *rely* on it: [`IntervalUnion::union`],
+/// [`IntervalUnion::intersection`] and [`IntervalUnion::difference`] are linear
+/// two-pointer merges over the two canonical operand lists (O(n + m) endpoint
+/// comparisons, no sorting, no re-canonicalisation pass) whose output is
+/// canonical by construction. Strict non-adjacency is what makes that work: a
+/// gap between consecutive intervals is a *strict* gap, so a merge never needs
+/// to look more than one interval back. The original collect-sort-merge
+/// implementations are retained in [`crate::reference`] for differential
+/// testing.
+///
+/// The in-place variants ([`IntervalUnion::union_in_place`],
+/// [`IntervalUnion::intersect_assign`], [`IntervalUnion::subtract_assign`])
+/// merge into a scratch buffer and swap, so steady-state protocol traffic
+/// performs no allocation beyond endpoint clones (which are themselves
+/// allocation-free while endpoints stay on the [`Dyadic`] inline fast path);
+/// the `*_with` variants take an explicit reusable scratch buffer, the plain
+/// ones use a thread-local one.
 ///
 /// All set operations (`union`, `intersection`, `difference`) are exact.
 ///
@@ -32,6 +53,134 @@ pub struct IntervalUnion {
     intervals: Vec<Interval>,
 }
 
+thread_local! {
+    /// Reusable merge buffer for the in-place ops without an explicit scratch.
+    static SCRATCH: RefCell<Vec<Interval>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Appends `iv` (non-empty, with `iv.lo` no smaller than any pushed lower
+/// endpoint) to a canonical prefix, merging overlap or adjacency with the last
+/// interval.
+#[inline]
+fn push_merged(out: &mut Vec<Interval>, iv: &Interval) {
+    match out.last_mut() {
+        Some(last) if iv.lo() <= last.hi() => {
+            // Overlapping or adjacent: extend.
+            if iv.hi() > last.hi() {
+                last.set_hi(iv.hi().clone());
+            }
+        }
+        _ => out.push(iv.clone()),
+    }
+}
+
+/// Linear merge of two canonical interval lists into their union; `out` is
+/// canonical by construction.
+///
+/// The open run is tracked by *reference* into the operand lists and endpoints
+/// are cloned only when an output interval is emitted, so a merge that
+/// collapses many touching intervals performs O(output) clones, not O(input).
+fn union_into<'a>(mut a: &'a [Interval], mut b: &'a [Interval], out: &mut Vec<Interval>) {
+    debug_assert!(out.is_empty());
+    let mut next = || -> Option<&'a Interval> {
+        match (a.split_first(), b.split_first()) {
+            (Some((x, rest)), Some((y, _))) if x.lo() <= y.lo() => {
+                a = rest;
+                Some(x)
+            }
+            (_, Some((y, rest))) => {
+                b = rest;
+                Some(y)
+            }
+            (Some((x, rest)), None) => {
+                a = rest;
+                Some(x)
+            }
+            (None, None) => None,
+        }
+    };
+    let Some(first) = next() else {
+        return;
+    };
+    let (mut lo, mut hi) = (first.lo(), first.hi());
+    while let Some(iv) = next() {
+        if iv.lo() <= hi {
+            // Overlapping or adjacent: extend the open run.
+            if iv.hi() > hi {
+                hi = iv.hi();
+            }
+        } else {
+            out.push(Interval::new_unchecked(lo.clone(), hi.clone()));
+            lo = iv.lo();
+            hi = iv.hi();
+        }
+    }
+    out.push(Interval::new_unchecked(lo.clone(), hi.clone()));
+}
+
+/// Linear merge of two canonical interval lists into their intersection.
+///
+/// Output pieces inherit sortedness, and consecutive pieces are separated by a
+/// strict gap (whichever operand interval ended starts its successor strictly
+/// beyond the piece's end, by non-adjacency), so `out` is canonical.
+fn intersection_into(a: &[Interval], b: &[Interval], out: &mut Vec<Interval>) {
+    debug_assert!(out.is_empty());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let x = &a[i];
+        let y = &b[j];
+        let inter = x.intersection(y);
+        if !inter.is_empty() {
+            out.push(inter);
+        }
+        if x.hi() <= y.hi() {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
+/// Linear sweep computing `a \ b` for canonical interval lists; `out` is
+/// canonical by construction (pieces of one `a`-interval are strictly
+/// separated by carved `b`-mass, and distinct `a`-intervals by `a`'s own gaps).
+fn difference_into(a: &[Interval], b: &[Interval], out: &mut Vec<Interval>) {
+    debug_assert!(out.is_empty());
+    let mut j = 0usize;
+    for x in a {
+        // b-intervals entirely before x cannot affect x or any later a-interval.
+        while j < b.len() && b[j].hi() <= x.lo() {
+            j += 1;
+        }
+        // The sweep cursor is a reference into the operands; endpoints are
+        // cloned only when a surviving piece is emitted.
+        let mut cursor: &Dyadic = x.lo();
+        let mut k = j;
+        loop {
+            if k >= b.len() || b[k].lo() >= x.hi() {
+                if cursor < x.hi() {
+                    out.push(Interval::new_unchecked(cursor.clone(), x.hi().clone()));
+                }
+                break;
+            }
+            let y = &b[k];
+            if y.lo() > cursor {
+                out.push(Interval::new_unchecked(cursor.clone(), y.lo().clone()));
+            }
+            if y.hi() < x.hi() {
+                cursor = y.hi();
+                // y is strictly inside x, hence before every later a-interval.
+                k += 1;
+                j = k;
+            } else {
+                // y covers the tail of x (nothing of x survives past it) and may
+                // still overlap the next a-interval: do not advance past it.
+                break;
+            }
+        }
+    }
+}
+
 impl IntervalUnion {
     /// The empty union (the paper's `[0, 0)` state component).
     pub fn empty() -> Self {
@@ -47,23 +196,41 @@ impl IntervalUnion {
         }
     }
 
+    /// Wraps a list that is already canonical (debug-asserted).
+    fn from_canonical(intervals: Vec<Interval>) -> Self {
+        let out = IntervalUnion { intervals };
+        out.debug_assert_canonical();
+        out
+    }
+
+    #[inline]
+    fn debug_assert_canonical(&self) {
+        #[cfg(debug_assertions)]
+        {
+            for iv in &self.intervals {
+                debug_assert!(!iv.is_empty(), "canonical list holds an empty interval");
+            }
+            for w in self.intervals.windows(2) {
+                debug_assert!(
+                    w[0].hi() < w[1].lo(),
+                    "canonical list is not sorted/disjoint/non-adjacent"
+                );
+            }
+        }
+    }
+
     /// Builds a union from arbitrary (possibly overlapping, unordered, empty)
     /// intervals.
+    ///
+    /// This is the collect-sort-merge constructor for *non-canonical* input; the
+    /// set operations below never call it, operating linearly on their already
+    /// canonical operands instead.
     pub fn from_intervals<I: IntoIterator<Item = Interval>>(intervals: I) -> Self {
         let mut v: Vec<Interval> = intervals.into_iter().filter(|i| !i.is_empty()).collect();
         v.sort_by(|a, b| a.lo().cmp(b.lo()).then_with(|| a.hi().cmp(b.hi())));
         let mut out: Vec<Interval> = Vec::with_capacity(v.len());
         for iv in v {
-            match out.last_mut() {
-                Some(last) if iv.lo() <= last.hi() => {
-                    // Overlapping or adjacent: extend.
-                    if iv.hi() > last.hi() {
-                        *last = Interval::new(last.lo().clone(), iv.hi().clone())
-                            .expect("sorted endpoints are ordered");
-                    }
-                }
-                _ => out.push(iv),
-            }
+            push_merged(&mut out, &iv);
         }
         IntervalUnion { intervals: out }
     }
@@ -98,18 +265,21 @@ impl IntervalUnion {
 
     /// Total measure of the union.
     pub fn total_length(&self) -> Dyadic {
-        self.intervals
-            .iter()
-            .map(Interval::length)
-            .fold(Dyadic::zero(), |a, b| &a + &b)
+        let mut total = Dyadic::zero();
+        for iv in &self.intervals {
+            total += &iv.length();
+        }
+        total
     }
 
     /// Returns `true` if the point lies in the union.
     pub fn contains_point(&self, point: &Dyadic) -> bool {
-        self.intervals.iter().any(|i| i.contains(point))
+        // Binary search over the sorted lower endpoints.
+        let idx = self.intervals.partition_point(|iv| iv.lo() <= point);
+        idx > 0 && point < self.intervals[idx - 1].hi()
     }
 
-    /// Set union.
+    /// Set union — a linear merge of the two canonical operands.
     pub fn union(&self, other: &IntervalUnion) -> IntervalUnion {
         if self.is_empty() {
             return other.clone();
@@ -117,92 +287,161 @@ impl IntervalUnion {
         if other.is_empty() {
             return self.clone();
         }
-        IntervalUnion::from_intervals(self.intervals.iter().chain(other.intervals.iter()).cloned())
+        let mut out = Vec::new();
+        union_into(&self.intervals, &other.intervals, &mut out);
+        IntervalUnion::from_canonical(out)
     }
 
     /// In-place set union; returns `true` if the value changed.
     ///
     /// The general-graph protocol sends a message on an edge *iff* the relevant
     /// state component changed (Section 4), so change detection is part of the API.
+    ///
+    /// Merges through a reusable thread-local scratch buffer; steady-state calls
+    /// do not allocate. Use [`IntervalUnion::union_in_place_with`] to thread an
+    /// explicit scratch buffer instead.
     pub fn union_in_place(&mut self, other: &IntervalUnion) -> bool {
+        SCRATCH.with(|scratch| self.union_in_place_with(other, &mut scratch.borrow_mut()))
+    }
+
+    /// [`IntervalUnion::union_in_place`] with an explicit scratch buffer, which
+    /// is left cleared (capacity retained) for reuse.
+    pub fn union_in_place_with(
+        &mut self,
+        other: &IntervalUnion,
+        scratch: &mut Vec<Interval>,
+    ) -> bool {
         if other.is_empty() {
             return false;
         }
-        let merged = self.union(other);
-        if merged == *self {
-            false
-        } else {
-            *self = merged;
-            true
+        if self.is_empty() {
+            self.intervals.extend(other.intervals.iter().cloned());
+            return true;
         }
+        scratch.clear();
+        union_into(&self.intervals, &other.intervals, scratch);
+        self.adopt_if_changed(scratch)
     }
 
-    /// Set intersection.
+    /// Set intersection — a linear merge of the two canonical operands.
     pub fn intersection(&self, other: &IntervalUnion) -> IntervalUnion {
+        if self.is_empty() || other.is_empty() {
+            return IntervalUnion::empty();
+        }
         let mut out = Vec::new();
-        // Two-pointer sweep over the sorted interval lists.
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < self.intervals.len() && j < other.intervals.len() {
-            let a = &self.intervals[i];
-            let b = &other.intervals[j];
-            let inter = a.intersection(b);
-            if !inter.is_empty() {
-                out.push(inter);
+        intersection_into(&self.intervals, &other.intervals, &mut out);
+        IntervalUnion::from_canonical(out)
+    }
+
+    /// In-place set intersection; returns `true` if the value changed.
+    ///
+    /// Merges through a reusable thread-local scratch buffer; see
+    /// [`IntervalUnion::intersect_assign_with`] for the explicit-scratch variant.
+    pub fn intersect_assign(&mut self, other: &IntervalUnion) -> bool {
+        SCRATCH.with(|scratch| self.intersect_assign_with(other, &mut scratch.borrow_mut()))
+    }
+
+    /// [`IntervalUnion::intersect_assign`] with an explicit scratch buffer, which
+    /// is left cleared (capacity retained) for reuse.
+    pub fn intersect_assign_with(
+        &mut self,
+        other: &IntervalUnion,
+        scratch: &mut Vec<Interval>,
+    ) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        if other.is_empty() {
+            self.intervals.clear();
+            return true;
+        }
+        scratch.clear();
+        intersection_into(&self.intervals, &other.intervals, scratch);
+        self.adopt_if_changed(scratch)
+    }
+
+    /// Set difference `self \ other` — a linear sweep over the two canonical
+    /// operands.
+    pub fn difference(&self, other: &IntervalUnion) -> IntervalUnion {
+        if self.is_empty() || other.is_empty() {
+            return self.clone();
+        }
+        let mut out = Vec::new();
+        difference_into(&self.intervals, &other.intervals, &mut out);
+        IntervalUnion::from_canonical(out)
+    }
+
+    /// In-place set difference `self \= other`; returns `true` if the value
+    /// changed.
+    ///
+    /// Merges through a reusable thread-local scratch buffer; see
+    /// [`IntervalUnion::subtract_assign_with`] for the explicit-scratch variant.
+    pub fn subtract_assign(&mut self, other: &IntervalUnion) -> bool {
+        SCRATCH.with(|scratch| self.subtract_assign_with(other, &mut scratch.borrow_mut()))
+    }
+
+    /// [`IntervalUnion::subtract_assign`] with an explicit scratch buffer, which
+    /// is left cleared (capacity retained) for reuse.
+    pub fn subtract_assign_with(
+        &mut self,
+        other: &IntervalUnion,
+        scratch: &mut Vec<Interval>,
+    ) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        scratch.clear();
+        difference_into(&self.intervals, &other.intervals, scratch);
+        self.adopt_if_changed(scratch)
+    }
+
+    /// Swaps in the merged list when it differs from the current value; always
+    /// leaves `scratch` cleared with its capacity intact.
+    fn adopt_if_changed(&mut self, scratch: &mut Vec<Interval>) -> bool {
+        let changed = *scratch != self.intervals;
+        if changed {
+            std::mem::swap(&mut self.intervals, scratch);
+            self.debug_assert_canonical();
+        }
+        scratch.clear();
+        changed
+    }
+
+    /// Returns `true` if `self ⊆ other`. Allocation-free: since `other` is
+    /// canonical (non-adjacent), each interval of `self` must lie inside a
+    /// *single* maximal interval of `other`.
+    pub fn is_subset_of(&self, other: &IntervalUnion) -> bool {
+        let mut j = 0usize;
+        for iv in &self.intervals {
+            while j < other.intervals.len() && other.intervals[j].hi() < iv.hi() {
+                j += 1;
             }
-            if a.hi() <= b.hi() {
+            match other.intervals.get(j) {
+                Some(cover) if cover.lo() <= iv.lo() => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if the two unions share at least one point.
+    /// Allocation-free two-pointer sweep with early exit.
+    pub fn intersects(&self, other: &IntervalUnion) -> bool {
+        let (a, b) = (&self.intervals, &other.intervals);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            let x = &a[i];
+            let y = &b[j];
+            if x.lo() < y.hi() && y.lo() < x.hi() {
+                return true;
+            }
+            if x.hi() <= y.hi() {
                 i += 1;
             } else {
                 j += 1;
             }
         }
-        IntervalUnion::from_intervals(out)
-    }
-
-    /// Set difference `self \ other`.
-    pub fn difference(&self, other: &IntervalUnion) -> IntervalUnion {
-        if self.is_empty() || other.is_empty() {
-            return self.clone();
-        }
-        let mut out: Vec<Interval> = Vec::new();
-        for a in &self.intervals {
-            // Carve the overlapping pieces of `other` out of `a`.
-            let mut cursor = a.lo().clone();
-            for b in &other.intervals {
-                if b.hi() <= &cursor {
-                    continue;
-                }
-                if b.lo() >= a.hi() {
-                    break;
-                }
-                // b overlaps [cursor, a.hi)
-                if b.lo() > &cursor {
-                    out.push(
-                        Interval::new(cursor.clone(), b.lo().clone())
-                            .expect("cursor < b.lo within a"),
-                    );
-                }
-                if b.hi() < a.hi() {
-                    cursor = b.hi().clone();
-                } else {
-                    cursor = a.hi().clone();
-                    break;
-                }
-            }
-            if &cursor < a.hi() {
-                out.push(Interval::new(cursor, a.hi().clone()).expect("cursor < a.hi"));
-            }
-        }
-        IntervalUnion::from_intervals(out)
-    }
-
-    /// Returns `true` if `self ⊆ other`.
-    pub fn is_subset_of(&self, other: &IntervalUnion) -> bool {
-        self.difference(other).is_empty()
-    }
-
-    /// Returns `true` if the two unions share at least one point.
-    pub fn intersects(&self, other: &IntervalUnion) -> bool {
-        !self.intersection(other).is_empty()
+        false
     }
 
     /// Bits needed to transmit the union: a gamma-coded interval count followed by
@@ -222,7 +461,13 @@ impl IntervalUnion {
 
 impl From<Interval> for IntervalUnion {
     fn from(interval: Interval) -> Self {
-        IntervalUnion::from_intervals(std::iter::once(interval))
+        if interval.is_empty() {
+            IntervalUnion::empty()
+        } else {
+            IntervalUnion {
+                intervals: vec![interval],
+            }
+        }
     }
 }
 
@@ -290,7 +535,7 @@ pub fn canonical_partition(
         return Ok(vec![IntervalUnion::empty(); parts]);
     }
     let first = &alpha.intervals()[0];
-    let rest: IntervalUnion = IntervalUnion::from_intervals(alpha.intervals()[1..].iter().cloned());
+    let rest = IntervalUnion::from_canonical(alpha.intervals()[1..].to_vec());
     let mut out: Vec<IntervalUnion> = first
         .split(parts - 1)?
         .into_iter()
@@ -361,6 +606,7 @@ mod tests {
         assert!(u.is_empty());
         assert_eq!(u, IntervalUnion::empty());
         assert_eq!(u, IntervalUnion::default());
+        assert!(IntervalUnion::from(Interval::empty()).is_empty());
     }
 
     #[test]
@@ -388,12 +634,58 @@ mod tests {
     }
 
     #[test]
+    fn union_merges_adjacency_across_operands() {
+        // A bridge interval in `b` fuses two `a`-intervals into one.
+        let a = union_of(&[(0, 1, 3), (2, 3, 3)]);
+        let b = union_of(&[(1, 2, 3)]);
+        assert_eq!(a.union(&b), union_of(&[(0, 3, 3)]));
+        assert_eq!(b.union(&a), union_of(&[(0, 3, 3)]));
+    }
+
+    #[test]
     fn union_in_place_reports_change() {
         let mut a = union_of(&[(0, 2, 3)]);
         assert!(!a.union_in_place(&IntervalUnion::empty()));
         assert!(!a.union_in_place(&union_of(&[(0, 1, 3)]))); // already covered
         assert!(a.union_in_place(&union_of(&[(4, 5, 3)])));
         assert_eq!(a, union_of(&[(0, 2, 3), (4, 5, 3)]));
+    }
+
+    #[test]
+    fn in_place_ops_with_explicit_scratch() {
+        let mut scratch = Vec::new();
+        let mut a = union_of(&[(0, 4, 3), (6, 8, 3)]);
+        assert!(a.union_in_place_with(&union_of(&[(4, 5, 3)]), &mut scratch));
+        assert_eq!(a, union_of(&[(0, 5, 3), (6, 8, 3)]));
+        assert!(scratch.is_empty());
+        let cap = scratch.capacity();
+        assert!(cap > 0, "scratch capacity is retained for reuse");
+        assert!(a.intersect_assign_with(&union_of(&[(2, 7, 3)]), &mut scratch));
+        assert_eq!(a, union_of(&[(2, 5, 3), (6, 7, 3)]));
+        assert!(a.subtract_assign_with(&union_of(&[(3, 4, 3)]), &mut scratch));
+        assert_eq!(a, union_of(&[(2, 3, 3), (4, 5, 3), (6, 7, 3)]));
+    }
+
+    #[test]
+    fn intersect_assign_reports_change() {
+        let mut a = union_of(&[(0, 4, 3)]);
+        assert!(!a.intersect_assign(&union_of(&[(0, 8, 3)]))); // superset: no change
+        assert!(a.intersect_assign(&union_of(&[(1, 2, 3)])));
+        assert_eq!(a, union_of(&[(1, 2, 3)]));
+        assert!(a.intersect_assign(&IntervalUnion::empty()));
+        assert!(a.is_empty());
+        assert!(!a.intersect_assign(&IntervalUnion::unit())); // empty stays empty
+    }
+
+    #[test]
+    fn subtract_assign_reports_change() {
+        let mut a = union_of(&[(0, 4, 3)]);
+        assert!(!a.subtract_assign(&IntervalUnion::empty()));
+        assert!(!a.subtract_assign(&union_of(&[(5, 6, 3)]))); // disjoint: no change
+        assert!(a.subtract_assign(&union_of(&[(1, 2, 3)])));
+        assert_eq!(a, union_of(&[(0, 1, 3), (2, 4, 3)]));
+        assert!(a.subtract_assign(&IntervalUnion::unit()));
+        assert!(a.is_empty());
     }
 
     #[test]
@@ -431,6 +723,15 @@ mod tests {
     }
 
     #[test]
+    fn difference_with_spanning_subtrahend() {
+        // One b-interval covering the tail of a₁ and the head of a₂ must be
+        // consulted for both (the sweep may not advance past it).
+        let a = union_of(&[(0, 3, 4), (5, 9, 4), (11, 12, 4)]);
+        let b = union_of(&[(2, 6, 4), (8, 16, 4)]);
+        assert_eq!(a.difference(&b), union_of(&[(0, 2, 4), (6, 8, 4)]));
+    }
+
+    #[test]
     fn subset_relation() {
         let a = union_of(&[(0, 2, 3), (4, 6, 3)]);
         let sub = union_of(&[(0, 1, 3), (5, 6, 3)]);
@@ -438,6 +739,9 @@ mod tests {
         assert!(!a.is_subset_of(&sub));
         assert!(IntervalUnion::empty().is_subset_of(&a));
         assert!(a.is_subset_of(&IntervalUnion::unit()));
+        // An interval spanning a gap of the candidate superset is not covered.
+        let spanning = union_of(&[(1, 5, 3)]);
+        assert!(!spanning.is_subset_of(&a));
     }
 
     #[test]
@@ -448,6 +752,8 @@ mod tests {
         assert!(a.contains_point(&Dyadic::from_pow2_neg(1)));
         assert!(!a.contains_point(&Dyadic::from_pow2_neg(2)));
         assert!(!a.contains_point(&Dyadic::from_parts(BigUint::from(3u64), 2)));
+        assert!(!IntervalUnion::empty().contains_point(&Dyadic::zero()));
+        assert!(!a.contains_point(&Dyadic::one()));
     }
 
     #[test]

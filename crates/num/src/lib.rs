@@ -44,6 +44,7 @@ mod interval;
 mod interval_union;
 pub mod partition;
 mod ratio;
+pub mod reference;
 
 pub use biguint::BigUint;
 pub use dyadic::Dyadic;

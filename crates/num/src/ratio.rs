@@ -137,7 +137,7 @@ impl Ratio {
     /// Converts a dyadic into a rational.
     pub fn from_dyadic(d: &Dyadic) -> Ratio {
         Ratio {
-            numerator: d.mantissa().clone(),
+            numerator: d.mantissa(),
             denominator: BigUint::pow2(d.exponent()),
         }
     }

@@ -1,0 +1,202 @@
+//! Differential properties: the optimised fast paths versus the retained
+//! reference implementations in `anet_num::reference`.
+//!
+//! Mirrors the simulation engine's `run_full_scan` cross-check: the fast
+//! small-value `Dyadic` arithmetic (inline `u64` mantissa) and the linear
+//! two-pointer `IntervalUnion` merges must be *bit-identical* — value-equal
+//! results with identical canonical interval lists — to the original
+//! always-heap / collect-sort-merge implementations, across
+//!
+//! * random interval soups (overlapping, unordered, empty),
+//! * boundary-touching and adjacent-merge grids, and
+//! * deep-exponent dyadics crossing the inline→heap mantissa boundary.
+
+use anet_num::{reference, BigUint, Dyadic, Interval, IntervalUnion};
+use proptest::prelude::*;
+
+/// Strategy: a dyadic whose mantissa straddles the inline→heap boundary.
+///
+/// `bits` ranges over 0..=96, so mantissas land well below, exactly at, and
+/// well above the 64-bit inline limit; `low` fills in arbitrary low bits and
+/// `exp` pushes the exponent past word size.
+fn boundary_dyadic() -> impl Strategy<Value = Dyadic> {
+    (0u32..99, any::<u64>(), 0u32..100).prop_map(|(bits, low, exp)| {
+        let mantissa = match bits {
+            0 => BigUint::zero(), // exact zero, a case with no leading bit
+            1 => BigUint::from(low),
+            _ => &BigUint::pow2(bits - 1) + &BigUint::from(low),
+        };
+        Dyadic::from_parts(mantissa, exp)
+    })
+}
+
+/// Strategy: a small dyadic in `[0, 1)` with a dyadic-grid endpoint, the shape
+/// protocol endpoints actually take.
+fn grid_dyadic() -> impl Strategy<Value = Dyadic> {
+    (0u64..1 << 16, 0u32..17).prop_map(|(m, e)| Dyadic::from_u64_parts(m % (1 << e.max(1)), e))
+}
+
+/// Strategy: an arbitrary (possibly empty) interval with grid endpoints.
+fn grid_interval() -> impl Strategy<Value = Interval> {
+    (grid_dyadic(), grid_dyadic()).prop_map(|(a, b)| {
+        if a <= b {
+            Interval::new(a, b).expect("ordered")
+        } else {
+            Interval::new(b, a).expect("ordered")
+        }
+    })
+}
+
+/// Strategy: an interval union built from a random soup of up to 8 intervals.
+fn soup_union() -> impl Strategy<Value = IntervalUnion> {
+    prop::collection::vec(grid_interval(), 0..8).prop_map(IntervalUnion::from_intervals)
+}
+
+/// Strategy: a union of cells from a coarse grid — adjacent and
+/// boundary-touching intervals are overwhelmingly likely, exercising the
+/// merge-on-touch rule of the canonical form.
+fn adjacent_union() -> impl Strategy<Value = IntervalUnion> {
+    prop::collection::vec((0u64..30, 1u64..4), 0..8).prop_map(|cells| {
+        IntervalUnion::from_intervals(cells.into_iter().map(|(start, len)| {
+            Interval::from_dyadic_parts(start, (start + len).min(32), 5).expect("ordered")
+        }))
+    })
+}
+
+/// Asserts that a union satisfies the canonical-form contract the linear
+/// merges rely on: sorted, non-empty, pairwise disjoint, non-adjacent.
+fn assert_canonical(u: &IntervalUnion) -> Result<(), proptest::test_runner::TestCaseError> {
+    for iv in u.intervals() {
+        prop_assert!(!iv.is_empty(), "canonical list holds an empty interval");
+    }
+    for w in u.intervals().windows(2) {
+        prop_assert!(
+            w[0].hi() < w[1].lo(),
+            "canonical list not sorted/disjoint/non-adjacent: {:?}",
+            u
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // ---- Dyadic fast path vs always-heap reference -------------------------
+
+    #[test]
+    fn dyadic_cmp_matches_reference(a in boundary_dyadic(), b in boundary_dyadic()) {
+        prop_assert_eq!(a.cmp(&b), reference::dyadic_cmp(&a, &b));
+    }
+
+    #[test]
+    fn dyadic_add_matches_reference(a in boundary_dyadic(), b in boundary_dyadic()) {
+        let fast = &a + &b;
+        let slow = reference::dyadic_add(&a, &b);
+        prop_assert_eq!(&fast, &slow);
+        // Representation invariant: inline iff the mantissa fits a u64.
+        prop_assert_eq!(fast.is_inline(), fast.mantissa().to_u64().is_some());
+    }
+
+    #[test]
+    fn dyadic_sub_matches_reference(a in boundary_dyadic(), b in boundary_dyadic()) {
+        let fast = a.checked_sub(&b);
+        let slow = reference::dyadic_checked_sub(&a, &b);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn dyadic_mul_matches_reference(a in boundary_dyadic(), b in boundary_dyadic()) {
+        // Cap the exponents so the product exponent cannot overflow u32.
+        let fast = &a * &b;
+        let slow = reference::dyadic_mul(&a, &b);
+        prop_assert_eq!(&fast, &slow);
+        prop_assert_eq!(fast.is_inline(), fast.mantissa().to_u64().is_some());
+    }
+
+    #[test]
+    fn dyadic_small_chain_stays_inline_and_exact(m in 1u64..1 << 20, e in 0u32..24, k in 1u32..40) {
+        // Repeated halvings — the protocols' actual workload — must stay on the
+        // inline path and agree with the reference at every step.
+        let mut x = Dyadic::from_u64_parts(m, e);
+        for _ in 0..k {
+            let halved = x.halve();
+            prop_assert!(halved.is_inline());
+            prop_assert_eq!(reference::dyadic_add(&halved, &halved), x);
+            x = halved;
+        }
+    }
+
+    // ---- IntervalUnion linear merges vs collect-sort-merge reference -------
+
+    #[test]
+    fn union_matches_reference_on_soups(a in soup_union(), b in soup_union()) {
+        let fast = a.union(&b);
+        prop_assert_eq!(&fast, &reference::union(&a, &b));
+        assert_canonical(&fast)?;
+    }
+
+    #[test]
+    fn intersection_matches_reference_on_soups(a in soup_union(), b in soup_union()) {
+        let fast = a.intersection(&b);
+        prop_assert_eq!(&fast, &reference::intersection(&a, &b));
+        assert_canonical(&fast)?;
+    }
+
+    #[test]
+    fn difference_matches_reference_on_soups(a in soup_union(), b in soup_union()) {
+        let fast = a.difference(&b);
+        prop_assert_eq!(&fast, &reference::difference(&a, &b));
+        assert_canonical(&fast)?;
+    }
+
+    #[test]
+    fn set_ops_match_reference_on_adjacent_grids(a in adjacent_union(), b in adjacent_union()) {
+        prop_assert_eq!(a.union(&b), reference::union(&a, &b));
+        prop_assert_eq!(a.intersection(&b), reference::intersection(&a, &b));
+        prop_assert_eq!(a.difference(&b), reference::difference(&a, &b));
+        prop_assert_eq!(b.difference(&a), reference::difference(&b, &a));
+    }
+
+    #[test]
+    fn in_place_ops_match_out_of_place(a in soup_union(), b in adjacent_union()) {
+        let mut u = a.clone();
+        let changed = u.union_in_place(&b);
+        prop_assert_eq!(&u, &reference::union(&a, &b));
+        prop_assert_eq!(changed, u != a);
+
+        let mut i = a.clone();
+        let changed = i.intersect_assign(&b);
+        prop_assert_eq!(&i, &reference::intersection(&a, &b));
+        prop_assert_eq!(changed, i != a);
+
+        let mut s = a.clone();
+        let changed = s.subtract_assign(&b);
+        prop_assert_eq!(&s, &reference::difference(&a, &b));
+        prop_assert_eq!(changed, s != a);
+    }
+
+    #[test]
+    fn derived_predicates_match_reference(a in soup_union(), b in soup_union()) {
+        prop_assert_eq!(a.intersects(&b), !reference::intersection(&a, &b).is_empty());
+        prop_assert_eq!(a.is_subset_of(&b), reference::difference(&a, &b).is_empty());
+        prop_assert_eq!(b.is_subset_of(&a), reference::difference(&b, &a).is_empty());
+    }
+
+    #[test]
+    fn point_membership_matches_linear_scan(a in soup_union(), p in grid_dyadic()) {
+        let linear = a.iter().any(|iv| iv.contains(&p));
+        prop_assert_eq!(a.contains_point(&p), linear);
+    }
+
+    #[test]
+    fn set_algebra_laws_hold(a in soup_union(), b in soup_union()) {
+        // (a \ b) ∪ (a ∩ b) = a, and the operands' union absorbs both.
+        let recombined = a.difference(&b).union(&a.intersection(&b));
+        prop_assert_eq!(&recombined, &a);
+        let u = a.union(&b);
+        prop_assert!(a.is_subset_of(&u));
+        prop_assert!(b.is_subset_of(&u));
+        prop_assert!(!a.difference(&b).intersects(&b));
+    }
+}

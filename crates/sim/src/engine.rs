@@ -17,7 +17,7 @@
 
 use std::collections::VecDeque;
 
-use anet_graph::Network;
+use anet_graph::{EdgeId, Network};
 
 use crate::metrics::RunMetrics;
 use crate::scheduler::Scheduler;
@@ -55,6 +55,41 @@ impl ExecutionConfig {
     }
 }
 
+/// Full run configuration: the execution limits plus instrumentation that only
+/// the incremental engine honours.
+///
+/// [`run`] takes the plain [`ExecutionConfig`] for compatibility;
+/// [`run_with_config`] accepts this wrapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunConfig {
+    /// Execution limits and trace switch.
+    pub execution: ExecutionConfig,
+    /// Whether to record the exact edge *delivery* order into
+    /// [`RunResult::delivery_order`]. Traces record sends; the delivery order is
+    /// the asynchronous adversary's actual interleaving, and feeding it to a
+    /// [`crate::scheduler::ReplayScheduler`] reproduces the run bit-identically.
+    pub record_delivery_order: bool,
+}
+
+impl RunConfig {
+    /// Wraps an [`ExecutionConfig`] with delivery-order capture switched on.
+    pub fn with_delivery_order(execution: ExecutionConfig) -> Self {
+        RunConfig {
+            execution,
+            record_delivery_order: true,
+        }
+    }
+}
+
+impl From<ExecutionConfig> for RunConfig {
+    fn from(execution: ExecutionConfig) -> Self {
+        RunConfig {
+            execution,
+            record_delivery_order: false,
+        }
+    }
+}
+
 /// How a run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
@@ -88,6 +123,10 @@ pub struct RunResult<S, M> {
     pub deliveries_at_termination: Option<u64>,
     /// Full send trace, when requested via [`ExecutionConfig::record_trace`].
     pub trace: Option<Trace<M>>,
+    /// The exact edge delivery order, when requested via
+    /// [`RunConfig::record_delivery_order`] (captured by the incremental engine
+    /// only; the reference and synchronous engines leave it `None`).
+    pub delivery_order: Option<Vec<EdgeId>>,
 }
 
 impl<S, M> RunResult<S, M> {
@@ -125,6 +164,30 @@ where
     P: AnonymousProtocol,
     Sch: Scheduler + ?Sized,
 {
+    run_with_config(network, protocol, scheduler, RunConfig::from(config))
+}
+
+/// [`run`] with the full [`RunConfig`], enabling delivery-order capture.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run`].
+pub fn run_with_config<P, Sch>(
+    network: &Network,
+    protocol: &P,
+    scheduler: &mut Sch,
+    run_config: RunConfig,
+) -> RunResult<P::State, P::Message>
+where
+    P: AnonymousProtocol,
+    Sch: Scheduler + ?Sized,
+{
+    let config = run_config.execution;
+    let mut delivery_order = if run_config.record_delivery_order {
+        Some(Vec::new())
+    } else {
+        None
+    };
     let graph = network.graph();
     let terminal = network.terminal();
     let contexts: Vec<NodeContext> = graph
@@ -215,6 +278,7 @@ where
             metrics,
             deliveries_at_termination,
             trace,
+            delivery_order,
         };
     }
 
@@ -227,6 +291,9 @@ where
             break;
         }
         let edge = scheduler.next_edge();
+        if let Some(order) = delivery_order.as_mut() {
+            order.push(edge);
+        }
         let queue = &mut queues[edge.index()];
         let (_, message) = queue.pop_front().unwrap_or_else(|| {
             panic!(
@@ -278,6 +345,7 @@ where
         metrics,
         deliveries_at_termination,
         trace,
+        delivery_order,
     }
 }
 

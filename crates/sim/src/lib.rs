@@ -69,7 +69,7 @@ pub mod synchronous;
 pub mod trace;
 mod wire;
 
-pub use engine::{ExecutionConfig, Outcome, RunResult};
+pub use engine::{ExecutionConfig, Outcome, RunConfig, RunResult};
 pub use protocol::{AnonymousProtocol, NodeContext};
 pub use reference::run_full_scan;
 pub use synchronous::{run_synchronous, SynchronousRun};

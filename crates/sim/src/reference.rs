@@ -121,6 +121,7 @@ where
             metrics,
             deliveries_at_termination,
             trace,
+            delivery_order: None,
         };
     }
 
@@ -184,6 +185,7 @@ where
         metrics,
         deliveries_at_termination,
         trace,
+        delivery_order: None,
     }
 }
 

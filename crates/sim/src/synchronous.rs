@@ -122,14 +122,20 @@ where
                 metrics,
                 deliveries_at_termination: Some(0),
                 trace,
+                delivery_order: None,
             },
             rounds,
         };
     }
 
+    // The queue for the *next* round lives outside the loop: at the end of a
+    // round the drained `current` and the filled `next` are swapped, so both
+    // buffers (and their capacity) are reused for the whole run instead of
+    // allocating a fresh queue per round.
+    let mut next: VecDeque<(anet_graph::EdgeId, P::Message)> = VecDeque::new();
+
     'rounds: while !current.is_empty() {
         rounds += 1;
-        let mut next: VecDeque<(anet_graph::EdgeId, P::Message)> = VecDeque::new();
         while let Some((edge, message)) = current.pop_front() {
             if metrics.messages_delivered >= config.max_deliveries {
                 outcome = Outcome::BudgetExhausted;
@@ -160,7 +166,7 @@ where
                 break 'rounds;
             }
         }
-        current = next;
+        std::mem::swap(&mut current, &mut next);
     }
 
     SynchronousRun {
@@ -170,6 +176,7 @@ where
             metrics,
             deliveries_at_termination,
             trace,
+            delivery_order: None,
         },
         rounds,
     }

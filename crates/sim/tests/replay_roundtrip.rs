@@ -1,0 +1,151 @@
+//! Delivery-order capture → replay round-trip.
+//!
+//! Traces record *sends*; the asynchronous adversary is defined by the
+//! *delivery* order. With [`RunConfig::record_delivery_order`] the incremental
+//! engine captures the exact edge sequence it delivered, and feeding that
+//! sequence to a [`ReplayScheduler`] must reproduce the run bit-identically —
+//! outcome, metrics, termination point, final states, full send trace, and the
+//! delivery order itself. The grid covers deterministic and random schedulers
+//! over acyclic and cyclic topologies, through both engines.
+
+use anet_graph::generators::{chain_gn, layered_dag, random_cyclic};
+use anet_graph::Network;
+use anet_sim::engine::{run_with_config, ExecutionConfig, RunConfig};
+use anet_sim::reference::run_full_scan;
+use anet_sim::scheduler::ReplayScheduler;
+use anet_sim::{AnonymousProtocol, NodeContext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The chattering flood also used by the engine-equivalence suite: queues grow
+/// beyond one message per edge, so delivery order genuinely matters.
+#[derive(Debug, Clone)]
+struct Chatter {
+    fanout_rounds: u64,
+    needed: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ChatterState {
+    received: u64,
+    sum: u64,
+}
+
+impl AnonymousProtocol for Chatter {
+    type State = ChatterState;
+    type Message = u64;
+
+    fn name(&self) -> &'static str {
+        "chatter"
+    }
+
+    fn initial_state(&self, _ctx: &NodeContext) -> ChatterState {
+        ChatterState {
+            received: 0,
+            sum: 0,
+        }
+    }
+
+    fn root_messages(&self, root_out_degree: usize) -> Vec<(usize, u64)> {
+        (0..root_out_degree).map(|p| (p, 1)).collect()
+    }
+
+    fn on_receive(
+        &self,
+        ctx: &NodeContext,
+        state: &mut ChatterState,
+        in_port: usize,
+        message: &u64,
+    ) -> Vec<(usize, u64)> {
+        state.received += 1;
+        state.sum = state
+            .sum
+            .wrapping_add(*message)
+            .wrapping_add(in_port as u64);
+        if state.received > self.fanout_rounds {
+            return Vec::new();
+        }
+        (0..ctx.out_degree)
+            .map(|p| (p, message.wrapping_add(p as u64 + 1)))
+            .collect()
+    }
+
+    fn should_terminate(&self, terminal_state: &ChatterState) -> bool {
+        terminal_state.received >= self.needed
+    }
+}
+
+fn topologies() -> Vec<Network> {
+    let mut rng = StdRng::seed_from_u64(0xD0D0);
+    vec![
+        chain_gn(8).expect("valid"),
+        layered_dag(&mut rng, 4, 4, 2).expect("valid"),
+        random_cyclic(&mut rng, 15, 0.15, 0.15).expect("valid"),
+    ]
+}
+
+#[test]
+fn captured_delivery_order_replays_bit_identically() {
+    let protocol = Chatter {
+        fanout_rounds: 3,
+        needed: 4,
+    };
+    let capture_config = RunConfig::with_delivery_order(ExecutionConfig::with_trace());
+    for net in topologies() {
+        for mut scheduler in anet_sim::scheduler::standard_battery(99, 3) {
+            let original = run_with_config(&net, &protocol, scheduler.as_mut(), capture_config);
+            let order = original
+                .delivery_order
+                .clone()
+                .expect("delivery order was requested");
+            assert_eq!(
+                order.len() as u64,
+                original.metrics.messages_delivered,
+                "one recorded edge per delivery ({})",
+                scheduler.name()
+            );
+
+            let mut replay = ReplayScheduler::new(order.clone());
+            let replayed = run_with_config(&net, &protocol, &mut replay, capture_config);
+            assert_eq!(replayed.outcome, original.outcome);
+            assert_eq!(replayed.metrics, original.metrics);
+            assert_eq!(
+                replayed.deliveries_at_termination,
+                original.deliveries_at_termination
+            );
+            assert_eq!(replayed.states, original.states);
+            assert_eq!(replayed.trace, original.trace);
+            assert_eq!(replayed.delivery_order, Some(order.clone()));
+
+            // The same order is feasible for the full-scan reference engine too
+            // and reproduces the identical run there.
+            let mut replay_full = ReplayScheduler::new(order);
+            let full = run_full_scan(
+                &net,
+                &protocol,
+                &mut replay_full,
+                ExecutionConfig::with_trace(),
+            );
+            assert_eq!(full.outcome, original.outcome);
+            assert_eq!(full.metrics, original.metrics);
+            assert_eq!(full.trace, original.trace);
+            assert_eq!(full.states, original.states);
+        }
+    }
+}
+
+#[test]
+fn delivery_order_is_not_recorded_unless_requested() {
+    let protocol = Chatter {
+        fanout_rounds: 1,
+        needed: 1,
+    };
+    let net = chain_gn(4).expect("valid");
+    let res = anet_sim::engine::run(
+        &net,
+        &protocol,
+        &mut anet_sim::scheduler::FifoScheduler::new(),
+        ExecutionConfig::default(),
+    );
+    assert!(res.delivery_order.is_none());
+}
