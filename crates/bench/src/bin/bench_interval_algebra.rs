@@ -5,150 +5,14 @@
 //!
 //! Usage: `cargo run --release -p anet-bench --bin bench_interval_algebra`
 //! (writes the JSON file into the current directory and echoes it to stdout).
+//!
+//! The generation itself lives in [`anet_bench::baseline`], shared with the
+//! `bench_smoke` key-drift checker.
 
-use std::fmt::Write as _;
-use std::time::Instant;
-
-use anet_bench::striped_union;
-use anet_num::{reference, IntervalUnion};
-
-const SIZES: &[usize] = &[10, 100, 1_000, 10_000];
-const REFERENCE_DIFFERENCE_CAP: usize = 1_000;
-const SAMPLES: usize = 9;
-
-/// Median wall-clock nanoseconds per call over `SAMPLES` samples, with an
-/// iteration count chosen so each sample runs for at least ~1 ms.
-fn median_ns(mut f: impl FnMut()) -> u64 {
-    // Calibrate the per-sample iteration count.
-    let mut iters = 1u64;
-    loop {
-        let start = Instant::now();
-        for _ in 0..iters {
-            f();
-        }
-        let elapsed = start.elapsed();
-        if elapsed.as_micros() >= 1_000 || iters >= 1 << 20 {
-            break;
-        }
-        iters *= 2;
-    }
-    let mut samples: Vec<u64> = (0..SAMPLES)
-        .map(|_| {
-            let start = Instant::now();
-            for _ in 0..iters {
-                f();
-            }
-            (start.elapsed().as_nanos() as u64) / iters.max(1)
-        })
-        .collect();
-    samples.sort_unstable();
-    samples[samples.len() / 2]
-}
-
-struct Record {
-    op: &'static str,
-    implementation: &'static str,
-    endpoints: &'static str,
-    intervals: usize,
-    median_ns: u64,
-}
-
-fn operands(op: &str, n: usize, heap: bool) -> (IntervalUnion, IntervalUnion) {
-    if op == "union" {
-        (
-            striped_union(n, 2, 0, 1, heap),
-            striped_union(n, 2, 1, 1, heap),
-        )
-    } else {
-        (
-            striped_union(n, 4, 0, 2, heap),
-            striped_union(n, 4, 1, 2, heap),
-        )
-    }
-}
-
-/// A binary interval-set operation.
-type SetOp = fn(&IntervalUnion, &IntervalUnion) -> IntervalUnion;
+use anet_bench::baseline::{interval_algebra_json, SampleConfig};
 
 fn main() {
-    let ops: &[(&'static str, SetOp, SetOp)] = &[
-        ("union", |a, b| a.union(b), reference::union),
-        (
-            "intersection",
-            |a, b| a.intersection(b),
-            reference::intersection,
-        ),
-        ("difference", |a, b| a.difference(b), reference::difference),
-    ];
-
-    let mut records: Vec<Record> = Vec::new();
-    for &(op, fast, slow) in ops {
-        for &n in SIZES {
-            for (heap, repr) in [(false, "inline"), (true, "heap")] {
-                let (a, b) = operands(op, n, heap);
-                assert_eq!(fast(&a, &b), slow(&a, &b), "fast/reference divergence");
-                records.push(Record {
-                    op,
-                    implementation: "fast",
-                    endpoints: repr,
-                    intervals: n,
-                    median_ns: median_ns(|| {
-                        std::hint::black_box(fast(&a, &b));
-                    }),
-                });
-                if op != "difference" || n <= REFERENCE_DIFFERENCE_CAP {
-                    records.push(Record {
-                        op,
-                        implementation: "reference",
-                        endpoints: repr,
-                        intervals: n,
-                        median_ns: median_ns(|| {
-                            std::hint::black_box(slow(&a, &b));
-                        }),
-                    });
-                }
-            }
-        }
-    }
-
-    let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"interval_algebra\",\n");
-    json.push_str("  \"unit\": \"ns_per_call_median\",\n");
-    json.push_str("  \"workload\": \"striped_union fragmentation sweep (see crates/bench)\",\n");
-    json.push_str("  \"results\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"op\": \"{}\", \"impl\": \"{}\", \"endpoints\": \"{}\", \"intervals\": {}, \"median_ns\": {}}}{}",
-            r.op,
-            r.implementation,
-            r.endpoints,
-            r.intervals,
-            r.median_ns,
-            if i + 1 < records.len() { "," } else { "" }
-        );
-    }
-    json.push_str("  ],\n  \"speedup_reference_over_fast\": {\n");
-    let mut speedups: Vec<String> = Vec::new();
-    for r in records.iter().filter(|r| r.implementation == "fast") {
-        if let Some(slow) = records.iter().find(|s| {
-            s.implementation == "reference"
-                && s.op == r.op
-                && s.endpoints == r.endpoints
-                && s.intervals == r.intervals
-        }) {
-            speedups.push(format!(
-                "    \"{}/{}/{}\": {:.2}",
-                r.op,
-                r.endpoints,
-                r.intervals,
-                slow.median_ns as f64 / r.median_ns.max(1) as f64
-            ));
-        }
-    }
-    json.push_str(&speedups.join(",\n"));
-    json.push_str("\n  }\n}\n");
-
+    let json = interval_algebra_json(&SampleConfig::full());
     std::fs::write("BENCH_interval_algebra.json", &json).expect("write baseline file");
     print!("{json}");
 }

@@ -1,0 +1,18 @@
+//! Regenerates `BENCH_mapping.json`: a machine-readable baseline of full
+//! topology-mapping runs — the interned-record implementation versus the
+//! retained owned-record reference — over the record-bound topology grid of
+//! the `mapping_flood` criterion bench.
+//!
+//! Usage: `cargo run --release -p anet-bench --bin bench_mapping`
+//! (writes the JSON file into the current directory and echoes it to stdout).
+//!
+//! The generation itself lives in [`anet_bench::baseline`], shared with the
+//! `bench_smoke` key-drift checker.
+
+use anet_bench::baseline::{mapping_json, SampleConfig};
+
+fn main() {
+    let json = mapping_json(&SampleConfig::full());
+    std::fs::write("BENCH_mapping.json", &json).expect("write baseline file");
+    print!("{json}");
+}

@@ -1,0 +1,61 @@
+//! Baseline key-drift smoke check (CI).
+//!
+//! Regenerates every `BENCH_*.json` baseline in smoke mode — a single
+//! iteration per benchmark, so the pass takes seconds — and compares the set
+//! of benchmark keys (every `results` row minus its measured numbers) against
+//! the committed baseline files. A mismatch means the bench grid changed
+//! (workloads added, dropped or renamed) without the baseline being
+//! regenerated, which is exactly the drift the vendored criterion shim cannot
+//! catch.
+//!
+//! Usage: `cargo run --release -p anet-bench --bin bench_smoke` from the
+//! workspace root (where the `BENCH_*.json` files live). Exits non-zero on
+//! drift.
+
+use anet_bench::baseline::{interval_algebra_json, mapping_json, result_keys, SampleConfig};
+
+fn main() {
+    let smoke = SampleConfig::smoke();
+    let checks: [(&str, String); 2] = [
+        ("BENCH_interval_algebra.json", interval_algebra_json(&smoke)),
+        ("BENCH_mapping.json", mapping_json(&smoke)),
+    ];
+
+    let mut drifted = false;
+    for (path, generated) in &checks {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(contents) => contents,
+            Err(err) => {
+                eprintln!("FAIL {path}: cannot read committed baseline: {err}");
+                drifted = true;
+                continue;
+            }
+        };
+        let expected = result_keys(generated);
+        let actual = result_keys(&committed);
+        if expected == actual {
+            println!("ok   {path}: {} benchmark keys match", expected.len());
+            continue;
+        }
+        drifted = true;
+        eprintln!("FAIL {path}: benchmark keys drifted from the committed baseline");
+        for missing in expected.difference(&actual) {
+            eprintln!("  bench grid has, baseline lacks: {missing}");
+        }
+        for stale in actual.difference(&expected) {
+            eprintln!("  baseline has, bench grid lacks: {stale}");
+        }
+        eprintln!(
+            "  regenerate with: cargo run --release -p anet-bench --bin bench_{}",
+            if path.contains("mapping") {
+                "mapping"
+            } else {
+                "interval_algebra"
+            }
+        );
+    }
+
+    if drifted {
+        std::process::exit(1);
+    }
+}

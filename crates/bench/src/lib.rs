@@ -15,8 +15,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+
 use anet_graph::generators::{
-    chain_gn, diamond_stack, layered_dag, random_cyclic, random_dag, random_grounded_tree,
+    chain_gn, complete_dag, diamond_stack, layered_dag, random_cyclic, random_dag,
+    random_grounded_tree,
 };
 use anet_graph::Network;
 use rand::rngs::StdRng;
@@ -83,6 +86,29 @@ pub fn cyclic_workloads(sizes: &[usize]) -> Vec<Workload> {
             network: random_cyclic(&mut rng, n, 0.1, 0.15).expect("valid parameters"),
         })
         .collect()
+}
+
+/// The record-bound topology grid used by the `mapping_flood` bench and the
+/// `BENCH_mapping.json` baseline: random cyclic overlays of growing size plus
+/// complete DAGs, whose record count (vertices + edges) grows quadratically —
+/// the workloads where the owned-record reference's O(|known|) per-activation
+/// diff dominates.
+pub fn mapping_flood_workloads() -> Vec<Workload> {
+    let mut rng = StdRng::seed_from_u64(WORKLOAD_SEED ^ 0x8);
+    let mut out = Vec::new();
+    for &n in &[10usize, 20, 40, 80] {
+        out.push(Workload {
+            name: format!("random-cyclic/{n}"),
+            network: random_cyclic(&mut rng, n, 0.1, 0.15).expect("valid parameters"),
+        });
+    }
+    for &n in &[8usize, 12, 16, 20] {
+        out.push(Workload {
+            name: format!("complete-dag/{n}"),
+            network: complete_dag(n).expect("n >= 1"),
+        });
+    }
+    out
 }
 
 /// Renders a plain-text table with aligned columns, in the style used by

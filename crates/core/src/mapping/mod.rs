@@ -28,17 +28,55 @@
 //! At that point the records describe the entire network (Theorem: the
 //! `mapping_reconstructs_*` tests check exact reconstruction edge-for-edge), and
 //! [`ReconstructedTopology`] rebuilds it.
+//!
+//! # The interned record architecture
+//!
+//! Records exist so that topology can be described *compactly* — and the same
+//! identifier economy applies inside the simulator. This implementation interns
+//! every [`MapRecord`] into a per-protocol-value [`anet_num::Interner`] the first
+//! time any vertex creates or learns it, and from then on the record travels as a
+//! dense `u32` [`RecordId`]:
+//!
+//! * `known` and `sent` are [`IdSet`] bitsets; the per-activation "what's new"
+//!   diff (`known \ sent`, the records to flood) is a word-level bitset
+//!   subtraction ([`IdSet::difference_drain`]) instead of a `BTreeSet`
+//!   difference walking every record the vertex has ever seen;
+//! * flooded messages carry one [`SharedSlice<RecordId>`] shared by every
+//!   out-port (an `Arc` slice — cloning it per port or per trace event is O(1)),
+//!   instead of a `Vec<MapRecord>` deep-cloned per port;
+//! * ids are resolved back through the table only where the *values* matter: at
+//!   the terminal (to maintain its completeness view and to extract the
+//!   topology) and when a vertex first absorbs a record.
+//!
+//! **Wire accounting is unchanged**: a [`RecordId`] is a run-local name, not
+//! something the paper's model lets a protocol transmit for free, so
+//! [`MappingMessage::wire_bits`] charges the full self-delimiting encoding of
+//! the *records themselves* (exactly what the retained reference sends). The
+//! [`mod@reference`] submodule keeps the original owned-record implementation, and
+//! the `mapping_differential` suite pins the two to bit-identical traces,
+//! metrics, wire-bit totals and extracted topologies across the scheduler
+//! battery.
+//!
+//! The terminal additionally maintains a [`TerminalView`]: an incrementally
+//! updated index of its `known` records (per-label port coverage counters, a
+//! root-edge flag, a dangling-destination counter and the running coverage
+//! union), so evaluating the stopping predicate is O(1) bookkeeping plus one
+//! coverage union — not the nested `iter().any` scans of the original.
 
-use std::collections::BTreeSet;
+pub mod reference;
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use anet_graph::{DiGraph, Network, NodeId};
 use anet_num::bits;
+use anet_num::intern::{IdSet, Interner};
 use anet_num::partition::canonical_partition_nonempty;
 use anet_num::{Interval, IntervalUnion};
 use anet_sim::engine::{run, ExecutionConfig};
 use anet_sim::metrics::RunMetrics;
 use anet_sim::scheduler::Scheduler;
-use anet_sim::{AnonymousProtocol, NodeContext, Wire};
+use anet_sim::{AnonymousProtocol, NodeContext, SharedSlice, Wire};
 
 use crate::CoreError;
 
@@ -56,7 +94,8 @@ pub enum VertexRef {
 }
 
 impl VertexRef {
-    fn wire_bits(&self) -> u64 {
+    /// Bits of the self-delimiting encoding (2 tag bits plus the label, if any).
+    pub fn wire_bits(&self) -> u64 {
         match self {
             VertexRef::Root | VertexRef::Sink => 2,
             VertexRef::Labeled(interval) => 2 + interval.endpoint_bits(),
@@ -88,7 +127,15 @@ pub enum MapRecord {
 }
 
 impl MapRecord {
-    fn wire_bits(&self) -> u64 {
+    /// Bits of the record's self-delimiting encoding.
+    ///
+    /// This is the size the record occupies **on the wire** whenever it is
+    /// flooded — the interned implementation sends [`RecordId`]s between
+    /// simulated vertices, but ids are run-local names, so honest accounting
+    /// charges the encoded record itself (tag, label endpoints, gamma-coded
+    /// degrees/ports). Both implementations therefore report identical message
+    /// sizes, which the differential suite asserts.
+    pub fn wire_bits(&self) -> u64 {
         match self {
             MapRecord::Vertex {
                 label,
@@ -117,12 +164,55 @@ pub struct Announce {
 }
 
 impl Announce {
-    fn wire_bits(&self) -> u64 {
+    /// Bits of the announcement's self-delimiting encoding.
+    pub fn wire_bits(&self) -> u64 {
         self.src.wire_bits() + bits::elias_gamma_bits(self.src_port as u64)
     }
 }
 
+/// Dense run-local name of an interned [`MapRecord`].
+///
+/// Ids are assigned in first-use order by the protocol's shared record table
+/// (see [`anet_num::Interner`]); equal records always carry equal ids within
+/// one protocol value, so set bookkeeping is bit arithmetic.
+pub type RecordId = u32;
+
+/// The per-protocol-value record arena: hash-consed records plus their encoded
+/// sizes, memoised once at intern time so composing a message costs one table
+/// lookup per new record.
+#[derive(Debug, Default)]
+struct RecordTable {
+    records: Interner<MapRecord>,
+    encoded_bits: Vec<u64>,
+}
+
+impl RecordTable {
+    fn intern(&mut self, record: &MapRecord) -> RecordId {
+        let id = self.records.intern(record);
+        if id as usize == self.encoded_bits.len() {
+            self.encoded_bits.push(record.wire_bits());
+        }
+        id
+    }
+
+    fn resolve(&self, id: RecordId) -> &MapRecord {
+        self.records.resolve(id)
+    }
+
+    fn bits_of(&self, id: RecordId) -> u64 {
+        self.encoded_bits[id as usize]
+    }
+}
+
+type SharedRecordTable = Arc<Mutex<RecordTable>>;
+
 /// A message of the mapping protocol.
+///
+/// `records` is a shared id slice: every out-port of an activation (and every
+/// trace event) clones the same `Arc`, so fan-out no longer deep-copies the
+/// batch. [`MappingMessage::wire_bits`] nevertheless charges the encoded
+/// records (see [`MapRecord::wire_bits`]), keeping the paper's bit counts
+/// identical to the [`mod@reference`] implementation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MappingMessage {
     /// Newly forwarded interval mass (labelling core).
@@ -132,8 +222,15 @@ pub struct MappingMessage {
     /// Edge-specific announcement, sent once per out-edge when the sender claims
     /// its label (or by the root at start-up).
     pub announce: Option<Announce>,
-    /// Newly learned records being flooded.
-    pub records: Vec<MapRecord>,
+    /// Newly learned records being flooded, as interned ids. The slice's
+    /// declared wire size is the full encoding of the named records.
+    pub records: SharedSlice<RecordId>,
+}
+
+impl MappingMessage {
+    fn no_records() -> SharedSlice<RecordId> {
+        SharedSlice::empty(bits::elias_gamma_bits(0))
+    }
 }
 
 impl Wire for MappingMessage {
@@ -142,13 +239,116 @@ impl Wire for MappingMessage {
             + self.beta.wire_bits()
             + 1
             + self.announce.as_ref().map_or(0, Announce::wire_bits)
-            + bits::elias_gamma_bits(self.records.len() as u64)
-            + self.records.iter().map(MapRecord::wire_bits).sum::<u64>()
+            + self.records.wire_bits()
+    }
+}
+
+/// Per-label bookkeeping inside a [`TerminalView`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct VertexEntry {
+    /// Whether the vertex record for this label has arrived.
+    vertex_known: bool,
+    /// The out-degree the vertex record reported (0 until it arrives).
+    out_degree: usize,
+    /// Distinct out-ports of this label covered by edge records so far.
+    ports_seen: usize,
+    /// Edge records whose destination is this label.
+    incoming: usize,
+}
+
+/// The terminal's incrementally maintained completeness index.
+///
+/// Every record the terminal absorbs updates a handful of counters, so the
+/// stopping predicate's structural conditions (root edge known, every known
+/// vertex's out-ports covered, no edge pointing at an unknown vertex) are O(1)
+/// flag checks instead of the nested `known.iter().any` scans of the original
+/// implementation, and the coverage union over known labels is accumulated as
+/// records arrive instead of being rebuilt per check.
+///
+/// The counters rely on two protocol invariants: a label names exactly one
+/// vertex (labels are disjoint sub-intervals of `[0, 1)`), and each `(src,
+/// src_port)` pair appears in at most one edge record (the record is created
+/// exactly once, at the receiving endpoint of that edge).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TerminalView {
+    root_edge_known: bool,
+    /// Out-ports of known vertices still lacking an edge record.
+    missing_ports: usize,
+    /// Edge records whose `Labeled` destination has no vertex record yet.
+    dangling_edges: usize,
+    vertices: HashMap<Interval, VertexEntry>,
+    /// Union of every known vertex record's label.
+    records_coverage: IntervalUnion,
+}
+
+impl TerminalView {
+    fn absorb(&mut self, record: &MapRecord) {
+        match record {
+            MapRecord::Vertex {
+                label, out_degree, ..
+            } => {
+                let entry = self.vertices.entry(label.clone()).or_default();
+                debug_assert!(!entry.vertex_known, "labels name exactly one vertex");
+                entry.vertex_known = true;
+                entry.out_degree = *out_degree;
+                debug_assert!(entry.ports_seen <= *out_degree);
+                self.missing_ports += *out_degree - entry.ports_seen;
+                self.dangling_edges -= entry.incoming;
+                self.records_coverage
+                    .union_in_place(&IntervalUnion::from(label.clone()));
+            }
+            MapRecord::Edge { src, src_port, dst } => {
+                match src {
+                    VertexRef::Root => {
+                        if *src_port == 0 {
+                            self.root_edge_known = true;
+                        }
+                    }
+                    VertexRef::Sink => {}
+                    VertexRef::Labeled(label) => {
+                        let entry = self.vertices.entry(label.clone()).or_default();
+                        entry.ports_seen += 1;
+                        if entry.vertex_known {
+                            debug_assert!(entry.ports_seen <= entry.out_degree);
+                            self.missing_ports -= 1;
+                        }
+                    }
+                }
+                if let VertexRef::Labeled(label) = dst {
+                    let entry = self.vertices.entry(label.clone()).or_default();
+                    entry.incoming += 1;
+                    if !entry.vertex_known {
+                        self.dangling_edges += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the root's single out-edge record has arrived.
+    pub fn root_edge_known(&self) -> bool {
+        self.root_edge_known
+    }
+
+    /// Out-ports of known vertices still lacking an edge record.
+    pub fn missing_ports(&self) -> usize {
+        self.missing_ports
+    }
+
+    /// Edge records whose destination label has no vertex record yet.
+    pub fn dangling_edges(&self) -> usize {
+        self.dangling_edges
+    }
+
+    /// The structural half of the stopping predicate (everything except the
+    /// `[0, 1)` coverage check), evaluated from the counters alone.
+    pub fn structurally_complete(&self) -> bool {
+        self.root_edge_known && self.missing_ports == 0 && self.dangling_edges == 0
     }
 }
 
 /// Per-vertex state of the mapping protocol.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct MappingState {
     /// The vertex's claimed label (labelling core).
     pub label: IntervalUnion,
@@ -160,16 +360,22 @@ pub struct MappingState {
     pub partitioned: bool,
     /// Whether any message was received.
     pub received: bool,
-    /// Records this vertex knows about (flooded plus self-created).
-    pub known: BTreeSet<MapRecord>,
-    /// Records already flooded on the out-ports.
-    pub sent: BTreeSet<MapRecord>,
+    /// Ids of records this vertex knows about (flooded plus self-created).
+    pub known: IdSet,
+    /// Ids of records already flooded on the out-ports.
+    pub sent: IdSet,
     /// Announcements received before this vertex had a label.
     pub pending_announces: Vec<Announce>,
     /// This vertex's own degrees (recorded for report extraction).
     pub in_degree: usize,
     /// See [`MappingState::in_degree`].
     pub out_degree: usize,
+    /// Handle to the protocol's shared record table (ids → records).
+    table: SharedRecordTable,
+    /// The completeness index, maintained only where the stopping predicate can
+    /// be evaluated: vertices with out-degree zero (the terminal, in any
+    /// network that can terminate).
+    terminal_view: Option<TerminalView>,
 }
 
 impl MappingState {
@@ -192,82 +398,92 @@ impl MappingState {
         }
     }
 
+    /// The terminal's completeness index, if this vertex maintains one (it does
+    /// exactly when its out-degree is zero).
+    pub fn terminal_view(&self) -> Option<&TerminalView> {
+        self.terminal_view.as_ref()
+    }
+
+    /// The records this vertex knows, resolved through the table (sorted, so
+    /// the result is independent of arrival order).
+    pub fn known_records(&self) -> Vec<MapRecord> {
+        let table = self.table.lock().expect("record table lock poisoned");
+        let mut records: Vec<MapRecord> = self
+            .known
+            .iter()
+            .map(|id| table.resolve(id).clone())
+            .collect();
+        records.sort();
+        records
+    }
+
     /// The coverage the terminal checks: known labels ∪ own label ∪ β ∪ routed α.
     pub fn coverage(&self) -> IntervalUnion {
         let mut cov = self.label.union(&self.beta);
         for routed in &self.alpha {
             cov.union_in_place(routed);
         }
-        for record in &self.known {
-            if let MapRecord::Vertex { label, .. } = record {
-                cov.union_in_place(&IntervalUnion::from(label.clone()));
+        if let Some(view) = &self.terminal_view {
+            cov.union_in_place(&view.records_coverage);
+        } else {
+            // Non-terminal vertices keep no index; resolve on demand.
+            let table = self.table.lock().expect("record table lock poisoned");
+            for id in self.known.iter() {
+                if let MapRecord::Vertex { label, .. } = table.resolve(id) {
+                    cov.union_in_place(&IntervalUnion::from(label.clone()));
+                }
             }
         }
         cov
     }
 
-    /// The full termination condition evaluated by the terminal.
+    /// The full termination condition evaluated by the terminal: the indexed
+    /// structural checks plus exact `[0, 1)` coverage.
     pub fn map_complete(&self) -> bool {
-        if !self.coverage().is_unit() {
+        let Some(view) = &self.terminal_view else {
+            // A vertex with out-edges is not the terminal; the predicate is
+            // never evaluated there, but answer honestly anyway.
             return false;
-        }
-        // The root's single out-edge must be known.
-        let root_edge_known = self.known.iter().any(|r| {
-            matches!(
-                r,
-                MapRecord::Edge {
-                    src: VertexRef::Root,
-                    src_port: 0,
-                    ..
-                }
-            )
-        });
-        if !root_edge_known {
-            return false;
-        }
-        // Every known vertex must have all its out-ports accounted for, and every
-        // edge destination must be known (or the terminal itself).
-        for record in &self.known {
-            match record {
-                MapRecord::Vertex {
-                    label, out_degree, ..
-                } => {
-                    for port in 0..*out_degree {
-                        let found = self.known.iter().any(|r| {
-                            matches!(r, MapRecord::Edge { src: VertexRef::Labeled(l), src_port, .. }
-                                if l == label && *src_port == port)
-                        });
-                        if !found {
-                            return false;
-                        }
-                    }
-                }
-                MapRecord::Edge { dst, .. } => match dst {
-                    VertexRef::Sink | VertexRef::Root => {}
-                    VertexRef::Labeled(l) => {
-                        let known_vertex = self
-                            .known
-                            .iter()
-                            .any(|r| matches!(r, MapRecord::Vertex { label, .. } if label == l));
-                        if !known_vertex {
-                            return false;
-                        }
-                    }
-                },
-            }
-        }
-        true
+        };
+        view.structurally_complete() && self.coverage().is_unit()
     }
 }
 
-/// The topology-mapping protocol.
+/// The topology-mapping protocol, interned-record implementation.
+///
+/// Protocol values created by [`Mapping::new`]/`default` each carry a fresh
+/// [record table](RecordId); every state a value creates holds a handle to its
+/// table. **`clone` shares the table** (it clones the `Arc`, not the arena) —
+/// fine for reusing one logical protocol, but independent concurrent runs
+/// should each get their own `Mapping::new()` (as
+/// [`anet_sim::runner::run_battery_grid`]'s per-topology factory does), or
+/// every activation funnels through one `Mutex`. Reusing one value across
+/// several sequential runs (as [`anet_sim::runner::run_under_battery`] does)
+/// reuses the table — ids stay consistent and the arena simply accumulates,
+/// which is harmless because ids never leak between runs' `known` sets.
 #[derive(Debug, Clone, Default)]
-pub struct Mapping;
+pub struct Mapping {
+    table: SharedRecordTable,
+}
 
 impl Mapping {
-    /// Creates the protocol.
+    /// Creates the protocol with a fresh record table.
     pub fn new() -> Self {
-        Mapping
+        Mapping::default()
+    }
+
+    /// Resolves interned ids back to their records, sorted — used to inspect
+    /// traced messages (e.g. by the differential suite, which compares a traced
+    /// id batch against the reference implementation's owned-record batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id was not produced by this protocol value's table.
+    pub fn resolve_records(&self, ids: &[RecordId]) -> Vec<MapRecord> {
+        let table = self.table.lock().expect("record table lock poisoned");
+        let mut records: Vec<MapRecord> = ids.iter().map(|&id| table.resolve(id).clone()).collect();
+        records.sort();
+        records
     }
 }
 
@@ -286,11 +502,13 @@ impl AnonymousProtocol for Mapping {
             beta: IntervalUnion::empty(),
             partitioned: false,
             received: false,
-            known: BTreeSet::new(),
-            sent: BTreeSet::new(),
+            known: IdSet::new(),
+            sent: IdSet::new(),
             pending_announces: Vec::new(),
             in_degree: ctx.in_degree,
             out_degree: ctx.out_degree,
+            table: Arc::clone(&self.table),
+            terminal_view: (ctx.out_degree == 0).then(TerminalView::default),
         }
     }
 
@@ -304,7 +522,7 @@ impl AnonymousProtocol for Mapping {
                     src: VertexRef::Root,
                     src_port: 0,
                 }),
-                records: Vec::new(),
+                records: MappingMessage::no_records(),
             },
         )]
     }
@@ -318,10 +536,18 @@ impl AnonymousProtocol for Mapping {
     ) -> Vec<(usize, MappingMessage)> {
         state.received = true;
         let d = ctx.out_degree;
+        // One table lock per activation covers absorption, record creation and
+        // message composition.
+        let mut table = self.table.lock().expect("record table lock poisoned");
 
-        // 1. Absorb flooded records.
-        for record in &message.records {
-            state.known.insert(record.clone());
+        // 1. Absorb flooded records — bit inserts; values are resolved only if
+        //    this vertex maintains the terminal index.
+        for &id in message.records.items() {
+            if state.known.insert(id) {
+                if let Some(view) = state.terminal_view.as_mut() {
+                    view.absorb(table.resolve(id));
+                }
+            }
         }
 
         // 2. Labelling core (note: labels are *not* folded into β here; the vertex
@@ -371,11 +597,17 @@ impl AnonymousProtocol for Mapping {
         // 3. Handle the edge announcement carried by this message.
         if let Some(announce) = &message.announce {
             if state.is_labeled() || d == 0 {
-                state.known.insert(MapRecord::Edge {
+                let record = MapRecord::Edge {
                     src: announce.src.clone(),
                     src_port: announce.src_port,
                     dst: state.own_ref(),
-                });
+                };
+                let id = table.intern(&record);
+                if state.known.insert(id) {
+                    if let Some(view) = state.terminal_view.as_mut() {
+                        view.absorb(&record);
+                    }
+                }
             } else {
                 state.pending_announces.push(announce.clone());
             }
@@ -390,18 +622,22 @@ impl AnonymousProtocol for Mapping {
                 .first()
                 .expect("just claimed a non-empty label")
                 .clone();
-            state.known.insert(MapRecord::Vertex {
+            let record = MapRecord::Vertex {
                 label: own_label,
                 in_degree: ctx.in_degree,
                 out_degree: d,
-            });
+            };
+            let id = table.intern(&record);
+            state.known.insert(id);
             let pending = std::mem::take(&mut state.pending_announces);
             for announce in pending {
-                state.known.insert(MapRecord::Edge {
+                let record = MapRecord::Edge {
                     src: announce.src,
                     src_port: announce.src_port,
                     dst: state.own_ref(),
-                });
+                };
+                let id = table.intern(&record);
+                state.known.insert(id);
             }
         }
 
@@ -409,11 +645,16 @@ impl AnonymousProtocol for Mapping {
             return Vec::new();
         }
 
-        // 5. Compose per-port outgoing messages.
-        let new_records: Vec<MapRecord> = state.known.difference(&state.sent).cloned().collect();
-        for record in &new_records {
-            state.sent.insert(record.clone());
-        }
+        // 5. Compose per-port outgoing messages. The "what's new" diff is one
+        //    word-level pass that simultaneously marks the ids as sent, and the
+        //    resulting batch is shared by every out-port.
+        let mut new_ids: Vec<RecordId> = Vec::new();
+        state.known.difference_drain(&mut state.sent, &mut new_ids);
+        let records_bits = bits::elias_gamma_bits(new_ids.len() as u64)
+            + new_ids.iter().map(|&id| table.bits_of(id)).sum::<u64>();
+        drop(table);
+        let records = SharedSlice::new(new_ids, records_bits);
+
         let mut out = Vec::new();
         for (j, alpha_delta) in alpha_deltas.into_iter().enumerate() {
             let announce = if just_labeled {
@@ -427,7 +668,7 @@ impl AnonymousProtocol for Mapping {
             if !alpha_delta.is_empty()
                 || !beta_delta.is_empty()
                 || announce.is_some()
-                || !new_records.is_empty()
+                || !records.is_empty()
             {
                 out.push((
                     j,
@@ -435,7 +676,7 @@ impl AnonymousProtocol for Mapping {
                         alpha: alpha_delta,
                         beta: beta_delta.clone(),
                         announce,
-                        records: new_records.clone(),
+                        records: records.clone(),
                     },
                 ));
             }
@@ -481,15 +722,20 @@ pub struct ReconstructedTopology {
 }
 
 impl ReconstructedTopology {
-    /// Builds the topology from the terminal's final state.
-    pub fn from_terminal_state(state: &MappingState) -> Self {
+    /// Builds the topology from a sorted record list plus the terminal's own
+    /// in-degree. Both implementations funnel through this, so their
+    /// extractions are structurally identical.
+    fn from_records<'a>(
+        records: impl IntoIterator<Item = &'a MapRecord>,
+        terminal_in_degree: usize,
+    ) -> Self {
         let mut vertices = vec![ReconVertex {
             reference: VertexRef::Root,
             in_degree: 0,
             out_degree: 1,
         }];
         let mut edges = Vec::new();
-        for record in &state.known {
+        for record in records {
             match record {
                 MapRecord::Vertex {
                     label,
@@ -509,10 +755,17 @@ impl ReconstructedTopology {
         }
         vertices.push(ReconVertex {
             reference: VertexRef::Sink,
-            in_degree: state.in_degree,
+            in_degree: terminal_in_degree,
             out_degree: 0,
         });
         ReconstructedTopology { vertices, edges }
+    }
+
+    /// Builds the topology from the terminal's final state (ids are resolved
+    /// through the record table and sorted, so the result is independent of the
+    /// delivery order in which the terminal learned them).
+    pub fn from_terminal_state(state: &MappingState) -> Self {
+        Self::from_records(&state.known_records(), state.in_degree)
     }
 
     /// Number of reconstructed vertices (including root and terminal).
@@ -832,5 +1085,53 @@ mod tests {
         let state = protocol.initial_state(&ctx);
         assert!(!state.map_complete());
         assert!(!protocol.should_terminate(&state));
+        let view = state.terminal_view().expect("sinks maintain the index");
+        assert!(!view.root_edge_known());
+        assert_eq!(view.missing_ports(), 0);
+        assert_eq!(view.dangling_edges(), 0);
+        assert!(!view.structurally_complete());
+    }
+
+    #[test]
+    fn terminal_view_counters_track_known_records() {
+        let net = cycle_with_tail(5).unwrap();
+        let report = run_mapping(&net, &mut fifo()).unwrap();
+        assert!(report.terminated);
+        // Re-run keeping the raw states to inspect the terminal's view.
+        let protocol = Mapping::new();
+        let result = run(&net, &protocol, &mut fifo(), ExecutionConfig::default());
+        let terminal = &result.states[net.terminal().index()];
+        let view = terminal.terminal_view().expect("terminal keeps the index");
+        assert!(view.structurally_complete());
+        assert!(view.root_edge_known());
+        assert_eq!(view.missing_ports(), 0);
+        assert_eq!(view.dangling_edges(), 0);
+        assert!(terminal.coverage().is_unit());
+        // The indexed predicate agrees with a from-scratch scan of the records.
+        let records = terminal.known_records();
+        let edge_count = records
+            .iter()
+            .filter(|r| matches!(r, MapRecord::Edge { .. }))
+            .count();
+        assert_eq!(edge_count, net.edge_count());
+    }
+
+    #[test]
+    fn shared_record_slices_are_cheap_to_clone() {
+        // The same Arc backs every out-port's batch: equal contents, equal bits.
+        let a = MappingMessage {
+            alpha: IntervalUnion::empty(),
+            beta: IntervalUnion::empty(),
+            announce: None,
+            records: SharedSlice::new(vec![0, 1, 2], 42),
+        };
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.wire_bits(), b.wire_bits());
+        // records bits dominate: alpha/beta empty unions plus presence bit.
+        assert_eq!(
+            a.wire_bits(),
+            IntervalUnion::empty().wire_bits() * 2 + 1 + 42
+        );
     }
 }

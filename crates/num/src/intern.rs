@@ -1,0 +1,404 @@
+//! Hash-consing interners and dense-id bitsets.
+//!
+//! The flooding protocols repeatedly ship the *same* facts (labelled vertex and
+//! edge records) over many edges. Keeping those facts as owned values makes
+//! every hop pay a deep clone and every set operation a tree comparison. This
+//! module provides the identifier economy that avoids both:
+//!
+//! * [`Interner`] — a hash-consing arena mapping values to **dense** `u32` ids:
+//!   the first occurrence of a value is stored once and assigned the next free
+//!   id; every later occurrence resolves to the same id. Density (ids are
+//!   exactly `0..len`) is what makes the companion bitset representation work.
+//! * [`IdSet`] — a growable bitset over such dense ids with the word-level set
+//!   operations a flooding protocol needs: `insert`, `contains`, and the fused
+//!   [`difference_drain`](IdSet::difference_drain) that computes "what is new"
+//!   and marks it as seen in a single pass (the combination the mapping
+//!   protocol runs per activation). The bulk
+//!   [`union_with`](IdSet::union_with) is provision for the protocols named in
+//!   the ROADMAP follow-up (`labeling`/`general_broadcast`), which merge whole
+//!   sets rather than drain diffs.
+//!
+//! # Invariants
+//!
+//! * **Id density** — [`Interner::intern`] assigns ids `0, 1, 2, …` in first-use
+//!   order and never reuses or frees an id; `resolve(id)` is a plain slice
+//!   index. A bitset over the ids of an interner with `n` values therefore
+//!   occupies `⌈n / 64⌉` words.
+//! * **Hash consing** — two values compare equal if and only if they intern to
+//!   the same id, so protocols may replace value equality by `u32` equality.
+//! * **Logical set equality** — [`IdSet`] comparisons ignore trailing zero
+//!   words: a set grown by a large insert and a compact set holding the same
+//!   ids are equal.
+//!
+//! Interners deliberately do **not** implement any wire-size accounting: an id
+//! is a run-local name, not something a protocol may transmit for free. Callers
+//! that flood interned values must still account the *encoded* values (see
+//! `anet_core::mapping`, whose messages carry id slices but charge the full
+//! record encoding to the wire).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A hash-consing arena assigning dense `u32` ids to values.
+///
+/// See the [module docs](self) for the id-density and hash-consing invariants.
+///
+/// # Example
+///
+/// ```
+/// use anet_num::intern::Interner;
+///
+/// let mut table = Interner::new();
+/// let a = table.intern(&"alpha");
+/// let b = table.intern(&"beta");
+/// assert_eq!(table.intern(&"alpha"), a); // hash-consed: same value, same id
+/// assert_eq!((a, b), (0, 1)); // dense, first-use order
+/// assert_eq!(table.resolve(b), &"beta");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interner<T> {
+    lookup: HashMap<T, u32>,
+    values: Vec<T>,
+}
+
+// Manual impl: an empty interner exists for any `T`, Default-or-not.
+impl<T> Default for Interner<T> {
+    fn default() -> Self {
+        Interner {
+            lookup: HashMap::new(),
+            values: Vec::new(),
+        }
+    }
+}
+
+impl<T: Clone + Eq + Hash> Interner<T> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner {
+            lookup: HashMap::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Returns the id of `value`, interning it first if it is new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` distinct values are interned.
+    pub fn intern(&mut self, value: &T) -> u32 {
+        if let Some(&id) = self.lookup.get(value) {
+            return id;
+        }
+        let id = u32::try_from(self.values.len()).expect("interner overflow: > u32::MAX values");
+        self.lookup.insert(value.clone(), id);
+        self.values.push(value.clone());
+        id
+    }
+
+    /// Like [`intern`](Self::intern), taking ownership (one clone fewer on a
+    /// miss). Provision for adopters that build values to intern rather than
+    /// interning borrowed message contents (see the ROADMAP
+    /// `labeling`/`general_broadcast` follow-up); the mapping protocol interns
+    /// borrowed records and uses [`intern`](Self::intern).
+    pub fn intern_owned(&mut self, value: T) -> u32 {
+        if let Some(&id) = self.lookup.get(&value) {
+            return id;
+        }
+        let id = u32::try_from(self.values.len()).expect("interner overflow: > u32::MAX values");
+        self.lookup.insert(value.clone(), id);
+        self.values.push(value);
+        id
+    }
+
+    /// The id of `value`, if it has been interned.
+    pub fn get(&self, value: &T) -> Option<u32> {
+        self.lookup.get(value).copied()
+    }
+
+    /// The value behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: u32) -> &T {
+        &self.values[id as usize]
+    }
+
+    /// Number of interned values (equivalently: the next id to be assigned).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates `(id, value)` pairs in id (first-use) order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.values.iter().enumerate().map(|(i, v)| (i as u32, v))
+    }
+}
+
+/// A growable bitset over dense `u32` ids.
+///
+/// Built for the flooding pattern `new = known \ sent; sent ∪= known`, which
+/// [`difference_drain`](Self::difference_drain) performs word-by-word in one
+/// pass. Equality is *logical*: trailing zero words do not distinguish sets.
+///
+/// # Example
+///
+/// ```
+/// use anet_num::intern::IdSet;
+///
+/// let mut known = IdSet::new();
+/// known.insert(3);
+/// known.insert(70);
+/// let mut sent = IdSet::new();
+/// sent.insert(3);
+/// let mut fresh = Vec::new();
+/// known.difference_drain(&mut sent, &mut fresh);
+/// assert_eq!(fresh, vec![70]); // only the unseen id drains out…
+/// assert!(sent.contains(70)); // …and is now marked as seen
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IdSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl IdSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        IdSet::default()
+    }
+
+    /// Creates an empty set with room for ids `0..capacity` pre-allocated.
+    /// Provision for callers that know their interner's size up front (the
+    /// mapping protocol's sets start empty and grow with the flood, so it uses
+    /// [`new`](Self::new)).
+    pub fn with_capacity(capacity: usize) -> Self {
+        IdSet {
+            words: Vec::with_capacity(capacity.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    fn grow_for(&mut self, id: u32) {
+        let word = id as usize / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+    }
+
+    /// Inserts `id`; returns whether it was newly inserted.
+    pub fn insert(&mut self, id: u32) -> bool {
+        self.grow_for(id);
+        let (word, bit) = (id as usize / 64, id % 64);
+        let mask = 1u64 << bit;
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Whether `id` is in the set.
+    pub fn contains(&self, id: u32) -> bool {
+        self.words
+            .get(id as usize / 64)
+            .is_some_and(|w| w & (1 << (id % 64)) != 0)
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every id.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
+    /// Word-level union: adds every id of `other` to `self`.
+    pub fn union_with(&mut self, other: &IdSet) {
+        if self.words.len() < other.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            self.len += (b & !*a).count_ones() as usize;
+            *a |= b;
+        }
+    }
+
+    /// The fused flooding step: pushes every id in `self` but **not** in `sink`
+    /// into `out` (ascending), and inserts those ids into `sink` — a single
+    /// word-level pass over both bitsets, O(words + new ids) instead of the
+    /// O(|self|) value-set difference it replaces.
+    pub fn difference_drain(&self, sink: &mut IdSet, out: &mut Vec<u32>) {
+        if sink.words.len() < self.words.len() {
+            sink.words.resize(self.words.len(), 0);
+        }
+        for (w, (&a, b)) in self.words.iter().zip(&mut sink.words).enumerate() {
+            let mut fresh = a & !*b;
+            sink.len += fresh.count_ones() as usize;
+            *b |= a;
+            while fresh != 0 {
+                out.push(w as u32 * 64 + fresh.trailing_zeros());
+                fresh &= fresh - 1;
+            }
+        }
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            std::iter::successors((word != 0).then_some(word), |&x| {
+                let rest = x & (x - 1);
+                (rest != 0).then_some(rest)
+            })
+            .map(move |x| w as u32 * 64 + x.trailing_zeros())
+        })
+    }
+}
+
+impl PartialEq for IdSet {
+    fn eq(&self, other: &IdSet) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        short.iter().zip(long.iter()).all(|(a, b)| a == b)
+            && long[short.len()..].iter().all(|&w| w == 0)
+    }
+}
+
+impl Eq for IdSet {}
+
+impl FromIterator<u32> for IdSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut set = IdSet::new();
+        for id in iter {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_assigns_dense_ids_in_first_use_order() {
+        let mut t = Interner::new();
+        assert!(t.is_empty());
+        let ids: Vec<u32> = ["a", "b", "a", "c", "b"]
+            .iter()
+            .map(|s| t.intern(s))
+            .collect();
+        assert_eq!(ids, vec![0, 1, 0, 2, 1]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.resolve(2), &"c");
+        assert_eq!(t.get(&"b"), Some(1));
+        assert_eq!(t.get(&"z"), None);
+        let listed: Vec<(u32, &&str)> = t.iter().collect();
+        assert_eq!(listed, vec![(0, &"a"), (1, &"b"), (2, &"c")]);
+    }
+
+    #[test]
+    fn intern_owned_agrees_with_intern() {
+        let mut t = Interner::new();
+        let a = t.intern(&String::from("x"));
+        assert_eq!(t.intern_owned(String::from("x")), a);
+        assert_eq!(t.intern_owned(String::from("y")), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn idset_insert_contains_len() {
+        let mut s = IdSet::new();
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(1000));
+        assert!(!s.insert(63));
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(1000));
+        assert!(!s.contains(1) && !s.contains(999) && !s.contains(100_000));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 1000]);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn idset_equality_is_logical() {
+        let mut a = IdSet::new();
+        a.insert(5);
+        a.insert(500); // grows to many words
+        let mut b = IdSet::new();
+        b.insert(5);
+        assert_ne!(a, b);
+        // After matching contents, trailing zero words must not matter.
+        let mut c: IdSet = [5u32, 500].into_iter().collect();
+        assert_eq!(a, c);
+        c.insert(7);
+        assert_ne!(a, c);
+        let compact: IdSet = [5u32].into_iter().collect();
+        let mut grown = IdSet::new();
+        grown.insert(900);
+        grown.clear();
+        grown.insert(5);
+        assert_eq!(compact, grown);
+    }
+
+    #[test]
+    fn union_with_tracks_len_across_word_boundaries() {
+        let a: IdSet = [1u32, 64, 129].into_iter().collect();
+        let b: IdSet = [1u32, 2, 200].into_iter().collect();
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 5);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 64, 129, 200]);
+        // Union with a shorter set must not shrink the word vector.
+        let mut v = b.clone();
+        v.union_with(&a);
+        assert_eq!(u, v);
+    }
+
+    #[test]
+    fn difference_drain_reports_and_marks_new_ids() {
+        let known: IdSet = [0u32, 3, 64, 130, 131].into_iter().collect();
+        let mut sent: IdSet = [3u32, 130].into_iter().collect();
+        let mut fresh = Vec::new();
+        known.difference_drain(&mut sent, &mut fresh);
+        assert_eq!(fresh, vec![0, 64, 131]);
+        assert_eq!(sent.len(), 5);
+        // Idempotent: nothing new on a second pass.
+        fresh.clear();
+        known.difference_drain(&mut sent, &mut fresh);
+        assert!(fresh.is_empty());
+        assert_eq!(sent, known);
+    }
+
+    #[test]
+    fn difference_drain_into_longer_sink() {
+        let known: IdSet = [1u32].into_iter().collect();
+        let mut sent: IdSet = [700u32].into_iter().collect();
+        let mut fresh = Vec::new();
+        known.difference_drain(&mut sent, &mut fresh);
+        assert_eq!(fresh, vec![1]);
+        assert!(sent.contains(700) && sent.contains(1));
+        assert_eq!(sent.len(), 2);
+    }
+}

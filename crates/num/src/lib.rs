@@ -17,6 +17,9 @@
 //! * [`partition`] — the paper's splitting rules: the power-of-two scalar rule of
 //!   Section 3.1 and the canonical interval partition of Section 4.
 //! * [`bits`] — self-delimiting integer codes used to account for wire sizes.
+//! * [`intern`] — hash-consing [`Interner`] arenas (values → dense `u32` ids) and
+//!   [`IdSet`] bitsets, the identifier economy behind the record-flooding
+//!   protocols.
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@ mod biguint;
 pub mod bits;
 mod dyadic;
 mod error;
+pub mod intern;
 mod interval;
 mod interval_union;
 pub mod partition;
@@ -49,6 +53,7 @@ pub mod reference;
 pub use biguint::BigUint;
 pub use dyadic::Dyadic;
 pub use error::NumError;
+pub use intern::{IdSet, Interner};
 pub use interval::Interval;
 pub use interval_union::IntervalUnion;
 pub use ratio::Ratio;

@@ -199,7 +199,12 @@ where
         .map(|ctx| protocol.initial_state(ctx))
         .collect();
 
-    let mut queues: Vec<VecDeque<(u64, P::Message)>> = vec![VecDeque::new(); graph.edge_count()];
+    // One FIFO queue per edge. Messages are moved, never cloned, on the
+    // delivery path: the only `Message::clone` the engine performs is into the
+    // optional trace, so cheaply clonable payloads (e.g. [`crate::SharedSlice`])
+    // keep per-delivery cost independent of payload size.
+    let mut queues: Vec<VecDeque<(u64, P::Message)>> =
+        (0..graph.edge_count()).map(|_| VecDeque::new()).collect();
     let mut metrics = RunMetrics::new(graph.edge_count());
     let mut trace = if config.record_trace {
         Some(Trace::new())

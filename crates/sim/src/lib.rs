@@ -73,4 +73,4 @@ pub use engine::{ExecutionConfig, Outcome, RunConfig, RunResult};
 pub use protocol::{AnonymousProtocol, NodeContext};
 pub use reference::run_full_scan;
 pub use synchronous::{run_synchronous, SynchronousRun};
-pub use wire::Wire;
+pub use wire::{SharedSlice, Wire};

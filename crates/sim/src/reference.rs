@@ -54,7 +54,8 @@ where
         .map(|ctx| protocol.initial_state(ctx))
         .collect();
 
-    let mut queues: Vec<VecDeque<(u64, P::Message)>> = vec![VecDeque::new(); graph.edge_count()];
+    let mut queues: Vec<VecDeque<(u64, P::Message)>> =
+        (0..graph.edge_count()).map(|_| VecDeque::new()).collect();
     let mut metrics = RunMetrics::new(graph.edge_count());
     let mut trace = if config.record_trace {
         Some(Trace::new())

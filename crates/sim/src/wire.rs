@@ -1,4 +1,7 @@
-//! Wire-size accounting for protocol messages.
+//! Wire-size accounting for protocol messages, and the shared-slice message
+//! payload used by flooding protocols.
+
+use std::sync::Arc;
 
 /// A message that knows its own transmitted size in bits.
 ///
@@ -36,6 +39,97 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     }
 }
 
+/// A reference-counted slice payload whose clone is O(1), with a caller-supplied
+/// encoded size.
+///
+/// Flooding protocols send the *same* batch of newly learned facts on every
+/// out-port. Carrying the batch as an owned `Vec` makes each send pay a deep
+/// clone; a `SharedSlice` is an `Arc<[T]>`, so the per-port (and per-trace-event)
+/// clone is a reference-count bump regardless of batch size — which is why
+/// [`Clone`] here deliberately does **not** require `T: Clone`.
+///
+/// The wire size is supplied at construction: the slice elements are typically
+/// run-local names (interned ids) whose honest on-the-wire cost is the encoding
+/// of the *values they name*, which only the caller can account. Constructors
+/// must pass the full self-delimiting encoded size of the batch (length prefix
+/// included); two batches holding equal elements are expected to report equal
+/// sizes, keeping the [`Wire`] consistency contract.
+#[derive(Debug)]
+pub struct SharedSlice<T> {
+    items: Arc<[T]>,
+    encoded_bits: u64,
+}
+
+impl<T> SharedSlice<T> {
+    /// Wraps `items`, declaring that the batch occupies `encoded_bits` bits on
+    /// an edge (self-delimiting encoding, length prefix included).
+    pub fn new(items: Vec<T>, encoded_bits: u64) -> Self {
+        SharedSlice {
+            items: items.into(),
+            encoded_bits,
+        }
+    }
+
+    /// An empty batch costing `encoded_bits` bits (the length prefix of zero).
+    pub fn empty(encoded_bits: u64) -> Self {
+        SharedSlice::new(Vec::new(), encoded_bits)
+    }
+
+    /// The shared elements.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the batch holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The declared encoded size in bits (same value [`Wire::wire_bits`] reports).
+    pub fn encoded_bits(&self) -> u64 {
+        self.encoded_bits
+    }
+}
+
+// Manual impl: an `Arc` clone is a refcount bump, so `T: Clone` is not needed —
+// this is what keeps per-delivery message clones O(1) for slice-carrying
+// messages.
+impl<T> Clone for SharedSlice<T> {
+    fn clone(&self) -> Self {
+        SharedSlice {
+            items: Arc::clone(&self.items),
+            encoded_bits: self.encoded_bits,
+        }
+    }
+}
+
+impl<T: PartialEq> PartialEq for SharedSlice<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.encoded_bits == other.encoded_bits && self.items == other.items
+    }
+}
+
+impl<T: Eq> Eq for SharedSlice<T> {}
+
+impl<T> std::ops::Deref for SharedSlice<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<T> Wire for SharedSlice<T> {
+    fn wire_bits(&self) -> u64 {
+        self.encoded_bits
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +146,35 @@ mod tests {
         let none: Option<u64> = None;
         assert_eq!(none.wire_bits(), 1);
         assert_eq!(Some(1u64).wire_bits(), 65);
+    }
+
+    /// A payload type that deliberately cannot be cloned: `SharedSlice` must
+    /// still clone (the Arc is shared, not the elements).
+    #[derive(Debug, PartialEq, Eq)]
+    struct NoClone(u8);
+
+    #[test]
+    fn shared_slice_clones_without_element_clone() {
+        let a = SharedSlice::new(vec![NoClone(1), NoClone(2)], 17);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.wire_bits(), 17);
+        assert_eq!(b.items(), &[NoClone(1), NoClone(2)]);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        // Deref gives slice methods for free.
+        assert_eq!(b.first(), Some(&NoClone(1)));
+    }
+
+    #[test]
+    fn shared_slice_equality_covers_bits_and_items() {
+        let a = SharedSlice::new(vec![1u32, 2], 9);
+        assert_eq!(a, SharedSlice::new(vec![1u32, 2], 9));
+        assert_ne!(a, SharedSlice::new(vec![1u32, 2], 10));
+        assert_ne!(a, SharedSlice::new(vec![1u32, 3], 9));
+        let empty: SharedSlice<u32> = SharedSlice::empty(1);
+        assert!(empty.is_empty());
+        assert_eq!(empty.encoded_bits(), 1);
+        assert_eq!(empty.wire_bits(), 1);
     }
 }
