@@ -1,0 +1,159 @@
+//! Direct coverage of `IdSet` word-boundary behaviour and edge cases that the
+//! mapping protocol only exercises indirectly: sets straddling the 64-bit word
+//! boundary (sizes 63/64/65), `difference_drain` with empty operands, and
+//! `union_with` growth in both directions.
+
+use anet_num::intern::IdSet;
+
+/// Dense sets of exactly `n` ids `0..n`, the word-boundary workhorses.
+fn dense(n: u32) -> IdSet {
+    (0..n).collect()
+}
+
+#[test]
+fn dense_sets_across_the_word_boundary() {
+    for n in [63u32, 64, 65] {
+        let set = dense(n);
+        assert_eq!(set.len(), n as usize, "size {n}");
+        assert!(!set.is_empty());
+        for id in 0..n {
+            assert!(set.contains(id), "size {n} missing id {id}");
+        }
+        assert!(!set.contains(n), "size {n} must not contain {n}");
+        assert!(!set.contains(n + 63));
+        assert!(!set.contains(n + 64));
+        assert_eq!(set.iter().collect::<Vec<_>>(), (0..n).collect::<Vec<_>>());
+        // Re-inserting every id reports nothing fresh and changes nothing.
+        let mut again = set.clone();
+        for id in 0..n {
+            assert!(!again.insert(id), "size {n} re-insert of {id}");
+        }
+        assert_eq!(again, set);
+        // Inserting exactly the next id grows by one (crossing the boundary
+        // for n = 64).
+        assert!(again.insert(n));
+        assert_eq!(again.len(), n as usize + 1);
+        assert!(again.contains(n));
+        assert_ne!(again, set);
+    }
+}
+
+#[test]
+fn boundary_ids_alone() {
+    // Single-bit sets at the extremes of each word.
+    for id in [0u32, 63, 64, 65, 127, 128] {
+        let mut set = IdSet::new();
+        assert!(set.insert(id));
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(id));
+        assert!(id == 0 || !set.contains(id - 1));
+        assert!(!set.contains(id + 1));
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![id]);
+    }
+}
+
+#[test]
+fn difference_drain_with_empty_self_is_a_no_op() {
+    let empty = IdSet::new();
+    // Into an empty sink.
+    let mut sink = IdSet::new();
+    let mut out = Vec::new();
+    empty.difference_drain(&mut sink, &mut out);
+    assert!(out.is_empty());
+    assert!(sink.is_empty());
+    assert_eq!(sink, IdSet::new());
+    // Into a populated sink: the sink is untouched.
+    let mut sink: IdSet = [5u32, 64, 700].into_iter().collect();
+    let before = sink.clone();
+    empty.difference_drain(&mut sink, &mut out);
+    assert!(out.is_empty());
+    assert_eq!(sink, before);
+    assert_eq!(sink.len(), 3);
+}
+
+#[test]
+fn difference_drain_into_empty_sink_drains_everything() {
+    for n in [63u32, 64, 65] {
+        let known = dense(n);
+        let mut sink = IdSet::new();
+        let mut out = Vec::new();
+        known.difference_drain(&mut sink, &mut out);
+        assert_eq!(out, (0..n).collect::<Vec<_>>(), "size {n}");
+        assert_eq!(sink, known, "size {n}: sink must equal the drained set");
+        assert_eq!(sink.len(), n as usize);
+    }
+}
+
+#[test]
+fn difference_drain_straddling_the_boundary() {
+    // known covers both sides of the 64-bit boundary; sent covers one side.
+    let known: IdSet = [62u32, 63, 64, 65].into_iter().collect();
+    let mut sent: IdSet = [62u32, 63].into_iter().collect();
+    let mut out = Vec::new();
+    known.difference_drain(&mut sent, &mut out);
+    assert_eq!(out, vec![64, 65]);
+    assert_eq!(sent, known);
+}
+
+#[test]
+fn union_with_growth_in_both_directions() {
+    for (small_n, large_n) in [(63u32, 64u32), (63, 65), (64, 65), (1, 130)] {
+        let small = dense(small_n);
+        let large = dense(large_n);
+        // Growing union: the short word vector must extend.
+        let mut grown = small.clone();
+        grown.union_with(&large);
+        assert_eq!(grown, large, "{small_n} ∪= {large_n}");
+        assert_eq!(grown.len(), large_n as usize);
+        // Shrinking direction: union with a subset changes nothing.
+        let mut kept = large.clone();
+        kept.union_with(&small);
+        assert_eq!(kept, large, "{large_n} ∪= {small_n}");
+        assert_eq!(kept.len(), large_n as usize);
+    }
+}
+
+#[test]
+fn union_with_empty_operands() {
+    let set: IdSet = [3u32, 64, 129].into_iter().collect();
+    let mut grown = set.clone();
+    grown.union_with(&IdSet::new());
+    assert_eq!(grown, set);
+    let mut empty = IdSet::new();
+    empty.union_with(&set);
+    assert_eq!(empty, set);
+    assert_eq!(empty.len(), 3);
+    let mut both = IdSet::new();
+    both.union_with(&IdSet::new());
+    assert!(both.is_empty());
+}
+
+#[test]
+fn union_with_disjoint_words_counts_len_exactly() {
+    // Disjoint halves split exactly at the boundary.
+    let low: IdSet = (0u32..64).collect();
+    let high: IdSet = (64u32..128).collect();
+    let mut all = low.clone();
+    all.union_with(&high);
+    assert_eq!(all.len(), 128);
+    assert_eq!(all, dense(128));
+    // Partial overlap across the boundary double-counts nothing.
+    let a: IdSet = (60u32..70).collect();
+    let b: IdSet = (65u32..75).collect();
+    let mut u = a.clone();
+    u.union_with(&b);
+    assert_eq!(u.len(), 15);
+    assert_eq!(u.iter().collect::<Vec<_>>(), (60..75).collect::<Vec<_>>());
+}
+
+#[test]
+fn with_capacity_behaves_like_new() {
+    let mut a = IdSet::with_capacity(129);
+    let mut b = IdSet::new();
+    assert_eq!(a, b);
+    for id in [0u32, 63, 64, 128] {
+        assert_eq!(a.insert(id), b.insert(id));
+    }
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 4);
+}

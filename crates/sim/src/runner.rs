@@ -6,7 +6,7 @@ use std::sync::Mutex;
 
 use anet_graph::Network;
 
-use crate::engine::{run, ExecutionConfig, RunResult};
+use crate::engine::{run, run_with_config, ExecutionConfig, RunConfig, RunResult};
 use crate::scheduler::standard_battery;
 use crate::AnonymousProtocol;
 
@@ -39,6 +39,75 @@ pub fn run_under_battery<P: AnonymousProtocol>(
             result: run(network, protocol, scheduler.as_mut(), config),
         })
         .collect()
+}
+
+/// Number of schedulers in [`standard_battery`] for a given `random_count`: the
+/// deterministic policies plus the seeded random orders.
+///
+/// Shard-aware planners use this (with
+/// [`crate::scheduler::battery_scheduler_name`]) to enumerate and label battery
+/// positions without constructing scheduler values.
+pub fn battery_size(random_count: usize) -> usize {
+    crate::scheduler::DETERMINISTIC_BATTERY_NAMES.len() + random_count
+}
+
+/// One planned cell of a battery × topology grid: indices into the topology
+/// list and the standard battery.
+///
+/// [`plan_battery_grid`] enumerates cells in exactly the order
+/// [`run_battery_grid`] emits results, so external executors (e.g. a
+/// process-sharded sweep) can partition the grid, run each cell independently
+/// via [`run_battery_cell`], and merge outputs back into the single-process
+/// ordering by sorting on the plan position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridCell {
+    /// Index into the topology list.
+    pub topology: usize,
+    /// Position within the standard battery (`0..battery_size(random_count)`).
+    pub battery: usize,
+}
+
+/// Enumerates the (topology, battery position) cells of a battery × topology
+/// grid in the canonical row-major order: all battery positions of topology 0,
+/// then topology 1, and so on — the order [`run_battery_grid`] returns results.
+pub fn plan_battery_grid(topology_count: usize, random_count: usize) -> Vec<GridCell> {
+    let battery = battery_size(random_count);
+    (0..topology_count)
+        .flat_map(|topology| (0..battery).map(move |battery| GridCell { topology, battery }))
+        .collect()
+}
+
+/// Runs exactly one cell of a battery grid: `protocol` on `network` under
+/// scheduler `battery_index` of `standard_battery(seed, random_count)`.
+///
+/// Each call builds the battery fresh and uses one scheduler from it, which is
+/// identical to the per-cell semantics of [`run_under_battery`] (schedulers are
+/// freshly constructed per battery there too, and each is used for exactly one
+/// run). This is the primitive a sharded executor needs: a cell can run in any
+/// process at any time and still produce bit-identical results.
+///
+/// # Panics
+///
+/// Panics if `battery_index >= battery_size(random_count)`.
+pub fn run_battery_cell<P: AnonymousProtocol>(
+    network: &Network,
+    protocol: &P,
+    config: RunConfig,
+    seed: u64,
+    random_count: usize,
+    battery_index: usize,
+) -> NamedRun<P::State, P::Message> {
+    let mut battery = standard_battery(seed, random_count);
+    assert!(
+        battery_index < battery.len(),
+        "battery index {battery_index} out of range for battery of {}",
+        battery.len()
+    );
+    let scheduler = &mut battery[battery_index];
+    NamedRun {
+        scheduler: scheduler.name(),
+        result: run_with_config(network, protocol, scheduler.as_mut(), config),
+    }
 }
 
 /// One cell of a battery × topology grid: a [`NamedRun`] tagged with the name of
@@ -218,6 +287,58 @@ mod tests {
             }
             assert!(cursor.next().is_none());
         }
+    }
+
+    #[test]
+    fn plan_enumerates_cells_in_grid_order() {
+        assert_eq!(battery_size(3), standard_battery(0, 3).len());
+        assert_eq!(battery_size(0), standard_battery(9, 0).len());
+        let plan = plan_battery_grid(2, 1);
+        let expected: Vec<GridCell> = [(0, 0), (0, 1), (0, 2), (0, 3), (0, 4)]
+            .iter()
+            .chain([(1, 0), (1, 1), (1, 2), (1, 3), (1, 4)].iter())
+            .map(|&(topology, battery)| GridCell { topology, battery })
+            .collect();
+        assert_eq!(plan, expected);
+        assert!(plan_battery_grid(0, 5).is_empty());
+    }
+
+    #[test]
+    fn cell_runs_match_the_battery_cell_for_cell() {
+        let net = chain_gn(5).unwrap();
+        let battery = run_under_battery(&net, &Ping, ExecutionConfig::default(), 11, 2);
+        for (k, expected) in battery.iter().enumerate() {
+            let cell = run_battery_cell(
+                &net,
+                &Ping,
+                RunConfig::from(ExecutionConfig::default()),
+                11,
+                2,
+                k,
+            );
+            assert_eq!(cell.scheduler, expected.scheduler);
+            assert_eq!(cell.result.outcome, expected.result.outcome);
+            assert_eq!(cell.result.metrics, expected.result.metrics);
+            assert_eq!(cell.result.states, expected.result.states);
+            assert_eq!(
+                cell.result.deliveries_at_termination,
+                expected.result.deliveries_at_termination
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "battery index")]
+    fn cell_with_out_of_range_battery_index_panics() {
+        let net = chain_gn(3).unwrap();
+        let _ = run_battery_cell(
+            &net,
+            &Ping,
+            RunConfig::from(ExecutionConfig::default()),
+            0,
+            1,
+            5,
+        );
     }
 
     #[test]

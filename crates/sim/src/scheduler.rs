@@ -533,6 +533,38 @@ pub fn standard_battery(seed: u64, random_count: usize) -> Vec<Box<dyn Scheduler
     battery
 }
 
+/// Display names of the deterministic schedulers that open every
+/// [`standard_battery`], in battery order. Its length is the battery's
+/// deterministic prefix; positions from here on are the seeded random
+/// schedulers. `standard_battery_names_match` pins agreement with the actual
+/// scheduler values.
+pub const DETERMINISTIC_BATTERY_NAMES: &[&str] =
+    &["fifo", "lifo", "terminal-last", "terminal-first"];
+
+/// The unique display name of battery position `position` in a
+/// `standard_battery(_, random_count)`: the scheduler's own name for the
+/// deterministic prefix, and `random#<i>` for the `i`-th random scheduler
+/// (whose `name()` alone would not distinguish battery positions).
+///
+/// This enumerates names *without constructing scheduler values*, for planners
+/// like the sweep manifest that label grid cells.
+///
+/// # Panics
+///
+/// Panics if `position` is out of range for the battery.
+pub fn battery_scheduler_name(position: usize, random_count: usize) -> String {
+    let deterministic = DETERMINISTIC_BATTERY_NAMES.len();
+    assert!(
+        position < deterministic + random_count,
+        "battery position {position} out of range for battery of {}",
+        deterministic + random_count
+    );
+    match DETERMINISTIC_BATTERY_NAMES.get(position) {
+        Some(name) => (*name).to_owned(),
+        None => format!("random#{}", position - deterministic),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -724,5 +756,40 @@ mod tests {
         let names: Vec<&str> = battery.iter().map(|s| s.name()).collect();
         assert!(names.contains(&"fifo"));
         assert!(names.contains(&"terminal-last"));
+    }
+
+    #[test]
+    fn standard_battery_names_match() {
+        // `battery_scheduler_name` must agree with the actual scheduler values
+        // of every battery: the deterministic prefix verbatim, the random tail
+        // as `random#<i>`.
+        for random_count in [0usize, 1, 3] {
+            let battery = standard_battery(9, random_count);
+            assert_eq!(
+                battery.len(),
+                DETERMINISTIC_BATTERY_NAMES.len() + random_count
+            );
+            for (position, scheduler) in battery.iter().enumerate() {
+                let label = battery_scheduler_name(position, random_count);
+                if position < DETERMINISTIC_BATTERY_NAMES.len() {
+                    assert_eq!(label, scheduler.name());
+                } else {
+                    assert_eq!(
+                        label,
+                        format!(
+                            "{}#{}",
+                            scheduler.name(),
+                            position - DETERMINISTIC_BATTERY_NAMES.len()
+                        )
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "battery position")]
+    fn battery_name_out_of_range_panics() {
+        let _ = battery_scheduler_name(6, 2);
     }
 }

@@ -167,6 +167,41 @@ mod tests {
     }
 
     #[test]
+    fn shared_slice_empty_clone_shares_the_empty_slice() {
+        let empty: SharedSlice<NoClone> = SharedSlice::empty(3);
+        let clone = empty.clone();
+        assert!(clone.is_empty());
+        assert_eq!(clone.len(), 0);
+        assert_eq!(clone.wire_bits(), 3);
+        assert_eq!(clone.encoded_bits(), 3);
+        assert_eq!(clone.items(), &[] as &[NoClone]);
+        assert_eq!(empty, clone);
+        // Deref to the empty slice works on both the original and the clone.
+        assert_eq!(empty.first(), None);
+        assert!(clone.iter().next().is_none());
+        // `empty` and `new(vec![], _)` are the same construction.
+        let via_new: SharedSlice<NoClone> = SharedSlice::new(Vec::new(), 3);
+        assert_eq!(via_new, clone);
+    }
+
+    #[test]
+    fn shared_slice_one_element_clone_is_shared_not_deep() {
+        let one = SharedSlice::new(vec![NoClone(42)], 11);
+        let clone = one.clone();
+        // The clone is an Arc bump: both views observe the same allocation.
+        assert!(std::ptr::eq(one.items().as_ptr(), clone.items().as_ptr()));
+        assert_eq!(clone.len(), 1);
+        assert!(!clone.is_empty());
+        assert_eq!(clone.wire_bits(), 11);
+        assert_eq!(clone.first(), Some(&NoClone(42)));
+        assert_eq!(clone.last(), Some(&NoClone(42)));
+        assert_eq!(one, clone);
+        // Dropping the original keeps the clone's contents alive.
+        drop(one);
+        assert_eq!(clone.items(), &[NoClone(42)]);
+    }
+
+    #[test]
     fn shared_slice_equality_covers_bits_and_items() {
         let a = SharedSlice::new(vec![1u32, 2], 9);
         assert_eq!(a, SharedSlice::new(vec![1u32, 2], 9));

@@ -1,0 +1,290 @@
+//! The `sweep` CLI: process-sharded sweep execution with merge-equivalent
+//! output.
+//!
+//! ```text
+//! sweep [--spec FILE] [--shards N] [--out DIR] [--partition hash|round-robin]
+//!       [--resume]
+//! sweep --run-shard I --spec FILE --shards N --out DIR [...]   (internal)
+//! sweep --check FILE_A FILE_B
+//! ```
+//!
+//! The parent invocation expands the spec into a manifest, re-invokes **its
+//! own executable** once per shard with `--run-shard i` (each child writes
+//! `shard-i.jsonl` into the output directory), waits for every child, and
+//! merges the shard files into `merged.jsonl` in canonical manifest order.
+//! Running with `--shards 1` and `--shards N` produces byte-identical merged
+//! files; `--check` compares two merged files and, on mismatch, reports which
+//! rows differ via `anet_bench::baseline::result_keys`.
+//!
+//! `--resume` makes each shard reuse the complete records of an existing
+//! shard file (a killed shard's torn tail is discarded), re-running only the
+//! missing units.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+use anet_bench::baseline::result_keys;
+use anet_sweep::manifest::fnv1a;
+use anet_sweep::{merge_shard_files, run_shard_to_file, Manifest, Partition, SweepSpec};
+
+/// The spec used when no `--spec` is given (committed at
+/// `crates/sweep/specs/example.spec`).
+const EXAMPLE_SPEC: &str = include_str!("../../specs/example.spec");
+
+#[derive(Debug)]
+struct Args {
+    spec: Option<PathBuf>,
+    shards: usize,
+    out: Option<PathBuf>,
+    partition: Partition,
+    resume: bool,
+    run_shard: Option<usize>,
+    check: Option<(PathBuf, PathBuf)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep [--spec FILE] [--shards N] [--out DIR] \
+         [--partition hash|round-robin] [--resume]\n       \
+         sweep --run-shard I --spec FILE --shards N --out DIR (internal)\n       \
+         sweep --check FILE_A FILE_B"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        spec: None,
+        shards: 1,
+        out: None,
+        partition: Partition::Hash,
+        resume: false,
+        run_shard: None,
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--spec" => args.spec = Some(PathBuf::from(value())),
+            "--shards" => {
+                args.shards = value().parse().unwrap_or_else(|_| usage());
+                if args.shards == 0 {
+                    usage();
+                }
+            }
+            "--out" => args.out = Some(PathBuf::from(value())),
+            "--partition" => args.partition = Partition::parse(&value()).unwrap_or_else(|| usage()),
+            "--resume" => args.resume = true,
+            "--run-shard" => args.run_shard = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--check" => {
+                let a = PathBuf::from(value());
+                let b = PathBuf::from(value());
+                args.check = Some((a, b));
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn load_spec(path: &Path) -> SweepSpec {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("sweep: cannot read spec {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    SweepSpec::parse(&text).unwrap_or_else(|e| {
+        eprintln!("sweep: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn shard_path(out: &Path, shard: usize) -> PathBuf {
+    out.join(format!("shard-{shard}.jsonl"))
+}
+
+fn partition_flag(partition: Partition) -> &'static str {
+    match partition {
+        Partition::Hash => "hash",
+        Partition::RoundRobin => "round-robin",
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if let Some((a, b)) = &args.check {
+        return check(a, b);
+    }
+
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("target/sweep/shards-{}", args.shards)));
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("sweep: cannot create {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+
+    // Resolve the spec: an explicit file, or the embedded example written into
+    // the output directory so child processes (and the curious) can read it.
+    let spec_path = match &args.spec {
+        Some(path) => path.clone(),
+        None => {
+            let path = out.join("spec.sweep");
+            if let Err(e) = std::fs::write(&path, EXAMPLE_SPEC) {
+                eprintln!("sweep: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            path
+        }
+    };
+    let spec = load_spec(&spec_path);
+    let manifest = Manifest::from_spec(&spec);
+
+    if let Some(shard) = args.run_shard {
+        // Child mode: run one shard and exit.
+        if shard >= args.shards {
+            eprintln!(
+                "sweep: --run-shard {shard} out of range for {}",
+                args.shards
+            );
+            return ExitCode::FAILURE;
+        }
+        let path = shard_path(&out, shard);
+        match run_shard_to_file(
+            &spec,
+            &manifest,
+            args.shards,
+            args.partition,
+            shard,
+            &path,
+            args.resume,
+        ) {
+            Ok(outcome) => {
+                println!(
+                    "shard {shard}/{}: {} executed, {} reused -> {}",
+                    args.shards,
+                    outcome.executed,
+                    outcome.reused,
+                    path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("sweep: shard {shard} failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        // Parent mode: self-invoke one child process per shard, then merge.
+        let exe = match std::env::current_exe() {
+            Ok(exe) => exe,
+            Err(e) => {
+                eprintln!("sweep: cannot locate own executable: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut children = Vec::new();
+        for shard in 0..args.shards {
+            let mut cmd = Command::new(&exe);
+            cmd.arg("--spec")
+                .arg(&spec_path)
+                .arg("--shards")
+                .arg(args.shards.to_string())
+                .arg("--out")
+                .arg(&out)
+                .arg("--partition")
+                .arg(partition_flag(args.partition))
+                .arg("--run-shard")
+                .arg(shard.to_string());
+            if args.resume {
+                cmd.arg("--resume");
+            }
+            match cmd.spawn() {
+                Ok(child) => children.push((shard, child)),
+                Err(e) => {
+                    eprintln!("sweep: cannot spawn shard {shard}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let mut failed = false;
+        for (shard, mut child) in children {
+            match child.wait() {
+                Ok(status) if status.success() => {}
+                Ok(status) => {
+                    eprintln!("sweep: shard {shard} exited with {status}");
+                    failed = true;
+                }
+                Err(e) => {
+                    eprintln!("sweep: cannot wait for shard {shard}: {e}");
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+
+        let shard_paths: Vec<PathBuf> = (0..args.shards).map(|s| shard_path(&out, s)).collect();
+        let merged_path = out.join("merged.jsonl");
+        match merge_shard_files(manifest.len(), &shard_paths, &merged_path) {
+            Ok(units) => {
+                let bytes = std::fs::read(&merged_path).unwrap_or_default();
+                println!(
+                    "merged {units} units from {} shard(s) -> {} (fnv1a {:016x})",
+                    args.shards,
+                    merged_path.display(),
+                    fnv1a(&bytes)
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("sweep: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+/// Compares two merged JSONL files; on mismatch reports the row-identity diff.
+fn check(a: &Path, b: &Path) -> ExitCode {
+    let read = |p: &Path| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("sweep: cannot read {}: {e}", p.display());
+            std::process::exit(1);
+        })
+    };
+    let contents_a = read(a);
+    let contents_b = read(b);
+    if contents_a == contents_b {
+        println!(
+            "byte-identical: {} == {} ({} lines)",
+            a.display(),
+            b.display(),
+            contents_a.lines().count()
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("sweep: {} and {} differ", a.display(), b.display());
+    // Reuse the bench baseline key extractor for a structural diff: wrap the
+    // JSONL lines as a `"results"` array and compare row identities.
+    let wrap = |contents: &str| {
+        let lines: Vec<&str> = contents.lines().collect();
+        result_keys(&format!("\"results\": [\n{}\n]", lines.join(",\n")))
+    };
+    let keys_a = wrap(&contents_a);
+    let keys_b = wrap(&contents_b);
+    for missing in keys_a.difference(&keys_b).take(10) {
+        eprintln!("  only in {}: {missing}", a.display());
+    }
+    for missing in keys_b.difference(&keys_a).take(10) {
+        eprintln!("  only in {}: {missing}", b.display());
+    }
+    if keys_a == keys_b {
+        eprintln!("  (same row identities; files differ in ordering or whitespace)");
+    }
+    ExitCode::FAILURE
+}

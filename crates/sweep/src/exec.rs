@@ -1,0 +1,213 @@
+//! Deterministic execution of single sweep units.
+//!
+//! [`execute_unit`] is the only place a sweep touches the simulator: it
+//! rebuilds the unit's network from its [`TopologySpec`](crate::TopologySpec)
+//! (self-seeded, so the
+//! construction is identical in every process), runs exactly one cell of the
+//! standard battery via [`anet_sim::runner::run_battery_cell`] with trace
+//! recording on, applies the protocol's own success check, and distils the
+//! result into a canonical [`RunRecord`]. Two executions of the same unit —
+//! same process, different process, different host — produce byte-identical
+//! records, which is the invariant the whole shard/merge machinery rests on.
+
+use anet_core::general_broadcast::GeneralBroadcast;
+use anet_core::labeling::Labeling;
+use anet_core::mapping::{Mapping, ReconstructedTopology};
+use anet_core::Payload;
+use anet_graph::Network;
+use anet_num::IntervalUnion;
+use anet_sim::engine::{ExecutionConfig, RunConfig};
+use anet_sim::runner::{run_battery_cell, NamedRun};
+use anet_sim::Outcome;
+
+use crate::manifest::SweepUnit;
+use crate::record::RunRecord;
+use crate::spec::{ProtocolSpec, SweepSpec};
+use crate::SweepError;
+
+/// Runs one unit and produces its canonical record.
+///
+/// # Errors
+///
+/// Returns [`SweepError::Topology`] if the unit's topology parameters are
+/// rejected by the generator (a spec bug, not a runtime condition).
+pub fn execute_unit(spec: &SweepSpec, unit: &SweepUnit) -> Result<RunRecord, SweepError> {
+    let network = unit.topology.build().map_err(SweepError::Topology)?;
+    let config = RunConfig::from(ExecutionConfig {
+        max_deliveries: spec.max_deliveries,
+        record_trace: true,
+    });
+    let random_count = spec.random_schedulers;
+    match &unit.protocol {
+        ProtocolSpec::Mapping => {
+            let protocol = Mapping::new();
+            let named = run_battery_cell(
+                &network,
+                &protocol,
+                config,
+                unit.seed,
+                random_count,
+                unit.battery_index,
+            );
+            let ok = named.result.outcome.terminated() && {
+                let labels: Vec<IntervalUnion> = named
+                    .result
+                    .states
+                    .iter()
+                    .map(|s| s.label.clone())
+                    .collect();
+                ReconstructedTopology::from_terminal_state(
+                    &named.result.states[network.terminal().index()],
+                )
+                .matches_exactly(&network, &labels)
+            };
+            Ok(distil(unit, &named, ok))
+        }
+        ProtocolSpec::Labeling => {
+            let protocol = Labeling::new();
+            let named = run_battery_cell(
+                &network,
+                &protocol,
+                config,
+                unit.seed,
+                random_count,
+                unit.battery_index,
+            );
+            let ok = named.result.outcome.terminated()
+                && labels_unique(
+                    &network,
+                    &named
+                        .result
+                        .states
+                        .iter()
+                        .map(|s| s.label.clone())
+                        .collect::<Vec<_>>(),
+                );
+            Ok(distil(unit, &named, ok))
+        }
+        ProtocolSpec::GeneralBroadcast { payload_bits } => {
+            let protocol = GeneralBroadcast::new(Payload::synthetic(*payload_bits));
+            let named = run_battery_cell(
+                &network,
+                &protocol,
+                config,
+                unit.seed,
+                random_count,
+                unit.battery_index,
+            );
+            let ok = named.result.outcome.terminated()
+                && network
+                    .graph()
+                    .nodes()
+                    .all(|n| n == network.root() || named.result.states[n.index()].received);
+            Ok(distil(unit, &named, ok))
+        }
+    }
+}
+
+/// The labeling success check: every participant (everything but the root)
+/// holds a non-empty label, pairwise disjoint — the same predicate
+/// `run_labeling_with_config` reports as `labels_unique`.
+fn labels_unique(network: &Network, labels: &[IntervalUnion]) -> bool {
+    let participants: Vec<usize> = network
+        .graph()
+        .nodes()
+        .filter(|&n| n != network.root())
+        .map(|n| n.index())
+        .collect();
+    participants.iter().enumerate().all(|(i, &a)| {
+        !labels[a].is_empty()
+            && participants[i + 1..]
+                .iter()
+                .all(|&b| !labels[a].intersects(&labels[b]))
+    })
+}
+
+fn distil<S, M>(unit: &SweepUnit, named: &NamedRun<S, M>, ok: bool) -> RunRecord {
+    let result = &named.result;
+    let outcome = match result.outcome {
+        Outcome::Terminated => "terminated",
+        Outcome::Quiescent => "quiescent",
+        Outcome::BudgetExhausted => "budget-exhausted",
+    };
+    RunRecord {
+        index: unit.index,
+        protocol: unit.protocol.name(),
+        topology: unit.topology.name(),
+        scheduler: unit.scheduler.clone(),
+        battery_index: unit.battery_index,
+        seed: unit.seed,
+        outcome: outcome.to_owned(),
+        ok,
+        sent: result.metrics.messages_sent,
+        delivered: result.metrics.messages_delivered,
+        accepted_at: result.deliveries_at_termination,
+        total_bits: result.metrics.total_bits,
+        max_msg_bits: result.metrics.max_message_bits,
+        max_edge_bits: result.metrics.max_edge_bits(),
+        trace_digest: result
+            .trace
+            .as_ref()
+            .expect("sweep runs always record traces")
+            .digest(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Manifest;
+    use crate::spec::TopologySpec;
+
+    fn spec() -> SweepSpec {
+        SweepSpec {
+            protocols: vec![
+                ProtocolSpec::Mapping,
+                ProtocolSpec::Labeling,
+                ProtocolSpec::GeneralBroadcast { payload_bits: 16 },
+            ],
+            topologies: vec![
+                TopologySpec::ChainGn { n: 4 },
+                TopologySpec::CycleWithTail { k: 5 },
+            ],
+            seeds: vec![0],
+            random_schedulers: 1,
+            max_deliveries: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn every_unit_terminates_ok_and_is_repeatable() {
+        let spec = spec();
+        let manifest = Manifest::from_spec(&spec);
+        for unit in &manifest.units {
+            let a = execute_unit(&spec, unit).expect("unit runs");
+            let b = execute_unit(&spec, unit).expect("unit runs");
+            assert_eq!(a, b, "unit {} is not deterministic", unit.key());
+            assert_eq!(a.outcome, "terminated", "unit {}", unit.key());
+            assert!(a.ok, "unit {} failed its protocol check", unit.key());
+            assert!(a.sent > 0 && a.delivered > 0 && a.total_bits > 0);
+            assert_eq!(a.index, unit.index);
+        }
+    }
+
+    #[test]
+    fn bad_topology_parameters_surface_as_spec_errors() {
+        let spec = spec();
+        let mut unit = Manifest::from_spec(&spec).units[0].clone();
+        unit.topology = TopologySpec::ChainGn { n: 0 };
+        let err = execute_unit(&spec, &unit).expect_err("degenerate chain");
+        assert!(err.to_string().contains("chain"), "{err}");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_recorded_not_fatal() {
+        let mut spec = spec();
+        spec.max_deliveries = 2;
+        let manifest = Manifest::from_spec(&spec);
+        let record = execute_unit(&spec, &manifest.units[0]).expect("unit runs");
+        assert_eq!(record.outcome, "budget-exhausted");
+        assert!(!record.ok);
+        assert_eq!(record.accepted_at, None);
+    }
+}

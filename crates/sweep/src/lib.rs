@@ -1,0 +1,98 @@
+//! # anet-sweep — process-sharded scenario sweeps
+//!
+//! The paper's results are statements over whole *families* of executions:
+//! every delivery order, every topology shape, every seed. This crate is the
+//! distribution layer that serves that scenario space beyond one process: it
+//! turns a declarative [`SweepSpec`] into a deterministic work manifest,
+//! partitions the manifest into shards, executes each shard in its own OS
+//! process, and merges the shard outputs back into the exact ordering a
+//! single-process run produces — byte for byte.
+//!
+//! # Lifecycle
+//!
+//! 1. **Spec** ([`spec`]) — protocols × topology instances × battery seeds ×
+//!    scheduler battery, with a canonical text form that round-trips
+//!    ([`SweepSpec::parse`] / [`SweepSpec::to_spec_string`]). Random topologies
+//!    carry their own generator seeds, so every unit is self-contained.
+//! 2. **Manifest** ([`manifest`]) — [`Manifest::from_spec`] expands the spec
+//!    into the flat unit list in the canonical order *protocol → topology →
+//!    seed → battery position* (for one protocol and one seed this is exactly
+//!    the (topology, scheduler) order of
+//!    [`anet_sim::runner::run_battery_grid`]). [`Partition`] assigns each unit
+//!    to one of `n` shards by stable hash or round-robin.
+//! 3. **Execute** ([`exec`]) — [`execute_unit`] rebuilds the unit's network,
+//!    runs one cell of the standard battery
+//!    ([`anet_sim::runner::run_battery_cell`]) with trace recording, applies
+//!    the protocol's success check, and emits a canonical JSONL [`RunRecord`]
+//!    (outcome, metrics, wire-bit totals and the stable
+//!    [`anet_sim::trace::Trace::digest`]). Records are pure functions of their
+//!    units: any process, any time, same bytes.
+//! 4. **Checkpoint & resume** ([`merge`]) — a shard's JSONL file is its
+//!    checkpoint: a spec-fingerprint header line followed by record lines.
+//!    [`run_shard_to_file`] with `resume` requires the header to match the
+//!    current spec (an edited spec discards the whole checkpoint — record
+//!    indices only mean something in their own manifest) and revalidates each
+//!    line ([`RunRecord::parse_line`] accepts only byte-exact canonical lines,
+//!    so a killed shard's torn tail is discarded), re-executing only missing
+//!    units.
+//! 5. **Merge** ([`merge`]) — [`merge_lines`] / [`merge_shard_files`] check
+//!    that the shards cover every unit exactly once and emit the lines sorted
+//!    by unit index. Sharded output is therefore **byte-identical** to the
+//!    `shards = 1` run — the correctness contract pinned by the
+//!    merge-equivalence property tests and the CI `sweep_smoke` step.
+//!
+//! The `sweep` binary drives the process layer: the parent re-invokes its own
+//! executable with `--run-shard i` per shard, waits, and merges. See
+//! `src/bin/sweep.rs` or `sweep --help`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod manifest;
+pub mod merge;
+pub mod record;
+pub mod spec;
+
+pub use exec::execute_unit;
+pub use manifest::{Manifest, Partition, SweepUnit};
+pub use merge::{
+    merge_lines, merge_shard_files, run_shard_to_file, run_sweep_in_process, run_sweep_threaded,
+    shard_lines, ShardOutcome,
+};
+pub use record::RunRecord;
+pub use spec::{ProtocolSpec, SweepSpec, TopologySpec};
+
+/// Errors raised by the sweep subsystem.
+#[derive(Debug)]
+pub enum SweepError {
+    /// The spec text is malformed.
+    Spec(String),
+    /// A topology's parameters were rejected by its generator.
+    Topology(anet_graph::NetworkError),
+    /// Shard outputs do not cover the manifest exactly once.
+    Merge(String),
+    /// File system failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Spec(msg) => write!(f, "invalid sweep spec: {msg}"),
+            SweepError::Topology(e) => write!(f, "topology construction failed: {e}"),
+            SweepError::Merge(msg) => write!(f, "merge failed: {msg}"),
+            SweepError::Io(e) => write!(f, "i/o failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Topology(e) => Some(e),
+            SweepError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}

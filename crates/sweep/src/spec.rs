@@ -1,0 +1,557 @@
+//! The declarative sweep specification: protocols × topologies × seeds ×
+//! scheduler battery.
+//!
+//! A [`SweepSpec`] names *families* of executions, exactly the universally
+//! quantified statements of the paper: every protocol in the list runs on every
+//! topology instance, under every scheduler of the standard battery, for every
+//! battery seed. The spec has a canonical line-oriented text form
+//! ([`SweepSpec::to_spec_string`] / [`SweepSpec::parse`]) so a sweep can be
+//! shipped to worker processes as a file and reproduced exactly.
+//!
+//! Every random topology carries its **own** generator seed in the spec, so any
+//! unit of the sweep can rebuild its network in any process without observing
+//! the RNG draws of other topologies. Probabilities are stored as integer
+//! percentages to keep the text form free of float formatting questions.
+
+use anet_graph::{generators, Network, NetworkError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::SweepError;
+
+/// A protocol family to sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolSpec {
+    /// Full topology extraction (`anet_core::mapping`, interned records).
+    Mapping,
+    /// Unique label assignment (`anet_core::labeling`).
+    Labeling,
+    /// General-graph broadcast with a synthetic payload of the given size in
+    /// bits (`anet_core::general_broadcast`).
+    GeneralBroadcast {
+        /// `|m|` in bits for the synthetic payload.
+        payload_bits: u64,
+    },
+}
+
+impl ProtocolSpec {
+    /// Canonical name, used in manifests and JSONL records.
+    pub fn name(&self) -> String {
+        match self {
+            ProtocolSpec::Mapping => "mapping".to_owned(),
+            ProtocolSpec::Labeling => "labeling".to_owned(),
+            ProtocolSpec::GeneralBroadcast { payload_bits } => {
+                format!("general-broadcast/{payload_bits}")
+            }
+        }
+    }
+
+    /// Canonical spec line (without the `protocol ` keyword).
+    fn spec_args(&self) -> String {
+        match self {
+            ProtocolSpec::Mapping => "mapping".to_owned(),
+            ProtocolSpec::Labeling => "labeling".to_owned(),
+            ProtocolSpec::GeneralBroadcast { payload_bits } => {
+                format!("general-broadcast {payload_bits}")
+            }
+        }
+    }
+
+    fn parse_args(args: &[&str], line: usize) -> Result<Self, SweepError> {
+        match args {
+            ["mapping"] => Ok(ProtocolSpec::Mapping),
+            ["labeling"] => Ok(ProtocolSpec::Labeling),
+            ["general-broadcast", bits] => Ok(ProtocolSpec::GeneralBroadcast {
+                payload_bits: parse_int(bits, line)?,
+            }),
+            _ => Err(SweepError::Spec(format!(
+                "line {line}: unknown protocol {args:?} (expected `mapping`, `labeling` or `general-broadcast <bits>`)"
+            ))),
+        }
+    }
+}
+
+/// A topology instance to sweep: a generator family plus its full parameter
+/// set, including the generator seed for random families.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// The lower-bound chain family `G_n`.
+    ChainGn {
+        /// Number of internal vertices.
+        n: usize,
+    },
+    /// A degenerate grounded tree: a simple path.
+    Path {
+        /// Number of internal vertices.
+        n: usize,
+    },
+    /// A star: the root feeds a hub which feeds `leaves` leaves.
+    Star {
+        /// Number of leaves.
+        leaves: usize,
+    },
+    /// The complete DAG on `internal` internal vertices.
+    CompleteDag {
+        /// Number of internal vertices.
+        internal: usize,
+    },
+    /// `k` stacked diamonds.
+    DiamondStack {
+        /// Number of diamonds.
+        k: usize,
+    },
+    /// A directed cycle of length `k` with a tail to the terminal.
+    CycleWithTail {
+        /// Cycle length.
+        k: usize,
+    },
+    /// `count` nested cycles of length `len`.
+    NestedCycles {
+        /// Number of cycles.
+        count: usize,
+        /// Length of each cycle.
+        len: usize,
+    },
+    /// A random DAG; `edge_pct` is the extra-edge probability in percent.
+    RandomDag {
+        /// Number of internal vertices.
+        internal: usize,
+        /// Extra-edge probability, percent (0–100).
+        edge_pct: u8,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// A random cyclic digraph; probabilities in percent.
+    RandomCyclic {
+        /// Number of internal vertices.
+        internal: usize,
+        /// Extra forward-edge probability, percent (0–100).
+        forward_pct: u8,
+        /// Back-edge probability, percent (0–100).
+        back_pct: u8,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// A layered random DAG.
+    LayeredDag {
+        /// Number of layers.
+        layers: usize,
+        /// Vertices per layer.
+        width: usize,
+        /// Out-fan per vertex.
+        fan: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// A random grounded tree; `extra_pct` is the extra-terminal-edge
+    /// probability in percent.
+    RandomGroundedTree {
+        /// Number of internal vertices.
+        internal: usize,
+        /// Maximum out-degree (≥ 2).
+        max_out: usize,
+        /// Extra terminal-edge probability, percent (0–100).
+        extra_pct: u8,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl TopologySpec {
+    /// Canonical instance name, used in manifests and JSONL records. Names
+    /// contain no spaces, quotes or commas (the JSONL reader relies on this).
+    pub fn name(&self) -> String {
+        match *self {
+            TopologySpec::ChainGn { n } => format!("chain-gn/{n}"),
+            TopologySpec::Path { n } => format!("path/{n}"),
+            TopologySpec::Star { leaves } => format!("star/{leaves}"),
+            TopologySpec::CompleteDag { internal } => format!("complete-dag/{internal}"),
+            TopologySpec::DiamondStack { k } => format!("diamond-stack/{k}"),
+            TopologySpec::CycleWithTail { k } => format!("cycle-with-tail/{k}"),
+            TopologySpec::NestedCycles { count, len } => format!("nested-cycles/{count}x{len}"),
+            TopologySpec::RandomDag {
+                internal,
+                edge_pct,
+                seed,
+            } => format!("random-dag/{internal}p{edge_pct}s{seed}"),
+            TopologySpec::RandomCyclic {
+                internal,
+                forward_pct,
+                back_pct,
+                seed,
+            } => format!("random-cyclic/{internal}f{forward_pct}b{back_pct}s{seed}"),
+            TopologySpec::LayeredDag {
+                layers,
+                width,
+                fan,
+                seed,
+            } => format!("layered-dag/{layers}x{width}f{fan}s{seed}"),
+            TopologySpec::RandomGroundedTree {
+                internal,
+                max_out,
+                extra_pct,
+                seed,
+            } => format!("grounded-tree/{internal}o{max_out}p{extra_pct}s{seed}"),
+        }
+    }
+
+    /// Builds the network. Random families seed their own fresh [`StdRng`], so
+    /// construction is independent of every other unit in the sweep — the
+    /// property that lets any shard rebuild any unit's network bit-identically.
+    pub fn build(&self) -> Result<Network, NetworkError> {
+        match *self {
+            TopologySpec::ChainGn { n } => generators::chain_gn(n),
+            TopologySpec::Path { n } => generators::path_network(n),
+            TopologySpec::Star { leaves } => generators::star_network(leaves),
+            TopologySpec::CompleteDag { internal } => generators::complete_dag(internal),
+            TopologySpec::DiamondStack { k } => generators::diamond_stack(k),
+            TopologySpec::CycleWithTail { k } => generators::cycle_with_tail(k),
+            TopologySpec::NestedCycles { count, len } => generators::nested_cycles(count, len),
+            TopologySpec::RandomDag {
+                internal,
+                edge_pct,
+                seed,
+            } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                generators::random_dag(&mut rng, internal, pct(edge_pct))
+            }
+            TopologySpec::RandomCyclic {
+                internal,
+                forward_pct,
+                back_pct,
+                seed,
+            } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                generators::random_cyclic(&mut rng, internal, pct(forward_pct), pct(back_pct))
+            }
+            TopologySpec::LayeredDag {
+                layers,
+                width,
+                fan,
+                seed,
+            } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                generators::layered_dag(&mut rng, layers, width, fan)
+            }
+            TopologySpec::RandomGroundedTree {
+                internal,
+                max_out,
+                extra_pct,
+                seed,
+            } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                generators::random_grounded_tree(&mut rng, internal, max_out, pct(extra_pct))
+            }
+        }
+    }
+
+    /// Canonical spec line (without the `topology ` keyword).
+    fn spec_args(&self) -> String {
+        match *self {
+            TopologySpec::ChainGn { n } => format!("chain-gn {n}"),
+            TopologySpec::Path { n } => format!("path {n}"),
+            TopologySpec::Star { leaves } => format!("star {leaves}"),
+            TopologySpec::CompleteDag { internal } => format!("complete-dag {internal}"),
+            TopologySpec::DiamondStack { k } => format!("diamond-stack {k}"),
+            TopologySpec::CycleWithTail { k } => format!("cycle-with-tail {k}"),
+            TopologySpec::NestedCycles { count, len } => format!("nested-cycles {count} {len}"),
+            TopologySpec::RandomDag {
+                internal,
+                edge_pct,
+                seed,
+            } => format!("random-dag {internal} {edge_pct} {seed}"),
+            TopologySpec::RandomCyclic {
+                internal,
+                forward_pct,
+                back_pct,
+                seed,
+            } => format!("random-cyclic {internal} {forward_pct} {back_pct} {seed}"),
+            TopologySpec::LayeredDag {
+                layers,
+                width,
+                fan,
+                seed,
+            } => format!("layered-dag {layers} {width} {fan} {seed}"),
+            TopologySpec::RandomGroundedTree {
+                internal,
+                max_out,
+                extra_pct,
+                seed,
+            } => format!("grounded-tree {internal} {max_out} {extra_pct} {seed}"),
+        }
+    }
+
+    fn parse_args(args: &[&str], line: usize) -> Result<Self, SweepError> {
+        let spec = match args {
+            ["chain-gn", n] => TopologySpec::ChainGn {
+                n: parse_int(n, line)?,
+            },
+            ["path", n] => TopologySpec::Path {
+                n: parse_int(n, line)?,
+            },
+            ["star", leaves] => TopologySpec::Star {
+                leaves: parse_int(leaves, line)?,
+            },
+            ["complete-dag", internal] => TopologySpec::CompleteDag {
+                internal: parse_int(internal, line)?,
+            },
+            ["diamond-stack", k] => TopologySpec::DiamondStack {
+                k: parse_int(k, line)?,
+            },
+            ["cycle-with-tail", k] => TopologySpec::CycleWithTail {
+                k: parse_int(k, line)?,
+            },
+            ["nested-cycles", count, len] => TopologySpec::NestedCycles {
+                count: parse_int(count, line)?,
+                len: parse_int(len, line)?,
+            },
+            ["random-dag", internal, pct, seed] => TopologySpec::RandomDag {
+                internal: parse_int(internal, line)?,
+                edge_pct: parse_pct(pct, line)?,
+                seed: parse_int(seed, line)?,
+            },
+            ["random-cyclic", internal, fwd, back, seed] => TopologySpec::RandomCyclic {
+                internal: parse_int(internal, line)?,
+                forward_pct: parse_pct(fwd, line)?,
+                back_pct: parse_pct(back, line)?,
+                seed: parse_int(seed, line)?,
+            },
+            ["layered-dag", layers, width, fan, seed] => TopologySpec::LayeredDag {
+                layers: parse_int(layers, line)?,
+                width: parse_int(width, line)?,
+                fan: parse_int(fan, line)?,
+                seed: parse_int(seed, line)?,
+            },
+            ["grounded-tree", internal, max_out, pct, seed] => TopologySpec::RandomGroundedTree {
+                internal: parse_int(internal, line)?,
+                max_out: parse_int(max_out, line)?,
+                extra_pct: parse_pct(pct, line)?,
+                seed: parse_int(seed, line)?,
+            },
+            _ => {
+                return Err(SweepError::Spec(format!(
+                    "line {line}: unknown topology {args:?}"
+                )))
+            }
+        };
+        Ok(spec)
+    }
+}
+
+fn pct(p: u8) -> f64 {
+    f64::from(p) / 100.0
+}
+
+fn parse_int<T: std::str::FromStr>(token: &str, line: usize) -> Result<T, SweepError> {
+    token
+        .parse()
+        .map_err(|_| SweepError::Spec(format!("line {line}: `{token}` is not a valid integer")))
+}
+
+fn parse_pct(token: &str, line: usize) -> Result<u8, SweepError> {
+    let p: u8 = parse_int(token, line)?;
+    if p > 100 {
+        return Err(SweepError::Spec(format!(
+            "line {line}: percentage {p} out of range (0-100)"
+        )));
+    }
+    Ok(p)
+}
+
+/// A full sweep specification.
+///
+/// The canonical unit order (the order a single-process execution emits
+/// records, and the order shard outputs are merged back into) is the nested
+/// loop **protocol → topology → seed → battery position**.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Protocol families to run.
+    pub protocols: Vec<ProtocolSpec>,
+    /// Topology instances to run on.
+    pub topologies: Vec<TopologySpec>,
+    /// Battery seeds: each seeds the random schedulers of one battery sweep.
+    pub seeds: Vec<u64>,
+    /// Number of seeded random schedulers per battery (battery size is
+    /// `4 + random_schedulers`).
+    pub random_schedulers: usize,
+    /// Delivery budget per run.
+    pub max_deliveries: u64,
+}
+
+impl SweepSpec {
+    /// Parses the canonical line-oriented text form. Empty lines and `#`
+    /// comments are ignored; later `seeds`/`random-schedulers`/
+    /// `max-deliveries` lines override earlier ones; `protocol`/`topology`
+    /// lines accumulate in order.
+    pub fn parse(text: &str) -> Result<SweepSpec, SweepError> {
+        let mut spec = SweepSpec {
+            protocols: Vec::new(),
+            topologies: Vec::new(),
+            seeds: vec![0],
+            random_schedulers: 2,
+            max_deliveries: 10_000_000,
+        };
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            match tokens.as_slice() {
+                ["protocol", rest @ ..] => {
+                    spec.protocols
+                        .push(ProtocolSpec::parse_args(rest, line_no)?);
+                }
+                ["topology", rest @ ..] => {
+                    spec.topologies
+                        .push(TopologySpec::parse_args(rest, line_no)?);
+                }
+                ["seeds", rest @ ..] if !rest.is_empty() => {
+                    spec.seeds = parse_seeds(rest, line_no)?;
+                }
+                ["random-schedulers", n] => {
+                    spec.random_schedulers = parse_int(n, line_no)?;
+                }
+                ["max-deliveries", n] => {
+                    spec.max_deliveries = parse_int(n, line_no)?;
+                }
+                _ => {
+                    return Err(SweepError::Spec(format!(
+                        "line {line_no}: unrecognised directive `{line}`"
+                    )))
+                }
+            }
+        }
+        if spec.protocols.is_empty() {
+            return Err(SweepError::Spec("spec declares no protocols".to_owned()));
+        }
+        if spec.topologies.is_empty() {
+            return Err(SweepError::Spec("spec declares no topologies".to_owned()));
+        }
+        if spec.seeds.is_empty() {
+            return Err(SweepError::Spec("spec declares no seeds".to_owned()));
+        }
+        Ok(spec)
+    }
+
+    /// The canonical text form: parsing it reproduces `self` exactly.
+    pub fn to_spec_string(&self) -> String {
+        let mut out = String::from("# anet-sweep specification (canonical form)\n");
+        for p in &self.protocols {
+            out.push_str(&format!("protocol {}\n", p.spec_args()));
+        }
+        for t in &self.topologies {
+            out.push_str(&format!("topology {}\n", t.spec_args()));
+        }
+        out.push_str("seeds");
+        for s in &self.seeds {
+            out.push_str(&format!(" {s}"));
+        }
+        out.push('\n');
+        out.push_str(&format!("random-schedulers {}\n", self.random_schedulers));
+        out.push_str(&format!("max-deliveries {}\n", self.max_deliveries));
+        out
+    }
+}
+
+/// Seed tokens: either plain integers or half-open `a..b` ranges.
+fn parse_seeds(tokens: &[&str], line: usize) -> Result<Vec<u64>, SweepError> {
+    let mut seeds = Vec::new();
+    for token in tokens {
+        if let Some((a, b)) = token.split_once("..") {
+            let a: u64 = parse_int(a, line)?;
+            let b: u64 = parse_int(b, line)?;
+            if a >= b {
+                return Err(SweepError::Spec(format!(
+                    "line {line}: empty seed range `{token}`"
+                )));
+            }
+            seeds.extend(a..b);
+        } else {
+            seeds.push(parse_int(token, line)?);
+        }
+    }
+    Ok(seeds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> SweepSpec {
+        SweepSpec {
+            protocols: vec![
+                ProtocolSpec::Mapping,
+                ProtocolSpec::GeneralBroadcast { payload_bits: 16 },
+            ],
+            topologies: vec![
+                TopologySpec::ChainGn { n: 4 },
+                TopologySpec::NestedCycles { count: 2, len: 3 },
+                TopologySpec::RandomCyclic {
+                    internal: 6,
+                    forward_pct: 15,
+                    back_pct: 20,
+                    seed: 7,
+                },
+            ],
+            seeds: vec![0, 1, 9],
+            random_schedulers: 2,
+            max_deliveries: 500_000,
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_text() {
+        let spec = sample_spec();
+        let text = spec.to_spec_string();
+        let parsed = SweepSpec::parse(&text).expect("canonical form parses");
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn seed_ranges_expand() {
+        let spec =
+            SweepSpec::parse("protocol mapping\ntopology path 3\nseeds 0..3 9 11..13\n").unwrap();
+        assert_eq!(spec.seeds, vec![0, 1, 2, 9, 11, 12]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let spec =
+            SweepSpec::parse("# header\n\nprotocol labeling  # inline comment\ntopology star 4\n")
+                .unwrap();
+        assert_eq!(spec.protocols, vec![ProtocolSpec::Labeling]);
+        assert_eq!(spec.topologies, vec![TopologySpec::Star { leaves: 4 }]);
+    }
+
+    #[test]
+    fn bad_directives_are_rejected_with_line_numbers() {
+        for (text, needle) in [
+            ("protocol mapping\n", "no topologies"),
+            ("topology path 3\n", "no protocols"),
+            ("protocol mapping\ntopology path 3\nseeds 5..5\n", "line 3"),
+            ("frobnicate 3\n", "line 1"),
+            ("protocol warp-drive\n", "line 1"),
+            ("topology moebius 3\n", "line 1"),
+            ("protocol mapping\ntopology random-dag 5 150 1\n", "line 2"),
+        ] {
+            let err = SweepSpec::parse(text).expect_err(text);
+            assert!(err.to_string().contains(needle), "{text} -> {err}");
+        }
+    }
+
+    #[test]
+    fn topology_names_are_jsonl_safe_and_builds_are_deterministic() {
+        for t in sample_spec().topologies {
+            let name = t.name();
+            assert!(
+                !name.contains([' ', '"', ',', '\\']),
+                "{name} unsafe for JSONL"
+            );
+            let a = t.build().expect("sample topologies build");
+            let b = t.build().expect("sample topologies build");
+            assert_eq!(a.edge_count(), b.edge_count());
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The sweep subsystem's central property: for random sweep specs and every
+//! partition count N ∈ {1, 2, 3, 7}, sharded execution + merge yields JSONL
+//! byte-identical to a plain single-process pass over the manifest.
+//!
+//! The baseline is computed *without* the partition/merge machinery (a
+//! sequential walk of the manifest), so the property genuinely pins that
+//! partitioning covers every unit exactly once and that the merge restores
+//! the canonical order — under both partition strategies.
+
+use anet_sweep::{
+    execute_unit, merge_lines, shard_lines, Manifest, Partition, ProtocolSpec, SweepSpec,
+    TopologySpec,
+};
+use proptest::prelude::*;
+
+/// A strategy over small, always-valid sweep specs.
+fn protocol(choice: u32, bits: u64) -> ProtocolSpec {
+    match choice % 3 {
+        0 => ProtocolSpec::Mapping,
+        1 => ProtocolSpec::Labeling,
+        _ => ProtocolSpec::GeneralBroadcast {
+            payload_bits: bits % 48,
+        },
+    }
+}
+
+fn topology(choice: u32, size: usize, pct: u8, seed: u64) -> TopologySpec {
+    match choice % 8 {
+        0 => TopologySpec::ChainGn { n: size },
+        1 => TopologySpec::Path { n: size },
+        2 => TopologySpec::Star { leaves: size },
+        3 => TopologySpec::CompleteDag { internal: size },
+        4 => TopologySpec::CycleWithTail { k: size + 2 },
+        5 => TopologySpec::NestedCycles {
+            count: 1 + size % 2,
+            len: 3 + size % 3,
+        },
+        6 => TopologySpec::RandomDag {
+            internal: size,
+            edge_pct: pct,
+            seed,
+        },
+        _ => TopologySpec::RandomCyclic {
+            internal: size,
+            forward_pct: pct,
+            back_pct: pct / 2,
+            seed,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn sharded_merge_is_byte_identical_to_single_process(
+        protocol_picks in prop::collection::vec((0u32..3, 0u64..48), 1..3),
+        topology_picks in prop::collection::vec((0u32..8, 1usize..6, 0u32..60, 0u64..1000), 1..4),
+        seed_base in 0u64..1000,
+        seed_count in 1usize..3,
+        random_schedulers in 0usize..3,
+    ) {
+        let mut protocols: Vec<ProtocolSpec> = protocol_picks
+            .into_iter()
+            .map(|(c, b)| protocol(c, b))
+            .collect();
+        protocols.dedup();
+        let mut topologies: Vec<TopologySpec> = topology_picks
+            .into_iter()
+            .map(|(c, n, p, s)| topology(c, n, p as u8, s))
+            .collect();
+        topologies.dedup();
+        let spec = SweepSpec {
+            protocols,
+            topologies,
+            seeds: (seed_base..seed_base + seed_count as u64).collect(),
+            random_schedulers,
+            max_deliveries: 1_000_000,
+        };
+
+        // Baseline: a sequential pass over the manifest, no sharding involved.
+        let manifest = Manifest::from_spec(&spec);
+        let mut baseline = String::new();
+        for unit in &manifest.units {
+            let record = execute_unit(&spec, unit).expect("unit runs");
+            baseline.push_str(&record.to_jsonl_line());
+            baseline.push('\n');
+        }
+
+        for partition in [Partition::Hash, Partition::RoundRobin] {
+            for shards in [1usize, 2, 3, 7] {
+                let sets: Result<Vec<_>, _> = (0..shards)
+                    .map(|s| shard_lines(&spec, &manifest, shards, partition, s))
+                    .collect();
+                let merged = merge_lines(manifest.len(), sets.unwrap()).expect("merge covers");
+                prop_assert_eq!(
+                    &merged,
+                    &baseline,
+                    "{:?} x {} shards diverged from the single-process run",
+                    partition,
+                    shards
+                );
+            }
+        }
+    }
+}
+
+/// The same property through the round-tripped *text* form of the spec: what a
+/// worker process parses from disk drives the exact same sweep.
+#[test]
+fn spec_text_round_trip_preserves_sweep_output() {
+    let spec = SweepSpec {
+        protocols: vec![ProtocolSpec::Mapping, ProtocolSpec::Labeling],
+        topologies: vec![
+            TopologySpec::ChainGn { n: 4 },
+            TopologySpec::RandomCyclic {
+                internal: 7,
+                forward_pct: 25,
+                back_pct: 10,
+                seed: 99,
+            },
+        ],
+        seeds: vec![0, 1],
+        random_schedulers: 2,
+        max_deliveries: 500_000,
+    };
+    let reparsed = SweepSpec::parse(&spec.to_spec_string()).expect("canonical form parses");
+    let a = anet_sweep::run_sweep_in_process(&spec, 3, Partition::Hash).unwrap();
+    let b = anet_sweep::run_sweep_in_process(&reparsed, 3, Partition::Hash).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.lines().count(), Manifest::from_spec(&spec).len());
+}

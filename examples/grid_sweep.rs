@@ -1,102 +1,88 @@
-//! Scenario scaling: sweep the full scheduler battery × a topology grid in
-//! parallel and summarise the adversary's effect on the mapping protocol.
+//! Scenario scaling on the sweep subsystem: declare a sweep spec, fan its
+//! shards over a worker thread per shard, and read the merged JSONL back.
 //!
 //! The paper's correctness claims are universally quantified over delivery
-//! orders; the sweep approximates that quantifier at scale by fanning
-//! (topology, scheduler) cells out over a worker pool
-//! ([`anet::sim::runner::run_battery_grid`]). Results come back ordered by
-//! (topology, scheduler) regardless of thread timing, so the printed table is
-//! reproducible run to run.
+//! orders; a sweep approximates that quantifier at scale. This example drives
+//! the same machinery the `sweep` CLI runs across OS *processes*
+//! ([`anet_sweep::run_sweep_threaded`] shares `execute_unit` and the merge
+//! with the process path), so its output is byte-identical no matter how many
+//! shards — or which machines — executed the units. Results come back in
+//! canonical (protocol, topology, seed, scheduler) manifest order regardless
+//! of thread timing, so the printed table is reproducible run to run.
 //!
 //! Run with: `cargo run --release --example grid_sweep`
+//!
+//! For the multi-process version of the same sweep:
+//! `cargo run --release -p anet-sweep --bin sweep -- --shards 4`
 
-use anet::graph::generators;
-use anet::protocols::mapping::{Mapping, ReconstructedTopology};
-use anet::sim::engine::ExecutionConfig;
-use anet::sim::runner::run_battery_grid;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use anet_sweep::{Manifest, Partition, ProtocolSpec, RunRecord, SweepSpec, TopologySpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = StdRng::seed_from_u64(2007);
-    let topologies: Vec<(String, anet::graph::Network)> = vec![
-        ("chain-gn/12".to_owned(), generators::chain_gn(12)?),
-        ("cycle-tail/16".to_owned(), generators::cycle_with_tail(16)?),
-        (
-            "nested-cycles/3x5".to_owned(),
-            generators::nested_cycles(3, 5)?,
-        ),
-        ("complete-dag/12".to_owned(), generators::complete_dag(12)?),
-        (
-            "random-cyclic/24".to_owned(),
-            generators::random_cyclic(&mut rng, 24, 0.12, 0.18)?,
-        ),
-        (
-            "random-dag/24".to_owned(),
-            generators::random_dag(&mut rng, 24, 0.2)?,
-        ),
-    ];
+    let spec = SweepSpec {
+        protocols: vec![ProtocolSpec::Mapping],
+        topologies: vec![
+            TopologySpec::ChainGn { n: 12 },
+            TopologySpec::CycleWithTail { k: 16 },
+            TopologySpec::NestedCycles { count: 3, len: 5 },
+            TopologySpec::CompleteDag { internal: 12 },
+            TopologySpec::RandomCyclic {
+                internal: 24,
+                forward_pct: 12,
+                back_pct: 18,
+                seed: 2007,
+            },
+            TopologySpec::RandomDag {
+                internal: 24,
+                edge_pct: 20,
+                seed: 2007,
+            },
+        ],
+        seeds: vec![42],
+        random_schedulers: 3,
+        max_deliveries: 10_000_000,
+    };
 
-    let workers = std::thread::available_parallelism()
+    let shards = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
+    let manifest = Manifest::from_spec(&spec);
     println!(
-        "sweeping {} topologies x battery on {} worker(s)\n",
-        topologies.len(),
-        workers
+        "sweeping {} units ({} topologies x battery) on {} shard thread(s)\n",
+        manifest.len(),
+        spec.topologies.len(),
+        shards
     );
 
-    let grid = run_battery_grid(
-        &topologies,
-        Mapping::new,
-        ExecutionConfig::default(),
-        42,
-        3,
-        workers,
-    );
+    let merged = anet_sweep::run_sweep_threaded(&spec, shards, Partition::Hash)?;
+    let records: Vec<RunRecord> = merged
+        .lines()
+        .map(|line| RunRecord::parse_line(line).expect("merged lines are canonical"))
+        .collect();
 
     println!(
         "{:<18} {:<15} {:>10} {:>12} {:>8}",
         "topology", "scheduler", "deliveries", "total bits", "exact"
     );
-    for cell in &grid {
-        let result = &cell.run.result;
-        let (_, network) = topologies
-            .iter()
-            .find(|(name, _)| name == &cell.topology)
-            .expect("grid rows name input topologies");
-        let labels: Vec<_> = result.states.iter().map(|s| s.label.clone()).collect();
-        let exact = result.outcome.terminated()
-            && ReconstructedTopology::from_terminal_state(
-                &result.states[network.terminal().index()],
-            )
-            .matches_exactly(network, &labels);
+    for r in &records {
         println!(
             "{:<18} {:<15} {:>10} {:>12} {:>8}",
-            cell.topology,
-            cell.run.scheduler,
-            result.metrics.messages_delivered,
-            result.metrics.total_bits,
-            if exact { "yes" } else { "NO" }
+            r.topology,
+            r.scheduler,
+            r.delivered,
+            r.total_bits,
+            if r.ok { "yes" } else { "NO" }
         );
-        assert!(exact, "battery cell failed to map exactly");
+        assert!(r.ok, "sweep cell failed to map exactly");
     }
 
     println!();
-    for (name, _) in &topologies {
-        let cells: Vec<_> = grid.iter().filter(|c| &c.topology == name).collect();
-        let min = cells
-            .iter()
-            .map(|c| c.run.result.metrics.messages_delivered)
-            .min()
-            .unwrap_or(0);
-        let max = cells
-            .iter()
-            .map(|c| c.run.result.metrics.messages_delivered)
-            .max()
-            .unwrap_or(0);
+    for topology in &spec.topologies {
+        let name = topology.name();
+        let cells: Vec<&RunRecord> = records.iter().filter(|r| r.topology == name).collect();
+        let min = cells.iter().map(|r| r.delivered).min().unwrap_or(0);
+        let max = cells.iter().map(|r| r.delivered).max().unwrap_or(0);
         println!(
-            "{name}: adversary stretches deliveries {min} → {max} ({:.2}x)",
+            "{name}: adversary stretches deliveries {min} -> {max} ({:.2}x)",
             max as f64 / min.max(1) as f64
         );
     }

@@ -15,6 +15,19 @@
 //! inputs via `Debug` but is not minimised), and value generation is a simple
 //! deterministic PRNG keyed by the test name, so failures reproduce exactly
 //! across runs. `PROPTEST_CASES` in the environment overrides the case count.
+//!
+//! # Failure replay
+//!
+//! The shim supports the cheap half of failure persistence: every failing
+//! `prop_assert*!` panic reports the RNG state the failing case was generated
+//! from as `PROPTEST_SEED=<test path>:<seed>`, and setting that variable in
+//! the environment replays exactly that case (and only it — the run executes
+//! a single case, reported as case #0). The value is **scoped to one test**:
+//! every other property test ignores it and runs its normal sweep, so
+//! replaying a failure in a full `cargo test` does not silently collapse the
+//! rest of the suite's coverage (a bare unscoped seed is ignored entirely).
+//! Panics raised directly by the test body (not via `prop_assert*!`) are not
+//! intercepted and carry no seed.
 
 #![forbid(unsafe_code)]
 
@@ -40,6 +53,15 @@ pub mod test_runner {
                 h = h.wrapping_mul(0x0000_0100_0000_01B3);
             }
             TestRng::seed_from_u64(h)
+        }
+
+        /// The current generator state. Reconstructing an RNG from this value
+        /// via [`TestRng::seed_from_u64`] continues the exact same stream —
+        /// which is how failing cases are replayed: the runner captures the
+        /// state *before* generating a case's inputs and reports it as
+        /// `PROPTEST_SEED` on failure.
+        pub fn state(&self) -> u64 {
+            self.state
         }
 
         /// Returns the next pseudo-random `u64`.
@@ -100,8 +122,7 @@ pub mod test_runner {
 
         /// Honours the `PROPTEST_CASES` environment variable, like the real crate.
         pub fn effective_cases(&self) -> u32 {
-            std::env::var("PROPTEST_CASES")
-                .ok()
+            env_var_locked("PROPTEST_CASES")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(self.cases)
         }
@@ -111,6 +132,42 @@ pub mod test_runner {
         fn default() -> Self {
             Config { cases: 64 }
         }
+    }
+
+    /// Serialises every environment access the shim performs. POSIX `setenv`
+    /// racing `getenv` on another thread is undefined behaviour and cargo runs
+    /// tests on parallel threads, so the shim's reads go through this lock and
+    /// the shim's own replay tests take it around their `set_var`/`remove_var`
+    /// calls. Foreign processes are unaffected (the lock is per-process, which
+    /// is exactly the scope of the hazard).
+    pub fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn env_var_locked(name: &str) -> Option<String> {
+        let _guard = env_lock();
+        std::env::var(name).ok()
+    }
+
+    /// The failure-replay seed for the test named `test_name` (its full
+    /// module path, as failure messages print it) from the `PROPTEST_SEED`
+    /// environment variable. The variable's format is `<test path>:<seed>`;
+    /// a value scoped to a *different* test — or an unscoped bare seed —
+    /// yields `None`, so only the intended test replays while the rest of the
+    /// suite keeps its full case sweep.
+    pub fn replay_seed_for(test_name: &str) -> Option<u64> {
+        replay_seed_scoped(test_name, env_var_locked("PROPTEST_SEED").as_deref())
+    }
+
+    /// Pure core of [`replay_seed_for`], factored out so the parsing is
+    /// testable without touching the process environment.
+    pub fn replay_seed_scoped(test_name: &str, value: Option<&str>) -> Option<u64> {
+        let (name, seed) = value?.trim().rsplit_once(':')?;
+        if name != test_name {
+            return None;
+        }
+        seed.parse().ok()
     }
 }
 
@@ -391,15 +448,24 @@ macro_rules! __proptest_items {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
-                let cases = config.effective_cases();
-                let mut rng = $crate::test_runner::TestRng::for_test(concat!(
-                    module_path!(),
-                    "::",
-                    stringify!($name)
-                ));
+                let test_path = concat!(module_path!(), "::", stringify!($name));
+                let replay = $crate::test_runner::replay_seed_for(test_path);
+                let cases = match replay {
+                    ::core::option::Option::Some(_) => 1,
+                    ::core::option::Option::None => config.effective_cases(),
+                };
+                let mut rng = match replay {
+                    ::core::option::Option::Some(seed) => {
+                        $crate::test_runner::TestRng::seed_from_u64(seed)
+                    }
+                    ::core::option::Option::None => {
+                        $crate::test_runner::TestRng::for_test(test_path)
+                    }
+                };
                 let mut rejected: u32 = 0;
                 let mut case: u32 = 0;
                 while case < cases {
+                    let case_seed = rng.state();
                     $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
                     let inputs = format!(
                         concat!($(concat!(stringify!($arg), " = {:?}, ")),+),
@@ -427,7 +493,7 @@ macro_rules! __proptest_items {
                             $crate::test_runner::TestCaseError::Fail(msg),
                         ) => {
                             panic!(
-                                "property {} failed at case #{case}: {msg}\n    inputs: {inputs}",
+                                "property {} failed at case #{case}: {msg}\n    inputs: {inputs}\n    replay with: PROPTEST_SEED={test_path}:{case_seed}",
                                 stringify!($name)
                             );
                         }
@@ -447,6 +513,153 @@ mod tests {
         let mut a = crate::test_runner::TestRng::for_test("x");
         let mut b = crate::test_runner::TestRng::for_test("x");
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn rng_state_round_trips_through_seed() {
+        let mut a = crate::test_runner::TestRng::for_test("state");
+        a.next_u64();
+        let mut b = crate::test_runner::TestRng::seed_from_u64(a.state());
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn replay_seed_parsing_is_scoped_to_the_test() {
+        use crate::test_runner::replay_seed_scoped;
+        let me = "my_crate::tests::prop";
+        assert_eq!(replay_seed_scoped(me, None), None);
+        assert_eq!(replay_seed_scoped(me, Some("")), None);
+        // Bare unscoped seeds are ignored: they would otherwise collapse
+        // every proptest in the workspace to a single case.
+        assert_eq!(replay_seed_scoped(me, Some("42")), None);
+        // Seeds scoped to another test are ignored too.
+        assert_eq!(
+            replay_seed_scoped(me, Some("other_crate::tests::prop:42")),
+            None
+        );
+        // Only the exact test path matches; the name part may contain colons.
+        assert_eq!(
+            replay_seed_scoped(me, Some("my_crate::tests::prop:42")),
+            Some(42)
+        );
+        assert_eq!(
+            replay_seed_scoped(me, Some("  my_crate::tests::prop:42\n")),
+            Some(42)
+        );
+        assert_eq!(
+            replay_seed_scoped(me, Some("my_crate::tests::prop:18446744073709551615")),
+            Some(u64::MAX)
+        );
+        assert_eq!(
+            replay_seed_scoped(me, Some("my_crate::tests::prop:not a seed")),
+            None
+        );
+    }
+
+    // Deliberately failing property, declared *without* `#[test]` so the suite
+    // does not run it directly: the replay test below drives it by hand. The
+    // shim's RNG is deterministic per test name, so the first even `x` (and
+    // hence the failure and its reported seed) is fixed forever.
+    proptest! {
+        fn replay_probe(x in 0u32..100) {
+            prop_assert!(x % 2 == 1, "probe rejects even x = {}", x);
+        }
+    }
+
+    // Counts how many cases `count_probe` executes, to observe whether a
+    // foreign replay seed perturbs an unrelated test's sweep.
+    static COUNT_PROBE_CASES: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
+    // Serialises the two tests that set PROPTEST_SEED and read the case
+    // counter against each other. The actual environment mutations
+    // additionally take `test_runner::env_lock()` (briefly, never across a
+    // probe call) so they cannot race the locked reads every `proptest!` test
+    // performs on other threads.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn set_replay_var(value: &str) {
+        let _guard = crate::test_runner::env_lock();
+        std::env::set_var("PROPTEST_SEED", value);
+    }
+
+    fn clear_replay_var() {
+        let _guard = crate::test_runner::env_lock();
+        std::env::remove_var("PROPTEST_SEED");
+    }
+
+    proptest! {
+        fn count_probe(x in 0u32..10) {
+            COUNT_PROBE_CASES.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_seed_and_replays_from_env() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let msg = *std::panic::catch_unwind(replay_probe)
+            .expect_err("probe must fail")
+            .downcast::<String>()
+            .expect("prop_assert panics carry a String");
+        assert!(msg.contains("replay with: PROPTEST_SEED="), "{msg}");
+        // The reported value is `<test path>:<seed>`, scoped to the probe.
+        let token = msg
+            .split("PROPTEST_SEED=")
+            .nth(1)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .trim()
+            .to_owned();
+        assert!(token.contains("::replay_probe:"), "{token}");
+        let inputs = msg
+            .split("inputs: ")
+            .nth(1)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .to_owned();
+        // Replaying via the environment reruns exactly the failing case as
+        // case #0 with identical inputs. The value is scoped, so sibling
+        // proptests racing this window ignore it entirely.
+        set_replay_var(&token);
+        let replayed = std::panic::catch_unwind(replay_probe);
+        // While the scoped seed is set, an unrelated property still runs its
+        // full configured sweep — replay must not gut the rest of the suite.
+        COUNT_PROBE_CASES.store(0, std::sync::atomic::Ordering::SeqCst);
+        count_probe();
+        let unrelated_cases = COUNT_PROBE_CASES.load(std::sync::atomic::Ordering::SeqCst);
+        clear_replay_var();
+        assert_eq!(
+            unrelated_cases,
+            crate::test_runner::ProptestConfig::default().effective_cases(),
+            "a foreign PROPTEST_SEED must not shrink an unrelated test's sweep"
+        );
+        let replay_msg = *replayed
+            .expect_err("replay must fail again")
+            .downcast::<String>()
+            .expect("prop_assert panics carry a String");
+        assert!(replay_msg.contains("failed at case #0"), "{replay_msg}");
+        assert!(
+            replay_msg.contains(&inputs),
+            "replayed inputs differ:\n  original: {inputs}\n  replay:   {replay_msg}"
+        );
+    }
+
+    #[test]
+    fn scoped_replay_runs_exactly_one_case_of_its_own_test() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        // A seed scoped to `count_probe` itself collapses it to one case.
+        let token = format!("{}::count_probe:12345", module_path!());
+        set_replay_var(&token);
+        COUNT_PROBE_CASES.store(0, std::sync::atomic::Ordering::SeqCst);
+        count_probe();
+        let cases = COUNT_PROBE_CASES.load(std::sync::atomic::Ordering::SeqCst);
+        clear_replay_var();
+        assert_eq!(cases, 1, "a scoped seed replays a single case");
     }
 
     proptest! {
