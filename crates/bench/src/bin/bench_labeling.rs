@@ -1,0 +1,18 @@
+//! Regenerates `BENCH_labeling.json`: a machine-readable baseline of full
+//! labelling and general-broadcast runs — the copy-on-write endpoint-array
+//! implementations versus the retained deep-clone references — over the
+//! record-bound topology grid shared with the `mapping_flood` bench.
+//!
+//! Usage: `cargo run --release -p anet-bench --bin bench_labeling`
+//! (writes the JSON file into the current directory and echoes it to stdout).
+//!
+//! The generation itself lives in [`anet_bench::baseline`], shared with the
+//! `bench_smoke` key-drift checker.
+
+use anet_bench::baseline::{labeling_json, SampleConfig};
+
+fn main() {
+    let json = labeling_json(&SampleConfig::full());
+    std::fs::write("BENCH_labeling.json", &json).expect("write baseline file");
+    print!("{json}");
+}

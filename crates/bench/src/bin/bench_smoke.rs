@@ -12,13 +12,16 @@
 //! workspace root (where the `BENCH_*.json` files live). Exits non-zero on
 //! drift.
 
-use anet_bench::baseline::{interval_algebra_json, mapping_json, result_keys, SampleConfig};
+use anet_bench::baseline::{
+    interval_algebra_json, labeling_json, mapping_json, result_keys, SampleConfig,
+};
 
 fn main() {
     let smoke = SampleConfig::smoke();
-    let checks: [(&str, String); 2] = [
+    let checks: [(&str, String); 3] = [
         ("BENCH_interval_algebra.json", interval_algebra_json(&smoke)),
         ("BENCH_mapping.json", mapping_json(&smoke)),
+        ("BENCH_labeling.json", labeling_json(&smoke)),
     ];
 
     let mut drifted = false;
@@ -49,6 +52,8 @@ fn main() {
             "  regenerate with: cargo run --release -p anet-bench --bin bench_{}",
             if path.contains("mapping") {
                 "mapping"
+            } else if path.contains("labeling") {
+                "labeling"
             } else {
                 "interval_algebra"
             }

@@ -25,6 +25,13 @@
 //!    forever, which would let the terminal accept while the subtree behind that
 //!    edge never hears the broadcast — contradicting Theorem 4.2, whose proof
 //!    assumes a value is α-carried on every edge out of a visited vertex.
+//!
+//! Message plumbing rides the copy-on-write [`IntervalUnion`]: the α/β
+//! components cloned into each out-port's message (and into trace events) are
+//! O(1) shared handles of one endpoint buffer, not per-port copies, while
+//! [`Wire::wire_bits`] still charges the encoded intervals on every edge. The
+//! pre-CoW deep-clone implementation is retained in [`mod@reference`] and pinned
+//! bit-identical by the `general_broadcast_differential` suite.
 
 use anet_graph::Network;
 use anet_num::partition::canonical_partition_nonempty;
@@ -35,6 +42,8 @@ use anet_sim::{AnonymousProtocol, NodeContext, Wire};
 
 use crate::outcome::BroadcastReport;
 use crate::{CoreError, Payload};
+
+pub mod reference;
 
 /// A message of the general-graph protocol: the α and β increments plus the
 /// payload (the paper sends `m` with every message).

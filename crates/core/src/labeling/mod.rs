@@ -12,17 +12,26 @@
 //! interval mass they receive as their label (a union rather than a single
 //! interval); for the terminal this doubles as the stopping-predicate input. The
 //! paper leaves this corner implicit; see DESIGN.md for the reasoning.
+//!
+//! Message plumbing rides the copy-on-write [`IntervalUnion`]: the α/β
+//! components cloned into each out-port's message (and into trace events) are
+//! O(1) shared handles of one endpoint buffer, not per-port copies, while
+//! [`Wire::wire_bits`] still charges the encoded intervals on every edge. The
+//! pre-CoW deep-clone implementation is retained in [`mod@reference`] and pinned
+//! bit-identical by the `labeling_differential` suite.
 
 use anet_graph::{Network, NodeId};
 use anet_num::bits;
 use anet_num::partition::canonical_partition_nonempty;
 use anet_num::IntervalUnion;
-use anet_sim::engine::{run, ExecutionConfig};
+use anet_sim::engine::{run, ExecutionConfig, RunResult};
 use anet_sim::metrics::RunMetrics;
 use anet_sim::scheduler::Scheduler;
 use anet_sim::{AnonymousProtocol, NodeContext, Wire};
 
 use crate::CoreError;
+
+pub mod reference;
 
 /// A message of the labelling protocol: α and β increments (no payload — labelling
 /// is a pure control protocol in the paper).
@@ -275,10 +284,29 @@ pub fn run_labeling_with_config(
 ) -> Result<LabelingReport, CoreError> {
     let protocol = Labeling::new();
     let result = run(network, &protocol, scheduler, config);
+    report_from_run(network, result)
+}
+
+/// Distils a finished labelling run into a [`LabelingReport`]. Shared by the
+/// copy-on-write and [`reference`] run functions.
+///
+/// The label vector is extracted by *moving* each label handle out of its
+/// final state — the run result is consumed, so no label is cloned (not even
+/// a refcount bump), let alone deep-copied as the pre-CoW extraction did.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BudgetExhausted`] if the delivery budget ran out.
+fn report_from_run<M>(
+    network: &Network,
+    result: RunResult<LabelingState, M>,
+) -> Result<LabelingReport, CoreError> {
     if result.outcome == anet_sim::Outcome::BudgetExhausted {
         return Err(CoreError::BudgetExhausted);
     }
-    let labels: Vec<IntervalUnion> = result.states.iter().map(|st| st.label.clone()).collect();
+    let outcome = result.outcome;
+    let metrics = result.metrics;
+    let labels: Vec<IntervalUnion> = result.states.into_iter().map(|st| st.label).collect();
     let participants: Vec<NodeId> = network
         .graph()
         .nodes()
@@ -301,12 +329,12 @@ pub fn run_labeling_with_config(
         .max()
         .unwrap_or(0);
     Ok(LabelingReport {
-        terminated: result.outcome == anet_sim::Outcome::Terminated,
-        quiescent: result.outcome == anet_sim::Outcome::Quiescent,
+        terminated: outcome == anet_sim::Outcome::Terminated,
+        quiescent: outcome == anet_sim::Outcome::Quiescent,
         labels,
         labels_unique: unique,
         max_label_bits,
-        metrics: result.metrics,
+        metrics,
     })
 }
 

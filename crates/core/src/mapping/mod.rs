@@ -390,10 +390,8 @@ impl MappingState {
         } else {
             VertexRef::Labeled(
                 self.label
-                    .intervals()
-                    .first()
-                    .expect("own_ref is only used once labelled")
-                    .clone(),
+                    .first_interval()
+                    .expect("own_ref is only used once labelled"),
             )
         }
     }
@@ -618,10 +616,8 @@ impl AnonymousProtocol for Mapping {
         if just_labeled && d > 0 {
             let own_label = state
                 .label
-                .intervals()
-                .first()
-                .expect("just claimed a non-empty label")
-                .clone();
+                .first_interval()
+                .expect("just claimed a non-empty label");
             let record = MapRecord::Vertex {
                 label: own_label,
                 in_degree: ctx.in_degree,
@@ -828,9 +824,7 @@ impl ReconstructedTopology {
                 Some(VertexRef::Sink)
             } else {
                 labels[node.index()]
-                    .intervals()
-                    .first()
-                    .cloned()
+                    .first_interval()
                     .map(VertexRef::Labeled)
             }
         };

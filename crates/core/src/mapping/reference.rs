@@ -92,10 +92,8 @@ impl MappingState {
         } else {
             VertexRef::Labeled(
                 self.label
-                    .intervals()
-                    .first()
-                    .expect("own_ref is only used once labelled")
-                    .clone(),
+                    .first_interval()
+                    .expect("own_ref is only used once labelled"),
             )
         }
     }
@@ -299,10 +297,8 @@ impl AnonymousProtocol for Mapping {
         if just_labeled && d > 0 {
             let own_label = state
                 .label
-                .intervals()
-                .first()
-                .expect("just claimed a non-empty label")
-                .clone();
+                .first_interval()
+                .expect("just claimed a non-empty label");
             state.known.insert(MapRecord::Vertex {
                 label: own_label,
                 in_degree: ctx.in_degree,

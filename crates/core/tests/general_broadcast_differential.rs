@@ -1,0 +1,211 @@
+//! Differential suite: the copy-on-write general-broadcast implementation
+//! versus the retained deep-clone reference
+//! (`anet_core::general_broadcast::reference`).
+//!
+//! Same contract as `labeling_differential`: identically seeded schedulers
+//! across the standard battery × chain/cyclic/DAG topologies × seeds, and
+//! bit-identical outcomes, metrics (wire-bit totals included), traces (shape
+//! and α/β/payload content) and per-vertex states.
+
+use anet_core::general_broadcast::{self, reference, GeneralBroadcast};
+use anet_core::Payload;
+use anet_graph::generators::{
+    chain_gn, complete_dag, cycle_with_tail, diamond_stack, nested_cycles, random_cyclic,
+    random_dag,
+};
+use anet_graph::Network;
+use anet_sim::engine::{run, ExecutionConfig};
+use anet_sim::scheduler::{standard_battery, FifoScheduler, RandomScheduler, Scheduler};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs both implementations under one pair of identically seeded schedulers
+/// and asserts full observable equivalence. Returns whether the run terminated.
+fn assert_equivalent_run(
+    net: &Network,
+    payload: &Payload,
+    cow_scheduler: &mut (impl Scheduler + ?Sized),
+    reference_scheduler: &mut (impl Scheduler + ?Sized),
+    context: &str,
+) -> bool {
+    let config = ExecutionConfig::with_trace();
+    let a = run(
+        net,
+        &GeneralBroadcast::new(payload.clone()),
+        cow_scheduler,
+        config,
+    );
+    let b = run(
+        net,
+        &reference::GeneralBroadcast::new(payload.clone()),
+        reference_scheduler,
+        config,
+    );
+
+    assert_eq!(a.outcome, b.outcome, "outcome diverged: {context}");
+    assert_eq!(
+        a.deliveries_at_termination, b.deliveries_at_termination,
+        "termination point diverged: {context}"
+    );
+    assert_eq!(a.metrics, b.metrics, "metrics diverged: {context}");
+
+    let ta = a.trace.as_ref().expect("trace requested");
+    let tb = b.trace.as_ref().expect("trace requested");
+    assert_eq!(ta.len(), tb.len(), "trace length diverged: {context}");
+    for (ea, eb) in ta.events().iter().zip(tb.events()) {
+        assert_eq!(
+            (ea.seq, ea.edge, ea.src, ea.dst, ea.bits),
+            (eb.seq, eb.edge, eb.src, eb.dst, eb.bits),
+            "trace event shape diverged: {context}"
+        );
+        assert_eq!(ea.message, eb.message, "message diverged: {context}");
+    }
+
+    for (sa, sb) in a.states.iter().zip(&b.states) {
+        assert_eq!(sa, sb, "vertex state diverged: {context}");
+    }
+    a.outcome.terminated()
+}
+
+/// Battery-wide equivalence on one topology.
+fn assert_equivalent_under_battery(net: &Network, seed: u64, random_count: usize, name: &str) {
+    let payload = Payload::from_bytes(b"differential");
+    let cow = standard_battery(seed, random_count);
+    let reference = standard_battery(seed, random_count);
+    for (mut ca, mut ra) in cow.into_iter().zip(reference) {
+        let context = format!("{name} under {}", ca.name());
+        assert_equivalent_run(net, &payload, ca.as_mut(), ra.as_mut(), &context);
+    }
+}
+
+#[test]
+fn cow_broadcast_matches_reference_on_chain_families() {
+    for n in [2usize, 5, 9] {
+        let net = chain_gn(n).unwrap();
+        assert_equivalent_under_battery(&net, 19, 3, &format!("chain_gn({n})"));
+    }
+}
+
+#[test]
+fn cow_broadcast_matches_reference_on_cyclic_families() {
+    let mut rng = StdRng::seed_from_u64(37);
+    let nets = vec![
+        ("cycle_with_tail(7)".to_owned(), cycle_with_tail(7).unwrap()),
+        (
+            "nested_cycles(2,4)".to_owned(),
+            nested_cycles(2, 4).unwrap(),
+        ),
+        (
+            "random_cyclic(14)".to_owned(),
+            random_cyclic(&mut rng, 14, 0.2, 0.2).unwrap(),
+        ),
+    ];
+    for (name, net) in &nets {
+        assert_equivalent_under_battery(net, 43, 3, name);
+    }
+}
+
+#[test]
+fn cow_broadcast_matches_reference_on_dag_families() {
+    let mut rng = StdRng::seed_from_u64(47);
+    let nets = vec![
+        ("diamond_stack(4)".to_owned(), diamond_stack(4).unwrap()),
+        ("complete_dag(7)".to_owned(), complete_dag(7).unwrap()),
+        (
+            "random_dag(16)".to_owned(),
+            random_dag(&mut rng, 16, 0.25).unwrap(),
+        ),
+    ];
+    for (name, net) in &nets {
+        assert_equivalent_under_battery(net, 53, 3, name);
+    }
+}
+
+#[test]
+fn cow_broadcast_matches_reference_when_the_run_cannot_terminate() {
+    let base = cycle_with_tail(5).unwrap();
+    let net = anet_graph::generators::with_stranded_vertex(&base).unwrap();
+    let terminated = assert_equivalent_run(
+        &net,
+        &Payload::from_bytes(b"stranded"),
+        &mut FifoScheduler::new(),
+        &mut FifoScheduler::new(),
+        "stranded vertex",
+    );
+    assert!(!terminated);
+}
+
+#[test]
+fn cow_broadcast_reports_match_reference_across_seeds() {
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = random_cyclic(&mut rng, 12, 0.15, 0.25).unwrap();
+        let payload = Payload::from_bytes(b"seeded");
+        let a = general_broadcast::run_general_broadcast(
+            &net,
+            payload.clone(),
+            &mut FifoScheduler::new(),
+        )
+        .unwrap();
+        let b = reference::run_general_broadcast(&net, payload, &mut FifoScheduler::new()).unwrap();
+        assert_eq!(a.metrics.total_bits, b.metrics.total_bits, "seed {seed}");
+        assert_eq!(a.metrics.max_message_bits, b.metrics.max_message_bits);
+        assert_eq!(a.metrics.per_edge_bits, b.metrics.per_edge_bits);
+        assert_eq!(a.terminated, b.terminated);
+        assert_eq!(a.all_received, b.all_received);
+        assert_eq!(a.received_count, b.received_count);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random cyclic topologies, FIFO plus a seeded-random schedule, with a
+    /// varying payload size.
+    #[test]
+    fn cow_broadcast_matches_reference_on_random_cyclic(
+        seed in 0u64..5_000,
+        internal in 2usize..14,
+        fwd in 0.0f64..0.3,
+        back in 0.0f64..0.3,
+        sched_seed in 0u64..1_000,
+        payload_bits in 0u64..256,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = random_cyclic(&mut rng, internal, fwd, back).unwrap();
+        let payload = Payload::synthetic(payload_bits);
+        assert_equivalent_run(
+            &net,
+            &payload,
+            &mut FifoScheduler::new(),
+            &mut FifoScheduler::new(),
+            &format!("random_cyclic seed {seed} fifo"),
+        );
+        assert_equivalent_run(
+            &net,
+            &payload,
+            &mut RandomScheduler::seeded(sched_seed),
+            &mut RandomScheduler::seeded(sched_seed),
+            &format!("random_cyclic seed {seed} random {sched_seed}"),
+        );
+    }
+
+    /// Random DAGs (different generator, different degree profile).
+    #[test]
+    fn cow_broadcast_matches_reference_on_random_dags(
+        seed in 0u64..5_000,
+        internal in 2usize..16,
+        p in 0.0f64..0.4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = random_dag(&mut rng, internal, p).unwrap();
+        assert_equivalent_run(
+            &net,
+            &Payload::from_bytes(b"dag"),
+            &mut FifoScheduler::new(),
+            &mut FifoScheduler::new(),
+            &format!("random_dag seed {seed}"),
+        );
+    }
+}

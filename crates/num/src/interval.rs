@@ -57,11 +57,12 @@ impl Interval {
         Interval { lo, hi }
     }
 
-    /// Extends the upper endpoint in place; the caller guarantees `hi >= lo`.
+    /// Decomposes the interval into its `(lo, hi)` endpoints — how intervals
+    /// enter the flattened endpoint array of [`crate::IntervalUnion`] without
+    /// an extra clone.
     #[inline]
-    pub(crate) fn set_hi(&mut self, hi: Dyadic) {
-        debug_assert!(self.lo <= hi, "interval endpoints out of order");
-        self.hi = hi;
+    pub fn into_parts(self) -> (Dyadic, Dyadic) {
+        (self.lo, self.hi)
     }
 
     /// The canonical empty interval `[0, 0)`.

@@ -3,36 +3,68 @@
 
 use std::cell::RefCell;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::{bits, Dyadic, Interval, NumError};
 
 /// An element of `U[0, 1)`: a finite union of disjoint half-open intervals.
 ///
-/// # The canonical-form contract
+/// # Representation: the flattened endpoint array
 ///
-/// The representation is canonical — the interval list is **sorted by lower
-/// endpoint, non-empty, pairwise disjoint and non-adjacent** (touching
-/// intervals are merged), so two values compare equal with `==` exactly when
-/// they denote the same point set. Every constructor and operation maintains
-/// this invariant, and the set operations *rely* on it: [`IntervalUnion::union`],
-/// [`IntervalUnion::intersection`] and [`IntervalUnion::difference`] are linear
-/// two-pointer merges over the two canonical operand lists (O(n + m) endpoint
-/// comparisons, no sorting, no re-canonicalisation pass) whose output is
-/// canonical by construction. Strict non-adjacency is what makes that work: a
-/// gap between consecutive intervals is a *strict* gap, so a merge never needs
-/// to look more than one interval back. The original collect-sort-merge
+/// The value is stored as one dense buffer of alternating endpoints
+/// `[lo₀, hi₀, lo₁, hi₁, …]` (a `Vec<Dyadic>`) rather than a list of interval
+/// structs. The buffer obeys three invariants, which together are the
+/// **canonical-form contract**:
+///
+/// 1. **Even length** — endpoints come in `(lo, hi)` pairs; pair `i` denotes
+///    the half-open interval `[e[2i], e[2i+1])`.
+/// 2. **Strictly increasing** — `e[k] < e[k+1]` for every `k`. Within a pair
+///    this says the interval is non-empty (`lo < hi`); across pairs
+///    (`hi_i < lo_{i+1}`, the *canonical gap rule*) it says consecutive
+///    intervals are disjoint **and non-adjacent** — touching intervals are
+///    merged at construction time, so a gap between pairs is always a strict
+///    gap of positive measure.
+/// 3. **Empty is empty** — the empty set is the absent buffer, never a
+///    zero-length one, so `is_empty` is a null check.
+///
+/// Two values compare equal with `==` exactly when they denote the same point
+/// set. The set operations *rely* on canonicity: [`IntervalUnion::union`],
+/// [`IntervalUnion::intersection`] and [`IntervalUnion::difference`] are
+/// linear two-pointer merges that walk the two flat buffers in one pass
+/// (O(n + m) endpoint comparisons, no sorting, no re-canonicalisation, and —
+/// because the buffer is one contiguous allocation of endpoints — half the
+/// pointer traffic of the former `Vec<Interval>`-of-pairs layout). Strict
+/// non-adjacency is what makes that work: a merge never needs to look more
+/// than one emitted pair back. The original collect-sort-merge
 /// implementations are retained in [`crate::reference`] for differential
 /// testing.
 ///
-/// The in-place variants ([`IntervalUnion::union_in_place`],
-/// [`IntervalUnion::intersect_assign`], [`IntervalUnion::subtract_assign`])
-/// merge into a scratch buffer and swap, so steady-state protocol traffic
-/// performs no allocation beyond endpoint clones (which are themselves
-/// allocation-free while endpoints stay on the [`Dyadic`] inline fast path);
-/// the `*_with` variants take an explicit reusable scratch buffer, the plain
-/// ones use a thread-local one.
+/// # Copy-on-write aliasing contract
 ///
-/// All set operations (`union`, `intersection`, `difference`) are exact.
+/// The endpoint buffer lives behind an [`Arc`]; [`Clone`] is an O(1)
+/// reference-count bump, never a copy of the endpoints. This is the per-out-
+/// port hot path of the labelling and general-broadcast protocols: a label
+/// flooded on `d` edges is **one** buffer with `d + 1` handles, exactly like
+/// the `Arc<[RecordId]>` slices of the mapping protocol.
+///
+/// Writers respect the aliasing: the in-place operations
+/// ([`IntervalUnion::union_in_place`], [`IntervalUnion::intersect_assign`],
+/// [`IntervalUnion::subtract_assign`]) merge into a scratch buffer and then
+/// *adopt* the result — reusing the existing allocation when this handle is
+/// the buffer's sole owner, and allocating a fresh buffer (leaving every
+/// sibling handle untouched) when the buffer is shared. Mutating through one
+/// handle therefore **never** changes the value observed through another;
+/// sharing is an invisible optimisation, observable only through
+/// [`IntervalUnion::shares_storage_with`] (and the allocator). Steady-state
+/// unshared traffic performs no allocation beyond endpoint clones (which are
+/// themselves allocation-free while endpoints stay on the [`Dyadic`] inline
+/// fast path); the `*_with` variants take an explicit reusable scratch
+/// buffer, the plain ones use a thread-local one.
+///
+/// All set operations (`union`, `intersection`, `difference`) are exact, and
+/// [`IntervalUnion::wire_bits`] still charges the *encoded intervals* — the
+/// paper's bit counts are a property of the value, not of how many handles
+/// share its buffer.
 ///
 /// # Example
 ///
@@ -43,134 +75,146 @@ use crate::{bits, Dyadic, Interval, NumError};
 /// let right = IntervalUnion::from(Interval::from_dyadic_parts(1, 2, 1)?); // [1/2, 1)
 /// assert_eq!(left.union(&right), IntervalUnion::unit());
 /// assert!(left.intersection(&right).is_empty());
+///
+/// // Cloning shares the endpoint buffer; writers copy before mutating.
+/// let shared = left.clone();
+/// assert!(shared.shares_storage_with(&left));
+/// let mut writer = shared.clone();
+/// writer.union_in_place(&right);
+/// assert!(writer.is_unit());
+/// assert_eq!(shared, left); // the sibling handle is untouched
 /// # Ok::<(), anet_num::NumError>(())
 /// ```
-/// Ordering is lexicographic on the canonical interval list (useful for ordered
-/// containers and deterministic reports); it is *not* the subset order.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+/// Ordering is lexicographic on the endpoint array (equivalently, on the
+/// canonical interval list — useful for ordered containers and deterministic
+/// reports); it is *not* the subset order.
+#[derive(Clone, Default)]
 pub struct IntervalUnion {
-    /// Sorted, disjoint, non-empty, non-adjacent intervals.
-    intervals: Vec<Interval>,
+    /// `None` ⟺ the empty set; `Some` holds the canonical endpoint buffer
+    /// (non-empty, even length, strictly increasing).
+    endpoints: Option<Arc<Vec<Dyadic>>>,
 }
 
 thread_local! {
     /// Reusable merge buffer for the in-place ops without an explicit scratch.
-    static SCRATCH: RefCell<Vec<Interval>> = const { RefCell::new(Vec::new()) };
+    static SCRATCH: RefCell<Vec<Dyadic>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Appends `iv` (non-empty, with `iv.lo` no smaller than any pushed lower
-/// endpoint) to a canonical prefix, merging overlap or adjacency with the last
-/// interval.
+/// Picks the interval with the smaller lower endpoint off the front of `a` or
+/// `b` (cursors `i`/`j` advance by a whole pair), for the union merge.
 #[inline]
-fn push_merged(out: &mut Vec<Interval>, iv: &Interval) {
-    match out.last_mut() {
-        Some(last) if iv.lo() <= last.hi() => {
-            // Overlapping or adjacent: extend.
-            if iv.hi() > last.hi() {
-                last.set_hi(iv.hi().clone());
-            }
-        }
-        _ => out.push(iv.clone()),
+fn next_pair<'a>(
+    a: &'a [Dyadic],
+    b: &'a [Dyadic],
+    i: &mut usize,
+    j: &mut usize,
+) -> Option<(&'a Dyadic, &'a Dyadic)> {
+    let from_a = match (a.get(*i), b.get(*j)) {
+        (Some(x), Some(y)) => x <= y,
+        (Some(_), None) => true,
+        (None, Some(_)) => false,
+        (None, None) => return None,
+    };
+    if from_a {
+        let pair = (&a[*i], &a[*i + 1]);
+        *i += 2;
+        Some(pair)
+    } else {
+        let pair = (&b[*j], &b[*j + 1]);
+        *j += 2;
+        Some(pair)
     }
 }
 
-/// Linear merge of two canonical interval lists into their union; `out` is
+/// Linear merge of two canonical endpoint arrays into their union; `out` is
 /// canonical by construction.
 ///
-/// The open run is tracked by *reference* into the operand lists and endpoints
-/// are cloned only when an output interval is emitted, so a merge that
+/// The open run is tracked by *reference* into the operand buffers and
+/// endpoints are cloned only when an output pair is emitted, so a merge that
 /// collapses many touching intervals performs O(output) clones, not O(input).
-fn union_into<'a>(mut a: &'a [Interval], mut b: &'a [Interval], out: &mut Vec<Interval>) {
+fn union_into(a: &[Dyadic], b: &[Dyadic], out: &mut Vec<Dyadic>) {
     debug_assert!(out.is_empty());
-    let mut next = || -> Option<&'a Interval> {
-        match (a.split_first(), b.split_first()) {
-            (Some((x, rest)), Some((y, _))) if x.lo() <= y.lo() => {
-                a = rest;
-                Some(x)
-            }
-            (_, Some((y, rest))) => {
-                b = rest;
-                Some(y)
-            }
-            (Some((x, rest)), None) => {
-                a = rest;
-                Some(x)
-            }
-            (None, None) => None,
-        }
-    };
-    let Some(first) = next() else {
+    let (mut i, mut j) = (0usize, 0usize);
+    let Some((first_lo, first_hi)) = next_pair(a, b, &mut i, &mut j) else {
         return;
     };
-    let (mut lo, mut hi) = (first.lo(), first.hi());
-    while let Some(iv) = next() {
-        if iv.lo() <= hi {
+    let (mut lo, mut hi) = (first_lo, first_hi);
+    while let Some((l, h)) = next_pair(a, b, &mut i, &mut j) {
+        if l <= hi {
             // Overlapping or adjacent: extend the open run.
-            if iv.hi() > hi {
-                hi = iv.hi();
+            if h > hi {
+                hi = h;
             }
         } else {
-            out.push(Interval::new_unchecked(lo.clone(), hi.clone()));
-            lo = iv.lo();
-            hi = iv.hi();
+            out.push(lo.clone());
+            out.push(hi.clone());
+            lo = l;
+            hi = h;
         }
     }
-    out.push(Interval::new_unchecked(lo.clone(), hi.clone()));
+    out.push(lo.clone());
+    out.push(hi.clone());
 }
 
-/// Linear merge of two canonical interval lists into their intersection.
+/// Linear merge of two canonical endpoint arrays into their intersection.
 ///
 /// Output pieces inherit sortedness, and consecutive pieces are separated by a
 /// strict gap (whichever operand interval ended starts its successor strictly
 /// beyond the piece's end, by non-adjacency), so `out` is canonical.
-fn intersection_into(a: &[Interval], b: &[Interval], out: &mut Vec<Interval>) {
+fn intersection_into(a: &[Dyadic], b: &[Dyadic], out: &mut Vec<Dyadic>) {
     debug_assert!(out.is_empty());
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
-        let x = &a[i];
-        let y = &b[j];
-        let inter = x.intersection(y);
-        if !inter.is_empty() {
-            out.push(inter);
+        let (xl, xh) = (&a[i], &a[i + 1]);
+        let (yl, yh) = (&b[j], &b[j + 1]);
+        let lo = if xl >= yl { xl } else { yl };
+        let hi = if xh <= yh { xh } else { yh };
+        if lo < hi {
+            out.push(lo.clone());
+            out.push(hi.clone());
         }
-        if x.hi() <= y.hi() {
-            i += 1;
+        if xh <= yh {
+            i += 2;
         } else {
-            j += 1;
+            j += 2;
         }
     }
 }
 
-/// Linear sweep computing `a \ b` for canonical interval lists; `out` is
+/// Linear sweep computing `a \ b` for canonical endpoint arrays; `out` is
 /// canonical by construction (pieces of one `a`-interval are strictly
 /// separated by carved `b`-mass, and distinct `a`-intervals by `a`'s own gaps).
-fn difference_into(a: &[Interval], b: &[Interval], out: &mut Vec<Interval>) {
+fn difference_into(a: &[Dyadic], b: &[Dyadic], out: &mut Vec<Dyadic>) {
     debug_assert!(out.is_empty());
     let mut j = 0usize;
-    for x in a {
+    let mut i = 0usize;
+    while i < a.len() {
+        let (xl, xh) = (&a[i], &a[i + 1]);
         // b-intervals entirely before x cannot affect x or any later a-interval.
-        while j < b.len() && b[j].hi() <= x.lo() {
-            j += 1;
+        while j < b.len() && &b[j + 1] <= xl {
+            j += 2;
         }
         // The sweep cursor is a reference into the operands; endpoints are
         // cloned only when a surviving piece is emitted.
-        let mut cursor: &Dyadic = x.lo();
+        let mut cursor: &Dyadic = xl;
         let mut k = j;
         loop {
-            if k >= b.len() || b[k].lo() >= x.hi() {
-                if cursor < x.hi() {
-                    out.push(Interval::new_unchecked(cursor.clone(), x.hi().clone()));
+            if k >= b.len() || &b[k] >= xh {
+                if cursor < xh {
+                    out.push(cursor.clone());
+                    out.push(xh.clone());
                 }
                 break;
             }
-            let y = &b[k];
-            if y.lo() > cursor {
-                out.push(Interval::new_unchecked(cursor.clone(), y.lo().clone()));
+            let (yl, yh) = (&b[k], &b[k + 1]);
+            if yl > cursor {
+                out.push(cursor.clone());
+                out.push(yl.clone());
             }
-            if y.hi() < x.hi() {
-                cursor = y.hi();
+            if yh < xh {
+                cursor = yh;
                 // y is strictly inside x, hence before every later a-interval.
-                k += 1;
+                k += 2;
                 j = k;
             } else {
                 // y covers the tail of x (nothing of x survives past it) and may
@@ -178,27 +222,59 @@ fn difference_into(a: &[Interval], b: &[Interval], out: &mut Vec<Interval>) {
                 break;
             }
         }
+        i += 2;
     }
 }
 
-impl IntervalUnion {
-    /// The empty union (the paper's `[0, 0)` state component).
-    pub fn empty() -> Self {
-        IntervalUnion {
-            intervals: Vec::new(),
+/// Borrowing iterator over the maximal disjoint intervals of an
+/// [`IntervalUnion`], yielding each pair of endpoints as an owned
+/// [`Interval`] (two endpoint clones per item — allocation-free while the
+/// endpoints stay on the [`Dyadic`] inline fast path).
+#[derive(Debug, Clone)]
+pub struct Intervals<'a> {
+    rest: &'a [Dyadic],
+}
+
+impl Iterator for Intervals<'_> {
+    type Item = Interval;
+
+    fn next(&mut self) -> Option<Interval> {
+        if self.rest.len() < 2 {
+            return None;
         }
+        let iv = Interval::new_unchecked(self.rest[0].clone(), self.rest[1].clone());
+        self.rest = &self.rest[2..];
+        Some(iv)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.rest.len() / 2;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Intervals<'_> {}
+
+impl IntervalUnion {
+    /// The empty union (the paper's `[0, 0)` state component). Allocation-free.
+    pub fn empty() -> Self {
+        IntervalUnion { endpoints: None }
     }
 
     /// The full unit interval `[0, 1)`.
     pub fn unit() -> Self {
-        IntervalUnion {
-            intervals: vec![Interval::unit()],
-        }
+        IntervalUnion::from_endpoints(vec![Dyadic::zero(), Dyadic::one()])
     }
 
-    /// Wraps a list that is already canonical (debug-asserted).
-    fn from_canonical(intervals: Vec<Interval>) -> Self {
-        let out = IntervalUnion { intervals };
+    /// Wraps an endpoint buffer that is already canonical (debug-asserted).
+    fn from_endpoints(endpoints: Vec<Dyadic>) -> Self {
+        let out = IntervalUnion {
+            endpoints: if endpoints.is_empty() {
+                None
+            } else {
+                Some(Arc::new(endpoints))
+            },
+        };
         out.debug_assert_canonical();
         out
     }
@@ -207,15 +283,54 @@ impl IntervalUnion {
     fn debug_assert_canonical(&self) {
         #[cfg(debug_assertions)]
         {
-            for iv in &self.intervals {
-                debug_assert!(!iv.is_empty(), "canonical list holds an empty interval");
-            }
-            for w in self.intervals.windows(2) {
+            let e = self.endpoints();
+            debug_assert!(e.len().is_multiple_of(2), "endpoint array has odd length");
+            debug_assert!(
+                self.endpoints.as_ref().is_none_or(|v| !v.is_empty()),
+                "empty set must be the absent buffer"
+            );
+            for w in e.windows(2) {
                 debug_assert!(
-                    w[0].hi() < w[1].lo(),
-                    "canonical list is not sorted/disjoint/non-adjacent"
+                    w[0] < w[1],
+                    "endpoint array is not strictly increasing (empty, unsorted, \
+                     overlapping or adjacent intervals)"
                 );
             }
+        }
+    }
+
+    /// The flattened canonical endpoint array `[lo₀, hi₀, lo₁, hi₁, …]`:
+    /// even length, strictly increasing (see the type-level invariants).
+    #[inline]
+    pub fn endpoints(&self) -> &[Dyadic] {
+        self.endpoints.as_ref().map_or(&[], |v| v.as_slice())
+    }
+
+    /// Returns `true` if `self` and `other` share one endpoint buffer — i.e.
+    /// one is an O(1) copy-on-write clone of the other (or both are empty)
+    /// and no writer has detached them since. Equal values in separate
+    /// buffers return `false`; this observes the *sharing*, not the value.
+    #[inline]
+    pub fn shares_storage_with(&self, other: &IntervalUnion) -> bool {
+        match (&self.endpoints, &other.endpoints) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+
+    /// A clone that copies the endpoint buffer instead of sharing it.
+    ///
+    /// Protocol code never needs this — sharing is semantically invisible —
+    /// but the retained reference protocols use it to model the pre-CoW
+    /// deep-clone-per-out-port cost, and tests use it to pin the aliasing
+    /// contract.
+    pub fn deep_clone(&self) -> Self {
+        IntervalUnion {
+            endpoints: self
+                .endpoints
+                .as_ref()
+                .map(|v| Arc::new(Vec::clone(v.as_ref()))),
         }
     }
 
@@ -228,68 +343,95 @@ impl IntervalUnion {
     pub fn from_intervals<I: IntoIterator<Item = Interval>>(intervals: I) -> Self {
         let mut v: Vec<Interval> = intervals.into_iter().filter(|i| !i.is_empty()).collect();
         v.sort_by(|a, b| a.lo().cmp(b.lo()).then_with(|| a.hi().cmp(b.hi())));
-        let mut out: Vec<Interval> = Vec::with_capacity(v.len());
+        let mut out: Vec<Dyadic> = Vec::with_capacity(2 * v.len());
         for iv in v {
-            push_merged(&mut out, &iv);
+            let (lo, hi) = iv.into_parts();
+            match out.last_mut() {
+                // Overlapping or adjacent with the open pair: extend.
+                Some(last_hi) if lo <= *last_hi => {
+                    if hi > *last_hi {
+                        *last_hi = hi;
+                    }
+                }
+                _ => {
+                    out.push(lo);
+                    out.push(hi);
+                }
+            }
         }
-        IntervalUnion { intervals: out }
+        IntervalUnion::from_endpoints(out)
     }
 
     /// Returns `true` if the union contains no points.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.intervals.is_empty()
+        self.endpoints.is_none()
     }
 
     /// Returns `true` if the union is exactly `[0, 1)` — the terminal's acceptance
     /// condition `α ∪ β = [0, 1)`.
     pub fn is_unit(&self) -> bool {
-        self.intervals.len() == 1
-            && self.intervals[0].lo().is_zero()
-            && self.intervals[0].hi().is_one()
-    }
-
-    /// The disjoint intervals making up the union, in increasing order.
-    pub fn intervals(&self) -> &[Interval] {
-        &self.intervals
+        let e = self.endpoints();
+        e.len() == 2 && e[0].is_zero() && e[1].is_one()
     }
 
     /// Number of maximal disjoint intervals.
+    #[inline]
     pub fn interval_count(&self) -> usize {
-        self.intervals.len()
+        self.endpoints().len() / 2
     }
 
     /// Iterates over the maximal disjoint intervals in increasing order.
-    pub fn iter(&self) -> std::slice::Iter<'_, Interval> {
-        self.intervals.iter()
+    pub fn iter(&self) -> Intervals<'_> {
+        Intervals {
+            rest: self.endpoints(),
+        }
+    }
+
+    /// The first (smallest) maximal interval, if any.
+    pub fn first_interval(&self) -> Option<Interval> {
+        let e = self.endpoints();
+        (!e.is_empty()).then(|| Interval::new_unchecked(e[0].clone(), e[1].clone()))
     }
 
     /// Total measure of the union.
     pub fn total_length(&self) -> Dyadic {
         let mut total = Dyadic::zero();
-        for iv in &self.intervals {
-            total += &iv.length();
+        let e = self.endpoints();
+        let mut i = 0;
+        while i < e.len() {
+            let len = e[i + 1]
+                .checked_sub(&e[i])
+                .expect("endpoint invariant lo < hi");
+            total += &len;
+            i += 2;
         }
         total
     }
 
     /// Returns `true` if the point lies in the union.
     pub fn contains_point(&self, point: &Dyadic) -> bool {
-        // Binary search over the sorted lower endpoints.
-        let idx = self.intervals.partition_point(|iv| iv.lo() <= point);
-        idx > 0 && point < self.intervals[idx - 1].hi()
+        // Binary search over the flat endpoint array: the number of endpoints
+        // `<= point` is odd exactly when `point` falls inside a pair (it has
+        // passed a `lo` but not the matching `hi`).
+        self.endpoints().partition_point(|e| e <= point) % 2 == 1
     }
 
     /// Set union — a linear merge of the two canonical operands.
+    ///
+    /// The trivial cases (either operand empty, or both handles sharing one
+    /// buffer) return an O(1) shared handle instead of merging.
     pub fn union(&self, other: &IntervalUnion) -> IntervalUnion {
-        if self.is_empty() {
+        if self.is_empty() || self.shares_storage_with(other) {
             return other.clone();
         }
         if other.is_empty() {
             return self.clone();
         }
-        let mut out = Vec::new();
-        union_into(&self.intervals, &other.intervals, &mut out);
-        IntervalUnion::from_canonical(out)
+        let (a, b) = (self.endpoints(), other.endpoints());
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        union_into(a, b, &mut out);
+        IntervalUnion::from_endpoints(out)
     }
 
     /// In-place set union; returns `true` if the value changed.
@@ -298,7 +440,9 @@ impl IntervalUnion {
     /// state component changed (Section 4), so change detection is part of the API.
     ///
     /// Merges through a reusable thread-local scratch buffer; steady-state calls
-    /// do not allocate. Use [`IntervalUnion::union_in_place_with`] to thread an
+    /// on unshared values do not allocate, and a call on a *shared* value
+    /// detaches this handle only (copy-on-write — every sibling handle keeps
+    /// the old value). Use [`IntervalUnion::union_in_place_with`] to thread an
     /// explicit scratch buffer instead.
     pub fn union_in_place(&mut self, other: &IntervalUnion) -> bool {
         SCRATCH.with(|scratch| self.union_in_place_with(other, &mut scratch.borrow_mut()))
@@ -309,17 +453,19 @@ impl IntervalUnion {
     pub fn union_in_place_with(
         &mut self,
         other: &IntervalUnion,
-        scratch: &mut Vec<Interval>,
+        scratch: &mut Vec<Dyadic>,
     ) -> bool {
-        if other.is_empty() {
+        if other.is_empty() || self.shares_storage_with(other) {
             return false;
         }
         if self.is_empty() {
-            self.intervals.extend(other.intervals.iter().cloned());
+            // ∅ ∪ x = x: share x's buffer instead of copying it. This is how an
+            // unchanged label floods onward as one buffer with many handles.
+            self.endpoints = other.endpoints.clone();
             return true;
         }
         scratch.clear();
-        union_into(&self.intervals, &other.intervals, scratch);
+        union_into(self.endpoints(), other.endpoints(), scratch);
         self.adopt_if_changed(scratch)
     }
 
@@ -328,14 +474,18 @@ impl IntervalUnion {
         if self.is_empty() || other.is_empty() {
             return IntervalUnion::empty();
         }
+        if self.shares_storage_with(other) {
+            return self.clone();
+        }
         let mut out = Vec::new();
-        intersection_into(&self.intervals, &other.intervals, &mut out);
-        IntervalUnion::from_canonical(out)
+        intersection_into(self.endpoints(), other.endpoints(), &mut out);
+        IntervalUnion::from_endpoints(out)
     }
 
     /// In-place set intersection; returns `true` if the value changed.
     ///
-    /// Merges through a reusable thread-local scratch buffer; see
+    /// Merges through a reusable thread-local scratch buffer (copy-on-write on
+    /// shared values, like [`IntervalUnion::union_in_place`]); see
     /// [`IntervalUnion::intersect_assign_with`] for the explicit-scratch variant.
     pub fn intersect_assign(&mut self, other: &IntervalUnion) -> bool {
         SCRATCH.with(|scratch| self.intersect_assign_with(other, &mut scratch.borrow_mut()))
@@ -346,17 +496,17 @@ impl IntervalUnion {
     pub fn intersect_assign_with(
         &mut self,
         other: &IntervalUnion,
-        scratch: &mut Vec<Interval>,
+        scratch: &mut Vec<Dyadic>,
     ) -> bool {
-        if self.is_empty() {
+        if self.is_empty() || self.shares_storage_with(other) {
             return false;
         }
         if other.is_empty() {
-            self.intervals.clear();
+            self.endpoints = None;
             return true;
         }
         scratch.clear();
-        intersection_into(&self.intervals, &other.intervals, scratch);
+        intersection_into(self.endpoints(), other.endpoints(), scratch);
         self.adopt_if_changed(scratch)
     }
 
@@ -366,15 +516,19 @@ impl IntervalUnion {
         if self.is_empty() || other.is_empty() {
             return self.clone();
         }
+        if self.shares_storage_with(other) {
+            return IntervalUnion::empty();
+        }
         let mut out = Vec::new();
-        difference_into(&self.intervals, &other.intervals, &mut out);
-        IntervalUnion::from_canonical(out)
+        difference_into(self.endpoints(), other.endpoints(), &mut out);
+        IntervalUnion::from_endpoints(out)
     }
 
     /// In-place set difference `self \= other`; returns `true` if the value
     /// changed.
     ///
-    /// Merges through a reusable thread-local scratch buffer; see
+    /// Merges through a reusable thread-local scratch buffer (copy-on-write on
+    /// shared values, like [`IntervalUnion::union_in_place`]); see
     /// [`IntervalUnion::subtract_assign_with`] for the explicit-scratch variant.
     pub fn subtract_assign(&mut self, other: &IntervalUnion) -> bool {
         SCRATCH.with(|scratch| self.subtract_assign_with(other, &mut scratch.borrow_mut()))
@@ -385,22 +539,43 @@ impl IntervalUnion {
     pub fn subtract_assign_with(
         &mut self,
         other: &IntervalUnion,
-        scratch: &mut Vec<Interval>,
+        scratch: &mut Vec<Dyadic>,
     ) -> bool {
         if self.is_empty() || other.is_empty() {
             return false;
         }
+        if self.shares_storage_with(other) {
+            // x \ x = ∅, and x is non-empty here.
+            self.endpoints = None;
+            return true;
+        }
         scratch.clear();
-        difference_into(&self.intervals, &other.intervals, scratch);
+        difference_into(self.endpoints(), other.endpoints(), scratch);
         self.adopt_if_changed(scratch)
     }
 
-    /// Swaps in the merged list when it differs from the current value; always
-    /// leaves `scratch` cleared with its capacity intact.
-    fn adopt_if_changed(&mut self, scratch: &mut Vec<Interval>) -> bool {
-        let changed = *scratch != self.intervals;
+    /// Swaps in the merged endpoint buffer when it differs from the current
+    /// value; always leaves `scratch` cleared (capacity retained where
+    /// possible).
+    ///
+    /// This is where copy-on-write happens: a uniquely owned buffer is reused
+    /// in place (allocation-free steady state), a shared one is left to its
+    /// sibling handles and replaced by a fresh buffer.
+    fn adopt_if_changed(&mut self, scratch: &mut Vec<Dyadic>) -> bool {
+        let changed = self.endpoints() != scratch.as_slice();
         if changed {
-            std::mem::swap(&mut self.intervals, scratch);
+            if scratch.is_empty() {
+                self.endpoints = None;
+            } else {
+                match self.endpoints.as_mut().and_then(Arc::get_mut) {
+                    // Sole owner: recycle the existing allocation.
+                    Some(vec) => std::mem::swap(vec, scratch),
+                    // Shared (or empty): detach into a fresh buffer. The
+                    // scratch buffer is donated to the new value, so this one
+                    // path gives up the scratch capacity.
+                    None => self.endpoints = Some(Arc::new(std::mem::take(scratch))),
+                }
+            }
             self.debug_assert_canonical();
         }
         scratch.clear();
@@ -411,15 +586,21 @@ impl IntervalUnion {
     /// canonical (non-adjacent), each interval of `self` must lie inside a
     /// *single* maximal interval of `other`.
     pub fn is_subset_of(&self, other: &IntervalUnion) -> bool {
+        if self.shares_storage_with(other) {
+            return true;
+        }
+        let (a, b) = (self.endpoints(), other.endpoints());
         let mut j = 0usize;
-        for iv in &self.intervals {
-            while j < other.intervals.len() && other.intervals[j].hi() < iv.hi() {
-                j += 1;
+        let mut i = 0usize;
+        while i < a.len() {
+            let (lo, hi) = (&a[i], &a[i + 1]);
+            while j < b.len() && &b[j + 1] < hi {
+                j += 2;
             }
-            match other.intervals.get(j) {
-                Some(cover) if cover.lo() <= iv.lo() => {}
-                _ => return false,
+            if j >= b.len() || &b[j] > lo {
+                return false;
             }
+            i += 2;
         }
         true
     }
@@ -427,18 +608,21 @@ impl IntervalUnion {
     /// Returns `true` if the two unions share at least one point.
     /// Allocation-free two-pointer sweep with early exit.
     pub fn intersects(&self, other: &IntervalUnion) -> bool {
-        let (a, b) = (&self.intervals, &other.intervals);
+        if self.shares_storage_with(other) {
+            return !self.is_empty();
+        }
+        let (a, b) = (self.endpoints(), other.endpoints());
         let (mut i, mut j) = (0usize, 0usize);
         while i < a.len() && j < b.len() {
-            let x = &a[i];
-            let y = &b[j];
-            if x.lo() < y.hi() && y.lo() < x.hi() {
+            let (xl, xh) = (&a[i], &a[i + 1]);
+            let (yl, yh) = (&b[j], &b[j + 1]);
+            if xl < yh && yl < xh {
                 return true;
             }
-            if x.hi() <= y.hi() {
-                i += 1;
+            if xh <= yh {
+                i += 2;
             } else {
-                j += 1;
+                j += 2;
             }
         }
         false
@@ -447,15 +631,44 @@ impl IntervalUnion {
     /// Bits needed to transmit the union: a gamma-coded interval count followed by
     /// each interval's self-delimited endpoints.
     ///
-    /// Theorem 4.3 bounds this by `O(|E| · |V| log d_out)` for any union transmitted
-    /// by the general-graph protocol.
+    /// This charges the **encoded intervals**, independent of buffer sharing:
+    /// a label flooded as one shared buffer with many handles still pays full
+    /// price on every edge, so Theorem 4.3's `O(|E| · |V| log d_out)` bound is
+    /// accounted exactly as before.
     pub fn wire_bits(&self) -> u64 {
-        bits::elias_gamma_bits(self.intervals.len() as u64)
-            + self
-                .intervals
-                .iter()
-                .map(Interval::endpoint_bits)
+        let e = self.endpoints();
+        bits::elias_gamma_bits((e.len() / 2) as u64)
+            + e.iter()
+                .map(|d| bits::length_prefixed_bits(d.positional_bits()))
                 .sum::<u64>()
+    }
+}
+
+impl PartialEq for IntervalUnion {
+    fn eq(&self, other: &Self) -> bool {
+        self.shares_storage_with(other) || self.endpoints() == other.endpoints()
+    }
+}
+
+impl Eq for IntervalUnion {}
+
+impl PartialOrd for IntervalUnion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IntervalUnion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Lexicographic on the flat endpoint arrays — identical to the former
+        // lexicographic order on interval lists, because pairs are fixed-width.
+        self.endpoints().cmp(other.endpoints())
+    }
+}
+
+impl std::hash::Hash for IntervalUnion {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.endpoints().hash(state);
     }
 }
 
@@ -464,9 +677,8 @@ impl From<Interval> for IntervalUnion {
         if interval.is_empty() {
             IntervalUnion::empty()
         } else {
-            IntervalUnion {
-                intervals: vec![interval],
-            }
+            let (lo, hi) = interval.into_parts();
+            IntervalUnion::from_endpoints(vec![lo, hi])
         }
     }
 }
@@ -485,19 +697,19 @@ impl Extend<Interval> for IntervalUnion {
 }
 
 impl<'a> IntoIterator for &'a IntervalUnion {
-    type Item = &'a Interval;
-    type IntoIter = std::slice::Iter<'a, Interval>;
+    type Item = Interval;
+    type IntoIter = Intervals<'a>;
     fn into_iter(self) -> Self::IntoIter {
-        self.intervals.iter()
+        self.iter()
     }
 }
 
 impl fmt::Display for IntervalUnion {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.intervals.is_empty() {
+        if self.is_empty() {
             return write!(f, "∅");
         }
-        let parts: Vec<String> = self.intervals.iter().map(|i| i.to_string()).collect();
+        let parts: Vec<String> = self.iter().map(|i| i.to_string()).collect();
         write!(f, "{}", parts.join(" ∪ "))
     }
 }
@@ -534,8 +746,9 @@ pub fn canonical_partition(
     if alpha.is_empty() {
         return Ok(vec![IntervalUnion::empty(); parts]);
     }
-    let first = &alpha.intervals()[0];
-    let rest = IntervalUnion::from_canonical(alpha.intervals()[1..].to_vec());
+    let e = alpha.endpoints();
+    let first = Interval::new_unchecked(e[0].clone(), e[1].clone());
+    let rest = IntervalUnion::from_endpoints(e[2..].to_vec());
     let mut out: Vec<IntervalUnion> = first
         .split(parts - 1)?
         .into_iter()
@@ -571,7 +784,9 @@ pub fn canonical_partition_nonempty(
         return canonical_partition(alpha, parts);
     }
     // A single maximal interval: split it into `parts` non-empty pieces.
-    let out: Vec<IntervalUnion> = alpha.intervals()[0]
+    let out: Vec<IntervalUnion> = alpha
+        .first_interval()
+        .expect("non-empty union has a first interval")
         .split(parts)?
         .into_iter()
         .map(IntervalUnion::from)
@@ -598,6 +813,7 @@ mod tests {
         // [0,1/4) ∪ [1/4,1/2) merge; [5/8,6/8) ∪ [6/8,7/8) merge.
         assert_eq!(u.interval_count(), 2);
         assert_eq!(u, union_of(&[(0, 4, 3), (5, 7, 3)]));
+        assert_eq!(u.endpoints().len(), 4);
     }
 
     #[test]
@@ -607,6 +823,7 @@ mod tests {
         assert_eq!(u, IntervalUnion::empty());
         assert_eq!(u, IntervalUnion::default());
         assert!(IntervalUnion::from(Interval::empty()).is_empty());
+        assert!(u.endpoints().is_empty());
     }
 
     #[test]
@@ -757,6 +974,59 @@ mod tests {
     }
 
     #[test]
+    fn clone_shares_storage_and_writers_detach() {
+        let a = union_of(&[(0, 2, 3), (4, 6, 3)]);
+        let b = a.clone();
+        assert!(b.shares_storage_with(&a));
+        assert_eq!(a, b);
+
+        // A no-op write does not detach.
+        let mut c = a.clone();
+        assert!(!c.union_in_place(&union_of(&[(0, 1, 3)])));
+        assert!(c.shares_storage_with(&a));
+
+        // A real write detaches this handle and leaves the siblings untouched.
+        let mut d = a.clone();
+        assert!(d.union_in_place(&union_of(&[(7, 8, 3)])));
+        assert!(!d.shares_storage_with(&a));
+        assert_eq!(a, b, "sibling changed by a CoW write");
+        assert_eq!(a, union_of(&[(0, 2, 3), (4, 6, 3)]));
+        assert_eq!(d, union_of(&[(0, 2, 3), (4, 6, 3), (7, 8, 3)]));
+    }
+
+    #[test]
+    fn union_into_empty_self_shares_the_operand_buffer() {
+        let label = union_of(&[(1, 3, 3)]);
+        let mut acc = IntervalUnion::empty();
+        assert!(acc.union_in_place(&label));
+        assert!(acc.shares_storage_with(&label), "∅ ∪ x must alias x");
+        // Equal values in distinct buffers do not count as shared.
+        assert!(!label.deep_clone().shares_storage_with(&label));
+        assert_eq!(label.deep_clone(), label);
+        // Empty handles trivially share (there is no buffer to differ on).
+        assert!(IntervalUnion::empty().shares_storage_with(&IntervalUnion::empty()));
+        assert!(IntervalUnion::empty()
+            .deep_clone()
+            .shares_storage_with(&IntervalUnion::empty()));
+    }
+
+    #[test]
+    fn shared_operand_fast_paths_are_exact() {
+        let a = union_of(&[(0, 2, 3), (4, 6, 3)]);
+        let b = a.clone();
+        assert_eq!(a.union(&b), a);
+        assert_eq!(a.intersection(&b), a);
+        assert!(a.difference(&b).is_empty());
+        assert!(a.is_subset_of(&b));
+        assert!(a.intersects(&b));
+        let mut c = a.clone();
+        assert!(!c.union_in_place(&b));
+        assert!(!c.intersect_assign(&b));
+        assert!(c.subtract_assign(&b));
+        assert!(c.is_empty());
+    }
+
+    #[test]
     fn canonical_partition_is_a_partition() {
         let alpha = union_of(&[(0, 3, 3), (5, 7, 3)]);
         for parts in 1..=8usize {
@@ -842,6 +1112,25 @@ mod tests {
         let fine = union_of(&[(0, 1, 4), (2, 3, 4), (4, 5, 4), (6, 7, 4)]);
         assert!(fine.wire_bits() > coarse.wire_bits());
         assert!(IntervalUnion::empty().wire_bits() >= 1);
+        // Sharing is invisible to the wire accounting.
+        assert_eq!(fine.clone().wire_bits(), fine.wire_bits());
+        assert_eq!(fine.deep_clone().wire_bits(), fine.wire_bits());
+        // Identical to the per-interval encoding the intervals would charge.
+        let per_interval: u64 = fine.iter().map(|iv| iv.endpoint_bits()).sum();
+        assert_eq!(fine.wire_bits(), bits::elias_gamma_bits(4) + per_interval);
+    }
+
+    #[test]
+    fn iteration_and_first_interval() {
+        let u = union_of(&[(0, 1, 3), (2, 3, 3), (5, 6, 3)]);
+        let listed: Vec<Interval> = u.iter().collect();
+        assert_eq!(listed, vec![iv(0, 1, 3), iv(2, 3, 3), iv(5, 6, 3)]);
+        assert_eq!(u.iter().len(), 3);
+        assert_eq!(u.first_interval(), Some(iv(0, 1, 3)));
+        assert_eq!(IntervalUnion::empty().first_interval(), None);
+        // Borrowing IntoIterator matches iter().
+        let via_into: Vec<Interval> = (&u).into_iter().collect();
+        assert_eq!(via_into, listed);
     }
 
     #[test]
@@ -852,6 +1141,23 @@ mod tests {
         let mut partial = IntervalUnion::from(parts[0].clone());
         partial.extend(parts[1..].iter().cloned());
         assert!(partial.is_unit());
+    }
+
+    #[test]
+    fn ord_and_hash_follow_the_endpoint_array() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = union_of(&[(0, 1, 3)]);
+        let b = union_of(&[(0, 1, 3), (2, 3, 3)]);
+        assert!(a < b, "prefix orders before its extension");
+        assert!(IntervalUnion::empty() < a);
+        let hash = |u: &IntervalUnion| {
+            let mut h = DefaultHasher::new();
+            u.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&a.deep_clone()));
+        assert_eq!(hash(&a), hash(&a.clone()));
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   that the paper's power-of-two rule improves upon (the E1 ablation).
 //! * [`Interval`] — half-open intervals `[a, b)` with dyadic endpoints.
 //! * [`IntervalUnion`] — finite unions of disjoint intervals, the commodity of the
-//!   general-graph broadcasting and labelling protocols (Definition 4.1).
+//!   general-graph broadcasting and labelling protocols (Definition 4.1), stored
+//!   as one flattened endpoint array behind a copy-on-write handle: cloning a
+//!   value — the protocols' per-out-port hot path — is an O(1) refcount bump,
+//!   and the two-pointer set merges walk dense endpoint buffers.
 //! * [`partition`] — the paper's splitting rules: the power-of-two scalar rule of
 //!   Section 3.1 and the canonical interval partition of Section 4.
 //! * [`bits`] — self-delimiting integer codes used to account for wire sizes.

@@ -9,7 +9,10 @@
 //! * the dyadic operations always widen both operands to [`BigUint`] mantissas
 //!   aligned to a common exponent (the pre-fast-path semantics), and
 //! * the set operations funnel through [`IntervalUnion::from_intervals`] —
-//!   collect, sort, merge — instead of exploiting the operands' canonical form.
+//!   collect, sort, merge — instead of exploiting the operands' canonical form,
+//!   and their results never alias an operand's endpoint buffer
+//!   ([`IntervalUnion::deep_clone`] on the trivial cases): the pre-copy-on-write
+//!   owned-value semantics.
 //!
 //! They exist purely for **differential testing**, mirroring the simulation
 //! engine's `anet_sim::reference::run_full_scan` pattern: the property suite in
@@ -67,18 +70,19 @@ pub fn dyadic_mul(a: &Dyadic, b: &Dyadic) -> Dyadic {
 /// [`IntervalUnion::from_intervals`].
 pub fn union(a: &IntervalUnion, b: &IntervalUnion) -> IntervalUnion {
     if a.is_empty() {
-        return b.clone();
+        return b.deep_clone();
     }
     if b.is_empty() {
-        return a.clone();
+        return a.deep_clone();
     }
-    IntervalUnion::from_intervals(a.iter().chain(b.iter()).cloned())
+    IntervalUnion::from_intervals(a.iter().chain(b.iter()))
 }
 
-/// Reference intersection: pairwise sweep, re-canonicalised through
-/// [`IntervalUnion::from_intervals`].
+/// Reference intersection: pairwise sweep over owned interval lists,
+/// re-canonicalised through [`IntervalUnion::from_intervals`].
 pub fn intersection(a: &IntervalUnion, b: &IntervalUnion) -> IntervalUnion {
-    let (av, bv) = (a.intervals(), b.intervals());
+    let av: Vec<Interval> = a.iter().collect();
+    let bv: Vec<Interval> = b.iter().collect();
     let mut out = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
     while i < av.len() && j < bv.len() {
@@ -102,12 +106,13 @@ pub fn intersection(a: &IntervalUnion, b: &IntervalUnion) -> IntervalUnion {
 /// [`IntervalUnion::from_intervals`].
 pub fn difference(a: &IntervalUnion, b: &IntervalUnion) -> IntervalUnion {
     if a.is_empty() || b.is_empty() {
-        return a.clone();
+        return a.deep_clone();
     }
+    let bv: Vec<Interval> = b.iter().collect();
     let mut out: Vec<Interval> = Vec::new();
-    for x in a.intervals() {
+    for x in a.iter() {
         let mut cursor = x.lo().clone();
-        for y in b.intervals() {
+        for y in &bv {
             if y.hi() <= &cursor {
                 continue;
             }

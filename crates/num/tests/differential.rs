@@ -63,20 +63,38 @@ fn adjacent_union() -> impl Strategy<Value = IntervalUnion> {
     })
 }
 
-/// Asserts that a union satisfies the canonical-form contract the linear
-/// merges rely on: sorted, non-empty, pairwise disjoint, non-adjacent.
+/// Asserts that a union satisfies the endpoint-array canonical-form contract
+/// the linear merges rely on: even length, strictly increasing (so intervals
+/// are non-empty, sorted, pairwise disjoint and non-adjacent), empty ⟺ absent.
 fn assert_canonical(u: &IntervalUnion) -> Result<(), proptest::test_runner::TestCaseError> {
-    for iv in u.intervals() {
-        prop_assert!(!iv.is_empty(), "canonical list holds an empty interval");
-    }
-    for w in u.intervals().windows(2) {
+    let e = u.endpoints();
+    prop_assert_eq!(e.len() % 2, 0, "endpoint array has odd length");
+    prop_assert_eq!(e.is_empty(), u.is_empty());
+    prop_assert_eq!(e.len() / 2, u.interval_count());
+    for w in e.windows(2) {
         prop_assert!(
-            w[0].hi() < w[1].lo(),
-            "canonical list not sorted/disjoint/non-adjacent: {:?}",
+            w[0] < w[1],
+            "endpoint array not strictly increasing: {:?}",
             u
         );
     }
     Ok(())
+}
+
+/// Monotone widening that pushes every endpoint mantissa past the 64-bit
+/// inline limit: multiplication by the heap constant `1 + 2^-70` preserves
+/// strict order (and zero), so a widened union is canonical iff the original
+/// was, but every non-zero endpoint takes the heap `BigUint` path.
+fn widen_to_heap(u: &IntervalUnion) -> IntervalUnion {
+    let factor = Dyadic::from_parts(&BigUint::pow2(70) + &BigUint::one(), 70);
+    IntervalUnion::from_intervals(u.iter().map(|iv| {
+        Interval::new(iv.lo() * &factor, iv.hi() * &factor).expect("widening is monotone")
+    }))
+}
+
+/// Strategy: a soup union with every endpoint on the heap mantissa path.
+fn heap_union() -> impl Strategy<Value = IntervalUnion> {
+    soup_union().prop_map(|u| widen_to_heap(&u))
 }
 
 proptest! {
@@ -198,5 +216,75 @@ proptest! {
         prop_assert!(a.is_subset_of(&u));
         prop_assert!(b.is_subset_of(&u));
         prop_assert!(!a.difference(&b).intersects(&b));
+    }
+
+    // ---- Inline→heap Dyadic boundary, under the endpoint-array merges -------
+
+    #[test]
+    fn set_ops_match_reference_on_heap_endpoints(a in heap_union(), b in heap_union()) {
+        for iv in a.iter().chain(b.iter()) {
+            prop_assert!(iv.lo().is_zero() || !iv.lo().is_inline());
+            prop_assert!(!iv.hi().is_inline(), "widened hi endpoint stayed inline");
+        }
+        let u = a.union(&b);
+        prop_assert_eq!(&u, &reference::union(&a, &b));
+        assert_canonical(&u)?;
+        prop_assert_eq!(a.intersection(&b), reference::intersection(&a, &b));
+        prop_assert_eq!(a.difference(&b), reference::difference(&a, &b));
+        prop_assert_eq!(b.difference(&a), reference::difference(&b, &a));
+    }
+
+    #[test]
+    fn set_ops_match_reference_across_the_inline_heap_boundary(a in soup_union(), b in soup_union()) {
+        // Mixed-representation operands: one inline, one heap-widened.
+        let hb = widen_to_heap(&b);
+        prop_assert_eq!(a.union(&hb), reference::union(&a, &hb));
+        prop_assert_eq!(a.intersection(&hb), reference::intersection(&a, &hb));
+        prop_assert_eq!(a.difference(&hb), reference::difference(&a, &hb));
+        prop_assert_eq!(hb.difference(&a), reference::difference(&hb, &a));
+    }
+
+    // ---- Copy-on-write aliasing contract ------------------------------------
+
+    #[test]
+    fn cow_mutation_never_touches_the_sibling_handle(
+        a in soup_union(),
+        b in adjacent_union(),
+        op in 0usize..3,
+    ) {
+        let sibling = a.clone();
+        prop_assert!(sibling.shares_storage_with(&a));
+        let frozen = a.deep_clone();
+        // Empty handles have no buffer to share; non-empty deep clones never share.
+        prop_assert_eq!(frozen.shares_storage_with(&a), a.is_empty());
+
+        let mut writer = a.clone();
+        let (changed, expected) = match op {
+            0 => (writer.union_in_place(&b), reference::union(&a, &b)),
+            1 => (writer.intersect_assign(&b), reference::intersection(&a, &b)),
+            _ => (writer.subtract_assign(&b), reference::difference(&a, &b)),
+        };
+        prop_assert_eq!(&writer, &expected);
+        prop_assert_eq!(changed, writer != a);
+        // The sibling handles still observe the original value...
+        prop_assert_eq!(&sibling, &frozen);
+        prop_assert_eq!(&a, &frozen);
+        // ...and a genuine change detached the writer from the shared buffer.
+        if changed {
+            prop_assert!(!writer.shares_storage_with(&a));
+        }
+        assert_canonical(&writer)?;
+    }
+
+    #[test]
+    fn empty_union_in_place_shares_instead_of_copying(a in soup_union()) {
+        let mut acc = IntervalUnion::empty();
+        let changed = acc.union_in_place(&a);
+        prop_assert_eq!(changed, !a.is_empty());
+        prop_assert_eq!(&acc, &a);
+        prop_assert!(acc.shares_storage_with(&a), "∅ ∪ x must alias x");
+        // O(1) clones share; deep clones never do (unless both are empty).
+        prop_assert!(a.clone().shares_storage_with(&a));
+        prop_assert_eq!(a.deep_clone().shares_storage_with(&a), a.is_empty());
     }
 }

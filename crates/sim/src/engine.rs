@@ -201,8 +201,13 @@ where
 
     // One FIFO queue per edge. Messages are moved, never cloned, on the
     // delivery path: the only `Message::clone` the engine performs is into the
-    // optional trace, so cheaply clonable payloads (e.g. [`crate::SharedSlice`])
-    // keep per-delivery cost independent of payload size.
+    // optional trace, so cheaply clonable payloads ([`crate::SharedSlice`],
+    // the copy-on-write `IntervalUnion` handles of the interval protocols)
+    // keep per-delivery and per-trace-event cost independent of payload size —
+    // a payload flooded across the whole run can remain one shared buffer
+    // (pinned by `trace_clones_share_arc_payloads_end_to_end`). Wire-bit
+    // accounting is taken from `wire_bits()` at send time, so sharing never
+    // changes what an edge is charged.
     let mut queues: Vec<VecDeque<(u64, P::Message)>> =
         (0..graph.edge_count()).map(|_| VecDeque::new()).collect();
     let mut metrics = RunMetrics::new(graph.edge_count());
@@ -524,6 +529,81 @@ mod tests {
         assert_eq!(res.outcome, fifo.outcome);
         assert_eq!(res.metrics, fifo.metrics);
         assert_eq!(res.trace.unwrap(), fifo.trace.unwrap());
+    }
+
+    /// A message wrapping a reference-counted payload buffer, standing in for
+    /// the CoW `IntervalUnion` handles of the interval protocols.
+    #[derive(Debug, Clone)]
+    struct SharedBlob(std::sync::Arc<Vec<u8>>);
+
+    impl Wire for SharedBlob {
+        fn wire_bits(&self) -> u64 {
+            8 * self.0.len() as u64
+        }
+    }
+
+    /// Forwards the received payload *handle* on every out-port.
+    #[derive(Debug)]
+    struct ForwardBlob;
+
+    impl AnonymousProtocol for ForwardBlob {
+        type State = bool;
+        type Message = SharedBlob;
+
+        fn name(&self) -> &'static str {
+            "forward-blob"
+        }
+        fn initial_state(&self, _ctx: &NodeContext) -> bool {
+            false
+        }
+        fn root_messages(&self, _root_out_degree: usize) -> Vec<(usize, SharedBlob)> {
+            vec![(0, SharedBlob(std::sync::Arc::new(vec![7u8; 32])))]
+        }
+        fn on_receive(
+            &self,
+            ctx: &NodeContext,
+            state: &mut bool,
+            _in_port: usize,
+            message: &SharedBlob,
+        ) -> Vec<(usize, SharedBlob)> {
+            if std::mem::replace(state, true) {
+                return Vec::new();
+            }
+            (0..ctx.out_degree).map(|p| (p, message.clone())).collect()
+        }
+        fn should_terminate(&self, terminal_state: &bool) -> bool {
+            *terminal_state
+        }
+    }
+
+    #[test]
+    fn trace_clones_share_arc_payloads_end_to_end() {
+        // A payload handle forwarded along a whole path must remain ONE
+        // allocation: the engine moves messages on the delivery path and its
+        // only clone — into the trace — shares reference-counted buffers. With
+        // n trace events alive and every queue drained, the buffer's strong
+        // count is exactly n; wire accounting still charged every edge in full.
+        let n = 5;
+        let net = path_network(n).unwrap();
+        let res = run(
+            &net,
+            &ForwardBlob,
+            &mut FifoScheduler::new(),
+            ExecutionConfig::with_trace(),
+        );
+        assert_eq!(res.outcome, Outcome::Terminated);
+        let trace = res.trace.expect("trace requested");
+        assert_eq!(trace.len(), net.edge_count());
+        let first = &trace.events()[0].message.0;
+        for event in trace.events() {
+            assert!(
+                std::sync::Arc::ptr_eq(first, &event.message.0),
+                "trace event holds a detached payload copy"
+            );
+        }
+        assert_eq!(std::sync::Arc::strong_count(first), trace.len());
+        // Sharing is invisible to the paper's bit accounting.
+        assert_eq!(res.metrics.total_bits, 8 * 32 * net.edge_count() as u64);
     }
 
     /// A deliberately broken protocol that emits on a non-existent port.

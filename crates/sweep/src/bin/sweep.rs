@@ -2,8 +2,8 @@
 //! output.
 //!
 //! ```text
-//! sweep [--spec FILE] [--shards N] [--out DIR] [--partition hash|round-robin]
-//!       [--resume]
+//! sweep [--spec FILE] [--shards N] [--jobs N] [--out DIR]
+//!       [--partition hash|round-robin] [--resume]
 //! sweep --run-shard I --spec FILE --shards N --out DIR [...]   (internal)
 //! sweep --check FILE_A FILE_B
 //! ```
@@ -19,13 +19,18 @@
 //! `--resume` makes each shard reuse the complete records of an existing
 //! shard file (a killed shard's torn tail is discarded), re-running only the
 //! missing units.
+//!
+//! `--jobs N` fans each shard's units over `N` scoped worker threads inside
+//! the shard process. Output is byte-identical to `--jobs 1` — records are
+//! pure functions of their units and are assembled in shard-manifest order —
+//! so parallelism is purely a throughput knob.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
 use anet_bench::baseline::result_keys;
 use anet_sweep::manifest::fnv1a;
-use anet_sweep::{merge_shard_files, run_shard_to_file, Manifest, Partition, SweepSpec};
+use anet_sweep::{merge_shard_files, run_shard_to_file_with_jobs, Manifest, Partition, SweepSpec};
 
 /// The spec used when no `--spec` is given (committed at
 /// `crates/sweep/specs/example.spec`).
@@ -35,6 +40,7 @@ const EXAMPLE_SPEC: &str = include_str!("../../specs/example.spec");
 struct Args {
     spec: Option<PathBuf>,
     shards: usize,
+    jobs: usize,
     out: Option<PathBuf>,
     partition: Partition,
     resume: bool,
@@ -44,7 +50,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep [--spec FILE] [--shards N] [--out DIR] \
+        "usage: sweep [--spec FILE] [--shards N] [--jobs N] [--out DIR] \
          [--partition hash|round-robin] [--resume]\n       \
          sweep --run-shard I --spec FILE --shards N --out DIR (internal)\n       \
          sweep --check FILE_A FILE_B"
@@ -56,6 +62,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         spec: None,
         shards: 1,
+        jobs: 1,
         out: None,
         partition: Partition::Hash,
         resume: false,
@@ -70,6 +77,12 @@ fn parse_args() -> Args {
             "--shards" => {
                 args.shards = value().parse().unwrap_or_else(|_| usage());
                 if args.shards == 0 {
+                    usage();
+                }
+            }
+            "--jobs" => {
+                args.jobs = value().parse().unwrap_or_else(|_| usage());
+                if args.jobs == 0 {
                     usage();
                 }
             }
@@ -153,7 +166,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         let path = shard_path(&out, shard);
-        match run_shard_to_file(
+        match run_shard_to_file_with_jobs(
             &spec,
             &manifest,
             args.shards,
@@ -161,6 +174,7 @@ fn main() -> ExitCode {
             shard,
             &path,
             args.resume,
+            args.jobs,
         ) {
             Ok(outcome) => {
                 println!(
@@ -197,6 +211,8 @@ fn main() -> ExitCode {
                 .arg(&out)
                 .arg("--partition")
                 .arg(partition_flag(args.partition))
+                .arg("--jobs")
+                .arg(args.jobs.to_string())
                 .arg("--run-shard")
                 .arg(shard.to_string());
             if args.resume {

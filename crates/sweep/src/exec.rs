@@ -50,6 +50,8 @@ pub fn execute_unit(spec: &SweepSpec, unit: &SweepUnit) -> Result<RunRecord, Swe
                 unit.battery_index,
             );
             let ok = named.result.outcome.terminated() && {
+                // Label clones are O(1) shared handles of the states' endpoint
+                // buffers (CoW `IntervalUnion`), not per-node deep copies.
                 let labels: Vec<IntervalUnion> = named
                     .result
                     .states

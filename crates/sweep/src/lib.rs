@@ -42,8 +42,12 @@
 //!    merge-equivalence property tests and the CI `sweep_smoke` step.
 //!
 //! The `sweep` binary drives the process layer: the parent re-invokes its own
-//! executable with `--run-shard i` per shard, waits, and merges. See
-//! `src/bin/sweep.rs` or `sweep --help`.
+//! executable with `--run-shard i` per shard, waits, and merges. Within a
+//! shard process, `--jobs N` fans the shard's units over `N` scoped worker
+//! threads ([`run_shard_to_file_with_jobs`]) so each shard saturates its host;
+//! because every record is a pure function of its unit and workers fill
+//! pre-assigned slots of the shard-manifest order, the output is byte-identical
+//! for every job count. See `src/bin/sweep.rs` or `sweep --help`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,8 +61,8 @@ pub mod spec;
 pub use exec::execute_unit;
 pub use manifest::{Manifest, Partition, SweepUnit};
 pub use merge::{
-    merge_lines, merge_shard_files, run_shard_to_file, run_sweep_in_process, run_sweep_threaded,
-    shard_lines, ShardOutcome,
+    merge_lines, merge_shard_files, run_shard_to_file, run_shard_to_file_with_jobs,
+    run_sweep_in_process, run_sweep_threaded, shard_lines, ShardOutcome,
 };
 pub use record::RunRecord;
 pub use spec::{ProtocolSpec, SweepSpec, TopologySpec};

@@ -31,7 +31,7 @@ use std::io::Write as _;
 use std::path::Path;
 
 use crate::exec::execute_unit;
-use crate::manifest::{Manifest, Partition};
+use crate::manifest::{Manifest, Partition, SweepUnit};
 use crate::record::RunRecord;
 use crate::spec::SweepSpec;
 use crate::SweepError;
@@ -125,6 +125,38 @@ pub fn run_shard_to_file(
     path: &Path,
     resume: bool,
 ) -> Result<ShardOutcome, SweepError> {
+    run_shard_to_file_with_jobs(spec, manifest, shards, partition, shard, path, resume, 1)
+}
+
+/// [`run_shard_to_file`] with intra-shard parallelism: the shard's pending
+/// units are fanned over `jobs` scoped worker threads (`jobs <= 1` means the
+/// plain sequential path), so one shard process can saturate its host.
+///
+/// The output is **byte-identical to the sequential run** regardless of
+/// thread count or timing: every record line is a pure function of its unit,
+/// workers write into pre-assigned slots of the shard-manifest order, and the
+/// file is emitted in that order — threads only decide *when* a slot is
+/// filled, never *where*. Checkpoint reuse composes with parallelism (only
+/// missing units are fanned out).
+///
+/// # Errors
+///
+/// Returns I/O errors from the file system and [`execute_unit`] failures.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+#[allow(clippy::too_many_arguments)]
+pub fn run_shard_to_file_with_jobs(
+    spec: &SweepSpec,
+    manifest: &Manifest,
+    shards: usize,
+    partition: Partition,
+    shard: usize,
+    path: &Path,
+    resume: bool,
+    jobs: usize,
+) -> Result<ShardOutcome, SweepError> {
     let units = manifest.shard_units(shards, partition, shard);
     let indices: Vec<usize> = units.iter().map(|u| u.index).collect();
     let checkpoint = if resume {
@@ -141,19 +173,63 @@ pub fn run_shard_to_file(
         executed: 0,
         reused: 0,
     };
-    let mut lines = Vec::with_capacity(units.len());
-    for unit in units {
+    // Slot-addressed assembly: `slots[k]` is the line of the shard's k-th unit
+    // in shard-manifest order, however (and on whatever thread) it was produced.
+    let mut slots: Vec<Option<String>> = Vec::with_capacity(units.len());
+    let mut pending: Vec<(usize, &SweepUnit)> = Vec::new();
+    for unit in &units {
         match checkpoint.get(&unit.index) {
             Some(line) => {
                 outcome.reused += 1;
-                lines.push(line.clone());
+                slots.push(Some(line.clone()));
             }
             None => {
                 outcome.executed += 1;
-                lines.push(execute_unit(spec, unit)?.to_jsonl_line());
+                pending.push((slots.len(), unit));
+                slots.push(None);
             }
         }
     }
+
+    if jobs <= 1 || pending.len() <= 1 {
+        for (slot, unit) in pending {
+            slots[slot] = Some(execute_unit(spec, unit)?.to_jsonl_line());
+        }
+    } else {
+        let workers = jobs.min(pending.len());
+        let pending = &pending;
+        let worker_results: Vec<Result<Vec<(usize, String)>, SweepError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|worker| {
+                        scope.spawn(move || {
+                            pending
+                                .iter()
+                                .skip(worker)
+                                .step_by(workers)
+                                .map(|&(slot, unit)| {
+                                    execute_unit(spec, unit)
+                                        .map(|record| (slot, record.to_jsonl_line()))
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep job thread panicked"))
+                    .collect()
+            });
+        for result in worker_results {
+            for (slot, line) in result? {
+                slots[slot] = Some(line);
+            }
+        }
+    }
+    let lines: Vec<String> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every shard unit produced a line"))
+        .collect();
 
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent).map_err(SweepError::Io)?;
