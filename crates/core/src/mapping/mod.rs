@@ -65,7 +65,7 @@
 
 pub mod reference;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use anet_graph::{DiGraph, Network, NodeId};
@@ -276,7 +276,10 @@ pub struct TerminalView {
     missing_ports: usize,
     /// Edge records whose `Labeled` destination has no vertex record yet.
     dangling_edges: usize,
-    vertices: HashMap<Interval, VertexEntry>,
+    /// Keyed by label interval in sorted order (`BTreeMap`, not `HashMap`),
+    /// so any future iteration over the view is deterministic by
+    /// construction — it can never depend on hasher state.
+    vertices: BTreeMap<Interval, VertexEntry>,
     /// Union of every known vertex record's label.
     records_coverage: IntervalUnion,
 }

@@ -1,0 +1,406 @@
+//! Canonical labelings of networks: isomorphic instances, one form.
+//!
+//! A sweep unit's outcome is a pure function of the network *shape* — the
+//! anonymous protocols never observe vertex ids, only degrees and port
+//! indices — so two isomorphic topologies bought at different generator
+//! parameters are the same experiment twice. This module computes a
+//! deterministic canonical relabeling so that equivalence can be detected by
+//! plain equality:
+//!
+//! 1. **Degree refinement** ([Weisfeiler–Leman] style): vertices start
+//!    colored by `(in-degree, out-degree, is-root, is-terminal)` and colors
+//!    are repeatedly split by the multiset of neighbor colors until the
+//!    partition stabilizes. Colors are densely re-ranked from sorted
+//!    signatures, so they are invariant under vertex relabeling.
+//! 2. **Tie-broken greedy relabeling**: starting from the root (canonical id
+//!    0), the next canonical id goes to the frontier vertex with the least
+//!    `(color, sorted connections-to-already-assigned)` key. Remaining ties
+//!    fall back to the input index — by then the tied vertices are
+//!    interchangeable for every family our generators produce, which is the
+//!    regime this pass is built for (it is a refinement-guided greedy search,
+//!    not a full graph-canonization algorithm with backtracking).
+//!
+//! The result is a [`CanonicalForm`] — an edge list under canonical ids,
+//! comparable with `==` — plus the permutation that produced it, and a stable
+//! [`Fnv1a`]-based fingerprint for content-addressing. Consumers that need
+//! *correctness* (the sweep's dedup clusters) compare whole forms; the
+//! fingerprint only names cache entries, where a collision is detectable.
+//!
+//! [Weisfeiler–Leman]: https://en.wikipedia.org/wiki/Weisfeiler_Leman_graph_isomorphism_test
+//!
+//! # Example
+//!
+//! ```
+//! use anet_graph::canon::{canonical_fingerprint, canonical_form};
+//! use anet_graph::{DiGraph, Network};
+//!
+//! # fn main() -> Result<(), anet_graph::NetworkError> {
+//! // The same path s -> v -> t built with two different vertex numberings.
+//! let mut g1 = DiGraph::new();
+//! let (s1, v1, t1) = (g1.add_node(), g1.add_node(), g1.add_node());
+//! g1.add_edge(s1, v1);
+//! g1.add_edge(v1, t1);
+//! let mut g2 = DiGraph::new();
+//! let (t2, v2, s2) = (g2.add_node(), g2.add_node(), g2.add_node());
+//! g2.add_edge(v2, t2);
+//! g2.add_edge(s2, v2);
+//! let a = Network::new(g1, s1, t1)?;
+//! let b = Network::new(g2, s2, t2)?;
+//! assert_eq!(canonical_form(&a).form, canonical_form(&b).form);
+//! assert_eq!(canonical_fingerprint(&a), canonical_fingerprint(&b));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+
+use anet_num::Fnv1a;
+
+use crate::{DiGraph, Network, NetworkError, NodeId};
+
+/// A network under canonical vertex ids: node count, root, terminal, and the
+/// sorted directed edge list (with multiplicity — parallel edges stay
+/// parallel).
+///
+/// Two networks have equal canonical forms exactly when this module's
+/// labeling maps them to the same object; for the generator families in this
+/// workspace that coincides with graph isomorphism (respecting root and
+/// terminal). Equality of forms is exact — no hashing involved — so it is
+/// safe to key deduplication on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalForm {
+    /// `|V|` of the network (including root and terminal).
+    pub node_count: usize,
+    /// Canonical id of the root (always 0: the root seeds the relabeling).
+    pub root: usize,
+    /// Canonical id of the terminal.
+    pub terminal: usize,
+    /// Directed edges `(src, dst)` under canonical ids, sorted.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl CanonicalForm {
+    /// A stable one-line text encoding, the byte string behind
+    /// [`CanonicalForm::fingerprint`] and the sweep's cache keys.
+    ///
+    /// The format is versioned (`canon-v1`) so a future labeling change
+    /// invalidates old cache entries instead of silently aliasing them.
+    pub fn encode(&self) -> String {
+        let mut s = format!(
+            "canon-v1 n={} s={} t={} m={}",
+            self.node_count,
+            self.root,
+            self.terminal,
+            self.edges.len()
+        );
+        for &(a, b) in &self.edges {
+            s.push_str(&format!(" {a}>{b}"));
+        }
+        s
+    }
+
+    /// Stable 64-bit FNV-1a digest of [`CanonicalForm::encode`].
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(self.encode().as_bytes());
+        h.finish()
+    }
+
+    /// Rebuilds a concrete [`Network`] carrying exactly this form.
+    ///
+    /// Edges are inserted in sorted order, so each vertex's out-ports are
+    /// ordered by destination id — a deterministic function of the form
+    /// alone. Canonicalizing the rebuilt network yields this same form back
+    /// (the labeling is idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetworkError`] if the form does not describe a valid
+    /// network; forms produced by [`canonical_form`] always rebuild.
+    pub fn to_network(&self) -> Result<Network, NetworkError> {
+        let mut g = DiGraph::with_capacity(self.node_count);
+        g.add_nodes(self.node_count);
+        for &(a, b) in &self.edges {
+            if a >= self.node_count {
+                return Err(NetworkError::UnknownNode(NodeId(a)));
+            }
+            if b >= self.node_count {
+                return Err(NetworkError::UnknownNode(NodeId(b)));
+            }
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+        Network::new(g, NodeId(self.root), NodeId(self.terminal))
+    }
+}
+
+/// The output of [`canonical_form`]: the canonical form plus the relabeling
+/// that produced it, so per-vertex results on the canonical network can be
+/// mapped back to the original ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalLabeling {
+    /// `permutation[old_index] = canonical_index`.
+    pub permutation: Vec<usize>,
+    /// The network under canonical ids.
+    pub form: CanonicalForm,
+}
+
+/// Densely ranks values by their sorted order: equal inputs share a rank,
+/// ranks start at 0 and follow `Ord`. The ranking is a pure function of the
+/// multiset of inputs, which is what makes refinement colors label-invariant.
+fn dense_rank<T: Ord>(values: Vec<T>) -> (Vec<usize>, usize) {
+    let mut ranks: BTreeMap<&T, usize> = values.iter().map(|v| (v, 0)).collect();
+    let distinct = ranks.len();
+    for (i, (_, rank)) in ranks.iter_mut().enumerate() {
+        *rank = i;
+    }
+    let out = values.iter().map(|v| ranks[v]).collect();
+    (out, distinct)
+}
+
+/// Color refinement to a fixed point. Initial colors are
+/// `(in-degree, out-degree, is-root, is-terminal)`; each round splits colors
+/// by the sorted multisets of out- and in-neighbor colors. Stops when a round
+/// no longer increases the number of distinct colors (the partition is
+/// equitable from then on).
+fn refined_colors(network: &Network) -> Vec<usize> {
+    let g = network.graph();
+    let n = g.node_count();
+    let init: Vec<(usize, usize, bool, bool)> = (0..n)
+        .map(|v| {
+            let node = NodeId(v);
+            (
+                g.in_degree(node),
+                g.out_degree(node),
+                node == network.root(),
+                node == network.terminal(),
+            )
+        })
+        .collect();
+    let (mut colors, mut distinct) = dense_rank(init);
+    while distinct < n {
+        let sigs: Vec<(usize, Vec<usize>, Vec<usize>)> = (0..n)
+            .map(|v| {
+                let node = NodeId(v);
+                let mut out: Vec<usize> = g.successors(node).map(|u| colors[u.index()]).collect();
+                out.sort_unstable();
+                let mut inc: Vec<usize> = g.predecessors(node).map(|u| colors[u.index()]).collect();
+                inc.sort_unstable();
+                (colors[v], out, inc)
+            })
+            .collect();
+        let (next, next_distinct) = dense_rank(sigs);
+        if next_distinct == distinct {
+            break;
+        }
+        colors = next;
+        distinct = next_distinct;
+    }
+    colors
+}
+
+/// Computes the canonical labeling of a network: refinement colors, then a
+/// greedy root-first relabeling with `(color, connections-to-assigned)`
+/// tie-breaking. See the module docs for the algorithm and its contract.
+pub fn canonical_form(network: &Network) -> CanonicalLabeling {
+    let g = network.graph();
+    let n = g.node_count();
+    let colors = refined_colors(network);
+
+    let mut assigned: Vec<Option<usize>> = vec![None; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    assigned[network.root().index()] = Some(0);
+    order.push(network.root().index());
+
+    // One vertex per round: among unassigned vertices touching the assigned
+    // set (either direction), take the least (color, sorted pattern of
+    // (direction, assigned id) connections, input index). The pattern is
+    // recomputed every round, so each assignment sharpens the next choice.
+    type RoundKey = (usize, Vec<(u8, usize)>, usize);
+    loop {
+        let mut best: Option<RoundKey> = None;
+        for v in 0..n {
+            if assigned[v].is_some() {
+                continue;
+            }
+            let node = NodeId(v);
+            let mut pattern: Vec<(u8, usize)> = Vec::new();
+            for u in g.predecessors(node) {
+                if let Some(id) = assigned[u.index()] {
+                    pattern.push((0, id));
+                }
+            }
+            for u in g.successors(node) {
+                if let Some(id) = assigned[u.index()] {
+                    pattern.push((1, id));
+                }
+            }
+            if pattern.is_empty() {
+                continue;
+            }
+            pattern.sort_unstable();
+            let key = (colors[v], pattern, v);
+            if best.as_ref().is_none_or(|b| key < *b) {
+                best = Some(key);
+            }
+        }
+        match best {
+            Some((_, _, v)) => {
+                assigned[v] = Some(order.len());
+                order.push(v);
+            }
+            None => break,
+        }
+    }
+
+    // Vertices in components not touching the root's (generators never
+    // produce these, but the form must still be total): by (color, index).
+    let mut rest: Vec<usize> = (0..n).filter(|&v| assigned[v].is_none()).collect();
+    rest.sort_unstable_by_key(|&v| (colors[v], v));
+    for v in rest {
+        assigned[v] = Some(order.len());
+        order.push(v);
+    }
+
+    let permutation: Vec<usize> = (0..n)
+        .map(|v| assigned[v].expect("labeling is total"))
+        .collect();
+    let mut edges: Vec<(usize, usize)> = g
+        .edges()
+        .map(|e| {
+            let (src, dst) = g.edge_endpoints(e);
+            (permutation[src.index()], permutation[dst.index()])
+        })
+        .collect();
+    edges.sort_unstable();
+    CanonicalLabeling {
+        form: CanonicalForm {
+            node_count: n,
+            root: permutation[network.root().index()],
+            terminal: permutation[network.terminal().index()],
+            edges,
+        },
+        permutation,
+    }
+}
+
+/// The stable 64-bit fingerprint of a network's canonical form: equal for
+/// isomorphic networks (root- and terminal-respecting), stable across
+/// platforms and runs.
+pub fn canonical_fingerprint(network: &Network) -> u64 {
+    canonical_form(network).form.fingerprint()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{chain_gn, nested_cycles, star_network};
+
+    /// Rebuilds `network` with vertex `v` renamed to `perm[v]` and edges
+    /// inserted in a rotated order, exercising id- and port-independence.
+    fn relabel(network: &Network, perm: &[usize], rotate: usize) -> Network {
+        let g = network.graph();
+        let mut h = DiGraph::with_capacity(g.node_count());
+        h.add_nodes(g.node_count());
+        let edges: Vec<_> = g.edges().collect();
+        for i in 0..edges.len() {
+            let e = edges[(i + rotate) % edges.len()];
+            let (src, dst) = g.edge_endpoints(e);
+            h.add_edge(NodeId(perm[src.index()]), NodeId(perm[dst.index()]));
+        }
+        Network::new(
+            h,
+            NodeId(perm[network.root().index()]),
+            NodeId(perm[network.terminal().index()]),
+        )
+        .expect("relabeling preserves network validity")
+    }
+
+    #[test]
+    fn permutation_is_a_bijection_rooted_at_zero() {
+        let network = chain_gn(5).unwrap();
+        let labeling = canonical_form(&network);
+        let mut seen = vec![false; labeling.permutation.len()];
+        for &p in &labeling.permutation {
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+        assert_eq!(labeling.form.root, 0);
+        assert_eq!(labeling.permutation[network.root().index()], 0);
+        assert_eq!(labeling.form.node_count, network.node_count());
+        assert_eq!(labeling.form.edges.len(), network.edge_count());
+    }
+
+    #[test]
+    fn relabeled_networks_share_form_and_fingerprint() {
+        for network in [
+            chain_gn(6).unwrap(),
+            star_network(4).unwrap(),
+            nested_cycles(2, 4).unwrap(),
+        ] {
+            let base = canonical_form(&network);
+            let n = network.node_count();
+            // A reversal and a rotation of the id space, plus edge-order shifts.
+            let reversal: Vec<usize> = (0..n).rev().collect();
+            let rotation: Vec<usize> = (0..n).map(|v| (v + 3) % n).collect();
+            for perm in [reversal, rotation] {
+                for rotate in [0, 1, 2] {
+                    let other = relabel(&network, &perm, rotate);
+                    let got = canonical_form(&other);
+                    assert_eq!(got.form, base.form);
+                    assert_eq!(got.form.fingerprint(), base.form.fingerprint());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn to_network_round_trips_and_labeling_is_idempotent() {
+        let network = nested_cycles(3, 5).unwrap();
+        let labeling = canonical_form(&network);
+        let rebuilt = labeling.form.to_network().unwrap();
+        assert_eq!(rebuilt.node_count(), network.node_count());
+        assert_eq!(rebuilt.edge_count(), network.edge_count());
+        let again = canonical_form(&rebuilt);
+        assert_eq!(again.form, labeling.form);
+        // The rebuilt network is already canonically labeled.
+        let identity: Vec<usize> = (0..rebuilt.node_count()).collect();
+        assert_eq!(again.permutation, identity);
+    }
+
+    #[test]
+    fn distinct_shapes_get_distinct_forms() {
+        let chain = chain_gn(4).unwrap();
+        let longer = chain_gn(5).unwrap();
+        assert_ne!(canonical_form(&chain).form, canonical_form(&longer).form);
+        assert_ne!(
+            canonical_fingerprint(&chain),
+            canonical_fingerprint(&longer)
+        );
+    }
+
+    #[test]
+    fn parallel_edges_keep_multiplicity() {
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let v = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, v);
+        g.add_edge(v, t);
+        g.add_edge(v, t);
+        let network = Network::new(g, s, t).unwrap();
+        let form = canonical_form(&network).form;
+        assert_eq!(form.edges.len(), 3);
+        let rebuilt = form.to_network().unwrap();
+        assert_eq!(rebuilt.edge_count(), 3);
+        assert_eq!(canonical_form(&rebuilt).form, form);
+    }
+
+    #[test]
+    fn encode_is_stable_and_versioned() {
+        let network = chain_gn(2).unwrap();
+        let form = canonical_form(&network).form;
+        let text = form.encode();
+        assert!(text.starts_with("canon-v1 "));
+        assert_eq!(text, canonical_form(&network).form.encode());
+    }
+}

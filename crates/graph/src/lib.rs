@@ -18,6 +18,9 @@
 //! * [`generators`] — every topology family the paper uses: the chain `G_n`
 //!   (Figure 5), grounded trees, full and pruned trees (Figure 6), skeleton graphs
 //!   (Figure 4), DAGs and cyclic networks.
+//! * [`canon`] — deterministic canonical labelings and stable fingerprints, so
+//!   isomorphic networks can be recognized by equality; this is what the sweep
+//!   subsystem's deduplication keys on.
 //! * [`dot`] — Graphviz export for inspection.
 //!
 //! # Example
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod classify;
 pub mod dot;
 pub mod generators;

@@ -1,0 +1,159 @@
+//! Property coverage for the canonicalization pass: across **all 11 generator
+//! families** the sweep exposes, random vertex relabelings and edge-insertion
+//! reorderings never change the canonical form or fingerprint; and a pinned
+//! corpus of small pairwise non-isomorphic networks never collides.
+//!
+//! The first property is what the sweep's deduplication rests on (isomorphic
+//! units cluster together); the second keeps the clustering from being
+//! vacuously "correct" by merging everything.
+
+use anet_graph::canon::{canonical_fingerprint, canonical_form};
+use anet_graph::generators::{
+    chain_gn, complete_dag, cycle_with_tail, diamond_stack, layered_dag, nested_cycles,
+    path_network, random_cyclic, random_dag, random_grounded_tree, star_network,
+};
+use anet_graph::{DiGraph, Network, NodeId};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One representative constructor per generator family, indexed the same way
+/// a sweep spec would pick topologies. `size` is kept small so refinement and
+/// relabeling stay exhaustive-ish under proptest.
+fn family(index: usize, size: usize, seed: u64) -> Network {
+    let internal = 1 + size % 5;
+    let mut rng = StdRng::seed_from_u64(seed);
+    match index % 11 {
+        0 => chain_gn(1 + size % 6).unwrap(),
+        1 => path_network(1 + size % 6).unwrap(),
+        2 => star_network(1 + size % 5).unwrap(),
+        3 => complete_dag(1 + size % 5).unwrap(),
+        4 => diamond_stack(1 + size % 4).unwrap(),
+        5 => cycle_with_tail(3 + size % 4).unwrap(),
+        6 => nested_cycles(1 + size % 3, 3 + size % 3).unwrap(),
+        7 => random_dag(&mut rng, internal, 0.3).unwrap(),
+        8 => random_cyclic(&mut rng, internal, 0.25, 0.15).unwrap(),
+        9 => layered_dag(&mut rng, 1 + size % 3, 1 + size % 3, 2).unwrap(),
+        _ => random_grounded_tree(&mut rng, internal, 2 + size % 3, 0.3).unwrap(),
+    }
+}
+
+/// Rebuilds `network` with vertices renamed by a seeded random permutation
+/// and edges inserted in a rotated order — an isomorphic copy that shares
+/// neither vertex ids nor port numbering with the original.
+fn random_relabel(network: &Network, seed: u64, rotate: usize) -> Network {
+    let g = network.graph();
+    let n = g.node_count();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        perm.swap(i, rng.gen_range(0..i + 1));
+    }
+    let mut h = DiGraph::with_capacity(n);
+    h.add_nodes(n);
+    let edges: Vec<_> = g.edges().collect();
+    for i in 0..edges.len() {
+        let e = edges[(i + rotate) % edges.len()];
+        let (src, dst) = g.edge_endpoints(e);
+        h.add_edge(NodeId(perm[src.index()]), NodeId(perm[dst.index()]));
+    }
+    Network::new(
+        h,
+        NodeId(perm[network.root().index()]),
+        NodeId(perm[network.terminal().index()]),
+    )
+    .expect("relabeling preserves network validity")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn isomorphic_relabelings_share_fingerprint(
+        index in 0usize..11,
+        size in 0usize..12,
+        gen_seed in 0u64..1000,
+        perm_seed in 0u64..1000,
+        rotate in 0usize..7,
+    ) {
+        let network = family(index, size, gen_seed);
+        let base = canonical_form(&network);
+        let relabeled = random_relabel(&network, perm_seed, rotate);
+        let got = canonical_form(&relabeled);
+        prop_assert_eq!(&got.form, &base.form, "family {} diverged under relabeling", index % 11);
+        prop_assert_eq!(got.form.fingerprint(), base.form.fingerprint());
+        prop_assert_eq!(
+            canonical_fingerprint(&relabeled),
+            canonical_fingerprint(&network)
+        );
+    }
+
+    #[test]
+    fn canonical_rebuild_is_a_fixed_point(
+        index in 0usize..11,
+        size in 0usize..12,
+        gen_seed in 0u64..1000,
+    ) {
+        let network = family(index, size, gen_seed);
+        let labeling = canonical_form(&network);
+        let rebuilt = labeling.form.to_network().expect("canonical forms rebuild");
+        let again = canonical_form(&rebuilt);
+        prop_assert_eq!(&again.form, &labeling.form);
+        let identity: Vec<usize> = (0..rebuilt.node_count()).collect();
+        prop_assert_eq!(again.permutation, identity);
+    }
+}
+
+/// A pinned corpus of small pairwise **non-isomorphic** networks, one or more
+/// per family. Canonical forms — and, transitively, fingerprints — must be
+/// pairwise distinct, so dedup clusters never merge genuinely different
+/// experiments.
+#[test]
+fn pinned_non_isomorphic_corpus_does_not_collide() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let corpus: Vec<(&str, Network)> = vec![
+        ("chain_gn(1)", chain_gn(1).unwrap()),
+        ("chain_gn(2)", chain_gn(2).unwrap()),
+        ("chain_gn(3)", chain_gn(3).unwrap()),
+        ("path(2)", path_network(2).unwrap()),
+        ("path(3)", path_network(3).unwrap()),
+        ("star(2)", star_network(2).unwrap()),
+        ("star(3)", star_network(3).unwrap()),
+        // complete_dag(2) is omitted: two internal vertices with all forward
+        // edges *is* the 2-internal path, and the labeling rightly merges them.
+        ("complete_dag(3)", complete_dag(3).unwrap()),
+        ("complete_dag(4)", complete_dag(4).unwrap()),
+        ("diamond_stack(1)", diamond_stack(1).unwrap()),
+        ("diamond_stack(2)", diamond_stack(2).unwrap()),
+        ("cycle_with_tail(3)", cycle_with_tail(3).unwrap()),
+        ("cycle_with_tail(4)", cycle_with_tail(4).unwrap()),
+        // nested_cycles(1, k) is omitted: a single nested cycle of length k
+        // is exactly cycle_with_tail(k), and the labeling rightly merges them.
+        ("nested_cycles(2,3)", nested_cycles(2, 3).unwrap()),
+        ("nested_cycles(2,4)", nested_cycles(2, 4).unwrap()),
+        ("nested_cycles(3,3)", nested_cycles(3, 3).unwrap()),
+        ("random_dag(4)", random_dag(&mut rng, 4, 0.5).unwrap()),
+        (
+            "random_cyclic(4)",
+            random_cyclic(&mut rng, 4, 0.4, 0.4).unwrap(),
+        ),
+        ("layered_dag(2,2)", layered_dag(&mut rng, 2, 2, 2).unwrap()),
+        (
+            "random_grounded_tree(5)",
+            random_grounded_tree(&mut rng, 5, 3, 0.5).unwrap(),
+        ),
+    ];
+    for (i, (name_a, a)) in corpus.iter().enumerate() {
+        for (name_b, b) in corpus.iter().skip(i + 1) {
+            let form_a = canonical_form(a).form;
+            let form_b = canonical_form(b).form;
+            assert_ne!(
+                form_a, form_b,
+                "{name_a} and {name_b} share a canonical form"
+            );
+            assert_ne!(
+                form_a.fingerprint(),
+                form_b.fingerprint(),
+                "{name_a} and {name_b} collide in fingerprint"
+            );
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! The workspace's stock *stable* hash: incremental FNV-1a over 64 bits.
+//!
+//! Pure integer arithmetic, so values are identical across platforms,
+//! processes and runs — unlike [`std::hash::Hasher`] implementations, which
+//! make no such promise. It backs trace digests, the sweep subsystem's
+//! partitioner and file fingerprints, and the graph canonical fingerprints,
+//! so the magic constants live in exactly one place.
+
+/// An incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A hasher in the standard FNV-1a initial state.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Absorbs a `u64` as its little-endian bytes.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a test vectors: the empty string hashes to the offset
+        // basis; "a" and "foobar" to the published 64-bit values.
+        assert_eq!(Fnv1a::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn write_u64_is_little_endian_bytes() {
+        let mut a = Fnv1a::new();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = Fnv1a::new();
+        b.write(&[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`partition`] — the paper's splitting rules: the power-of-two scalar rule of
 //!   Section 3.1 and the canonical interval partition of Section 4.
 //! * [`bits`] — self-delimiting integer codes used to account for wire sizes.
+//! * [`Fnv1a`] — the workspace's stable 64-bit FNV-1a hasher: trace digests,
+//!   sweep fingerprints and graph canonical fingerprints all share its
+//!   constants, so equal hashes mean the same bytes on every platform.
 //! * [`intern`] — hash-consing [`Interner`] arenas (values → dense `u32` ids) and
 //!   [`IdSet`] bitsets, the identifier economy behind the record-flooding
 //!   protocols.
@@ -46,6 +49,7 @@ mod biguint;
 pub mod bits;
 mod dyadic;
 mod error;
+mod fnv;
 pub mod intern;
 mod interval;
 mod interval_union;
@@ -56,6 +60,7 @@ pub mod reference;
 pub use biguint::BigUint;
 pub use dyadic::Dyadic;
 pub use error::NumError;
+pub use fnv::Fnv1a;
 pub use intern::{IdSet, Interner};
 pub use interval::Interval;
 pub use interval_union::IntervalUnion;

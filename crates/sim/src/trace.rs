@@ -7,46 +7,16 @@
 
 use anet_graph::{EdgeId, NodeId};
 
-/// An incremental FNV-1a 64-bit hasher.
+/// The workspace's stable FNV-1a 64-bit hasher, re-exported from
+/// [`anet_num`].
 ///
-/// This is the workspace's stock *stable* hash: pure integer arithmetic, so
-/// values are identical across platforms, processes and runs — unlike
-/// [`std::hash::Hasher`] implementations, which make no such promise. It backs
-/// [`Trace::digest`] and is exported for the sweep subsystem's partitioner and
-/// file fingerprints, so the magic constants live in exactly one place.
-#[derive(Debug, Clone)]
-pub struct Fnv1a(u64);
-
-impl Fnv1a {
-    /// A hasher in the standard FNV-1a initial state.
-    pub fn new() -> Self {
-        Fnv1a(0xcbf2_9ce4_8422_2325)
-    }
-
-    /// Absorbs raw bytes.
-    pub fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-
-    /// Absorbs a `u64` as its little-endian bytes.
-    pub fn write_u64(&mut self, value: u64) {
-        self.write(&value.to_le_bytes());
-    }
-
-    /// The current hash value.
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-impl Default for Fnv1a {
-    fn default() -> Self {
-        Fnv1a::new()
-    }
-}
+/// It backs [`Trace::digest`], the sweep subsystem's partitioner and file
+/// fingerprints, and `anet-graph`'s canonical topology fingerprints. The
+/// hasher lives in `anet-num` (the workspace's root crate) so every layer —
+/// including `anet-graph`, which this crate depends on — shares one set of
+/// magic constants; this re-export keeps the historical
+/// `anet_sim::trace::Fnv1a` path working.
+pub use anet_num::Fnv1a;
 
 /// A single transmitted message, recorded at send time.
 #[derive(Debug, Clone, PartialEq, Eq)]

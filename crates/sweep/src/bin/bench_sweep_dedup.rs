@@ -1,0 +1,168 @@
+//! Regenerates `BENCH_sweep_dedup.json`: wall-clock of a full sweep pass with
+//! deduplication (cold, and warm content-addressed cache) versus the honest
+//! `--no-dedup` path, over a redundancy-heavy spec.
+//!
+//! The spec is built so the redundancy is *provable*, not probabilistic:
+//! `random-dag n 100 seed` draws every forward edge with probability 1, so
+//! all three seeds collapse onto `complete-dag 7`; `nested-cycles 1 8` is
+//! `cycle-with-tail 8`, and `complete-dag 2` is `path 2`. Eight topology
+//! lines, three canonical forms — the dedup pass executes ~3x fewer units,
+//! and the run cross-checks that its merged output is byte-identical to the
+//! honest pass before any timing happens.
+//!
+//! Usage:
+//!
+//! * `cargo run --release -p anet-sweep --bin bench_sweep_dedup` — full
+//!   measurement; writes `BENCH_sweep_dedup.json` into the current directory
+//!   (run from the workspace root) and echoes it.
+//! * `... --bin bench_sweep_dedup -- --smoke` — structure-only single pass:
+//!   regenerates the JSON with throwaway numbers and key-diffs it against the
+//!   committed baseline (exit 1 on drift), mirroring `bench_smoke`.
+
+use anet_bench::baseline::{median_ns, result_keys, SampleConfig};
+use anet_sweep::{
+    dedup_shard_lines, merge_lines, shard_lines, DedupStats, Manifest, Partition, ProtocolSpec,
+    SweepSpec, TopologySpec,
+};
+
+const BASELINE_PATH: &str = "BENCH_sweep_dedup.json";
+
+/// 2 protocols x 8 topologies (3 canonical forms) x 2 seeds x 5 schedulers.
+fn bench_spec() -> SweepSpec {
+    let dense = |seed| TopologySpec::RandomDag {
+        internal: 7,
+        edge_pct: 100,
+        seed,
+    };
+    SweepSpec {
+        protocols: vec![ProtocolSpec::Mapping, ProtocolSpec::Labeling],
+        topologies: vec![
+            TopologySpec::CompleteDag { internal: 7 },
+            dense(1),
+            dense(2),
+            dense(3),
+            TopologySpec::CycleWithTail { k: 8 },
+            TopologySpec::NestedCycles { count: 1, len: 8 },
+            TopologySpec::Path { n: 2 },
+            TopologySpec::CompleteDag { internal: 2 },
+        ],
+        seeds: vec![11, 12],
+        random_schedulers: 1,
+        max_deliveries: 1_000_000,
+    }
+}
+
+fn honest_pass(spec: &SweepSpec, manifest: &Manifest) -> String {
+    let lines = shard_lines(spec, manifest, 1, Partition::Hash, 0).expect("honest pass runs");
+    merge_lines(manifest.len(), [lines]).expect("honest pass covers")
+}
+
+fn dedup_pass(
+    spec: &SweepSpec,
+    manifest: &Manifest,
+    cache: Option<&std::path::Path>,
+) -> (String, DedupStats) {
+    let (lines, stats) =
+        dedup_shard_lines(spec, manifest, 1, Partition::Hash, 0, cache).expect("dedup pass runs");
+    (
+        merge_lines(manifest.len(), [lines]).expect("dedup pass covers"),
+        stats,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        SampleConfig::smoke()
+    } else {
+        SampleConfig::full()
+    };
+
+    let spec = bench_spec();
+    let manifest = Manifest::from_spec(&spec);
+    let cache = std::env::temp_dir().join(format!(
+        "anet-bench-sweep-dedup-cache-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&cache);
+
+    // Correctness cross-check before any timing: dedup (cold and via a warm
+    // cache) must match the honest pass byte for byte.
+    let baseline = honest_pass(&spec, &manifest);
+    let (cold, stats) = dedup_pass(&spec, &manifest, None);
+    assert_eq!(cold, baseline, "dedup output diverged from honest output");
+    let (primed, _) = dedup_pass(&spec, &manifest, Some(&cache));
+    let (warm, warm_stats) = dedup_pass(&spec, &manifest, Some(&cache));
+    assert_eq!(primed, baseline);
+    assert_eq!(warm, baseline, "warm-cache output diverged");
+    assert_eq!(warm_stats.cache_hits, warm_stats.clusters);
+    assert!(
+        stats.clusters * 2 <= stats.units,
+        "bench spec lost its redundancy: {} units -> {} clusters",
+        stats.units,
+        stats.clusters
+    );
+
+    let no_dedup_ns = median_ns(&cfg, || {
+        honest_pass(&spec, &manifest);
+    });
+    let dedup_ns = median_ns(&cfg, || {
+        dedup_pass(&spec, &manifest, None);
+    });
+    let warm_ns = median_ns(&cfg, || {
+        dedup_pass(&spec, &manifest, Some(&cache));
+    });
+    let _ = std::fs::remove_dir_all(&cache);
+
+    let ratio = |a: u64, b: u64| a as f64 / b.max(1) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_dedup\",\n  \"unit\": \"ns_per_sweep_median\",\n  \"workload\": \"full single-shard sweep over a redundancy-heavy spec ({} units, {} equivalence classes); see crates/sweep/src/bin/bench_sweep_dedup.rs\",\n  \"results\": [\n    {{\"mode\": \"no-dedup\", \"median_ns\": {}}},\n    {{\"mode\": \"dedup\", \"median_ns\": {}}},\n    {{\"mode\": \"dedup-warm-cache\", \"median_ns\": {}}}\n  ],\n  \"manifest_units\": {},\n  \"clusters\": {},\n  \"speedup_no_dedup_over_dedup\": {:.2},\n  \"speedup_no_dedup_over_warm_cache\": {:.2}\n}}\n",
+        stats.units,
+        stats.clusters,
+        no_dedup_ns,
+        dedup_ns,
+        warm_ns,
+        stats.units,
+        stats.clusters,
+        ratio(no_dedup_ns, dedup_ns),
+        ratio(no_dedup_ns, warm_ns),
+    );
+
+    if smoke {
+        // Key-drift check against the committed baseline, numbers ignored.
+        let committed = match std::fs::read_to_string(BASELINE_PATH) {
+            Ok(contents) => contents,
+            Err(err) => {
+                eprintln!("FAIL {BASELINE_PATH}: cannot read committed baseline: {err}");
+                std::process::exit(1);
+            }
+        };
+        let expected = result_keys(&json);
+        let actual = result_keys(&committed);
+        if expected == actual {
+            println!(
+                "ok   {BASELINE_PATH}: {} benchmark keys match",
+                expected.len()
+            );
+            return;
+        }
+        eprintln!("FAIL {BASELINE_PATH}: benchmark keys drifted from the committed baseline");
+        for missing in expected.difference(&actual) {
+            eprintln!("  bench grid has, baseline lacks: {missing}");
+        }
+        for stale in actual.difference(&expected) {
+            eprintln!("  baseline has, bench grid lacks: {stale}");
+        }
+        eprintln!("  regenerate with: cargo run --release -p anet-sweep --bin bench_sweep_dedup");
+        std::process::exit(1);
+    }
+
+    std::fs::write(BASELINE_PATH, &json).expect("write baseline file");
+    print!("{json}");
+    if no_dedup_ns < dedup_ns * 2 {
+        eprintln!(
+            "warning: dedup speedup {:.2}x is below the expected 2x",
+            ratio(no_dedup_ns, dedup_ns)
+        );
+    }
+}

@@ -4,6 +4,7 @@
 //! ```text
 //! sweep [--spec FILE] [--shards N] [--jobs N] [--out DIR]
 //!       [--partition hash|round-robin] [--resume]
+//!       [--no-dedup] [--cache-dir DIR]
 //! sweep --run-shard I --spec FILE --shards N --out DIR [...]   (internal)
 //! sweep --check FILE_A FILE_B
 //! ```
@@ -16,21 +17,35 @@
 //! files; `--check` compares two merged files and, on mismatch, reports which
 //! rows differ via `anet_bench::baseline::result_keys`.
 //!
+//! **Deduplication is on by default**: each shard clusters its pending units
+//! by canonical fingerprint and executes one representative per equivalence
+//! class; `--cache-dir DIR` adds a content-addressed result cache shared
+//! across shards, runs and specs. `--no-dedup` keeps the honest
+//! one-execution-per-unit path; merged output is byte-identical either way
+//! (the differential contract pinned by tests and CI). Each shard writes its
+//! dedup counters to a `shard-i.stats` sidecar; the parent sums them into
+//! `stats.json` and prints the run summary. `--check` reports any
+//! `stats.json` found next to the files it compares.
+//!
 //! `--resume` makes each shard reuse the complete records of an existing
 //! shard file (a killed shard's torn tail is discarded), re-running only the
 //! missing units.
 //!
-//! `--jobs N` fans each shard's units over `N` scoped worker threads inside
-//! the shard process. Output is byte-identical to `--jobs 1` — records are
-//! pure functions of their units and are assembled in shard-manifest order —
-//! so parallelism is purely a throughput knob.
+//! `--jobs N` fans each shard's work over `N` scoped worker threads inside
+//! the shard process (with dedup, the representatives are what is fanned
+//! out). Output is byte-identical to `--jobs 1` — records are pure functions
+//! of their units and are assembled in shard-manifest order — so parallelism
+//! is purely a throughput knob.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
 use anet_bench::baseline::result_keys;
 use anet_sweep::manifest::fnv1a;
-use anet_sweep::{merge_shard_files, run_shard_to_file_with_jobs, Manifest, Partition, SweepSpec};
+use anet_sweep::{
+    merge_shard_files, run_shard_to_file_with_opts, DedupStats, Manifest, Partition, SweepOptions,
+    SweepSpec,
+};
 
 /// The spec used when no `--spec` is given (committed at
 /// `crates/sweep/specs/example.spec`).
@@ -44,6 +59,8 @@ struct Args {
     out: Option<PathBuf>,
     partition: Partition,
     resume: bool,
+    dedup: bool,
+    cache_dir: Option<PathBuf>,
     run_shard: Option<usize>,
     check: Option<(PathBuf, PathBuf)>,
 }
@@ -51,7 +68,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--spec FILE] [--shards N] [--jobs N] [--out DIR] \
-         [--partition hash|round-robin] [--resume]\n       \
+         [--partition hash|round-robin] [--resume] [--no-dedup] [--cache-dir DIR]\n       \
          sweep --run-shard I --spec FILE --shards N --out DIR (internal)\n       \
          sweep --check FILE_A FILE_B"
     );
@@ -66,6 +83,8 @@ fn parse_args() -> Args {
         out: None,
         partition: Partition::Hash,
         resume: false,
+        dedup: true,
+        cache_dir: None,
         run_shard: None,
         check: None,
     };
@@ -89,6 +108,8 @@ fn parse_args() -> Args {
             "--out" => args.out = Some(PathBuf::from(value())),
             "--partition" => args.partition = Partition::parse(&value()).unwrap_or_else(|| usage()),
             "--resume" => args.resume = true,
+            "--no-dedup" => args.dedup = false,
+            "--cache-dir" => args.cache_dir = Some(PathBuf::from(value())),
             "--run-shard" => args.run_shard = Some(value().parse().unwrap_or_else(|_| usage())),
             "--check" => {
                 let a = PathBuf::from(value());
@@ -115,6 +136,11 @@ fn load_spec(path: &Path) -> SweepSpec {
 
 fn shard_path(out: &Path, shard: usize) -> PathBuf {
     out.join(format!("shard-{shard}.jsonl"))
+}
+
+/// The dedup-counter sidecar a shard child publishes next to its JSONL file.
+fn stats_path(out: &Path, shard: usize) -> PathBuf {
+    out.join(format!("shard-{shard}.stats"))
 }
 
 fn partition_flag(partition: Partition) -> &'static str {
@@ -157,115 +183,176 @@ fn main() -> ExitCode {
     let manifest = Manifest::from_spec(&spec);
 
     if let Some(shard) = args.run_shard {
-        // Child mode: run one shard and exit.
-        if shard >= args.shards {
-            eprintln!(
-                "sweep: --run-shard {shard} out of range for {}",
-                args.shards
-            );
-            return ExitCode::FAILURE;
-        }
-        let path = shard_path(&out, shard);
-        match run_shard_to_file_with_jobs(
-            &spec,
-            &manifest,
-            args.shards,
-            args.partition,
-            shard,
-            &path,
-            args.resume,
-            args.jobs,
-        ) {
-            Ok(outcome) => {
-                println!(
-                    "shard {shard}/{}: {} executed, {} reused -> {}",
-                    args.shards,
-                    outcome.executed,
-                    outcome.reused,
-                    path.display()
-                );
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("sweep: shard {shard} failed: {e}");
-                ExitCode::FAILURE
-            }
-        }
+        run_child_shard(&args, &spec, &manifest, &out, shard)
     } else {
-        // Parent mode: self-invoke one child process per shard, then merge.
-        let exe = match std::env::current_exe() {
-            Ok(exe) => exe,
-            Err(e) => {
-                eprintln!("sweep: cannot locate own executable: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let mut children = Vec::new();
-        for shard in 0..args.shards {
-            let mut cmd = Command::new(&exe);
-            cmd.arg("--spec")
-                .arg(&spec_path)
-                .arg("--shards")
-                .arg(args.shards.to_string())
-                .arg("--out")
-                .arg(&out)
-                .arg("--partition")
-                .arg(partition_flag(args.partition))
-                .arg("--jobs")
-                .arg(args.jobs.to_string())
-                .arg("--run-shard")
-                .arg(shard.to_string());
-            if args.resume {
-                cmd.arg("--resume");
-            }
-            match cmd.spawn() {
-                Ok(child) => children.push((shard, child)),
-                Err(e) => {
-                    eprintln!("sweep: cannot spawn shard {shard}: {e}");
+        run_parent(&args, &manifest, &spec_path, &out)
+    }
+}
+
+/// Child mode: run one shard, publish its JSONL file and stats sidecar.
+fn run_child_shard(
+    args: &Args,
+    spec: &SweepSpec,
+    manifest: &Manifest,
+    out: &Path,
+    shard: usize,
+) -> ExitCode {
+    if shard >= args.shards {
+        eprintln!(
+            "sweep: --run-shard {shard} out of range for {}",
+            args.shards
+        );
+        return ExitCode::FAILURE;
+    }
+    let path = shard_path(out, shard);
+    let opts = SweepOptions {
+        jobs: args.jobs,
+        resume: args.resume,
+        dedup: args.dedup,
+        cache_dir: args.cache_dir.clone(),
+    };
+    match run_shard_to_file_with_opts(
+        spec,
+        manifest,
+        args.shards,
+        args.partition,
+        shard,
+        &path,
+        &opts,
+    ) {
+        Ok(report) => {
+            println!(
+                "shard {shard}/{}: {} executed, {} reused -> {}",
+                args.shards,
+                report.outcome.executed,
+                report.outcome.reused,
+                path.display()
+            );
+            if let Some(stats) = &report.stats {
+                println!("shard {shard}/{} {}", args.shards, stats.summary());
+                let sidecar = stats_path(out, shard);
+                if let Err(e) = std::fs::write(&sidecar, format!("{}\n", stats.to_json_line())) {
+                    eprintln!("sweep: cannot write {}: {e}", sidecar.display());
                     return ExitCode::FAILURE;
                 }
             }
+            ExitCode::SUCCESS
         }
-        let mut failed = false;
-        for (shard, mut child) in children {
-            match child.wait() {
-                Ok(status) if status.success() => {}
-                Ok(status) => {
-                    eprintln!("sweep: shard {shard} exited with {status}");
-                    failed = true;
-                }
-                Err(e) => {
-                    eprintln!("sweep: cannot wait for shard {shard}: {e}");
-                    failed = true;
-                }
-            }
-        }
-        if failed {
-            return ExitCode::FAILURE;
-        }
-
-        let shard_paths: Vec<PathBuf> = (0..args.shards).map(|s| shard_path(&out, s)).collect();
-        let merged_path = out.join("merged.jsonl");
-        match merge_shard_files(manifest.len(), &shard_paths, &merged_path) {
-            Ok(units) => {
-                let bytes = std::fs::read(&merged_path).unwrap_or_default();
-                println!(
-                    "merged {units} units from {} shard(s) -> {} (fnv1a {:016x})",
-                    args.shards,
-                    merged_path.display(),
-                    fnv1a(&bytes)
-                );
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("sweep: {e}");
-                ExitCode::FAILURE
-            }
+        Err(e) => {
+            eprintln!("sweep: shard {shard} failed: {e}");
+            ExitCode::FAILURE
         }
     }
 }
 
-/// Compares two merged JSONL files; on mismatch reports the row-identity diff.
+/// Parent mode: self-invoke one child process per shard, merge, aggregate
+/// dedup stats.
+fn run_parent(args: &Args, manifest: &Manifest, spec_path: &Path, out: &Path) -> ExitCode {
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("sweep: cannot locate own executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut children = Vec::new();
+    for shard in 0..args.shards {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--spec")
+            .arg(spec_path)
+            .arg("--shards")
+            .arg(args.shards.to_string())
+            .arg("--out")
+            .arg(out)
+            .arg("--partition")
+            .arg(partition_flag(args.partition))
+            .arg("--jobs")
+            .arg(args.jobs.to_string())
+            .arg("--run-shard")
+            .arg(shard.to_string());
+        if args.resume {
+            cmd.arg("--resume");
+        }
+        if !args.dedup {
+            cmd.arg("--no-dedup");
+        }
+        if let Some(dir) = &args.cache_dir {
+            cmd.arg("--cache-dir").arg(dir);
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push((shard, child)),
+            Err(e) => {
+                eprintln!("sweep: cannot spawn shard {shard}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut failed = false;
+    for (shard, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("sweep: shard {shard} exited with {status}");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("sweep: cannot wait for shard {shard}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+
+    let shard_paths: Vec<PathBuf> = (0..args.shards).map(|s| shard_path(out, s)).collect();
+    let merged_path = out.join("merged.jsonl");
+    match merge_shard_files(manifest.len(), &shard_paths, &merged_path) {
+        Ok(units) => {
+            let bytes = std::fs::read(&merged_path).unwrap_or_default();
+            println!(
+                "merged {units} units from {} shard(s) -> {} (fnv1a {:016x})",
+                args.shards,
+                merged_path.display(),
+                fnv1a(&bytes)
+            );
+            if args.dedup {
+                match aggregate_stats(out, args.shards) {
+                    Ok(total) => println!("{}", total.summary()),
+                    Err(e) => {
+                        eprintln!("sweep: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Sums the shard stats sidecars into `stats.json` in the output directory.
+fn aggregate_stats(out: &Path, shards: usize) -> Result<DedupStats, String> {
+    let mut total = DedupStats::default();
+    for shard in 0..shards {
+        let path = stats_path(out, shard);
+        let contents = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let stats = DedupStats::parse_line(contents.trim_end_matches('\n'))
+            .ok_or_else(|| format!("{}: not a canonical stats line", path.display()))?;
+        total.add(&stats);
+    }
+    let path = out.join("stats.json");
+    std::fs::write(&path, format!("{}\n", total.to_json_line()))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(total)
+}
+
+/// Compares two merged JSONL files; on mismatch reports the row-identity
+/// diff. Any `stats.json` found next to the inputs is reported alongside.
 fn check(a: &Path, b: &Path) -> ExitCode {
     let read = |p: &Path| {
         std::fs::read_to_string(p).unwrap_or_else(|e| {
@@ -275,6 +362,14 @@ fn check(a: &Path, b: &Path) -> ExitCode {
     };
     let contents_a = read(a);
     let contents_b = read(b);
+    for path in [a, b] {
+        let stats_file = path.parent().unwrap_or(Path::new(".")).join("stats.json");
+        if let Ok(contents) = std::fs::read_to_string(&stats_file) {
+            if let Some(stats) = DedupStats::parse_line(contents.trim_end_matches('\n')) {
+                println!("{}: {}", stats_file.display(), stats.summary());
+            }
+        }
+    }
     if contents_a == contents_b {
         println!(
             "byte-identical: {} == {} ({} lines)",

@@ -1,0 +1,299 @@
+//! The content-addressed on-disk result cache.
+//!
+//! Cache entries are keyed by the 128-bit unit fingerprint
+//! ([`unit_fingerprint`](crate::dedup::unit_fingerprint)): everything a
+//! record's bytes depend on except the unit's own name fields. An entry holds
+//! a [`CachePayload`] — the result half of a [`RunRecord`] — as one canonical
+//! line that embeds its own fingerprint and a format version.
+//!
+//! Robustness contract, mirroring the shard checkpoint files:
+//!
+//! * **Atomic publication**: entries are written to a process-unique temp
+//!   file and `rename`d into place, so readers never observe a torn entry and
+//!   concurrent writers (two shards discovering the same unit) harmlessly
+//!   race to publish identical bytes.
+//! * **Corruption is a miss**: a load re-parses the entry through the same
+//!   byte-exact round-trip gate as every other canonical line in this crate,
+//!   and checks the embedded fingerprint against the file's name. Torn,
+//!   stale-format, truncated or mis-filed entries all come back as `None` —
+//!   the unit is simply re-run and the entry rewritten.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::manifest::SweepUnit;
+use crate::record::RunRecord;
+
+/// The result half of a [`RunRecord`]: every field that is a function of the
+/// unit's equivalence class, none of the fields that name the unit itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachePayload {
+    /// How the run ended.
+    pub outcome: String,
+    /// Protocol-specific success check.
+    pub ok: bool,
+    /// Messages sent.
+    pub sent: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Deliveries at first terminal acceptance, if the run terminated.
+    pub accepted_at: Option<u64>,
+    /// Total wire bits.
+    pub total_bits: u64,
+    /// Largest single message, bits.
+    pub max_msg_bits: u64,
+    /// Largest per-edge bit total, bits.
+    pub max_edge_bits: u64,
+    /// Trace digest of the (canonical-network) run.
+    pub trace_digest: u64,
+}
+
+impl CachePayload {
+    /// Extracts the payload of a record.
+    pub fn from_record(record: &RunRecord) -> CachePayload {
+        CachePayload {
+            outcome: record.outcome.clone(),
+            ok: record.ok,
+            sent: record.sent,
+            delivered: record.delivered,
+            accepted_at: record.accepted_at,
+            total_bits: record.total_bits,
+            max_msg_bits: record.max_msg_bits,
+            max_edge_bits: record.max_edge_bits,
+            trace_digest: record.trace_digest,
+        }
+    }
+
+    /// Reconstitutes the full record of `unit` from this payload.
+    ///
+    /// Sound exactly when `fingerprint(unit) == fingerprint(entry)` — the
+    /// caller's cache lookup — because the payload fields are a pure function
+    /// of the fingerprinted inputs.
+    pub fn record_for(&self, unit: &SweepUnit) -> RunRecord {
+        RunRecord {
+            index: unit.index,
+            protocol: unit.protocol.name(),
+            topology: unit.topology.name(),
+            scheduler: unit.scheduler.clone(),
+            battery_index: unit.battery_index,
+            seed: unit.seed,
+            outcome: self.outcome.clone(),
+            ok: self.ok,
+            sent: self.sent,
+            delivered: self.delivered,
+            accepted_at: self.accepted_at,
+            total_bits: self.total_bits,
+            max_msg_bits: self.max_msg_bits,
+            max_edge_bits: self.max_edge_bits,
+            trace_digest: self.trace_digest,
+        }
+    }
+
+    /// The canonical entry line (no trailing newline), embedding the entry's
+    /// own fingerprint and format version.
+    pub fn to_entry_line(&self, fingerprint: &str) -> String {
+        let accepted = match self.accepted_at {
+            Some(n) => n.to_string(),
+            None => "null".to_owned(),
+        };
+        format!(
+            "{{\"cache\": \"v1\", \"fp\": \"{}\", \"outcome\": \"{}\", \"ok\": {}, \"sent\": {}, \"delivered\": {}, \"accepted_at\": {}, \"total_bits\": {}, \"max_msg_bits\": {}, \"max_edge_bits\": {}, \"trace\": \"{:016x}\"}}",
+            fingerprint,
+            self.outcome,
+            self.ok,
+            self.sent,
+            self.delivered,
+            accepted,
+            self.total_bits,
+            self.max_msg_bits,
+            self.max_edge_bits,
+            self.trace_digest,
+        )
+    }
+
+    /// Parses an entry line for `fingerprint`, returning `None` for anything
+    /// that is not byte-exactly canonical or that carries a different
+    /// fingerprint or version.
+    pub fn parse_entry_line(line: &str, fingerprint: &str) -> Option<CachePayload> {
+        let body = line.strip_prefix('{')?.strip_suffix('}')?;
+        let mut fields = std::collections::HashMap::new();
+        for field in body.split(", ") {
+            let (key, value) = field.split_once(": ")?;
+            fields.insert(key.strip_prefix('"')?.strip_suffix('"')?, value);
+        }
+        let string = |key: &str| -> Option<String> {
+            let inner = fields.get(key)?.strip_prefix('"')?.strip_suffix('"')?;
+            if inner.contains(['\\', '"']) {
+                return None;
+            }
+            Some(inner.to_owned())
+        };
+        let int = |key: &str| -> Option<u64> { fields.get(key)?.parse().ok() };
+        if string("cache")? != "v1" || string("fp")? != fingerprint {
+            return None;
+        }
+        let payload = CachePayload {
+            outcome: string("outcome")?,
+            ok: match *fields.get("ok")? {
+                "true" => true,
+                "false" => false,
+                _ => return None,
+            },
+            sent: int("sent")?,
+            delivered: int("delivered")?,
+            accepted_at: match *fields.get("accepted_at")? {
+                "null" => None,
+                v => Some(v.parse().ok()?),
+            },
+            total_bits: int("total_bits")?,
+            max_msg_bits: int("max_msg_bits")?,
+            max_edge_bits: int("max_edge_bits")?,
+            trace_digest: {
+                let hex = string("trace")?;
+                if hex.len() != 16 {
+                    return None;
+                }
+                u64::from_str_radix(&hex, 16).ok()?
+            },
+        };
+        (payload.to_entry_line(fingerprint) == line).then_some(payload)
+    }
+}
+
+/// A directory of content-addressed result entries, shared freely between
+/// shards, processes and sweeps over *different* specs — the fingerprint is
+/// the whole identity.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of `create_dir_all` if the directory cannot exist.
+    pub fn new(dir: &Path) -> io::Result<ResultCache> {
+        fs::create_dir_all(dir)?;
+        Ok(ResultCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn entry_path(&self, fingerprint: &str) -> PathBuf {
+        self.dir.join(format!("{fingerprint}.entry"))
+    }
+
+    /// Loads the entry for `fingerprint`, treating every failure mode —
+    /// missing file, unreadable bytes, torn or stale or mis-filed entry — as
+    /// a miss.
+    pub fn load(&self, fingerprint: &str) -> Option<CachePayload> {
+        let contents = fs::read_to_string(self.entry_path(fingerprint)).ok()?;
+        CachePayload::parse_entry_line(contents.strip_suffix('\n')?, fingerprint)
+    }
+
+    /// Publishes the entry for `fingerprint` atomically (process-unique temp
+    /// file, then rename). Concurrent stores of the same fingerprint write
+    /// identical bytes, so whichever rename lands last changes nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns file-system errors; the caller may treat them as non-fatal
+    /// (the sweep result does not depend on the cache).
+    pub fn store(&self, fingerprint: &str, payload: &CachePayload) -> io::Result<()> {
+        let path = self.entry_path(fingerprint);
+        let tmp = self
+            .dir
+            .join(format!("{fingerprint}.tmp.{}", std::process::id()));
+        fs::write(&tmp, format!("{}\n", payload.to_entry_line(fingerprint)))?;
+        fs::rename(&tmp, &path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload() -> CachePayload {
+        CachePayload {
+            outcome: "terminated".to_owned(),
+            ok: true,
+            sent: 40,
+            delivered: 34,
+            accepted_at: Some(34),
+            total_bits: 1234,
+            max_msg_bits: 99,
+            max_edge_bits: 456,
+            trace_digest: 0x00ab12cd34ef5678,
+        }
+    }
+
+    fn temp_cache(name: &str) -> ResultCache {
+        let dir =
+            std::env::temp_dir().join(format!("anet-sweep-cache-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ResultCache::new(&dir).unwrap()
+    }
+
+    const FP: &str = "0123456789abcdef0123456789abcdef";
+
+    #[test]
+    fn entry_line_round_trips() {
+        let p = payload();
+        let line = p.to_entry_line(FP);
+        assert_eq!(CachePayload::parse_entry_line(&line, FP), Some(p));
+        // Wrong fingerprint, truncations and spacing changes are rejected.
+        assert_eq!(
+            CachePayload::parse_entry_line(&line, "ffff6789abcdef0123456789abcdef01"),
+            None
+        );
+        for cut in 1..line.len() {
+            assert_eq!(CachePayload::parse_entry_line(&line[..cut], FP), None);
+        }
+        assert_eq!(
+            CachePayload::parse_entry_line(&line.replace(", ", ","), FP),
+            None
+        );
+        assert_eq!(
+            CachePayload::parse_entry_line(&line.replace("v1", "v0"), FP),
+            None
+        );
+    }
+
+    #[test]
+    fn store_then_load_round_trips_and_corruption_is_a_miss() {
+        let cache = temp_cache("roundtrip");
+        assert_eq!(cache.load(FP), None, "cold cache");
+        cache.store(FP, &payload()).unwrap();
+        assert_eq!(cache.load(FP), Some(payload()));
+        // Torn entry: a prefix of the real bytes. Load must miss, not error.
+        let path = cache.entry_path(FP);
+        let bytes = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(cache.load(FP), None);
+        // Re-store repairs it.
+        cache.store(FP, &payload()).unwrap();
+        assert_eq!(cache.load(FP), Some(payload()));
+        // Garbage entry.
+        fs::write(&path, "not an entry\n").unwrap();
+        assert_eq!(cache.load(FP), None);
+    }
+
+    #[test]
+    fn payload_extract_and_rebuild_are_inverses() {
+        let spec = crate::SweepSpec {
+            protocols: vec![crate::ProtocolSpec::Mapping],
+            topologies: vec![crate::TopologySpec::Path { n: 2 }],
+            seeds: vec![0],
+            random_schedulers: 0,
+            max_deliveries: 100_000,
+        };
+        let manifest = crate::Manifest::from_spec(&spec);
+        let unit = &manifest.units[1];
+        let record = crate::execute_unit(&spec, unit).unwrap();
+        let rebuilt = CachePayload::from_record(&record).record_for(unit);
+        assert_eq!(rebuilt, record);
+    }
+}

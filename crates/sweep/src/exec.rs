@@ -3,17 +3,30 @@
 //! [`execute_unit`] is the only place a sweep touches the simulator: it
 //! rebuilds the unit's network from its [`TopologySpec`](crate::TopologySpec)
 //! (self-seeded, so the
-//! construction is identical in every process), runs exactly one cell of the
-//! standard battery via [`anet_sim::runner::run_battery_cell`] with trace
-//! recording on, applies the protocol's own success check, and distils the
-//! result into a canonical [`RunRecord`]. Two executions of the same unit —
-//! same process, different process, different host — produce byte-identical
-//! records, which is the invariant the whole shard/merge machinery rests on.
+//! construction is identical in every process), **canonicalizes** it
+//! ([`anet_graph::canon`]), runs exactly one cell of the standard battery via
+//! [`anet_sim::runner::run_battery_cell`] with trace recording on, applies
+//! the protocol's own success check, and distils the result into a canonical
+//! [`RunRecord`]. Two executions of the same unit — same process, different
+//! process, different host — produce byte-identical records, which is the
+//! invariant the whole shard/merge machinery rests on.
+//!
+//! Running on the canonical relabeling (rather than the generator's raw
+//! labeling) is deliberate and unconditional — the honest `--no-dedup` path
+//! uses it too. It makes every record a pure function of the unit's
+//! *equivalence class* (protocol, canonical topology form, seed, battery
+//! position, budget): isomorphic topologies drive bit-for-bit identical
+//! simulations, so the dedup layer's rewritten member records equal honest
+//! execution by construction, and `dedup` vs `--no-dedup` byte-identity is a
+//! theorem the differential tests merely re-check. The protocols themselves
+//! are anonymous — they observe degrees and port indices, never vertex ids —
+//! so which isomorphic representative runs is pure bookkeeping.
 
 use anet_core::general_broadcast::GeneralBroadcast;
 use anet_core::labeling::Labeling;
 use anet_core::mapping::{Mapping, ReconstructedTopology};
 use anet_core::Payload;
+use anet_graph::canon::canonical_form;
 use anet_graph::Network;
 use anet_num::IntervalUnion;
 use anet_sim::engine::{ExecutionConfig, RunConfig};
@@ -32,7 +45,11 @@ use crate::SweepError;
 /// Returns [`SweepError::Topology`] if the unit's topology parameters are
 /// rejected by the generator (a spec bug, not a runtime condition).
 pub fn execute_unit(spec: &SweepSpec, unit: &SweepUnit) -> Result<RunRecord, SweepError> {
-    let network = unit.topology.build().map_err(SweepError::Topology)?;
+    let built = unit.topology.build().map_err(SweepError::Topology)?;
+    let network = canonical_form(&built)
+        .form
+        .to_network()
+        .map_err(SweepError::Topology)?;
     let config = RunConfig::from(ExecutionConfig {
         max_deliveries: spec.max_deliveries,
         record_trace: true,

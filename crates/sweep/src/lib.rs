@@ -41,6 +41,41 @@
 //!    `shards = 1` run — the correctness contract pinned by the
 //!    merge-equivalence property tests and the CI `sweep_smoke` step.
 //!
+//! # Deduplication: fingerprint → cluster → cache
+//!
+//! Most units of a large sweep are redundant: a record is a pure function of
+//! **(protocol, canonical topology form, seed, battery position, budget)**,
+//! and generated topologies are frequently isomorphic across families, sizes
+//! and generator seeds. The dedup layer (on by default in the CLI) exploits
+//! this in three steps:
+//!
+//! * **Fingerprint** — [`execute_unit`] always runs on the *canonically
+//!   relabeled* network ([`anet_graph::canon`]), so isomorphic topologies
+//!   drive bit-for-bit identical simulations. [`unit_fingerprint`] condenses
+//!   the record's full input tuple into a 128-bit content address.
+//! * **Cluster** — [`Manifest::cluster_units`] / [`cluster_units`] group
+//!   units whose key tuples are **exactly equal** (canonical forms compared
+//!   structurally — the hash only names cache entries, so a weak labeling
+//!   can cost coverage but never correctness). Each cluster's manifest-first
+//!   unit is the representative; only representatives execute, and member
+//!   records are emitted by rewriting the representative's record with the
+//!   member's own name fields ([`RunRecord::rebind`], which asserts the
+//!   cluster-key fields agree).
+//! * **Cache** — a [`ResultCache`] directory (`--cache-dir`) stores each
+//!   cluster's result payload under its fingerprint: atomic
+//!   write-then-rename, byte-exact round-trip validation on load, and every
+//!   failure mode (torn, stale, corrupt, mis-filed) degrades to a miss.
+//!   Repeated units never re-run — across shards, across runs, across
+//!   *specs*.
+//!
+//! The **`--no-dedup` differential contract**: the honest path (every unit
+//! executed individually) and the dedup path produce byte-identical merged
+//! output — cold cache, warm cache, any shard count. `sweep --check` and the
+//! run summary report the [`DedupStats`] (clusters, representatives run,
+//! members by reference, cache hits/misses) so the speedup is observable,
+//! and the `dedup_differential` tests plus the CI `dedup_smoke` step pin the
+//! byte-identity.
+//!
 //! The `sweep` binary drives the process layer: the parent re-invokes its own
 //! executable with `--run-shard i` per shard, waits, and merges. Within a
 //! shard process, `--jobs N` fans the shard's units over `N` scoped worker
@@ -52,17 +87,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod dedup;
 pub mod exec;
 pub mod manifest;
 pub mod merge;
 pub mod record;
 pub mod spec;
 
+pub use cache::{CachePayload, ResultCache};
+pub use dedup::{cluster_units, unit_fingerprint, DedupStats, UnitCluster};
 pub use exec::execute_unit;
 pub use manifest::{Manifest, Partition, SweepUnit};
 pub use merge::{
-    merge_lines, merge_shard_files, run_shard_to_file, run_shard_to_file_with_jobs,
-    run_sweep_in_process, run_sweep_threaded, shard_lines, ShardOutcome,
+    dedup_shard_lines, merge_lines, merge_shard_files, run_shard_to_file,
+    run_shard_to_file_with_jobs, run_shard_to_file_with_opts, run_sweep_in_process,
+    run_sweep_threaded, shard_lines, ShardOutcome, ShardReport, SweepOptions,
 };
 pub use record::RunRecord;
 pub use spec::{ProtocolSpec, SweepSpec, TopologySpec};

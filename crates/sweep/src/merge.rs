@@ -24,12 +24,22 @@
 //! unit index. Because every line is a pure function of its unit, the merged
 //! bytes are identical for every shard count — the sweep subsystem's central
 //! correctness contract.
+//!
+//! [`run_shard_to_file_with_opts`] adds the dedup/cache pipeline on top:
+//! pending units are clustered by canonical fingerprint ([`crate::dedup`]),
+//! the content-addressed cache ([`crate::cache`]) resolves whole clusters,
+//! only representatives of missed clusters execute, and member lines are
+//! rewritten from their representative's record. Because the executor runs
+//! every unit on its canonical network, the written file — and therefore the
+//! merged output — is byte-identical whether dedup is on or off.
 
 use std::collections::HashMap;
 use std::fs;
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
+use crate::cache::{CachePayload, ResultCache};
+use crate::dedup::{cluster_units, DedupStats};
 use crate::exec::execute_unit;
 use crate::manifest::{Manifest, Partition, SweepUnit};
 use crate::record::RunRecord;
@@ -44,6 +54,33 @@ pub struct ShardOutcome {
     pub executed: usize,
     /// Units reused from the existing shard file.
     pub reused: usize,
+}
+
+/// Options for a shard run — the superset of every knob the `sweep` CLI
+/// forwards to its shard children.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Intra-shard worker threads (`<= 1` means sequential).
+    pub jobs: usize,
+    /// Reuse a matching checkpoint found at the output path.
+    pub resume: bool,
+    /// Cluster pending units by canonical fingerprint and execute one
+    /// representative per equivalence class ([`crate::dedup`]).
+    pub dedup: bool,
+    /// Content-addressed result cache directory, consulted and fed by the
+    /// dedup path. Ignored when `dedup` is off (the honest path never
+    /// reads results it did not compute).
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// A [`ShardOutcome`] plus the dedup counters, when dedup ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Executed/reused unit counts.
+    pub outcome: ShardOutcome,
+    /// Dedup statistics over this invocation's pending units; `None` when
+    /// the shard ran the honest path.
+    pub stats: Option<DedupStats>,
 }
 
 /// The `(index, line)` pairs of one shard's completed units, in manifest order.
@@ -157,9 +194,159 @@ pub fn run_shard_to_file_with_jobs(
     resume: bool,
     jobs: usize,
 ) -> Result<ShardOutcome, SweepError> {
+    let opts = SweepOptions {
+        jobs,
+        resume,
+        dedup: false,
+        cache_dir: None,
+    };
+    run_shard_to_file_with_opts(spec, manifest, shards, partition, shard, path, &opts)
+        .map(|report| report.outcome)
+}
+
+/// Executes `(tag, unit)` tasks, fanning over `jobs` scoped worker threads
+/// when `jobs > 1`, and returns `(tag, record)` pairs (in worker-stripe
+/// order — callers address results by tag, never by position). This is the
+/// single execution engine behind both the honest and the dedup shard paths.
+fn execute_tagged(
+    spec: &SweepSpec,
+    tasks: &[(usize, &SweepUnit)],
+    jobs: usize,
+) -> Result<Vec<(usize, RunRecord)>, SweepError> {
+    if jobs <= 1 || tasks.len() <= 1 {
+        return tasks
+            .iter()
+            .map(|&(tag, unit)| execute_unit(spec, unit).map(|record| (tag, record)))
+            .collect();
+    }
+    let workers = jobs.min(tasks.len());
+    let worker_results: Vec<Result<Vec<(usize, RunRecord)>, SweepError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        tasks
+                            .iter()
+                            .skip(worker)
+                            .step_by(workers)
+                            .map(|&(tag, unit)| {
+                                execute_unit(spec, unit).map(|record| (tag, record))
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep job thread panicked"))
+                .collect()
+        });
+    let mut out = Vec::with_capacity(tasks.len());
+    for result in worker_results {
+        out.extend(result?);
+    }
+    Ok(out)
+}
+
+/// Produces the lines of `pending` `(tag, unit)` tasks through the dedup
+/// pipeline: cluster by canonical fingerprint, consult the cache per cluster,
+/// execute only the representatives of missed clusters (jobs-parallel),
+/// publish fresh results to the cache, and emit every member's line by
+/// rewriting its representative's record ([`RunRecord::rebind`], which
+/// asserts the cluster-key fields agree).
+///
+/// Returns one `(tag, line)` per task plus the [`DedupStats`] of the batch.
+/// The lines are byte-identical to honest per-unit execution — the executor
+/// runs every unit on its canonical network, so members of a class cannot
+/// differ (the property the differential tests pin).
+fn execute_tagged_dedup(
+    spec: &SweepSpec,
+    pending: &[(usize, &SweepUnit)],
+    jobs: usize,
+    cache_dir: Option<&Path>,
+) -> Result<(Vec<(usize, String)>, DedupStats), SweepError> {
+    let unit_refs: Vec<&SweepUnit> = pending.iter().map(|&(_, unit)| unit).collect();
+    let clusters = cluster_units(spec, &unit_refs)?;
+    let cache = match cache_dir {
+        Some(dir) => Some(ResultCache::new(dir).map_err(SweepError::Io)?),
+        None => None,
+    };
+    let mut stats = DedupStats {
+        units: pending.len(),
+        clusters: clusters.len(),
+        ..DedupStats::default()
+    };
+
+    // Cache pass: resolve whole clusters from the content-addressed store.
+    let mut records: Vec<Option<RunRecord>> = vec![None; clusters.len()];
+    let mut to_run: Vec<(usize, &SweepUnit)> = Vec::new();
+    for (position, cluster) in clusters.iter().enumerate() {
+        let representative = pending[cluster.representative].1;
+        if let Some(cache) = &cache {
+            if let Some(payload) = cache.load(&cluster.fingerprint) {
+                stats.cache_hits += 1;
+                records[position] = Some(payload.record_for(representative));
+                continue;
+            }
+            stats.cache_misses += 1;
+        }
+        to_run.push((position, representative));
+    }
+
+    // Execution pass: representatives of unresolved clusters only.
+    stats.representatives_run = to_run.len();
+    stats.members_by_reference = pending.len() - to_run.len();
+    for (position, record) in execute_tagged(spec, &to_run, jobs)? {
+        if let Some(cache) = &cache {
+            cache
+                .store(
+                    &clusters[position].fingerprint,
+                    &CachePayload::from_record(&record),
+                )
+                .map_err(SweepError::Io)?;
+        }
+        records[position] = Some(record);
+    }
+
+    // Emission pass: every member's line from its cluster's record.
+    let mut lines = Vec::with_capacity(pending.len());
+    for (cluster, record) in clusters.iter().zip(records) {
+        let record = record.expect("every cluster resolved to a record");
+        for &member in &cluster.members {
+            let (tag, unit) = pending[member];
+            lines.push((tag, record.rebind(unit).to_jsonl_line()));
+        }
+    }
+    Ok((lines, stats))
+}
+
+/// The fully optioned shard runner: [`run_shard_to_file_with_jobs`] plus the
+/// dedup/cache pipeline of [`crate::dedup`]. With `opts.dedup`, the shard's
+/// pending units (checkpoint reuse happens first and composes as usual) are
+/// clustered by canonical fingerprint and only representatives execute; the
+/// written file is byte-identical to the honest path either way.
+///
+/// # Errors
+///
+/// Returns I/O errors from the file system (including the cache directory)
+/// and [`execute_unit`] failures.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads and the [`RunRecord::rebind`]
+/// cluster-key assertions.
+pub fn run_shard_to_file_with_opts(
+    spec: &SweepSpec,
+    manifest: &Manifest,
+    shards: usize,
+    partition: Partition,
+    shard: usize,
+    path: &Path,
+    opts: &SweepOptions,
+) -> Result<ShardReport, SweepError> {
     let units = manifest.shard_units(shards, partition, shard);
     let indices: Vec<usize> = units.iter().map(|u| u.index).collect();
-    let checkpoint = if resume {
+    let checkpoint = if opts.resume {
         match fs::read_to_string(path) {
             Ok(contents) => checkpoint_lines(spec, &contents, &indices),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => HashMap::new(),
@@ -191,41 +378,19 @@ pub fn run_shard_to_file_with_jobs(
         }
     }
 
-    if jobs <= 1 || pending.len() <= 1 {
-        for (slot, unit) in pending {
-            slots[slot] = Some(execute_unit(spec, unit)?.to_jsonl_line());
+    let stats = if opts.dedup {
+        let (lines, stats) =
+            execute_tagged_dedup(spec, &pending, opts.jobs, opts.cache_dir.as_deref())?;
+        for (slot, line) in lines {
+            slots[slot] = Some(line);
         }
+        Some(stats)
     } else {
-        let workers = jobs.min(pending.len());
-        let pending = &pending;
-        let worker_results: Vec<Result<Vec<(usize, String)>, SweepError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|worker| {
-                        scope.spawn(move || {
-                            pending
-                                .iter()
-                                .skip(worker)
-                                .step_by(workers)
-                                .map(|&(slot, unit)| {
-                                    execute_unit(spec, unit)
-                                        .map(|record| (slot, record.to_jsonl_line()))
-                                })
-                                .collect()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("sweep job thread panicked"))
-                    .collect()
-            });
-        for result in worker_results {
-            for (slot, line) in result? {
-                slots[slot] = Some(line);
-            }
+        for (slot, record) in execute_tagged(spec, &pending, opts.jobs)? {
+            slots[slot] = Some(record.to_jsonl_line());
         }
-    }
+        None
+    };
     let lines: Vec<String> = slots
         .into_iter()
         .map(|slot| slot.expect("every shard unit produced a line"))
@@ -244,7 +409,31 @@ pub fn run_shard_to_file_with_jobs(
         file.sync_all().map_err(SweepError::Io)?;
     }
     fs::rename(&tmp, path).map_err(SweepError::Io)?;
-    Ok(outcome)
+    Ok(ShardReport { outcome, stats })
+}
+
+/// The in-memory dedup counterpart of [`shard_lines`]: executes shard `shard`
+/// of `shards` through the dedup/cache pipeline and returns its `(index,
+/// line)` pairs (in manifest order) together with the batch's [`DedupStats`].
+/// The lines are byte-identical to [`shard_lines`] — this is the helper the
+/// differential tests drive.
+///
+/// # Errors
+///
+/// Propagates execution, cache-I/O and clustering failures.
+pub fn dedup_shard_lines(
+    spec: &SweepSpec,
+    manifest: &Manifest,
+    shards: usize,
+    partition: Partition,
+    shard: usize,
+    cache_dir: Option<&Path>,
+) -> Result<(ShardLines, DedupStats), SweepError> {
+    let units = manifest.shard_units(shards, partition, shard);
+    let pending: Vec<(usize, &SweepUnit)> = units.iter().map(|&u| (u.index, u)).collect();
+    let (mut lines, stats) = execute_tagged_dedup(spec, &pending, 1, cache_dir)?;
+    lines.sort_unstable_by_key(|&(index, _)| index);
+    Ok((lines, stats))
 }
 
 /// Merges shard line sets back into the canonical manifest order.

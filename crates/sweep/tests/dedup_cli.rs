@@ -1,0 +1,167 @@
+//! End-to-end tests of the `sweep` binary's dedup surface: `--no-dedup` vs
+//! the default path through real OS processes, the `--cache-dir` warm rerun,
+//! the stats sidecars/`stats.json`, and the log-style summary output.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use anet_sweep::DedupStats;
+
+const SWEEP_BIN: &str = env!("CARGO_BIN_EXE_sweep");
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "anet-sweep-dedup-cli-{name}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+/// A redundancy-heavy spec: `path 2` ≅ `complete-dag 2` and `cycle-with-tail
+/// 4` ≅ `nested-cycles 1 4`, so 2 protocols × 4 topologies × 1 seed × 5
+/// schedulers = 40 units collapse into 20 clusters.
+const SPEC: &str = "\
+protocol mapping
+protocol labeling
+topology path 2
+topology complete-dag 2
+topology cycle-with-tail 4
+topology nested-cycles 1 4
+seeds 5
+random-schedulers 1
+max-deliveries 200000
+";
+
+fn run_sweep(args: &[&str]) -> std::process::Output {
+    Command::new(SWEEP_BIN)
+        .args(args)
+        .output()
+        .expect("sweep binary runs")
+}
+
+fn stdout_of(out: &std::process::Output) -> String {
+    assert!(
+        out.status.success(),
+        "sweep failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn sweep_to(dir: &Path, spec_path: &Path, out_name: &str, extra: &[&str]) -> (Vec<u8>, String) {
+    let out_dir = dir.join(out_name);
+    let mut args = vec![
+        "--spec",
+        spec_path.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--out",
+        out_dir.to_str().unwrap(),
+    ];
+    args.extend_from_slice(extra);
+    let stdout = stdout_of(&run_sweep(&args));
+    let merged = fs::read(out_dir.join("merged.jsonl")).expect("merged output exists");
+    (merged, stdout)
+}
+
+#[test]
+fn dedup_matches_no_dedup_and_reports_stats() {
+    let dir = test_dir("differential");
+    let spec_path = dir.join("redundant.spec");
+    fs::write(&spec_path, SPEC).unwrap();
+    let cache = dir.join("cache");
+    let cache_s = cache.to_str().unwrap().to_owned();
+
+    let (honest, honest_stdout) = sweep_to(&dir, &spec_path, "no-dedup", &["--no-dedup"]);
+    assert!(
+        !honest_stdout.contains("dedup:"),
+        "--no-dedup must not print dedup stats:\n{honest_stdout}"
+    );
+    assert!(!dir.join("no-dedup/stats.json").exists());
+
+    // Cold cache: byte-identical, every cluster consults the cache. The two
+    // shard children share the cache dir *concurrently*, so a faster shard
+    // may publish an entry the slower shard then hits — hits are not
+    // necessarily zero even on a cold run, but misses must dominate.
+    let (cold, cold_stdout) = sweep_to(&dir, &spec_path, "cold", &["--cache-dir", &cache_s]);
+    assert_eq!(cold, honest, "dedup diverged from --no-dedup");
+    let cold_stats = read_stats(&dir.join("cold/stats.json"));
+    assert_eq!(cold_stats.units, 40);
+    assert!(cold_stats.cache_misses > 0, "cold cache must mostly miss");
+    assert_eq!(
+        cold_stats.cache_hits + cold_stats.cache_misses,
+        cold_stats.clusters
+    );
+    assert_eq!(
+        cold_stats.units,
+        cold_stats.representatives_run + cold_stats.members_by_reference
+    );
+    assert!(
+        cold_stdout.contains(&cold_stats.summary()),
+        "parent must print the aggregated summary:\n{cold_stdout}"
+    );
+    assert!(cold_stdout.contains("shard 0/2 dedup:"), "{cold_stdout}");
+    assert!(cold_stdout.contains("shard 1/2 dedup:"), "{cold_stdout}");
+    for shard in 0..2 {
+        let sidecar = dir.join(format!("cold/shard-{shard}.stats"));
+        let line = fs::read_to_string(&sidecar).expect("stats sidecar exists");
+        assert!(
+            DedupStats::parse_line(line.trim_end_matches('\n')).is_some(),
+            "sidecar {} is not canonical: {line}",
+            sidecar.display()
+        );
+    }
+
+    // Warm cache: byte-identical again, every cluster hits, nothing runs.
+    let (warm, warm_stdout) = sweep_to(&dir, &spec_path, "warm", &["--cache-dir", &cache_s]);
+    assert_eq!(warm, honest, "warm-cache rerun diverged");
+    let warm_stats = read_stats(&dir.join("warm/stats.json"));
+    assert!(warm_stats.cache_hits > 0, "warm rerun must hit the cache");
+    assert_eq!(warm_stats.cache_hits, warm_stats.clusters);
+    assert_eq!(warm_stats.representatives_run, 0);
+    assert!(warm_stdout.contains(&warm_stats.summary()), "{warm_stdout}");
+
+    // --check agrees and surfaces the stats.json next to the dedup output.
+    let a = dir.join("warm/merged.jsonl");
+    let b = dir.join("no-dedup/merged.jsonl");
+    let check = run_sweep(&["--check", a.to_str().unwrap(), b.to_str().unwrap()]);
+    let check_stdout = stdout_of(&check);
+    assert!(check_stdout.contains("byte-identical"), "{check_stdout}");
+    assert!(
+        check_stdout.contains(&warm_stats.summary()),
+        "--check must report the adjacent stats.json:\n{check_stdout}"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dedup_without_cache_dir_reports_no_cache_traffic() {
+    let dir = test_dir("no-cache");
+    let spec_path = dir.join("redundant.spec");
+    fs::write(&spec_path, SPEC).unwrap();
+
+    let (merged, _) = sweep_to(&dir, &spec_path, "plain", &[]);
+    let (honest, _) = sweep_to(&dir, &spec_path, "honest", &["--no-dedup"]);
+    assert_eq!(merged, honest);
+    let stats = read_stats(&dir.join("plain/stats.json"));
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses,
+        0,
+        "no cache dir given"
+    );
+    assert_eq!(stats.representatives_run, stats.clusters);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+fn read_stats(path: &Path) -> DedupStats {
+    let contents =
+        fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    DedupStats::parse_line(contents.trim_end_matches('\n'))
+        .unwrap_or_else(|| panic!("{} is not a canonical stats line", path.display()))
+}

@@ -1,0 +1,324 @@
+//! The dedup layer's correctness contract: clustering + representative
+//! execution + content-addressed caching produce merged output **byte
+//! identical** to the honest one-execution-per-unit path — cold cache, warm
+//! cache, corrupted cache, any shard count, either partition strategy.
+//!
+//! The honest baseline is [`shard_lines`] (exactly what `--no-dedup` runs),
+//! so these tests are the in-process half of the `--no-dedup` differential
+//! contract; `dedup_cli.rs` pins the same equality through real processes.
+
+use std::fs;
+use std::path::PathBuf;
+
+use anet_sweep::{
+    dedup_shard_lines, execute_unit, merge_lines, run_shard_to_file_with_opts, shard_lines,
+    Manifest, Partition, ProtocolSpec, SweepOptions, SweepSpec, TopologySpec,
+};
+use proptest::prelude::*;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("anet-sweep-dedup-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A spec with deliberate redundancy: `path 2` ≅ `complete-dag 2` and
+/// `cycle-with-tail 4` ≅ `nested-cycles 1 4` are isomorphic pairs, so every
+/// (protocol, seed, battery) slice has strictly fewer clusters than units.
+fn redundant_spec() -> SweepSpec {
+    SweepSpec {
+        protocols: vec![ProtocolSpec::Mapping, ProtocolSpec::Labeling],
+        topologies: vec![
+            TopologySpec::Path { n: 2 },
+            TopologySpec::CompleteDag { internal: 2 },
+            TopologySpec::CycleWithTail { k: 4 },
+            TopologySpec::NestedCycles { count: 1, len: 4 },
+            TopologySpec::Star { leaves: 3 },
+        ],
+        seeds: vec![7, 8],
+        random_schedulers: 1,
+        max_deliveries: 500_000,
+    }
+}
+
+/// The honest (no-dedup, no-cache) merged output.
+fn honest_merged(spec: &SweepSpec, manifest: &Manifest, shards: usize, p: Partition) -> String {
+    let sets: Result<Vec<_>, _> = (0..shards)
+        .map(|s| shard_lines(spec, manifest, shards, p, s))
+        .collect();
+    merge_lines(manifest.len(), sets.unwrap()).expect("honest merge covers")
+}
+
+#[test]
+fn dedup_merged_output_is_byte_identical_to_honest() {
+    let spec = redundant_spec();
+    let manifest = Manifest::from_spec(&spec);
+    let baseline = honest_merged(&spec, &manifest, 1, Partition::Hash);
+
+    for partition in [Partition::Hash, Partition::RoundRobin] {
+        for shards in [1usize, 2, 3] {
+            let mut sets = Vec::new();
+            let mut members = 0;
+            for shard in 0..shards {
+                let (lines, stats) =
+                    dedup_shard_lines(&spec, &manifest, shards, partition, shard, None)
+                        .expect("dedup shard runs");
+                assert_eq!(stats.cache_hits + stats.cache_misses, 0, "no cache dir");
+                assert_eq!(
+                    stats.units,
+                    stats.representatives_run + stats.members_by_reference
+                );
+                members += stats.members_by_reference;
+                sets.push(lines);
+            }
+            let merged = merge_lines(manifest.len(), sets).expect("dedup merge covers");
+            assert_eq!(
+                merged, baseline,
+                "dedup diverged from honest ({partition:?} x {shards} shards)"
+            );
+            // Clustering is per shard, so with several shards an isomorphic
+            // pair may be split apart (the cache, not the cluster, dedups
+            // across shards) — but a single shard must see the redundancy.
+            if shards == 1 {
+                assert!(members > 0, "redundant spec must dedup ({partition:?})");
+            }
+        }
+    }
+}
+
+#[test]
+fn cold_then_warm_cache_stay_byte_identical_and_warm_pass_hits() {
+    let spec = redundant_spec();
+    let manifest = Manifest::from_spec(&spec);
+    let baseline = honest_merged(&spec, &manifest, 1, Partition::Hash);
+    let cache = temp_dir("warm");
+
+    let (cold_lines, cold) =
+        dedup_shard_lines(&spec, &manifest, 1, Partition::Hash, 0, Some(&cache)).unwrap();
+    assert_eq!(merge_lines(manifest.len(), [cold_lines]).unwrap(), baseline);
+    assert_eq!(cold.cache_hits, 0, "cold cache cannot hit");
+    assert_eq!(cold.cache_misses, cold.clusters);
+    assert_eq!(cold.representatives_run, cold.clusters);
+
+    let (warm_lines, warm) =
+        dedup_shard_lines(&spec, &manifest, 1, Partition::Hash, 0, Some(&cache)).unwrap();
+    assert_eq!(merge_lines(manifest.len(), [warm_lines]).unwrap(), baseline);
+    assert_eq!(
+        warm.cache_hits, warm.clusters,
+        "warm cache hits every cluster"
+    );
+    assert_eq!(warm.cache_misses, 0);
+    assert_eq!(
+        warm.representatives_run, 0,
+        "nothing executes on a warm cache"
+    );
+
+    // The cache is content-addressed, not run-addressed: a different shard
+    // count over the same spec reuses the same entries.
+    for shard in 0..2 {
+        let (_, stats) =
+            dedup_shard_lines(&spec, &manifest, 2, Partition::Hash, shard, Some(&cache)).unwrap();
+        assert_eq!(stats.cache_hits, stats.clusters, "shard {shard} re-hits");
+    }
+
+    let _ = fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn corrupted_cache_entries_degrade_to_misses_not_wrong_output() {
+    let spec = redundant_spec();
+    let manifest = Manifest::from_spec(&spec);
+    let baseline = honest_merged(&spec, &manifest, 1, Partition::Hash);
+    let cache = temp_dir("corrupt");
+
+    let (_, cold) =
+        dedup_shard_lines(&spec, &manifest, 1, Partition::Hash, 0, Some(&cache)).unwrap();
+    assert!(cold.cache_misses > 0);
+
+    // Mangle every entry a different way: truncate, garbage, emptiness.
+    let mut entries: Vec<PathBuf> = fs::read_dir(&cache)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty());
+    for (i, path) in entries.iter().enumerate() {
+        match i % 3 {
+            0 => {
+                let bytes = fs::read_to_string(path).unwrap();
+                fs::write(path, &bytes[..bytes.len() / 2]).unwrap();
+            }
+            1 => fs::write(path, "{\"cache\": \"v1\", garbage\n").unwrap(),
+            _ => fs::write(path, "").unwrap(),
+        }
+    }
+
+    let (lines, stats) =
+        dedup_shard_lines(&spec, &manifest, 1, Partition::Hash, 0, Some(&cache)).unwrap();
+    assert_eq!(merge_lines(manifest.len(), [lines]).unwrap(), baseline);
+    assert_eq!(stats.cache_hits, 0, "every corrupt entry is a miss");
+    assert_eq!(stats.cache_misses, stats.clusters);
+
+    // The re-run repaired the entries in place.
+    let (_, repaired) =
+        dedup_shard_lines(&spec, &manifest, 1, Partition::Hash, 0, Some(&cache)).unwrap();
+    assert_eq!(repaired.cache_hits, repaired.clusters);
+
+    let _ = fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn member_records_equal_honest_execution_of_the_member() {
+    // The rewritten member records are not merely merge-compatible: each one
+    // equals what executing that member honestly would produce, bit for bit.
+    let spec = redundant_spec();
+    let manifest = Manifest::from_spec(&spec);
+    let clusters = manifest.cluster_units(&spec).expect("clustering runs");
+    let mut multi = 0;
+    for cluster in &clusters {
+        if cluster.members.len() > 1 {
+            multi += 1;
+        }
+        let rep_record = execute_unit(&spec, &manifest.units[cluster.representative]).unwrap();
+        for &member in &cluster.members {
+            let unit = &manifest.units[member];
+            let honest = execute_unit(&spec, unit).unwrap();
+            assert_eq!(rep_record.rebind(unit), honest, "member {}", unit.key());
+        }
+    }
+    assert!(multi > 0, "spec must contain multi-member clusters");
+}
+
+#[test]
+fn dedup_resume_recovers_a_truncated_checkpoint_byte_identically() {
+    let spec = redundant_spec();
+    let manifest = Manifest::from_spec(&spec);
+    let dir = temp_dir("resume");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("shard-0.jsonl");
+    let opts = SweepOptions {
+        jobs: 1,
+        resume: false,
+        dedup: true,
+        cache_dir: None,
+    };
+    run_shard_to_file_with_opts(&spec, &manifest, 1, Partition::Hash, 0, &path, &opts).unwrap();
+    let clean = fs::read_to_string(&path).unwrap();
+
+    // Tear the checkpoint mid-line and resume with dedup still on: the
+    // surviving records are reused, only the missing units re-cluster.
+    fs::write(&path, &clean[..clean.len() * 2 / 3]).unwrap();
+    let opts = SweepOptions {
+        resume: true,
+        ..opts
+    };
+    let report =
+        run_shard_to_file_with_opts(&spec, &manifest, 1, Partition::Hash, 0, &path, &opts).unwrap();
+    assert!(
+        report.outcome.reused > 0,
+        "resume must reuse the intact head"
+    );
+    assert!(report.outcome.executed > 0, "the torn tail must re-run");
+    let stats = report.stats.expect("dedup path reports stats");
+    assert_eq!(
+        stats.units, report.outcome.executed,
+        "stats cover only the re-run units"
+    );
+    assert_eq!(fs::read_to_string(&path).unwrap(), clean);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// --- randomized specs: the same strategy space as merge_equivalence.rs ---
+
+fn protocol(choice: u32, bits: u64) -> ProtocolSpec {
+    match choice % 3 {
+        0 => ProtocolSpec::Mapping,
+        1 => ProtocolSpec::Labeling,
+        _ => ProtocolSpec::GeneralBroadcast {
+            payload_bits: bits % 48,
+        },
+    }
+}
+
+fn topology(choice: u32, size: usize, pct: u8, seed: u64) -> TopologySpec {
+    match choice % 8 {
+        0 => TopologySpec::ChainGn { n: size },
+        1 => TopologySpec::Path { n: size },
+        2 => TopologySpec::Star { leaves: size },
+        3 => TopologySpec::CompleteDag { internal: size },
+        4 => TopologySpec::CycleWithTail { k: size + 2 },
+        5 => TopologySpec::NestedCycles {
+            count: 1 + size % 2,
+            len: 3 + size % 3,
+        },
+        6 => TopologySpec::RandomDag {
+            internal: size,
+            edge_pct: pct,
+            seed,
+        },
+        _ => TopologySpec::RandomCyclic {
+            internal: size,
+            forward_pct: pct,
+            back_pct: pct / 2,
+            seed,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn dedup_equals_honest_on_random_specs(
+        protocol_picks in prop::collection::vec((0u32..3, 0u64..48), 1..3),
+        topology_picks in prop::collection::vec((0u32..8, 1usize..6, 0u32..60, 0u64..1000), 1..4),
+        seed_base in 0u64..1000,
+        random_schedulers in 0usize..3,
+        case in 0u64..u64::MAX,
+    ) {
+        let mut protocols: Vec<ProtocolSpec> = protocol_picks
+            .into_iter()
+            .map(|(c, b)| protocol(c, b))
+            .collect();
+        protocols.dedup();
+        let mut topologies: Vec<TopologySpec> = topology_picks
+            .into_iter()
+            .map(|(c, n, p, s)| topology(c, n, p as u8, s))
+            .collect();
+        topologies.dedup();
+        let spec = SweepSpec {
+            protocols,
+            topologies,
+            seeds: vec![seed_base, seed_base + 1],
+            random_schedulers,
+            max_deliveries: 1_000_000,
+        };
+        let manifest = Manifest::from_spec(&spec);
+        let baseline = honest_merged(&spec, &manifest, 1, Partition::Hash);
+        let cache = temp_dir(&format!("prop-{case:016x}"));
+
+        for partition in [Partition::Hash, Partition::RoundRobin] {
+            for shards in [1usize, 3] {
+                // Twice per configuration: the first pass may mix cold and
+                // warm clusters (shared cache dir), the second is fully warm.
+                for _pass in 0..2 {
+                    let sets: Result<Vec<_>, _> = (0..shards)
+                        .map(|s| {
+                            dedup_shard_lines(&spec, &manifest, shards, partition, s, Some(&cache))
+                                .map(|(lines, _)| lines)
+                        })
+                        .collect();
+                    let merged = merge_lines(manifest.len(), sets.unwrap()).expect("covers");
+                    prop_assert_eq!(
+                        &merged,
+                        &baseline,
+                        "dedup diverged ({:?} x {} shards)",
+                        partition,
+                        shards
+                    );
+                }
+            }
+        }
+        let _ = fs::remove_dir_all(&cache);
+    }
+}
