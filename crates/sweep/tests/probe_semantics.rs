@@ -1,0 +1,29 @@
+use anet_graph::canon::canonical_form;
+use anet_sim::engine::{ExecutionConfig, RunConfig};
+
+#[test]
+fn raw_vs_canonical_network_runs_differ_for_some_unit() {
+    let spec = anet_sweep::SweepSpec {
+        protocols: vec![anet_sweep::ProtocolSpec::Mapping],
+        topologies: vec![anet_sweep::TopologySpec::NestedCycles { depth: 2, len: 4 }],
+        seeds: vec![0, 1, 2],
+        random_schedulers: 1,
+        max_deliveries: 100_000,
+    };
+    let manifest = anet_sweep::Manifest::from_spec(&spec);
+    let mut any_differ = false;
+    for unit in &manifest.units {
+        let raw = unit.topology.build().unwrap();
+        let canon = canonical_form(&raw).form.to_network().unwrap();
+        let _ = RunConfig::from(ExecutionConfig { max_deliveries: spec.max_deliveries, record_trace: true, ..Default::default() });
+        // Compare the full records: new path vs what the pre-PR executor did.
+        let new_rec = anet_sweep::execute_unit(&spec, unit).unwrap();
+        // emulate old path: is the canonical network even labeled differently?
+        let perm_is_identity = canonical_form(&raw).permutation.iter().enumerate().all(|(i, &p)| i == p);
+        if !perm_is_identity {
+            any_differ = true;
+        }
+        let _ = (raw, canon, new_rec);
+    }
+    eprintln!("any nonidentity relabeling: {any_differ}");
+}
