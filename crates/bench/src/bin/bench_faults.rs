@@ -1,0 +1,21 @@
+//! Regenerates `BENCH_faults.json`: full FIFO mapping runs under the
+//! fault-injection layer (`anet_sim::faults::FaultyScheduler`) versus the
+//! bare scheduler, over the record-bound topology grid — the adapter's
+//! zero-fault overhead plus two genuinely adversarial plans.
+//!
+//! Before any timing, every workload's zero-fault wrapped run is cross-checked
+//! bit-identical (metrics and labels) to the bare run.
+//!
+//! Usage: `cargo run --release -p anet-bench --bin bench_faults`
+//! (writes the JSON file into the current directory and echoes it to stdout).
+//!
+//! The generation itself lives in [`anet_bench::baseline`], shared with the
+//! `bench_smoke` key-drift checker.
+
+use anet_bench::baseline::{faults_json, SampleConfig};
+
+fn main() {
+    let json = faults_json(&SampleConfig::full());
+    std::fs::write("BENCH_faults.json", &json).expect("write baseline file");
+    print!("{json}");
+}

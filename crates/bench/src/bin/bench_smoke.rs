@@ -13,15 +13,16 @@
 //! drift.
 
 use anet_bench::baseline::{
-    interval_algebra_json, labeling_json, mapping_json, result_keys, SampleConfig,
+    faults_json, interval_algebra_json, labeling_json, mapping_json, result_keys, SampleConfig,
 };
 
 fn main() {
     let smoke = SampleConfig::smoke();
-    let checks: [(&str, String); 3] = [
+    let checks: [(&str, String); 4] = [
         ("BENCH_interval_algebra.json", interval_algebra_json(&smoke)),
         ("BENCH_mapping.json", mapping_json(&smoke)),
         ("BENCH_labeling.json", labeling_json(&smoke)),
+        ("BENCH_faults.json", faults_json(&smoke)),
     ];
 
     let mut drifted = false;
@@ -54,6 +55,8 @@ fn main() {
                 "mapping"
             } else if path.contains("labeling") {
                 "labeling"
+            } else if path.contains("faults") {
+                "faults"
             } else {
                 "interval_algebra"
             }

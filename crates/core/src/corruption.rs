@@ -1,0 +1,155 @@
+//! Corrupted-start specifications for recovery experiments.
+//!
+//! A *corrupted-start run* perturbs a protocol's per-vertex state after
+//! [`AnonymousProtocol::initial_state`](anet_sim::AnonymousProtocol::initial_state)
+//! but **before** the first delivery ([`anet_sim::run_corrupted`]), modelling
+//! a network that restarts the broadcast on top of stale or damaged state —
+//! a crashed-and-restored snapshot, a half-torn label assignment, a terminal
+//! that trusts a poisoned completeness index. The run then proceeds under a
+//! normal (or faulty) scheduler, and the question the experiment asks is the
+//! protocol's *recovery predicate*: did it still produce a correct result?
+//!
+//! The three corruption kinds are deliberately protocol-agnostic
+//! descriptions; each protocol module interprets them in its own state space
+//! (`corrupt_mapping_states`, `corrupt_labeling_states`,
+//! `corrupt_general_states`) and pairs them with a `*_recovered` predicate:
+//!
+//! * [`StateCorruption::ScrambledLabels`] — every internal vertex wakes up
+//!   believing it already claimed an identity: a garbage (but pairwise
+//!   distinct) dyadic label for the labelling protocols, a garbage routing
+//!   entry for the broadcast. Seeded, so every shard scrambles identically.
+//! * [`StateCorruption::LostPartition`] — the inverse tear: internal
+//!   vertices keep their "I already partitioned" flag but lost the label and
+//!   routing state it guarded, so the one-time partition step never re-runs.
+//! * [`StateCorruption::StaleTerminal`] — the terminal's accumulated view
+//!   claims half the commodity space (and, for mapping, the root edge)
+//!   arrived before the run began, so the stopping predicate can accept
+//!   early on evidence that was never delivered.
+//!
+//! Corruptions must never *panic* a protocol — they perturb state within
+//! each protocol's representable envelope (labels stay valid disjoint
+//! dyadic intervals, flags stay booleans, views stay well-formed), so a
+//! corrupted run always ends in a normal outcome and the recovery predicate
+//! is decidable from final states.
+
+use anet_num::{Interval, IntervalUnion};
+
+/// A declarative perturbation of initial protocol state. See the [module
+/// docs](self) for the semantics each protocol gives the kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateCorruption {
+    /// Internal vertices start with garbage (pairwise distinct) claimed
+    /// identities derived from `seed`.
+    ScrambledLabels {
+        /// Scramble seed: the same seed produces the same labels everywhere.
+        seed: u64,
+    },
+    /// Internal vertices keep their partition flag but lost the label and
+    /// routing state behind it.
+    LostPartition,
+    /// The terminal's view starts pre-filled with the low half `[0, 1/2)` of
+    /// the commodity space it never received.
+    StaleTerminal,
+}
+
+impl StateCorruption {
+    /// Canonical name, JSONL-safe, used in sweep records and cache keys.
+    pub fn name(&self) -> String {
+        match self {
+            StateCorruption::ScrambledLabels { seed } => format!("labels/s{seed}"),
+            StateCorruption::LostPartition => "partition".to_owned(),
+            StateCorruption::StaleTerminal => "stale-terminal".to_owned(),
+        }
+    }
+}
+
+/// `count` pairwise-disjoint garbage labels: dyadic slots of width `2^-exp`
+/// (the smallest power of two with at least `count` slots), visited in a
+/// seeded bijective order. Deterministic in `(count, seed)` — no RNG — so
+/// every process scrambles a topology identically.
+pub fn scrambled_labels(count: usize, seed: u64) -> Vec<IntervalUnion> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let exp = usize::BITS - (count - 1).leading_zeros();
+    let slots: u64 = 1 << exp;
+    // An odd multiplier is a bijection modulo a power of two, so distinct
+    // vertices land in distinct slots.
+    let a = splitmix(seed) | 1;
+    let b = splitmix(seed ^ 0x5bf0_3635);
+    (0..count as u64)
+        .map(|j| {
+            let slot = a.wrapping_mul(j).wrapping_add(b) % slots;
+            IntervalUnion::from(
+                Interval::from_dyadic_parts(slot, slot + 1, exp)
+                    .expect("slot + 1 <= 2^exp, endpoints ordered"),
+            )
+        })
+        .collect()
+}
+
+/// The low half `[0, 1/2)` — the mass a stale terminal falsely claims.
+pub fn stale_half() -> IntervalUnion {
+    IntervalUnion::from(Interval::from_dyadic_parts(0, 1, 1).expect("valid half interval"))
+}
+
+/// SplitMix64 finalizer: a cheap, stable bit mixer for seed derivation.
+fn splitmix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrambled_labels_are_distinct_nonempty_and_deterministic() {
+        for count in [1usize, 2, 3, 7, 8, 9, 40] {
+            for seed in [0u64, 1, 42, u64::MAX] {
+                let labels = scrambled_labels(count, seed);
+                assert_eq!(labels.len(), count);
+                for (i, a) in labels.iter().enumerate() {
+                    assert!(!a.is_empty(), "count {count} seed {seed} slot {i}");
+                    for b in &labels[i + 1..] {
+                        assert!(!a.intersects(b), "count {count} seed {seed} overlap");
+                    }
+                }
+                assert_eq!(labels, scrambled_labels(count, seed), "deterministic");
+            }
+        }
+        assert!(scrambled_labels(0, 3).is_empty());
+        // Different seeds genuinely permute the assignment.
+        assert_ne!(scrambled_labels(8, 1), scrambled_labels(8, 2));
+    }
+
+    #[test]
+    fn names_are_jsonl_safe_and_distinct() {
+        let kinds = [
+            StateCorruption::ScrambledLabels { seed: 7 },
+            StateCorruption::ScrambledLabels { seed: 8 },
+            StateCorruption::LostPartition,
+            StateCorruption::StaleTerminal,
+        ];
+        let mut names: Vec<String> = kinds.iter().map(StateCorruption::name).collect();
+        for name in &names {
+            assert!(
+                !name.contains([' ', '"', '\\', ',']),
+                "{name} unsafe for JSONL"
+            );
+        }
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn stale_half_is_half_the_unit() {
+        let half = stale_half();
+        assert!(!half.is_unit() && !half.is_empty());
+        let other = IntervalUnion::from(Interval::from_dyadic_parts(1, 2, 1).unwrap());
+        assert!(half.union(&other).is_unit());
+    }
+}

@@ -304,6 +304,72 @@ pub fn run_general_broadcast_with_config(
     ))
 }
 
+/// Applies a [`StateCorruption`](crate::corruption::StateCorruption) to
+/// freshly initialised broadcast states (the [`anet_sim::run_corrupted`]
+/// hook).
+///
+/// * `ScrambledLabels` — internal vertices wake up `partitioned` with a
+///   garbage routing entry on their last out-port: arriving mass that
+///   overlaps the squatted slot is misread as cycle evidence and flooded as
+///   β instead of routed as α. β still floods everywhere, so well-connected
+///   graphs usually recover; sparse ones may accept with silent vertices.
+/// * `LostPartition` — internal vertices keep the `partitioned` flag but
+///   lost the α table behind it: the canonical split never re-runs and all
+///   mass funnels down each vertex's last out-port.
+/// * `StaleTerminal` — the terminal's `seen` starts pre-filled with
+///   `[0, 1/2)`, so the stopping predicate can accept while half the
+///   commodity is still in flight.
+///
+/// `received` (the payload flag) is deliberately left `false`: it is the
+/// input to [`general_recovered`], and pre-setting it would make the
+/// recovery question vacuous.
+pub fn corrupt_general_states(
+    corruption: &crate::corruption::StateCorruption,
+    network: &Network,
+    states: &mut [GeneralState],
+) {
+    use crate::corruption::StateCorruption;
+    let internal: Vec<usize> = network
+        .graph()
+        .nodes()
+        .filter(|&n| n != network.root() && n != network.terminal())
+        .map(|n| n.index())
+        .collect();
+    match corruption {
+        StateCorruption::ScrambledLabels { seed } => {
+            let garbage = crate::corruption::scrambled_labels(internal.len(), *seed);
+            for (&i, slot) in internal.iter().zip(garbage) {
+                states[i].partitioned = true;
+                if let Some(last) = states[i].alpha.last_mut() {
+                    *last = slot;
+                }
+            }
+        }
+        StateCorruption::LostPartition => {
+            for &i in &internal {
+                states[i].partitioned = true;
+            }
+        }
+        StateCorruption::StaleTerminal => {
+            let terminal = network.terminal().index();
+            states[terminal]
+                .seen
+                .union_in_place(&crate::corruption::stale_half());
+        }
+    }
+}
+
+/// The broadcast's recovery predicate: every vertex except the root actually
+/// received the payload. Corrupted-start runs ask it of a protocol that began
+/// from damaged state.
+pub fn general_recovered(network: &Network, states: &[GeneralState]) -> bool {
+    network
+        .graph()
+        .nodes()
+        .filter(|&n| n != network.root())
+        .all(|n| states[n.index()].received)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

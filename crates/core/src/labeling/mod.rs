@@ -307,25 +307,12 @@ fn report_from_run<M>(
     let outcome = result.outcome;
     let metrics = result.metrics;
     let labels: Vec<IntervalUnion> = result.states.into_iter().map(|st| st.label).collect();
-    let participants: Vec<NodeId> = network
+    let unique = labels_unique(network, &labels);
+    let max_label_bits = network
         .graph()
         .nodes()
         .filter(|&n| n != network.root())
-        .collect();
-    let mut unique = true;
-    for (i, &a) in participants.iter().enumerate() {
-        if labels[a.index()].is_empty() {
-            unique = false;
-        }
-        for &b in &participants[i + 1..] {
-            if labels[a.index()].intersects(&labels[b.index()]) {
-                unique = false;
-            }
-        }
-    }
-    let max_label_bits = participants
-        .iter()
-        .map(|&n| label_bits(&labels[n.index()]))
+        .map(|n| label_bits(&labels[n.index()]))
         .max()
         .unwrap_or(0);
     Ok(LabelingReport {
@@ -336,6 +323,90 @@ fn report_from_run<M>(
         max_label_bits,
         metrics,
     })
+}
+
+/// Theorem 5.1's correctness condition on a finished assignment: every vertex
+/// except the root holds a non-empty label, and the labels are pairwise
+/// disjoint (hence unique). `labels` is indexed by node id.
+///
+/// This is the labelling protocol's success predicate — the sweep's `ok`
+/// column and [`LabelingReport::labels_unique`] are both this function.
+pub fn labels_unique(network: &Network, labels: &[IntervalUnion]) -> bool {
+    let participants: Vec<NodeId> = network
+        .graph()
+        .nodes()
+        .filter(|&n| n != network.root())
+        .collect();
+    for (i, &a) in participants.iter().enumerate() {
+        if labels[a.index()].is_empty() {
+            return false;
+        }
+        for &b in &participants[i + 1..] {
+            if labels[a.index()].intersects(&labels[b.index()]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Applies a [`StateCorruption`](crate::corruption::StateCorruption) to
+/// freshly initialised labelling states (the [`anet_sim::run_corrupted`]
+/// hook).
+///
+/// * `ScrambledLabels` — internal vertices wake up `partitioned` with garbage
+///   (pairwise distinct) labels they never subtracted from the routable mass.
+///   The real `[0, 1)` still flows, so the run typically terminates — but the
+///   terminal absorbs mass overlapping the squatted labels, so the assignment
+///   cannot be unique.
+/// * `LostPartition` — internal vertices keep the `partitioned` flag but
+///   lost the label it guarded; the one-time split never re-runs and those
+///   vertices finish unlabelled.
+/// * `StaleTerminal` — the terminal's β starts pre-filled with `[0, 1/2)`,
+///   so its coverage reaches `[0, 1)` (and the run accepts) while half the
+///   commodity — and the labels carved from it — is still in flight.
+pub fn corrupt_labeling_states(
+    corruption: &crate::corruption::StateCorruption,
+    network: &Network,
+    states: &mut [LabelingState],
+) {
+    use crate::corruption::StateCorruption;
+    let internal: Vec<usize> = network
+        .graph()
+        .nodes()
+        .filter(|&n| n != network.root() && n != network.terminal())
+        .map(|n| n.index())
+        .collect();
+    match corruption {
+        StateCorruption::ScrambledLabels { seed } => {
+            let labels = crate::corruption::scrambled_labels(internal.len(), *seed);
+            for (&i, label) in internal.iter().zip(labels) {
+                states[i].label = label;
+                states[i].partitioned = true;
+                states[i].received = true;
+            }
+        }
+        StateCorruption::LostPartition => {
+            for &i in &internal {
+                states[i].partitioned = true;
+                states[i].received = true;
+            }
+        }
+        StateCorruption::StaleTerminal => {
+            let terminal = network.terminal().index();
+            states[terminal]
+                .beta
+                .union_in_place(&crate::corruption::stale_half());
+        }
+    }
+}
+
+/// The labelling protocol's recovery predicate: the final states carry a
+/// correct unique assignment ([`labels_unique`]). Corrupted-start runs ask it
+/// of a protocol that began from damaged state.
+pub fn labeling_recovered(network: &Network, states: &[LabelingState]) -> bool {
+    let labels: Vec<IntervalUnion> = states.iter().map(|s| s.label.clone()).collect();
+    labels_unique(network, &labels)
 }
 
 #[cfg(test)]

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod commodity;
+pub mod corruption;
 pub mod dag_broadcast;
 mod error;
 pub mod general_broadcast;
@@ -42,5 +43,6 @@ mod payload;
 pub mod tree_broadcast;
 
 pub use commodity::{ExactCommodity, Pow2Commodity, ScalarCommodity};
+pub use corruption::StateCorruption;
 pub use error::CoreError;
 pub use payload::Payload;

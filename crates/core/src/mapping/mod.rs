@@ -860,6 +860,79 @@ impl ReconstructedTopology {
     }
 }
 
+/// Applies a [`StateCorruption`](crate::corruption::StateCorruption) to
+/// freshly initialised mapping states, before the first delivery (the
+/// [`anet_sim::run_corrupted`] hook).
+///
+/// Interpretation in the mapping state space:
+///
+/// * `ScrambledLabels` — every internal vertex (neither root nor terminal)
+///   wakes up already `partitioned` with a garbage, pairwise-distinct dyadic
+///   label. Because `was_labeled` holds from the start, the vertex never
+///   publishes its vertex record, so the terminal's structural check cannot
+///   complete against the scrambled identities.
+/// * `LostPartition` — internal vertices keep `partitioned` (and `received`)
+///   but lost the label and the α routing state the flag guards; the one-time
+///   partition step never re-runs, announcements buffer forever.
+/// * `StaleTerminal` — the terminal's [`TerminalView`] starts claiming the
+///   root edge and `[0, 1/2)` of records coverage it never received, so
+///   [`MappingState::map_complete`] can accept on fabricated evidence.
+///
+/// All corruptions stay inside the protocol's representable envelope — no
+/// corrupted run can panic; it merely ends in an outcome whose
+/// [`mapping_recovered`] verdict is honest.
+pub fn corrupt_mapping_states(
+    corruption: &crate::corruption::StateCorruption,
+    network: &Network,
+    states: &mut [MappingState],
+) {
+    use crate::corruption::StateCorruption;
+    let internal: Vec<usize> = network
+        .graph()
+        .nodes()
+        .filter(|&n| n != network.root() && n != network.terminal())
+        .map(|n| n.index())
+        .collect();
+    match corruption {
+        StateCorruption::ScrambledLabels { seed } => {
+            let labels = crate::corruption::scrambled_labels(internal.len(), *seed);
+            for (&i, label) in internal.iter().zip(labels) {
+                states[i].label = label;
+                states[i].partitioned = true;
+                states[i].received = true;
+            }
+        }
+        StateCorruption::LostPartition => {
+            for &i in &internal {
+                states[i].partitioned = true;
+                states[i].received = true;
+            }
+        }
+        StateCorruption::StaleTerminal => {
+            let terminal = network.terminal().index();
+            let view = states[terminal]
+                .terminal_view
+                .as_mut()
+                .expect("the terminal has out-degree zero and keeps a view");
+            view.root_edge_known = true;
+            view.records_coverage = crate::corruption::stale_half();
+        }
+    }
+}
+
+/// The mapping protocol's recovery predicate: the terminal's extracted
+/// topology matches the real network exactly, edge for edge and port for
+/// port. This is the success check every sweep record reports as `ok`
+/// (conjoined with termination); corrupted-start runs ask it of a protocol
+/// that began from damaged state.
+pub fn mapping_recovered(network: &Network, states: &[MappingState]) -> bool {
+    // Label clones are O(1) shared handles of the states' endpoint buffers
+    // (CoW `IntervalUnion`), not per-node deep copies.
+    let labels: Vec<IntervalUnion> = states.iter().map(|s| s.label.clone()).collect();
+    ReconstructedTopology::from_terminal_state(&states[network.terminal().index()])
+        .matches_exactly(network, &labels)
+}
+
 /// The distilled outcome of a mapping run.
 #[derive(Debug, Clone)]
 pub struct MappingReport {

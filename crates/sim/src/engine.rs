@@ -20,7 +20,7 @@ use std::collections::VecDeque;
 use anet_graph::{EdgeId, Network};
 
 use crate::metrics::RunMetrics;
-use crate::scheduler::Scheduler;
+use crate::scheduler::{Scheduler, SchedulerAction};
 use crate::trace::{SendEvent, Trace};
 use crate::{AnonymousProtocol, NodeContext, Wire};
 
@@ -65,9 +65,14 @@ pub struct RunConfig {
     /// Execution limits and trace switch.
     pub execution: ExecutionConfig,
     /// Whether to record the exact edge *delivery* order into
-    /// [`RunResult::delivery_order`]. Traces record sends; the delivery order is
+    /// [`RunResult::delivery_order`], plus the full per-step
+    /// [`RunResult::step_log`]. Traces record sends; the delivery order is
     /// the asynchronous adversary's actual interleaving, and feeding it to a
-    /// [`crate::scheduler::ReplayScheduler`] reproduces the run bit-identically.
+    /// [`crate::scheduler::ReplayScheduler`] reproduces the run
+    /// bit-identically. Under a faulty scheduler the delivery order alone
+    /// omits drops and crash losses; replaying the step log
+    /// ([`crate::scheduler::ReplayScheduler::with_steps`]) reproduces even a
+    /// faulty run exactly.
     pub record_delivery_order: bool,
 }
 
@@ -126,7 +131,22 @@ pub struct RunResult<S, M> {
     /// The exact edge delivery order, when requested via
     /// [`RunConfig::record_delivery_order`] (captured by the incremental engine
     /// only; the reference and synchronous engines leave it `None`).
+    ///
+    /// This records *effective* deliveries only: a step whose message was
+    /// dropped or lost to a crash does not appear here (its edge delivered
+    /// nothing), so the order's length always equals
+    /// [`RunMetrics::messages_delivered`] even under a faulty scheduler.
     pub delivery_order: Option<Vec<EdgeId>>,
+    /// Every engine step as `(edge, action)`, when requested via
+    /// [`RunConfig::record_delivery_order`] (incremental engine only).
+    ///
+    /// Unlike [`RunResult::delivery_order`] this includes non-delivering
+    /// steps (drops, crash losses), so feeding it to
+    /// [`crate::scheduler::ReplayScheduler::with_steps`] reproduces a faulty
+    /// run bit-identically. For a reliable run every action is
+    /// [`SchedulerAction::Deliver`] and the edge sequence equals the delivery
+    /// order.
+    pub step_log: Option<Vec<(EdgeId, SchedulerAction)>>,
 }
 
 impl<S, M> RunResult<S, M> {
@@ -182,8 +202,40 @@ where
     P: AnonymousProtocol,
     Sch: Scheduler + ?Sized,
 {
+    run_corrupted(network, protocol, scheduler, run_config, |_| {})
+}
+
+/// [`run_with_config`] with a state-corruption hook: `corrupt` is applied to
+/// the freshly initialised per-vertex states **before** the root's initial
+/// messages and before the initial terminal-acceptance check — the
+/// self-stabilisation entry point ("does the protocol recover when started
+/// from perturbed state, and at what wire-bit cost?").
+///
+/// The hook receives the state slice indexed by node id. Passing a no-op
+/// closure makes this identical to [`run_with_config`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run`].
+pub fn run_corrupted<P, Sch, F>(
+    network: &Network,
+    protocol: &P,
+    scheduler: &mut Sch,
+    run_config: RunConfig,
+    corrupt: F,
+) -> RunResult<P::State, P::Message>
+where
+    P: AnonymousProtocol,
+    Sch: Scheduler + ?Sized,
+    F: FnOnce(&mut [P::State]),
+{
     let config = run_config.execution;
     let mut delivery_order = if run_config.record_delivery_order {
+        Some(Vec::new())
+    } else {
+        None
+    };
+    let mut step_log = if run_config.record_delivery_order {
         Some(Vec::new())
     } else {
         None
@@ -198,6 +250,7 @@ where
         .iter()
         .map(|ctx| protocol.initial_state(ctx))
         .collect();
+    corrupt(&mut states);
 
     // One FIFO queue per edge. Messages are moved, never cloned, on the
     // delivery path: the only `Message::clone` the engine performs is into the
@@ -289,6 +342,7 @@ where
             deliveries_at_termination,
             trace,
             delivery_order,
+            step_log,
         };
     }
 
@@ -301,24 +355,56 @@ where
             break;
         }
         let edge = scheduler.next_edge();
-        if let Some(order) = delivery_order.as_mut() {
-            order.push(edge);
-        }
+        let dst = graph.edge_dst(edge);
         let queue = &mut queues[edge.index()];
-        let (_, message) = queue.pop_front().unwrap_or_else(|| {
-            panic!(
-                "scheduler {} chose edge {edge:?} which has no queued message",
-                scheduler.name()
-            )
-        });
+        assert!(
+            !queue.is_empty(),
+            "scheduler {} chose edge {edge:?} which has no queued message",
+            scheduler.name()
+        );
+        let action = scheduler.deliver_action(edge, dst, queue.len());
+        if let Some(log) = step_log.as_mut() {
+            log.push((edge, action));
+        }
+        let (_, message) = match action {
+            // Deliver a mid-queue message instead of the head (clamped).
+            SchedulerAction::Reorder(i) => {
+                let idx = i.min(queue.len() - 1);
+                queue.remove(idx).expect("index clamped below queue length")
+            }
+            _ => queue.pop_front().expect("emptiness asserted above"),
+        };
         in_flight -= 1;
+        if action == SchedulerAction::Duplicate {
+            // The copy is an adversary artifact, not a protocol send: it gets
+            // a fresh sequence number (head heaps rely on uniqueness) but no
+            // trace event and no wire bits.
+            queue.push_back((next_seq, message.clone()));
+            next_seq += 1;
+            in_flight += 1;
+            metrics.record_duplicate();
+        }
         // Report the edge's new state before the protocol reacts, so a
         // re-activating send during `on_receive` observes a consistent queue.
         match queue.front() {
-            Some(&(seq, _)) => scheduler.on_head(edge, seq, graph.edge_dst(edge) == terminal),
+            Some(&(seq, _)) => scheduler.on_head(edge, seq, dst == terminal),
             None => scheduler.on_idle(edge),
         }
-        let dst = graph.edge_dst(edge);
+        match action {
+            SchedulerAction::Drop => {
+                metrics.record_drop();
+                continue;
+            }
+            SchedulerAction::NodeDown => {
+                metrics.record_crashed_delivery();
+                continue;
+            }
+            SchedulerAction::Deliver | SchedulerAction::Duplicate | SchedulerAction::Reorder(_) => {
+            }
+        }
+        if let Some(order) = delivery_order.as_mut() {
+            order.push(edge);
+        }
         let in_port = graph.in_port(edge);
         metrics.record_delivery();
 
@@ -356,6 +442,7 @@ where
         deliveries_at_termination,
         trace,
         delivery_order,
+        step_log,
     }
 }
 

@@ -16,6 +16,12 @@
 //! * [`scheduler`] — pluggable delivery orders (FIFO, LIFO, seeded-random, and
 //!   adversarial terminal-starving/rushing orders, plus exact replay), so a
 //!   single protocol run can be replayed under many asynchronous interleavings.
+//! * [`faults`] — a composable fault-injection layer: [`FaultyScheduler`]
+//!   wraps any scheduler and answers the engine's
+//!   [`scheduler::Scheduler::deliver_action`] hook with deterministic drops,
+//!   duplicates, bounded reorders and crash windows from a [`FaultPlan`];
+//!   [`run_corrupted`] additionally perturbs protocol state before delivery
+//!   begins for corrupted-start recovery experiments.
 //! * [`reference::run_full_scan`] — the naive specification engine, kept so the
 //!   incremental core is cross-checkable and benchmarkable against it.
 //! * [`metrics::RunMetrics`] — communication-complexity accounting: total bits,
@@ -60,6 +66,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 mod protocol;
 pub mod reference;
@@ -69,7 +76,8 @@ pub mod synchronous;
 pub mod trace;
 mod wire;
 
-pub use engine::{ExecutionConfig, Outcome, RunConfig, RunResult};
+pub use engine::{run_corrupted, ExecutionConfig, Outcome, RunConfig, RunResult};
+pub use faults::{CrashWindow, FaultPlan, FaultyScheduler};
 pub use protocol::{AnonymousProtocol, NodeContext};
 pub use reference::run_full_scan;
 pub use synchronous::{run_synchronous, SynchronousRun};

@@ -16,6 +16,22 @@ pub struct RunMetrics {
     pub messages_sent: u64,
     /// Total number of messages delivered to their destination.
     pub messages_delivered: u64,
+    /// Messages discarded by a faulty scheduler ([`SchedulerAction::Drop`]).
+    ///
+    /// Always 0 under reliable schedulers, so fault-free runs stay
+    /// bit-identical to their historical metrics.
+    ///
+    /// [`SchedulerAction::Drop`]: crate::scheduler::SchedulerAction::Drop
+    pub messages_dropped: u64,
+    /// Adversary-injected duplicates
+    /// ([`SchedulerAction::Duplicate`](crate::scheduler::SchedulerAction::Duplicate)).
+    /// Duplicates are not protocol sends: they are excluded from
+    /// [`RunMetrics::messages_sent`], [`RunMetrics::total_bits`] and the
+    /// per-edge accounting — only bits actually sent are charged.
+    pub messages_duplicated: u64,
+    /// Messages consumed while their destination was crashed
+    /// ([`SchedulerAction::NodeDown`](crate::scheduler::SchedulerAction::NodeDown)).
+    pub crashed_deliveries: u64,
     /// Sum of the wire sizes of all sent messages, in bits.
     pub total_bits: u64,
     /// Largest single message, in bits.
@@ -48,6 +64,27 @@ impl RunMetrics {
     /// Records one delivery.
     pub fn record_delivery(&mut self) {
         self.messages_delivered += 1;
+    }
+
+    /// Records one adversary-dropped message.
+    pub fn record_drop(&mut self) {
+        self.messages_dropped += 1;
+    }
+
+    /// Records one adversary-injected duplicate.
+    pub fn record_duplicate(&mut self) {
+        self.messages_duplicated += 1;
+    }
+
+    /// Records one message lost to a crashed destination.
+    pub fn record_crashed_delivery(&mut self) {
+        self.crashed_deliveries += 1;
+    }
+
+    /// Total messages the adversary destroyed (drops plus crash losses) —
+    /// the gap between sends + duplicates and deliveries in a quiescent run.
+    pub fn messages_lost(&self) -> u64 {
+        self.messages_dropped + self.crashed_deliveries
     }
 
     /// The paper's *required bandwidth*: the largest number of bits transmitted over
@@ -94,6 +131,7 @@ mod tests {
         m.record_delivery();
         assert_eq!(m.messages_sent, 3);
         assert_eq!(m.messages_delivered, 1);
+        assert_eq!(m.messages_lost(), 0);
         assert_eq!(m.total_bits, 45);
         assert_eq!(m.max_message_bits, 30);
         assert_eq!(m.per_edge_bits, vec![10, 35]);
@@ -101,5 +139,23 @@ mod tests {
         assert_eq!(m.max_edge_bits(), 35);
         assert_eq!(m.max_edge_messages(), 2);
         assert!((m.mean_message_bits() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_counters_do_not_touch_wire_accounting() {
+        let mut m = RunMetrics::new(1);
+        m.record_send(0, 10);
+        m.record_drop();
+        m.record_duplicate();
+        m.record_crashed_delivery();
+        m.record_crashed_delivery();
+        assert_eq!(m.messages_dropped, 1);
+        assert_eq!(m.messages_duplicated, 1);
+        assert_eq!(m.crashed_deliveries, 2);
+        assert_eq!(m.messages_lost(), 3);
+        // Only the real send is charged.
+        assert_eq!(m.messages_sent, 1);
+        assert_eq!(m.total_bits, 10);
+        assert_eq!(m.per_edge_messages, vec![1]);
     }
 }

@@ -20,7 +20,7 @@ use anet_graph::Network;
 
 use crate::engine::{ExecutionConfig, Outcome, RunResult};
 use crate::metrics::RunMetrics;
-use crate::scheduler::{PendingEdge, Scheduler};
+use crate::scheduler::{PendingEdge, Scheduler, SchedulerAction};
 use crate::trace::{SendEvent, Trace};
 use crate::{AnonymousProtocol, NodeContext, Wire};
 
@@ -123,6 +123,7 @@ where
             deliveries_at_termination,
             trace,
             delivery_order: None,
+            step_log: None,
         };
     }
 
@@ -148,10 +149,37 @@ where
         }
         let pick = scheduler.pick_full_scan(&candidates);
         let chosen = candidates[pick];
-        let (_, message) = queues[chosen.edge.index()]
-            .pop_front()
-            .expect("candidate edges have queued messages");
         let dst = graph.edge_dst(chosen.edge);
+        // The fault hook fires exactly as in the incremental engine, so a
+        // fault adapter consumes its RNG identically on both paths.
+        let queue = &mut queues[chosen.edge.index()];
+        let action = scheduler.deliver_action(chosen.edge, dst, queue.len());
+        let (_, message) = match action {
+            SchedulerAction::Reorder(i) => {
+                let idx = i.min(queue.len() - 1);
+                queue.remove(idx).expect("index clamped below queue length")
+            }
+            _ => queue
+                .pop_front()
+                .expect("candidate edges have queued messages"),
+        };
+        if action == SchedulerAction::Duplicate {
+            queue.push_back((next_seq, message.clone()));
+            next_seq += 1;
+            metrics.record_duplicate();
+        }
+        match action {
+            SchedulerAction::Drop => {
+                metrics.record_drop();
+                continue;
+            }
+            SchedulerAction::NodeDown => {
+                metrics.record_crashed_delivery();
+                continue;
+            }
+            SchedulerAction::Deliver | SchedulerAction::Duplicate | SchedulerAction::Reorder(_) => {
+            }
+        }
         let in_port = graph.in_port(chosen.edge);
         metrics.record_delivery();
 
@@ -187,6 +215,7 @@ where
         deliveries_at_termination,
         trace,
         delivery_order: None,
+        step_log: None,
     }
 }
 

@@ -47,9 +47,48 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
 
-use anet_graph::EdgeId;
+use anet_graph::{EdgeId, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// What the engine should do with the head message of the edge the scheduler
+/// just chose — the **fault contract** between schedulers and the engine.
+///
+/// After [`Scheduler::next_edge`] names an edge, the engine asks
+/// [`Scheduler::deliver_action`] how to treat that edge's queue. Reliable
+/// schedulers keep the provided default ([`SchedulerAction::Deliver`]) and
+/// never see a difference; fault adapters such as
+/// [`crate::faults::FaultyScheduler`] return the other variants to model lossy
+/// and reordering adversaries. Whatever the action, the engine still reports
+/// the edge's new queue state via exactly one
+/// [`Scheduler::on_head`]/[`Scheduler::on_idle`] before the next
+/// [`Scheduler::next_edge`] call, so inner schedulers stay consistent without
+/// knowing faults exist.
+///
+/// Wire-bit accounting is unaffected by every variant: bits are charged at
+/// *send* time, and the adversary manipulating deliveries transmits nothing of
+/// its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerAction {
+    /// Deliver the head message normally.
+    Deliver,
+    /// Silently discard the head message (lossy channel). No `on_receive`
+    /// runs and nothing is delivered; the run's in-flight count decreases, so
+    /// drops can only hasten quiescence, never livelock the engine.
+    Drop,
+    /// Deliver the head message *and* re-enqueue a copy of it at the tail of
+    /// the same edge's queue with a fresh sequence number (duplicating
+    /// channel). The copy is an adversary artifact: it is not a protocol
+    /// send, so it is neither traced nor charged wire bits.
+    Duplicate,
+    /// The destination vertex is crashed: the head message is consumed and
+    /// lost without running `on_receive` (delivery-while-crashed).
+    NodeDown,
+    /// Deliver the message at queue position `min(i, queue_len - 1)` instead
+    /// of the head, reordering within the edge's queue. `Reorder(0)` is
+    /// equivalent to [`SchedulerAction::Deliver`].
+    Reorder(usize),
+}
 
 /// A candidate delivery offered to [`Scheduler::pick_full_scan`]: the head
 /// message of one edge's queue.
@@ -92,6 +131,57 @@ pub trait Scheduler {
     /// Reference semantics: picks an index into the (non-empty) candidate slice
     /// holding all active edges in increasing edge-id order.
     fn pick_full_scan(&mut self, candidates: &[PendingEdge]) -> usize;
+
+    /// The fault hook: after [`Scheduler::next_edge`] (or
+    /// [`Scheduler::pick_full_scan`]) chose `edge`, decides what the engine
+    /// does with its queue. `dst` is the edge's destination vertex and
+    /// `queue_len` the number of messages queued on the edge (≥ 1).
+    ///
+    /// Called exactly once per engine step, by both the incremental and the
+    /// full-scan engine, so fault adapters consume their RNG identically on
+    /// both paths. The default is reliable delivery, which keeps every
+    /// pre-existing scheduler bit-identical to its historical behaviour.
+    fn deliver_action(
+        &mut self,
+        _edge: EdgeId,
+        _dst: NodeId,
+        _queue_len: usize,
+    ) -> SchedulerAction {
+        SchedulerAction::Deliver
+    }
+}
+
+/// Boxed schedulers forward every call, so adapters like
+/// [`crate::faults::FaultyScheduler`] compose over `Box<dyn Scheduler>`
+/// battery members without unboxing.
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn begin_run(&mut self, edge_count: usize) {
+        (**self).begin_run(edge_count);
+    }
+
+    fn on_head(&mut self, edge: EdgeId, head_seq: u64, into_terminal: bool) {
+        (**self).on_head(edge, head_seq, into_terminal);
+    }
+
+    fn on_idle(&mut self, edge: EdgeId) {
+        (**self).on_idle(edge);
+    }
+
+    fn next_edge(&mut self) -> EdgeId {
+        (**self).next_edge()
+    }
+
+    fn pick_full_scan(&mut self, candidates: &[PendingEdge]) -> usize {
+        (**self).pick_full_scan(candidates)
+    }
+
+    fn deliver_action(&mut self, edge: EdgeId, dst: NodeId, queue_len: usize) -> SchedulerAction {
+        (**self).deliver_action(edge, dst, queue_len)
+    }
 }
 
 /// A binary heap over the heads of active edges, keyed by head sequence number.
@@ -469,9 +559,15 @@ impl Scheduler for RandomScheduler {
 /// Replays a prescribed edge delivery order — the reference path for pinning an
 /// exact interleaving (for example one observed under another scheduler, or a
 /// hand-written adversarial order) and re-running it through either engine.
+///
+/// [`ReplayScheduler::with_steps`] additionally replays a
+/// [`SchedulerAction`] per step, reproducing a *faulty* run (drops,
+/// duplicates, reorders, crashes) bit-identically from its recorded
+/// [`crate::RunResult::step_log`].
 #[derive(Debug, Clone, Default)]
 pub struct ReplayScheduler {
     order: VecDeque<EdgeId>,
+    actions: Option<VecDeque<SchedulerAction>>,
 }
 
 impl ReplayScheduler {
@@ -483,6 +579,20 @@ impl ReplayScheduler {
     pub fn new<I: IntoIterator<Item = EdgeId>>(order: I) -> Self {
         ReplayScheduler {
             order: order.into_iter().collect(),
+            actions: None,
+        }
+    }
+
+    /// Creates a scheduler that replays `(edge, action)` steps — typically a
+    /// recorded [`crate::RunResult::step_log`] — reproducing a faulty run
+    /// exactly: the same edges are chosen and the same drops, duplicates,
+    /// reorders and crash losses are re-applied.
+    pub fn with_steps<I: IntoIterator<Item = (EdgeId, SchedulerAction)>>(steps: I) -> Self {
+        let (order, actions): (VecDeque<EdgeId>, VecDeque<SchedulerAction>) =
+            steps.into_iter().unzip();
+        ReplayScheduler {
+            order,
+            actions: Some(actions),
         }
     }
 
@@ -513,6 +623,18 @@ impl Scheduler for ReplayScheduler {
             .iter()
             .position(|c| c.edge == edge)
             .expect("replayed edge is not pending — infeasible replay order")
+    }
+
+    fn deliver_action(
+        &mut self,
+        _edge: EdgeId,
+        _dst: NodeId,
+        _queue_len: usize,
+    ) -> SchedulerAction {
+        match self.actions.as_mut() {
+            Some(actions) => actions.pop_front().expect("replay actions exhausted"),
+            None => SchedulerAction::Deliver,
+        }
     }
 }
 
@@ -747,6 +869,33 @@ mod tests {
         let idx = sched.pick_full_scan(&candidates());
         assert_eq!(candidates()[idx].edge, EdgeId(0));
         assert_eq!(sched.remaining(), 0);
+    }
+
+    #[test]
+    fn replay_with_steps_replays_edges_and_actions() {
+        let mut sched = ReplayScheduler::with_steps([
+            (EdgeId(2), SchedulerAction::Drop),
+            (EdgeId(0), SchedulerAction::Reorder(3)),
+        ]);
+        sched.begin_run(3);
+        let edge = sched.next_edge();
+        assert_eq!(edge, EdgeId(2));
+        assert_eq!(
+            sched.deliver_action(edge, NodeId(0), 1),
+            SchedulerAction::Drop
+        );
+        let edge = sched.next_edge();
+        assert_eq!(edge, EdgeId(0));
+        assert_eq!(
+            sched.deliver_action(edge, NodeId(0), 4),
+            SchedulerAction::Reorder(3)
+        );
+        assert_eq!(sched.remaining(), 0);
+        // Plain schedulers always answer Deliver through the default hook.
+        assert_eq!(
+            FifoScheduler::new().deliver_action(EdgeId(0), NodeId(0), 1),
+            SchedulerAction::Deliver
+        );
     }
 
     #[test]

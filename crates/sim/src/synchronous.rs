@@ -123,6 +123,7 @@ where
                 deliveries_at_termination: Some(0),
                 trace,
                 delivery_order: None,
+                step_log: None,
             },
             rounds,
         };
@@ -177,6 +178,7 @@ where
             deliveries_at_termination,
             trace,
             delivery_order: None,
+            step_log: None,
         },
         rounds,
     }

@@ -134,6 +134,72 @@ fn captured_delivery_order_replays_bit_identically() {
     }
 }
 
+/// A faulty run replays bit-identically from its step log: the captured
+/// `(edge, action)` sequence — drops, duplicates, reorders, crash losses and
+/// all — fed to [`ReplayScheduler::with_steps`] reproduces the run without the
+/// fault RNG, on both engines. The plain `delivery_order` is *not* enough for
+/// a faulty run (it only lists effective deliveries); the step log is the
+/// faithful record.
+#[test]
+fn faulty_run_replays_bit_identically_from_its_step_log() {
+    use anet_sim::{FaultPlan, FaultyScheduler};
+
+    let protocol = Chatter {
+        fanout_rounds: 3,
+        needed: 4,
+    };
+    let plan = FaultPlan::reliable()
+        .with_drops(20)
+        .with_duplicates(10)
+        .with_reorder(3)
+        .with_seed(13)
+        .with_crash(anet_graph::NodeId(1), 5, 9);
+    let capture_config = RunConfig::with_delivery_order(ExecutionConfig::with_trace());
+    for net in topologies() {
+        for inner in anet_sim::scheduler::standard_battery(99, 3) {
+            let mut faulty = FaultyScheduler::new(inner, plan.clone());
+            let original = run_with_config(&net, &protocol, &mut faulty, capture_config);
+            let name = faulty.inner().name();
+            let steps = original.step_log.clone().expect("step log was requested");
+            let order = original
+                .delivery_order
+                .clone()
+                .expect("delivery order was requested");
+            // The delivery order lists effective deliveries only; under a
+            // lossy plan that is strictly fewer entries than engine steps.
+            assert_eq!(
+                order.len() as u64,
+                original.metrics.messages_delivered,
+                "scheduler {name}"
+            );
+            assert!(steps.len() >= order.len(), "scheduler {name}");
+
+            let mut replay = ReplayScheduler::with_steps(steps.clone());
+            let replayed = run_with_config(&net, &protocol, &mut replay, capture_config);
+            assert_eq!(replayed.outcome, original.outcome, "scheduler {name}");
+            assert_eq!(replayed.metrics, original.metrics, "scheduler {name}");
+            assert_eq!(replayed.states, original.states, "scheduler {name}");
+            assert_eq!(replayed.trace, original.trace, "scheduler {name}");
+            assert_eq!(replayed.delivery_order, Some(order), "scheduler {name}");
+            assert_eq!(replayed.step_log, Some(steps.clone()), "scheduler {name}");
+
+            // The step log drives the full-scan reference engine to the same
+            // run as well.
+            let mut replay_full = ReplayScheduler::with_steps(steps);
+            let full = run_full_scan(
+                &net,
+                &protocol,
+                &mut replay_full,
+                ExecutionConfig::with_trace(),
+            );
+            assert_eq!(full.outcome, original.outcome, "scheduler {name}");
+            assert_eq!(full.metrics, original.metrics, "scheduler {name}");
+            assert_eq!(full.trace, original.trace, "scheduler {name}");
+            assert_eq!(full.states, original.states, "scheduler {name}");
+        }
+    }
+}
+
 #[test]
 fn delivery_order_is_not_recorded_unless_requested() {
     let protocol = Chatter {

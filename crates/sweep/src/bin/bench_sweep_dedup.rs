@@ -22,7 +22,7 @@
 use anet_bench::baseline::{median_ns, result_keys, SampleConfig};
 use anet_sweep::{
     dedup_shard_lines, merge_lines, shard_lines, DedupStats, Manifest, Partition, ProtocolSpec,
-    SweepSpec, TopologySpec,
+    ScenarioSpec, SweepSpec, TopologySpec,
 };
 
 const BASELINE_PATH: &str = "BENCH_sweep_dedup.json";
@@ -49,6 +49,7 @@ fn bench_spec() -> SweepSpec {
         seeds: vec![11, 12],
         random_schedulers: 1,
         max_deliveries: 1_000_000,
+        scenarios: vec![ScenarioSpec::Pristine],
     }
 }
 

@@ -45,6 +45,12 @@ pub struct CachePayload {
     pub max_msg_bits: u64,
     /// Largest per-edge bit total, bits.
     pub max_edge_bits: u64,
+    /// Messages destroyed by the fault adversary's drops.
+    pub dropped: u64,
+    /// Adversary-injected duplicate deliveries.
+    pub duplicated: u64,
+    /// Messages consumed by crashed vertices.
+    pub crashed: u64,
     /// Trace digest of the (canonical-network) run.
     pub trace_digest: u64,
 }
@@ -61,6 +67,9 @@ impl CachePayload {
             total_bits: record.total_bits,
             max_msg_bits: record.max_msg_bits,
             max_edge_bits: record.max_edge_bits,
+            dropped: record.dropped,
+            duplicated: record.duplicated,
+            crashed: record.crashed,
             trace_digest: record.trace_digest,
         }
     }
@@ -78,6 +87,7 @@ impl CachePayload {
             scheduler: unit.scheduler.clone(),
             battery_index: unit.battery_index,
             seed: unit.seed,
+            scenario: unit.scenario.name(),
             outcome: self.outcome.clone(),
             ok: self.ok,
             sent: self.sent,
@@ -86,6 +96,9 @@ impl CachePayload {
             total_bits: self.total_bits,
             max_msg_bits: self.max_msg_bits,
             max_edge_bits: self.max_edge_bits,
+            dropped: self.dropped,
+            duplicated: self.duplicated,
+            crashed: self.crashed,
             trace_digest: self.trace_digest,
         }
     }
@@ -98,7 +111,7 @@ impl CachePayload {
             None => "null".to_owned(),
         };
         format!(
-            "{{\"cache\": \"v1\", \"fp\": \"{}\", \"outcome\": \"{}\", \"ok\": {}, \"sent\": {}, \"delivered\": {}, \"accepted_at\": {}, \"total_bits\": {}, \"max_msg_bits\": {}, \"max_edge_bits\": {}, \"trace\": \"{:016x}\"}}",
+            "{{\"cache\": \"v2\", \"fp\": \"{}\", \"outcome\": \"{}\", \"ok\": {}, \"sent\": {}, \"delivered\": {}, \"accepted_at\": {}, \"total_bits\": {}, \"max_msg_bits\": {}, \"max_edge_bits\": {}, \"dropped\": {}, \"duplicated\": {}, \"crashed\": {}, \"trace\": \"{:016x}\"}}",
             fingerprint,
             self.outcome,
             self.ok,
@@ -108,6 +121,9 @@ impl CachePayload {
             self.total_bits,
             self.max_msg_bits,
             self.max_edge_bits,
+            self.dropped,
+            self.duplicated,
+            self.crashed,
             self.trace_digest,
         )
     }
@@ -130,7 +146,7 @@ impl CachePayload {
             Some(inner.to_owned())
         };
         let int = |key: &str| -> Option<u64> { fields.get(key)?.parse().ok() };
-        if string("cache")? != "v1" || string("fp")? != fingerprint {
+        if string("cache")? != "v2" || string("fp")? != fingerprint {
             return None;
         }
         let payload = CachePayload {
@@ -149,6 +165,9 @@ impl CachePayload {
             total_bits: int("total_bits")?,
             max_msg_bits: int("max_msg_bits")?,
             max_edge_bits: int("max_edge_bits")?,
+            dropped: int("dropped")?,
+            duplicated: int("duplicated")?,
+            crashed: int("crashed")?,
             trace_digest: {
                 let hex = string("trace")?;
                 if hex.len() != 16 {
@@ -226,6 +245,9 @@ mod tests {
             total_bits: 1234,
             max_msg_bits: 99,
             max_edge_bits: 456,
+            dropped: 0,
+            duplicated: 0,
+            crashed: 0,
             trace_digest: 0x00ab12cd34ef5678,
         }
     }
@@ -257,7 +279,7 @@ mod tests {
             None
         );
         assert_eq!(
-            CachePayload::parse_entry_line(&line.replace("v1", "v0"), FP),
+            CachePayload::parse_entry_line(&line.replace("v2", "v1"), FP),
             None
         );
     }
@@ -289,6 +311,7 @@ mod tests {
             seeds: vec![0],
             random_schedulers: 0,
             max_deliveries: 100_000,
+            scenarios: vec![crate::ScenarioSpec::Pristine],
         };
         let manifest = crate::Manifest::from_spec(&spec);
         let unit = &manifest.units[1];

@@ -52,17 +52,19 @@ pub struct UnitCluster {
 /// except the unit's own name fields (manifest index and topology name).
 ///
 /// Two FNV-1a passes over the same canonical string with distinct prefixes;
-/// the string is versioned (`unit-v1`) so a change to the execution contract
-/// invalidates cache entries instead of aliasing them.
+/// the string is versioned (`unit-v2`, since the scenario dimension joined
+/// the execution contract) so a change to the contract invalidates cache
+/// entries instead of aliasing them.
 pub fn unit_fingerprint(spec: &SweepSpec, unit: &SweepUnit, form: &CanonicalForm) -> String {
     let canonical = format!(
-        "unit-v1 protocol={} seed={} k={} sched={} random={} budget={} {}",
+        "unit-v2 protocol={} seed={} k={} sched={} random={} budget={} scenario={} {}",
         unit.protocol.name(),
         unit.seed,
         unit.battery_index,
         unit.scheduler,
         spec.random_schedulers,
         spec.max_deliveries,
+        unit.scenario.name(),
         form.encode()
     );
     let lo = fnv1a(format!("fp-lo|{canonical}").as_bytes());
@@ -71,10 +73,11 @@ pub fn unit_fingerprint(spec: &SweepSpec, unit: &SweepUnit, form: &CanonicalForm
 }
 
 /// Groups `units` into equivalence classes by **(protocol, canonical
-/// topology form, seed, battery position)** — the full set of inputs the
-/// executor's record depends on (scheduler identity is a function of the
-/// battery position, and the spec-level battery shape and delivery budget are
-/// shared by every unit).
+/// topology form, seed, battery position, scenario)** — the full set of
+/// inputs the executor's record depends on (scheduler identity is a function
+/// of the battery position, the per-unit fault plan is a pure function of
+/// scenario + seed + battery position, and the spec-level battery shape and
+/// delivery budget are shared by every unit).
 ///
 /// Canonical forms are computed once per distinct topology name and compared
 /// exactly. Clusters come back ordered by representative position.
@@ -95,18 +98,24 @@ pub fn cluster_units(
             slot.insert(canonical_form(&network).form);
         }
     }
-    type ClusterKey = (String, u64, usize, CanonicalForm);
+    type ClusterKey = (String, u64, usize, String, CanonicalForm);
     let mut classes: BTreeMap<ClusterKey, Vec<usize>> = BTreeMap::new();
     for (position, unit) in units.iter().enumerate() {
         let form = forms[&unit.topology.name()].clone();
         classes
-            .entry((unit.protocol.name(), unit.seed, unit.battery_index, form))
+            .entry((
+                unit.protocol.name(),
+                unit.seed,
+                unit.battery_index,
+                unit.scenario.name(),
+                form,
+            ))
             .or_default()
             .push(position);
     }
     let mut clusters: Vec<UnitCluster> = classes
         .into_iter()
-        .map(|((_, _, _, form), members)| UnitCluster {
+        .map(|((_, _, _, _, form), members)| UnitCluster {
             fingerprint: unit_fingerprint(spec, units[members[0]], &form),
             representative: members[0],
             members,
@@ -138,8 +147,8 @@ impl RunRecord {
     /// # Panics
     ///
     /// Panics if `unit` disagrees on a cluster-key field (protocol, seed,
-    /// battery position or scheduler) — rebinding across classes would
-    /// fabricate results.
+    /// battery position, scheduler or scenario) — rebinding across classes
+    /// would fabricate results.
     pub fn rebind(&self, unit: &SweepUnit) -> RunRecord {
         assert_eq!(
             self.protocol,
@@ -152,6 +161,11 @@ impl RunRecord {
             "rebind across battery positions"
         );
         assert_eq!(self.scheduler, unit.scheduler, "rebind across schedulers");
+        assert_eq!(
+            self.scenario,
+            unit.scenario.name(),
+            "rebind across scenarios"
+        );
         RunRecord {
             index: unit.index,
             topology: unit.topology.name(),
@@ -243,7 +257,7 @@ impl DedupStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{ProtocolSpec, TopologySpec};
+    use crate::spec::{ProtocolSpec, ScenarioSpec, TopologySpec};
 
     fn spec() -> SweepSpec {
         SweepSpec {
@@ -259,6 +273,7 @@ mod tests {
             seeds: vec![0, 1],
             random_schedulers: 1,
             max_deliveries: 100_000,
+            scenarios: vec![ScenarioSpec::Pristine],
         }
     }
 
@@ -316,6 +331,62 @@ mod tests {
         other.max_deliveries += 1;
         let again = Manifest::from_spec(&other).cluster_units(&other).unwrap();
         assert_ne!(clusters[0].fingerprint, again[0].fingerprint);
+    }
+
+    #[test]
+    fn scenarios_are_part_of_the_cluster_key_and_dedup_stays_honest() {
+        let mut spec = spec();
+        spec.protocols = vec![ProtocolSpec::Labeling];
+        spec.seeds = vec![0];
+        spec.scenarios = vec![
+            ScenarioSpec::Pristine,
+            ScenarioSpec::Faulty {
+                drop_pct: 25,
+                dup_pct: 10,
+                reorder: 2,
+                seed: 3,
+            },
+        ];
+        let manifest = Manifest::from_spec(&spec);
+        let clusters = manifest.cluster_units(&spec).unwrap();
+        // Same class count as the pristine-only spec, doubled: scenarios
+        // never merge, but isomorphic topologies still do within a scenario.
+        let battery = anet_sim::runner::battery_size(spec.random_schedulers);
+        assert_eq!(clusters.len(), 3 * battery * 2);
+        for cluster in &clusters {
+            let rep = &manifest.units[cluster.representative];
+            for &m in &cluster.members {
+                assert_eq!(manifest.units[m].scenario, rep.scenario);
+            }
+        }
+        // A faulty cluster with an isomorphic member: the rebound record is
+        // the member's honest record (same mixed fault seed, same faults).
+        let merged = clusters
+            .iter()
+            .find(|c| {
+                c.members.len() == 2 && !manifest.units[c.representative].scenario.is_pristine()
+            })
+            .expect("path(2) and complete-dag(2) merge under the fault scenario");
+        let record = crate::execute_unit(&spec, &manifest.units[merged.representative]).unwrap();
+        let member = &manifest.units[merged.members[1]];
+        assert_eq!(
+            record.rebind(member),
+            crate::execute_unit(&spec, member).unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rebind across scenarios")]
+    fn rebind_across_scenarios_panics() {
+        let mut spec = spec();
+        spec.scenarios = vec![
+            ScenarioSpec::Pristine,
+            ScenarioSpec::Corrupt(anet_core::StateCorruption::LostPartition),
+        ];
+        let manifest = Manifest::from_spec(&spec);
+        // Units 0 and 1 differ only in scenario (it is the innermost loop).
+        let record = crate::execute_unit(&spec, &manifest.units[0]).unwrap();
+        let _ = record.rebind(&manifest.units[1]);
     }
 
     #[test]

@@ -22,23 +22,32 @@
 //! are anonymous — they observe degrees and port indices, never vertex ids —
 //! so which isomorphic representative runs is pure bookkeeping.
 
-use anet_core::general_broadcast::GeneralBroadcast;
-use anet_core::labeling::Labeling;
-use anet_core::mapping::{Mapping, ReconstructedTopology};
-use anet_core::Payload;
+use anet_core::general_broadcast::{corrupt_general_states, general_recovered, GeneralBroadcast};
+use anet_core::labeling::{corrupt_labeling_states, labeling_recovered, Labeling};
+use anet_core::mapping::{corrupt_mapping_states, mapping_recovered, Mapping};
+use anet_core::{Payload, StateCorruption};
 use anet_graph::canon::canonical_form;
 use anet_graph::Network;
-use anet_num::IntervalUnion;
-use anet_sim::engine::{ExecutionConfig, RunConfig};
+use anet_sim::engine::{run_corrupted, run_with_config, ExecutionConfig, RunConfig};
 use anet_sim::runner::{run_battery_cell, NamedRun};
-use anet_sim::Outcome;
+use anet_sim::scheduler::standard_battery;
+use anet_sim::{AnonymousProtocol, FaultyScheduler, Outcome};
 
 use crate::manifest::SweepUnit;
 use crate::record::RunRecord;
-use crate::spec::{ProtocolSpec, SweepSpec};
+use crate::spec::{ProtocolSpec, ScenarioSpec, SweepSpec};
 use crate::SweepError;
 
 /// Runs one unit and produces its canonical record.
+///
+/// The unit's [`ScenarioSpec`] selects the execution mode: pristine units run
+/// exactly as before scenarios existed ([`run_battery_cell`]); faulty units
+/// wrap the battery scheduler in a [`FaultyScheduler`] whose plan seed is a
+/// pure function of the dedup cluster key ([`ScenarioSpec::fault_plan`]);
+/// corrupted-start units run through [`run_corrupted`] with the protocol's
+/// state perturbation, and their `ok` column is the protocol's *recovery*
+/// predicate. In every mode the record is a pure function of the unit's
+/// equivalence class, so dedup and sharding stay byte-exact.
 ///
 /// # Errors
 ///
@@ -54,98 +63,122 @@ pub fn execute_unit(spec: &SweepSpec, unit: &SweepUnit) -> Result<RunRecord, Swe
         max_deliveries: spec.max_deliveries,
         record_trace: true,
     });
-    let random_count = spec.random_schedulers;
     match &unit.protocol {
         ProtocolSpec::Mapping => {
             let protocol = Mapping::new();
-            let named = run_battery_cell(
+            let named = run_scenario_cell(
                 &network,
                 &protocol,
                 config,
-                unit.seed,
-                random_count,
-                unit.battery_index,
+                spec,
+                unit,
+                corrupt_mapping_states,
             );
-            let ok = named.result.outcome.terminated() && {
-                // Label clones are O(1) shared handles of the states' endpoint
-                // buffers (CoW `IntervalUnion`), not per-node deep copies.
-                let labels: Vec<IntervalUnion> = named
-                    .result
-                    .states
-                    .iter()
-                    .map(|s| s.label.clone())
-                    .collect();
-                ReconstructedTopology::from_terminal_state(
-                    &named.result.states[network.terminal().index()],
-                )
-                .matches_exactly(&network, &labels)
-            };
+            let ok = named.result.outcome.terminated()
+                && mapping_recovered(&network, &named.result.states);
             Ok(distil(unit, &named, ok))
         }
         ProtocolSpec::Labeling => {
             let protocol = Labeling::new();
-            let named = run_battery_cell(
+            let named = run_scenario_cell(
                 &network,
                 &protocol,
                 config,
-                unit.seed,
-                random_count,
-                unit.battery_index,
+                spec,
+                unit,
+                corrupt_labeling_states,
             );
             let ok = named.result.outcome.terminated()
-                && labels_unique(
-                    &network,
-                    &named
-                        .result
-                        .states
-                        .iter()
-                        .map(|s| s.label.clone())
-                        .collect::<Vec<_>>(),
-                );
+                && labeling_recovered(&network, &named.result.states);
             Ok(distil(unit, &named, ok))
         }
         ProtocolSpec::GeneralBroadcast { payload_bits } => {
             let protocol = GeneralBroadcast::new(Payload::synthetic(*payload_bits));
-            let named = run_battery_cell(
+            let named = run_scenario_cell(
                 &network,
                 &protocol,
                 config,
-                unit.seed,
-                random_count,
-                unit.battery_index,
+                spec,
+                unit,
+                corrupt_general_states,
             );
             let ok = named.result.outcome.terminated()
-                && network
-                    .graph()
-                    .nodes()
-                    .all(|n| n == network.root() || named.result.states[n.index()].received);
+                && general_recovered(&network, &named.result.states);
             Ok(distil(unit, &named, ok))
         }
     }
 }
 
-/// The labeling success check: every participant (everything but the root)
-/// holds a non-empty label, pairwise disjoint — the same predicate
-/// `run_labeling_with_config` reports as `labels_unique`.
-fn labels_unique(network: &Network, labels: &[IntervalUnion]) -> bool {
-    let participants: Vec<usize> = network
-        .graph()
-        .nodes()
-        .filter(|&n| n != network.root())
-        .map(|n| n.index())
-        .collect();
-    participants.iter().enumerate().all(|(i, &a)| {
-        !labels[a].is_empty()
-            && participants[i + 1..]
-                .iter()
-                .all(|&b| !labels[a].intersects(&labels[b]))
-    })
+/// Runs one battery cell under the unit's scenario.
+///
+/// The pristine arm is exactly [`run_battery_cell`] — same battery
+/// construction, same scheduler state — so pristine records are byte-identical
+/// to every sweep that predates scenarios.
+fn run_scenario_cell<P: AnonymousProtocol>(
+    network: &Network,
+    protocol: &P,
+    config: RunConfig,
+    spec: &SweepSpec,
+    unit: &SweepUnit,
+    corrupt: impl FnOnce(&StateCorruption, &Network, &mut [P::State]),
+) -> NamedRun<P::State, P::Message> {
+    match &unit.scenario {
+        ScenarioSpec::Pristine => run_battery_cell(
+            network,
+            protocol,
+            config,
+            unit.seed,
+            spec.random_schedulers,
+            unit.battery_index,
+        ),
+        ScenarioSpec::Faulty { .. } => {
+            let plan = unit
+                .scenario
+                .fault_plan(unit.seed, unit.battery_index)
+                .expect("scenario is faulty");
+            let mut battery = standard_battery(unit.seed, spec.random_schedulers);
+            assert!(
+                unit.battery_index < battery.len(),
+                "battery index {} out of range for battery of {}",
+                unit.battery_index,
+                battery.len()
+            );
+            let inner = battery.remove(unit.battery_index);
+            let scheduler = inner.name();
+            let mut faulty = FaultyScheduler::new(inner, plan);
+            NamedRun {
+                scheduler,
+                result: run_with_config(network, protocol, &mut faulty, config),
+            }
+        }
+        ScenarioSpec::Corrupt(corruption) => {
+            let mut battery = standard_battery(unit.seed, spec.random_schedulers);
+            assert!(
+                unit.battery_index < battery.len(),
+                "battery index {} out of range for battery of {}",
+                unit.battery_index,
+                battery.len()
+            );
+            let scheduler = &mut battery[unit.battery_index];
+            NamedRun {
+                scheduler: scheduler.name(),
+                result: run_corrupted(network, protocol, scheduler.as_mut(), config, |states| {
+                    corrupt(corruption, network, states)
+                }),
+            }
+        }
+    }
 }
 
 fn distil<S, M>(unit: &SweepUnit, named: &NamedRun<S, M>, ok: bool) -> RunRecord {
     let result = &named.result;
+    // A quiescent run that lost messages to the adversary did not merely run
+    // out of work — it was starved: the faults destroyed traffic the protocol
+    // needed. First-class outcome so fault sweeps can count starvation apart
+    // from genuine quiescence (pristine runs lose nothing and are unaffected).
     let outcome = match result.outcome {
         Outcome::Terminated => "terminated",
+        Outcome::Quiescent if result.metrics.messages_lost() > 0 => "starved",
         Outcome::Quiescent => "quiescent",
         Outcome::BudgetExhausted => "budget-exhausted",
     };
@@ -156,6 +189,7 @@ fn distil<S, M>(unit: &SweepUnit, named: &NamedRun<S, M>, ok: bool) -> RunRecord
         scheduler: unit.scheduler.clone(),
         battery_index: unit.battery_index,
         seed: unit.seed,
+        scenario: unit.scenario.name(),
         outcome: outcome.to_owned(),
         ok,
         sent: result.metrics.messages_sent,
@@ -164,6 +198,9 @@ fn distil<S, M>(unit: &SweepUnit, named: &NamedRun<S, M>, ok: bool) -> RunRecord
         total_bits: result.metrics.total_bits,
         max_msg_bits: result.metrics.max_message_bits,
         max_edge_bits: result.metrics.max_edge_bits(),
+        dropped: result.metrics.messages_dropped,
+        duplicated: result.metrics.messages_duplicated,
+        crashed: result.metrics.crashed_deliveries,
         trace_digest: result
             .trace
             .as_ref()
@@ -192,6 +229,7 @@ mod tests {
             seeds: vec![0],
             random_schedulers: 1,
             max_deliveries: 1_000_000,
+            scenarios: vec![ScenarioSpec::Pristine],
         }
     }
 
@@ -207,6 +245,63 @@ mod tests {
             assert!(a.ok, "unit {} failed its protocol check", unit.key());
             assert!(a.sent > 0 && a.delivered > 0 && a.total_bits > 0);
             assert_eq!(a.index, unit.index);
+        }
+    }
+
+    #[test]
+    fn adversarial_units_are_deterministic_and_labelled() {
+        let mut spec = spec();
+        spec.scenarios = vec![
+            ScenarioSpec::Pristine,
+            ScenarioSpec::Faulty {
+                drop_pct: 20,
+                dup_pct: 10,
+                reorder: 2,
+                seed: 6,
+            },
+            ScenarioSpec::Corrupt(StateCorruption::ScrambledLabels { seed: 7 }),
+            ScenarioSpec::Corrupt(StateCorruption::LostPartition),
+            ScenarioSpec::Corrupt(StateCorruption::StaleTerminal),
+        ];
+        let manifest = Manifest::from_spec(&spec);
+        let mut saw_fault_counters = false;
+        for unit in &manifest.units {
+            let a = execute_unit(&spec, unit).expect("unit runs");
+            let b = execute_unit(&spec, unit).expect("unit runs");
+            assert_eq!(a, b, "unit {} is not deterministic", unit.key());
+            assert_eq!(a.scenario, unit.scenario.name());
+            if unit.scenario.is_pristine() {
+                assert!(a.ok, "pristine unit {} failed", unit.key());
+                assert_eq!((a.dropped, a.duplicated, a.crashed), (0, 0, 0));
+            }
+            saw_fault_counters |= a.dropped > 0 || a.duplicated > 0;
+        }
+        assert!(
+            saw_fault_counters,
+            "a 20%-drop 10%-dup scenario must record fault counters somewhere"
+        );
+    }
+
+    #[test]
+    fn total_drop_scenarios_starve_every_run() {
+        let mut spec = spec();
+        spec.scenarios = vec![
+            ScenarioSpec::Pristine,
+            ScenarioSpec::Faulty {
+                drop_pct: 100,
+                dup_pct: 0,
+                reorder: 0,
+                seed: 0,
+            },
+        ];
+        let manifest = Manifest::from_spec(&spec);
+        for unit in manifest.units.iter().filter(|u| !u.scenario.is_pristine()) {
+            let record = execute_unit(&spec, unit).expect("unit runs");
+            assert_eq!(record.outcome, "starved", "unit {}", unit.key());
+            assert!(!record.ok);
+            assert_eq!(record.delivered, 0);
+            assert_eq!(record.dropped, record.sent);
+            assert!(record.dropped > 0);
         }
     }
 

@@ -11,22 +11,30 @@
 //! # Lifecycle
 //!
 //! 1. **Spec** ([`spec`]) — protocols × topology instances × battery seeds ×
-//!    scheduler battery, with a canonical text form that round-trips
-//!    ([`SweepSpec::parse`] / [`SweepSpec::to_spec_string`]). Random topologies
-//!    carry their own generator seeds, so every unit is self-contained.
+//!    scheduler battery × execution scenarios, with a canonical text form that
+//!    round-trips ([`SweepSpec::parse`] / [`SweepSpec::to_spec_string`]).
+//!    Random topologies carry their own generator seeds, so every unit is
+//!    self-contained. Scenarios ([`ScenarioSpec`]) add the adversarial axis:
+//!    `faults drop=… dup=… reorder=… seed=…` wraps every battery scheduler in
+//!    an [`anet_sim::faults::FaultyScheduler`], and `corrupt labels <seed>` /
+//!    `corrupt partition` / `corrupt stale-terminal` start runs from perturbed
+//!    protocol state ([`anet_core::StateCorruption`]). The pristine scenario is
+//!    always present and always first.
 //! 2. **Manifest** ([`manifest`]) — [`Manifest::from_spec`] expands the spec
 //!    into the flat unit list in the canonical order *protocol → topology →
-//!    seed → battery position* (for one protocol and one seed this is exactly
-//!    the (topology, scheduler) order of
-//!    [`anet_sim::runner::run_battery_grid`]). [`Partition`] assigns each unit
-//!    to one of `n` shards by stable hash or round-robin.
+//!    seed → battery position → scenario* (for one protocol, one seed and
+//!    pristine-only scenarios this is exactly the (topology, scheduler) order
+//!    of [`anet_sim::runner::run_battery_grid`]). [`Partition`] assigns each
+//!    unit to one of `n` shards by stable hash or round-robin.
 //! 3. **Execute** ([`exec`]) — [`execute_unit`] rebuilds the unit's network,
 //!    runs one cell of the standard battery
-//!    ([`anet_sim::runner::run_battery_cell`]) with trace recording, applies
-//!    the protocol's success check, and emits a canonical JSONL [`RunRecord`]
-//!    (outcome, metrics, wire-bit totals and the stable
-//!    [`anet_sim::trace::Trace::digest`]). Records are pure functions of their
-//!    units: any process, any time, same bytes.
+//!    ([`anet_sim::runner::run_battery_cell`], wrapped in the unit's fault
+//!    plan or corrupted start when the scenario is adversarial) with trace
+//!    recording, applies the protocol's success *and recovery* checks, and
+//!    emits a canonical JSONL [`RunRecord`] (outcome — including `starved`
+//!    for fault-killed quiescence — metrics, wire-bit totals, adversary
+//!    counters and the stable [`anet_sim::trace::Trace::digest`]). Records are
+//!    pure functions of their units: any process, any time, same bytes.
 //! 4. **Checkpoint & resume** ([`merge`]) — a shard's JSONL file is its
 //!    checkpoint: a spec-fingerprint header line followed by record lines.
 //!    [`run_shard_to_file`] with `resume` requires the header to match the
@@ -44,7 +52,8 @@
 //! # Deduplication: fingerprint → cluster → cache
 //!
 //! Most units of a large sweep are redundant: a record is a pure function of
-//! **(protocol, canonical topology form, seed, battery position, budget)**,
+//! **(protocol, canonical topology form, seed, battery position, budget,
+//! scenario)**,
 //! and generated topologies are frequently isomorphic across families, sizes
 //! and generator seeds. The dedup layer (on by default in the CLI) exploits
 //! this in three steps:
@@ -105,7 +114,7 @@ pub use merge::{
     run_sweep_threaded, shard_lines, ShardOutcome, ShardReport, SweepOptions,
 };
 pub use record::RunRecord;
-pub use spec::{ProtocolSpec, SweepSpec, TopologySpec};
+pub use spec::{ProtocolSpec, ScenarioSpec, SweepSpec, TopologySpec};
 
 /// Errors raised by the sweep subsystem.
 #[derive(Debug)]

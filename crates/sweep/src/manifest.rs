@@ -2,8 +2,8 @@
 //!
 //! A [`Manifest`] expands a [`SweepSpec`] into the flat, globally ordered list
 //! of run units. The order is the canonical nested loop **protocol → topology →
-//! seed → battery position**; for a spec with one protocol and one seed this is
-//! exactly the (topology, scheduler) order of
+//! seed → battery position → scenario**; for a pristine-only spec with one
+//! protocol and one seed this is exactly the (topology, scheduler) order of
 //! [`anet_sim::runner::run_battery_grid`], which is what makes merged sharded
 //! output comparable to the in-process grid runner.
 //!
@@ -17,9 +17,10 @@ use anet_sim::runner::battery_size;
 use anet_sim::scheduler::battery_scheduler_name;
 use anet_sim::trace::Fnv1a;
 
-use crate::spec::{ProtocolSpec, SweepSpec, TopologySpec};
+use crate::spec::{ProtocolSpec, ScenarioSpec, SweepSpec, TopologySpec};
 
-/// One unit of work: a single (protocol, topology, seed, scheduler) run.
+/// One unit of work: a single (protocol, topology, seed, scheduler, scenario)
+/// run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepUnit {
     /// Position in the canonical manifest order (the merge key).
@@ -35,19 +36,28 @@ pub struct SweepUnit {
     /// Display name of the scheduler at that position (`random` positions are
     /// disambiguated as `random#<i>`).
     pub scheduler: String,
+    /// Execution scenario (pristine, fault plan, or corrupted start).
+    pub scenario: ScenarioSpec,
 }
 
 impl SweepUnit {
     /// A stable identity string for the unit, independent of its manifest
-    /// position — the hash-partition key.
+    /// position — the hash-partition key. Pristine units keep the historical
+    /// four-field key, so adding scenarios to a spec never reshuffles the
+    /// shard assignment of the runs it already had.
     pub fn key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{}|{}|{}|{}",
             self.protocol.name(),
             self.topology.name(),
             self.seed,
             self.battery_index
-        )
+        );
+        if !self.scenario.is_pristine() {
+            key.push('|');
+            key.push_str(&self.scenario.name());
+        }
+        key
     }
 }
 
@@ -66,20 +76,27 @@ impl Manifest {
             .map(|k| battery_scheduler_name(k, spec.random_schedulers))
             .collect();
         let mut units = Vec::with_capacity(
-            spec.protocols.len() * spec.topologies.len() * spec.seeds.len() * battery,
+            spec.protocols.len()
+                * spec.topologies.len()
+                * spec.seeds.len()
+                * battery
+                * spec.scenarios.len(),
         );
         for protocol in &spec.protocols {
             for topology in &spec.topologies {
                 for &seed in &spec.seeds {
                     for (battery_index, scheduler) in names.iter().enumerate() {
-                        units.push(SweepUnit {
-                            index: units.len(),
-                            protocol: protocol.clone(),
-                            topology: topology.clone(),
-                            seed,
-                            battery_index,
-                            scheduler: scheduler.clone(),
-                        });
+                        for scenario in &spec.scenarios {
+                            units.push(SweepUnit {
+                                index: units.len(),
+                                protocol: protocol.clone(),
+                                topology: topology.clone(),
+                                seed,
+                                battery_index,
+                                scheduler: scheduler.clone(),
+                                scenario: scenario.clone(),
+                            });
+                        }
                     }
                 }
             }
@@ -169,6 +186,7 @@ mod tests {
             seeds: vec![0, 7],
             random_schedulers: 2,
             max_deliveries: 1_000,
+            scenarios: vec![ScenarioSpec::Pristine],
         }
     }
 
@@ -209,6 +227,36 @@ mod tests {
             assert_eq!(unit.topology, spec.topologies[cell.topology]);
             assert_eq!(unit.battery_index, cell.battery);
         }
+    }
+
+    #[test]
+    fn scenarios_expand_as_the_innermost_dimension() {
+        let mut spec = small_spec();
+        spec.scenarios.push(ScenarioSpec::Faulty {
+            drop_pct: 15,
+            dup_pct: 0,
+            reorder: 2,
+            seed: 4,
+        });
+        let manifest = Manifest::from_spec(&spec);
+        assert_eq!(manifest.len(), 2 * 3 * 2 * 6 * 2);
+        // Each battery cell runs pristine first, then its fault scenario.
+        assert!(manifest.units[0].scenario.is_pristine());
+        assert!(!manifest.units[1].scenario.is_pristine());
+        assert_eq!(manifest.units[0].scheduler, manifest.units[1].scheduler);
+        assert_eq!(manifest.units[2].scheduler, "lifo");
+        // Pristine units keep the historical four-field key; adversarial
+        // units append the scenario name.
+        assert!(!manifest.units[0].key().contains("faults"));
+        assert_eq!(
+            manifest.units[1].key(),
+            format!("{}|faults/d15u0r2s4", manifest.units[0].key())
+        );
+        // Keys are still unique across the whole manifest.
+        let mut keys: Vec<String> = manifest.units.iter().map(SweepUnit::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), manifest.len());
     }
 
     #[test]

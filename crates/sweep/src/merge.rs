@@ -585,6 +585,7 @@ mod tests {
             seeds: vec![0],
             random_schedulers: 1,
             max_deliveries: 100_000,
+            scenarios: vec![crate::ScenarioSpec::Pristine],
         }
     }
 

@@ -36,7 +36,10 @@ pub struct RunRecord {
     pub battery_index: usize,
     /// Battery seed.
     pub seed: u64,
-    /// How the run ended: `terminated`, `quiescent` or `budget-exhausted`.
+    /// Execution scenario name (`pristine`, `faults/...` or `corrupt/...`).
+    pub scenario: String,
+    /// How the run ended: `terminated`, `quiescent`, `starved` (quiescent
+    /// with adversary-destroyed messages) or `budget-exhausted`.
     pub outcome: String,
     /// Protocol-specific success check (e.g. exact topology reconstruction).
     pub ok: bool,
@@ -52,6 +55,12 @@ pub struct RunRecord {
     pub max_msg_bits: u64,
     /// Largest per-edge bit total (required bandwidth), bits.
     pub max_edge_bits: u64,
+    /// Messages destroyed by the fault adversary's drops.
+    pub dropped: u64,
+    /// Adversary-injected duplicate deliveries.
+    pub duplicated: u64,
+    /// Messages consumed by crashed vertices.
+    pub crashed: u64,
     /// [`anet_sim::trace::Trace::digest`] of the run, in fixed-width hex.
     pub trace_digest: u64,
 }
@@ -85,13 +94,14 @@ impl RunRecord {
             None => "null".to_owned(),
         };
         format!(
-            "{{\"i\": {}, \"protocol\": \"{}\", \"topology\": \"{}\", \"sched\": \"{}\", \"k\": {}, \"seed\": {}, \"outcome\": \"{}\", \"ok\": {}, \"sent\": {}, \"delivered\": {}, \"accepted_at\": {}, \"total_bits\": {}, \"max_msg_bits\": {}, \"max_edge_bits\": {}, \"trace\": \"{:016x}\"}}",
+            "{{\"i\": {}, \"protocol\": \"{}\", \"topology\": \"{}\", \"sched\": \"{}\", \"k\": {}, \"seed\": {}, \"scenario\": \"{}\", \"outcome\": \"{}\", \"ok\": {}, \"sent\": {}, \"delivered\": {}, \"accepted_at\": {}, \"total_bits\": {}, \"max_msg_bits\": {}, \"max_edge_bits\": {}, \"dropped\": {}, \"duplicated\": {}, \"crashed\": {}, \"trace\": \"{:016x}\"}}",
             self.index,
             jsonl_safe(&self.protocol),
             jsonl_safe(&self.topology),
             jsonl_safe(&self.scheduler),
             self.battery_index,
             self.seed,
+            jsonl_safe(&self.scenario),
             jsonl_safe(&self.outcome),
             self.ok,
             self.sent,
@@ -100,6 +110,9 @@ impl RunRecord {
             self.total_bits,
             self.max_msg_bits,
             self.max_edge_bits,
+            self.dropped,
+            self.duplicated,
+            self.crashed,
             self.trace_digest,
         )
     }
@@ -132,6 +145,7 @@ impl RunRecord {
             scheduler: string("sched")?,
             battery_index: usize::try_from(int("k")?).ok()?,
             seed: int("seed")?,
+            scenario: string("scenario")?,
             outcome: string("outcome")?,
             ok: match *fields.get("ok")? {
                 "true" => true,
@@ -147,6 +161,9 @@ impl RunRecord {
             total_bits: int("total_bits")?,
             max_msg_bits: int("max_msg_bits")?,
             max_edge_bits: int("max_edge_bits")?,
+            dropped: int("dropped")?,
+            duplicated: int("duplicated")?,
+            crashed: int("crashed")?,
             trace_digest: {
                 let hex = string("trace")?;
                 if hex.len() != 16 {
@@ -172,6 +189,7 @@ mod tests {
             scheduler: "random#1".to_owned(),
             battery_index: 5,
             seed: 42,
+            scenario: "pristine".to_owned(),
             outcome: "terminated".to_owned(),
             ok: true,
             sent: 40,
@@ -180,6 +198,9 @@ mod tests {
             total_bits: 1234,
             max_msg_bits: 99,
             max_edge_bits: 456,
+            dropped: 0,
+            duplicated: 0,
+            crashed: 0,
             trace_digest: 0x00ab12cd34ef5678,
         }
     }
@@ -201,6 +222,24 @@ mod tests {
         };
         let line = r.to_jsonl_line();
         assert!(line.contains("\"accepted_at\": null"));
+        assert_eq!(RunRecord::parse_line(&line), Some(r));
+    }
+
+    #[test]
+    fn fault_scenario_records_round_trip() {
+        let r = RunRecord {
+            scenario: "faults/d20u10r2s6".to_owned(),
+            outcome: "starved".to_owned(),
+            ok: false,
+            accepted_at: None,
+            dropped: 9,
+            duplicated: 3,
+            crashed: 1,
+            ..sample()
+        };
+        let line = r.to_jsonl_line();
+        assert!(line.contains("\"scenario\": \"faults/d20u10r2s6\""));
+        assert!(line.contains("\"dropped\": 9, \"duplicated\": 3, \"crashed\": 1"));
         assert_eq!(RunRecord::parse_line(&line), Some(r));
     }
 

@@ -13,7 +13,9 @@
 //! the RNG draws of other topologies. Probabilities are stored as integer
 //! percentages to keep the text form free of float formatting questions.
 
+use anet_core::StateCorruption;
 use anet_graph::{generators, Network, NetworkError};
+use anet_sim::FaultPlan;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -338,6 +340,164 @@ impl TopologySpec {
     }
 }
 
+/// An execution scenario: the adversary (if any) each run of the sweep is
+/// subjected to. Every spec always sweeps the [`ScenarioSpec::Pristine`]
+/// scenario; `faults` and `corrupt` directives *add* adversarial scenarios,
+/// and every unit of the protocol × topology × seed × battery grid runs once
+/// per scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioSpec {
+    /// Reliable delivery, clean initial state — the classical sweep.
+    Pristine,
+    /// Deliveries pass through a [`FaultyScheduler`](anet_sim::FaultyScheduler)
+    /// driven by this plan: percentages of drops and duplicates, bounded
+    /// reordering depth, and a fault-stream seed.
+    Faulty {
+        /// Per-delivery drop probability in percent (0–100).
+        drop_pct: u8,
+        /// Per-delivery duplication probability in percent (0–100).
+        dup_pct: u8,
+        /// Maximum reordering depth (0 disables reordering).
+        reorder: usize,
+        /// Fault-stream seed, mixed per-unit so each battery cell draws its
+        /// own deterministic stream.
+        seed: u64,
+    },
+    /// The run starts from corrupted protocol state and success is the
+    /// protocol's recovery predicate.
+    Corrupt(StateCorruption),
+}
+
+impl ScenarioSpec {
+    /// Canonical name, JSONL-safe, used in manifests, records and cache keys.
+    pub fn name(&self) -> String {
+        match self {
+            ScenarioSpec::Pristine => "pristine".to_owned(),
+            ScenarioSpec::Faulty {
+                drop_pct,
+                dup_pct,
+                reorder,
+                seed,
+            } => format!("faults/d{drop_pct}u{dup_pct}r{reorder}s{seed}"),
+            ScenarioSpec::Corrupt(c) => format!("corrupt/{}", c.name()),
+        }
+    }
+
+    /// Whether this is the pristine scenario.
+    pub fn is_pristine(&self) -> bool {
+        matches!(self, ScenarioSpec::Pristine)
+    }
+
+    /// The fault plan for one unit of a [`ScenarioSpec::Faulty`] sweep, `None`
+    /// otherwise. The plan seed mixes the scenario's fault seed with the
+    /// unit's battery seed and battery index — all fields of the dedup
+    /// cluster key — so equivalent units draw identical fault streams no
+    /// matter which shard, job or dedup representative executes them.
+    pub fn fault_plan(&self, battery_seed: u64, battery_index: usize) -> Option<FaultPlan> {
+        match *self {
+            ScenarioSpec::Faulty {
+                drop_pct,
+                dup_pct,
+                reorder,
+                seed,
+            } => {
+                let mixed = mix64(mix64(seed ^ 0xFA17_0000).wrapping_add(battery_seed))
+                    .wrapping_add(battery_index as u64);
+                Some(
+                    FaultPlan::reliable()
+                        .with_drops(drop_pct)
+                        .with_duplicates(dup_pct)
+                        .with_reorder(reorder)
+                        .with_seed(mix64(mixed)),
+                )
+            }
+            _ => None,
+        }
+    }
+
+    /// Canonical spec line (with the directive keyword), or `None` for the
+    /// implicit pristine scenario.
+    fn spec_line(&self) -> Option<String> {
+        match self {
+            ScenarioSpec::Pristine => None,
+            ScenarioSpec::Faulty {
+                drop_pct,
+                dup_pct,
+                reorder,
+                seed,
+            } => Some(format!(
+                "faults drop={drop_pct} dup={dup_pct} reorder={reorder} seed={seed}"
+            )),
+            ScenarioSpec::Corrupt(StateCorruption::ScrambledLabels { seed }) => {
+                Some(format!("corrupt labels {seed}"))
+            }
+            ScenarioSpec::Corrupt(StateCorruption::LostPartition) => {
+                Some("corrupt partition".to_owned())
+            }
+            ScenarioSpec::Corrupt(StateCorruption::StaleTerminal) => {
+                Some("corrupt stale-terminal".to_owned())
+            }
+        }
+    }
+
+    fn parse_faults(args: &[&str], line: usize) -> Result<Self, SweepError> {
+        let (mut drop_pct, mut dup_pct, mut reorder, mut seed) = (0u8, 0u8, 0usize, 0u64);
+        for token in args {
+            let Some((key, value)) = token.split_once('=') else {
+                return Err(SweepError::Spec(format!(
+                    "line {line}: faults expects key=value tokens, got `{token}`"
+                )));
+            };
+            match key {
+                "drop" => drop_pct = parse_pct(value, line)?,
+                "dup" => dup_pct = parse_pct(value, line)?,
+                "reorder" => reorder = parse_int(value, line)?,
+                "seed" => seed = parse_int(value, line)?,
+                _ => {
+                    return Err(SweepError::Spec(format!(
+                        "line {line}: unknown faults key `{key}` (expected drop/dup/reorder/seed)"
+                    )))
+                }
+            }
+        }
+        if drop_pct == 0 && dup_pct == 0 && reorder == 0 {
+            return Err(SweepError::Spec(format!(
+                "line {line}: faults scenario injects nothing (set drop, dup or reorder)"
+            )));
+        }
+        Ok(ScenarioSpec::Faulty {
+            drop_pct,
+            dup_pct,
+            reorder,
+            seed,
+        })
+    }
+
+    fn parse_corrupt(args: &[&str], line: usize) -> Result<Self, SweepError> {
+        let corruption = match args {
+            ["labels", seed] => StateCorruption::ScrambledLabels {
+                seed: parse_int(seed, line)?,
+            },
+            ["partition"] => StateCorruption::LostPartition,
+            ["stale-terminal"] => StateCorruption::StaleTerminal,
+            _ => {
+                return Err(SweepError::Spec(format!(
+                    "line {line}: unknown corruption {args:?} (expected `labels <seed>`, `partition` or `stale-terminal`)"
+                )))
+            }
+        };
+        Ok(ScenarioSpec::Corrupt(corruption))
+    }
+}
+
+/// SplitMix64 finalizer, used to mix fault-stream seeds per unit.
+fn mix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 fn pct(p: u8) -> f64 {
     f64::from(p) / 100.0
 }
@@ -376,6 +536,12 @@ pub struct SweepSpec {
     pub random_schedulers: usize,
     /// Delivery budget per run.
     pub max_deliveries: u64,
+    /// Execution scenarios. `scenarios[0]` is always
+    /// [`ScenarioSpec::Pristine`]; `faults`/`corrupt` directives append
+    /// adversarial scenarios after it. A spec with only the pristine scenario
+    /// serialises exactly as it did before scenarios existed, so historical
+    /// spec files, fingerprints and checkpoints stay valid.
+    pub scenarios: Vec<ScenarioSpec>,
 }
 
 impl SweepSpec {
@@ -390,6 +556,7 @@ impl SweepSpec {
             seeds: vec![0],
             random_schedulers: 2,
             max_deliveries: 10_000_000,
+            scenarios: vec![ScenarioSpec::Pristine],
         };
         for (i, raw) in text.lines().enumerate() {
             let line_no = i + 1;
@@ -415,6 +582,14 @@ impl SweepSpec {
                 }
                 ["max-deliveries", n] => {
                     spec.max_deliveries = parse_int(n, line_no)?;
+                }
+                ["faults", rest @ ..] => {
+                    spec.scenarios
+                        .push(ScenarioSpec::parse_faults(rest, line_no)?);
+                }
+                ["corrupt", rest @ ..] => {
+                    spec.scenarios
+                        .push(ScenarioSpec::parse_corrupt(rest, line_no)?);
                 }
                 _ => {
                     return Err(SweepError::Spec(format!(
@@ -451,6 +626,14 @@ impl SweepSpec {
         out.push('\n');
         out.push_str(&format!("random-schedulers {}\n", self.random_schedulers));
         out.push_str(&format!("max-deliveries {}\n", self.max_deliveries));
+        // The implicit pristine scenario is never emitted: a scenario-free
+        // spec keeps its historical byte-exact text form.
+        for scenario in &self.scenarios {
+            if let Some(line) = scenario.spec_line() {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
         out
     }
 }
@@ -498,6 +681,18 @@ mod tests {
             seeds: vec![0, 1, 9],
             random_schedulers: 2,
             max_deliveries: 500_000,
+            scenarios: vec![
+                ScenarioSpec::Pristine,
+                ScenarioSpec::Faulty {
+                    drop_pct: 10,
+                    dup_pct: 5,
+                    reorder: 3,
+                    seed: 2,
+                },
+                ScenarioSpec::Corrupt(StateCorruption::ScrambledLabels { seed: 7 }),
+                ScenarioSpec::Corrupt(StateCorruption::LostPartition),
+                ScenarioSpec::Corrupt(StateCorruption::StaleTerminal),
+            ],
         }
     }
 
@@ -539,6 +734,110 @@ mod tests {
             let err = SweepSpec::parse(text).expect_err(text);
             assert!(err.to_string().contains(needle), "{text} -> {err}");
         }
+    }
+
+    #[test]
+    fn scenario_free_specs_keep_their_historical_text_form() {
+        let mut spec = sample_spec();
+        spec.scenarios = vec![ScenarioSpec::Pristine];
+        let text = spec.to_spec_string();
+        assert!(!text.contains("faults") && !text.contains("corrupt"));
+        assert_eq!(SweepSpec::parse(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn faults_grammar_accepts_any_key_order_and_subset() {
+        let spec = SweepSpec::parse(
+            "protocol mapping\ntopology path 3\nfaults seed=9 drop=20\nfaults reorder=2\n",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.scenarios,
+            vec![
+                ScenarioSpec::Pristine,
+                ScenarioSpec::Faulty {
+                    drop_pct: 20,
+                    dup_pct: 0,
+                    reorder: 0,
+                    seed: 9
+                },
+                ScenarioSpec::Faulty {
+                    drop_pct: 0,
+                    dup_pct: 0,
+                    reorder: 2,
+                    seed: 0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_scenario_directives_are_rejected() {
+        for (text, needle) in [
+            (
+                "protocol mapping\ntopology path 3\nfaults seed=1\n",
+                "injects nothing",
+            ),
+            (
+                "protocol mapping\ntopology path 3\nfaults drop\n",
+                "key=value",
+            ),
+            (
+                "protocol mapping\ntopology path 3\nfaults warp=1\n",
+                "unknown faults key",
+            ),
+            (
+                "protocol mapping\ntopology path 3\nfaults drop=200\n",
+                "out of range",
+            ),
+            (
+                "protocol mapping\ntopology path 3\ncorrupt everything\n",
+                "unknown corruption",
+            ),
+            (
+                "protocol mapping\ntopology path 3\ncorrupt labels\n",
+                "unknown corruption",
+            ),
+        ] {
+            let err = SweepSpec::parse(text).expect_err(text);
+            assert!(err.to_string().contains(needle), "{text} -> {err}");
+        }
+    }
+
+    #[test]
+    fn scenario_names_are_jsonl_safe_and_distinct() {
+        let mut names: Vec<String> = sample_spec()
+            .scenarios
+            .iter()
+            .map(ScenarioSpec::name)
+            .collect();
+        for name in &names {
+            assert!(!name.contains([' ', '"', ',', '\\']), "{name} unsafe");
+        }
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), sample_spec().scenarios.len());
+    }
+
+    #[test]
+    fn fault_plans_are_deterministic_and_distinct_per_cell() {
+        let faulty = ScenarioSpec::Faulty {
+            drop_pct: 10,
+            dup_pct: 5,
+            reorder: 3,
+            seed: 2,
+        };
+        let a = faulty.fault_plan(4, 1).unwrap();
+        assert_eq!(a, faulty.fault_plan(4, 1).unwrap());
+        assert_ne!(a.seed, faulty.fault_plan(4, 2).unwrap().seed);
+        assert_ne!(a.seed, faulty.fault_plan(5, 1).unwrap().seed);
+        assert_eq!(a.drop_pct, 10);
+        assert_eq!(a.dup_pct, 5);
+        assert_eq!(a.reorder, 3);
+        assert!(ScenarioSpec::Pristine.fault_plan(0, 0).is_none());
+        assert!(ScenarioSpec::Corrupt(StateCorruption::LostPartition)
+            .fault_plan(0, 0)
+            .is_none());
     }
 
     #[test]

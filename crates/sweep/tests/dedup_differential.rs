@@ -38,6 +38,7 @@ fn redundant_spec() -> SweepSpec {
         seeds: vec![7, 8],
         random_schedulers: 1,
         max_deliveries: 500_000,
+        scenarios: vec![anet_sweep::ScenarioSpec::Pristine],
     }
 }
 
@@ -292,6 +293,7 @@ proptest! {
             seeds: vec![seed_base, seed_base + 1],
             random_schedulers,
             max_deliveries: 1_000_000,
+            scenarios: vec![anet_sweep::ScenarioSpec::Pristine],
         };
         let manifest = Manifest::from_spec(&spec);
         let baseline = honest_merged(&spec, &manifest, 1, Partition::Hash);

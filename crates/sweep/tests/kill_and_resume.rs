@@ -29,6 +29,7 @@ fn spec() -> SweepSpec {
         seeds: vec![0, 1],
         random_schedulers: 1,
         max_deliveries: 1_000_000,
+        scenarios: vec![anet_sweep::ScenarioSpec::Pristine],
     }
 }
 

@@ -75,6 +75,7 @@ proptest! {
             seeds: (seed_base..seed_base + seed_count as u64).collect(),
             random_schedulers,
             max_deliveries: 1_000_000,
+            scenarios: vec![anet_sweep::ScenarioSpec::Pristine],
         };
 
         // Baseline: a sequential pass over the manifest, no sharding involved.
@@ -122,6 +123,7 @@ fn spec_text_round_trip_preserves_sweep_output() {
         seeds: vec![0, 1],
         random_schedulers: 2,
         max_deliveries: 500_000,
+        scenarios: vec![anet_sweep::ScenarioSpec::Pristine],
     };
     let reparsed = SweepSpec::parse(&spec.to_spec_string()).expect("canonical form parses");
     let a = anet_sweep::run_sweep_in_process(&spec, 3, Partition::Hash).unwrap();

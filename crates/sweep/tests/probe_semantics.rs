@@ -1,29 +1,54 @@
+//! Semantics probe behind the dedup design: the executor runs every unit on
+//! its *canonical* relabeling, so records are pure functions of the
+//! equivalence class. This only matters if canonicalization actually
+//! relabels something — i.e. the probe below must find at least one unit
+//! whose canonical permutation is not the identity, otherwise the
+//! dedup-by-canonical-form machinery would be vacuous on this spec.
+
 use anet_graph::canon::canonical_form;
-use anet_sim::engine::{ExecutionConfig, RunConfig};
 
 #[test]
-fn raw_vs_canonical_network_runs_differ_for_some_unit() {
+fn canonicalization_relabels_some_unit_and_records_stay_canonical() {
     let spec = anet_sweep::SweepSpec {
         protocols: vec![anet_sweep::ProtocolSpec::Mapping],
-        topologies: vec![anet_sweep::TopologySpec::NestedCycles { depth: 2, len: 4 }],
+        topologies: vec![
+            anet_sweep::TopologySpec::NestedCycles { count: 2, len: 4 },
+            // Generator order happens to be canonical for the structured
+            // families; the random families are where relabeling bites.
+            anet_sweep::TopologySpec::RandomCyclic {
+                internal: 10,
+                forward_pct: 15,
+                back_pct: 20,
+                seed: 3,
+            },
+        ],
         seeds: vec![0, 1, 2],
         random_schedulers: 1,
         max_deliveries: 100_000,
+        scenarios: vec![anet_sweep::ScenarioSpec::Pristine],
     };
     let manifest = anet_sweep::Manifest::from_spec(&spec);
     let mut any_differ = false;
     for unit in &manifest.units {
         let raw = unit.topology.build().unwrap();
-        let canon = canonical_form(&raw).form.to_network().unwrap();
-        let _ = RunConfig::from(ExecutionConfig { max_deliveries: spec.max_deliveries, record_trace: true, ..Default::default() });
-        // Compare the full records: new path vs what the pre-PR executor did.
-        let new_rec = anet_sweep::execute_unit(&spec, unit).unwrap();
-        // emulate old path: is the canonical network even labeled differently?
-        let perm_is_identity = canonical_form(&raw).permutation.iter().enumerate().all(|(i, &p)| i == p);
-        if !perm_is_identity {
+        let canon = canonical_form(&raw);
+        // The canonical rebuild must round-trip to the same canonical form,
+        // or execute_unit's relabeled run would not be class-representative.
+        let rebuilt = canon.form.to_network().unwrap();
+        assert_eq!(
+            canonical_form(&rebuilt).form,
+            canon.form,
+            "canonical rebuild must be a fixed point"
+        );
+        if canon.permutation.iter().enumerate().any(|(i, &p)| i != p) {
             any_differ = true;
         }
-        let _ = (raw, canon, new_rec);
+        // And the unit still executes successfully on the canonical network.
+        let record = anet_sweep::execute_unit(&spec, unit).unwrap();
+        assert!(record.ok, "canonical-relabeled run must succeed");
     }
-    eprintln!("any nonidentity relabeling: {any_differ}");
+    assert!(
+        any_differ,
+        "probe spec must exercise a nonidentity relabeling"
+    );
 }

@@ -40,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seeds: vec![42],
         random_schedulers: 3,
         max_deliveries: 10_000_000,
+        scenarios: vec![anet_sweep::ScenarioSpec::Pristine],
     };
 
     let shards = std::thread::available_parallelism()
