@@ -1,0 +1,28 @@
+//! Regenerates `BENCH_recovery.json`: the recovery cost of the re-flood
+//! retry variants across the drop-intensity ramp — `pristine`, `single-shot`
+//! and `retry` rows per (protocol, topology, drop%) cell, FIFO delivery.
+//!
+//! Before any timing, every workload's reliable-plan retry run is
+//! cross-checked bit-identical (outcome and full metrics) to the pristine
+//! single-shot run, so the reported overhead is attributable to recovery
+//! traffic and not to the wrapper.
+//!
+//! Usage: `cargo run --release -p anet-bench --bin bench_recovery`
+//! (writes the JSON file into the current directory and echoes it to stdout).
+//! With `--smoke`, generates the single-iteration structural pass to stdout
+//! only — the mode the `bench_smoke` key-drift checker uses.
+//!
+//! The generation itself lives in [`anet_bench::baseline`], shared with the
+//! `bench_smoke` key-drift checker.
+
+use anet_bench::baseline::{recovery_json, SampleConfig};
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        print!("{}", recovery_json(&SampleConfig::smoke()));
+        return;
+    }
+    let json = recovery_json(&SampleConfig::full());
+    std::fs::write("BENCH_recovery.json", &json).expect("write baseline file");
+    print!("{json}");
+}

@@ -13,16 +13,18 @@
 //! drift.
 
 use anet_bench::baseline::{
-    faults_json, interval_algebra_json, labeling_json, mapping_json, result_keys, SampleConfig,
+    faults_json, interval_algebra_json, labeling_json, mapping_json, recovery_json, result_keys,
+    SampleConfig,
 };
 
 fn main() {
     let smoke = SampleConfig::smoke();
-    let checks: [(&str, String); 4] = [
+    let checks: [(&str, String); 5] = [
         ("BENCH_interval_algebra.json", interval_algebra_json(&smoke)),
         ("BENCH_mapping.json", mapping_json(&smoke)),
         ("BENCH_labeling.json", labeling_json(&smoke)),
         ("BENCH_faults.json", faults_json(&smoke)),
+        ("BENCH_recovery.json", recovery_json(&smoke)),
     ];
 
     let mut drifted = false;
@@ -57,6 +59,8 @@ fn main() {
                 "labeling"
             } else if path.contains("faults") {
                 "faults"
+            } else if path.contains("recovery") {
+                "recovery"
             } else {
                 "interval_algebra"
             }

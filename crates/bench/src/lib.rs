@@ -18,7 +18,7 @@
 pub mod baseline;
 
 use anet_graph::generators::{
-    chain_gn, complete_dag, diamond_stack, layered_dag, random_cyclic, random_dag,
+    chain_gn, complete_dag, cycle_with_tail, diamond_stack, layered_dag, random_cyclic, random_dag,
     random_grounded_tree,
 };
 use anet_graph::Network;
@@ -109,6 +109,36 @@ pub fn mapping_flood_workloads() -> Vec<Workload> {
         });
     }
     out
+}
+
+/// Topology grid for the recovery-cost baseline (`BENCH_recovery.json`):
+/// single-path families where one destroyed delivery starves the whole run —
+/// the regime re-flood retries exist for — plus a dense DAG and a random
+/// cyclic instance where redundant paths mask most losses.
+pub fn recovery_workloads() -> Vec<Workload> {
+    let mut rng = StdRng::seed_from_u64(WORKLOAD_SEED ^ 0xD);
+    vec![
+        Workload {
+            name: "chain-gn/6".to_owned(),
+            network: chain_gn(6).expect("n >= 1"),
+        },
+        Workload {
+            name: "chain-gn/10".to_owned(),
+            network: chain_gn(10).expect("n >= 1"),
+        },
+        Workload {
+            name: "cycle-with-tail/7".to_owned(),
+            network: cycle_with_tail(7).expect("k >= 2"),
+        },
+        Workload {
+            name: "complete-dag/6".to_owned(),
+            network: complete_dag(6).expect("n >= 1"),
+        },
+        Workload {
+            name: "random-cyclic/12".to_owned(),
+            network: random_cyclic(&mut rng, 12, 0.1, 0.15).expect("valid parameters"),
+        },
+    ]
 }
 
 /// Renders a plain-text table with aligned columns, in the style used by

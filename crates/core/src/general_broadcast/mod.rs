@@ -38,7 +38,7 @@ use anet_num::partition::canonical_partition_nonempty;
 use anet_num::IntervalUnion;
 use anet_sim::engine::{run, ExecutionConfig};
 use anet_sim::scheduler::Scheduler;
-use anet_sim::{AnonymousProtocol, NodeContext, Wire};
+use anet_sim::{AnonymousProtocol, NodeContext, RefloodProtocol, Wire};
 
 use crate::outcome::BroadcastReport;
 use crate::{CoreError, Payload};
@@ -237,6 +237,32 @@ impl AnonymousProtocol for GeneralBroadcast {
 
     fn should_terminate(&self, terminal_state: &GeneralState) -> bool {
         terminal_state.seen.is_unit()
+    }
+}
+
+impl RefloodProtocol for GeneralBroadcast {
+    /// Re-sends the broadcast frontier: on every out-port `j`, the interval set
+    /// already routed there (`alpha[j]`), the node's cycle-echo set (`beta`),
+    /// and a fresh copy of the payload (the protocol value owns it, so a
+    /// neighbour whose only payload-carrying delivery was destroyed still
+    /// receives the data on retry).
+    fn reflood(&self, ctx: &NodeContext, state: &GeneralState) -> Vec<(usize, GeneralMessage)> {
+        let mut out = Vec::new();
+        for j in 0..ctx.out_degree {
+            let alpha = state.alpha[j].clone();
+            let beta = state.beta.clone();
+            if !alpha.is_empty() || !beta.is_empty() {
+                out.push((
+                    j,
+                    GeneralMessage {
+                        alpha,
+                        beta,
+                        payload: self.payload.clone(),
+                    },
+                ));
+            }
+        }
+        out
     }
 }
 

@@ -27,7 +27,7 @@ use anet_num::IntervalUnion;
 use anet_sim::engine::{run, ExecutionConfig, RunResult};
 use anet_sim::metrics::RunMetrics;
 use anet_sim::scheduler::Scheduler;
-use anet_sim::{AnonymousProtocol, NodeContext, Wire};
+use anet_sim::{AnonymousProtocol, NodeContext, RefloodProtocol, Wire};
 
 use crate::CoreError;
 
@@ -171,6 +171,12 @@ impl AnonymousProtocol for Labeling {
                 fresh.subtract_assign(routed);
             }
             fresh.subtract_assign(&state.alpha[d - 1]);
+            // Mass this vertex claimed as its label is not an increment either.
+            // Pristine traffic never carries it back as α (the partition step
+            // folds the claimed part into β), but a re-flooded frontier
+            // re-delivers the α batch the label was carved from; re-routing the
+            // claimed part would assign the same mass to two labels.
+            fresh.subtract_assign(&state.label);
             let mut beta_delta = message.beta.union(&overlap);
             beta_delta.subtract_assign(&state.beta);
             state.beta.union_in_place(&beta_delta);
@@ -201,6 +207,28 @@ impl AnonymousProtocol for Labeling {
 
     fn should_terminate(&self, terminal_state: &LabelingState) -> bool {
         terminal_state.coverage().is_unit()
+    }
+}
+
+impl RefloodProtocol for Labeling {
+    /// Re-sends the routing frontier: on every out-port `j`, the interval set
+    /// already routed there (`alpha[j]`) together with the node's full
+    /// cycle-echo set (`beta`).
+    ///
+    /// Re-delivery is idempotent in the sense required by
+    /// [`anet_sim::run_recovering`]: a receiver intersects incoming `α` with
+    /// what it already holds, so previously seen intervals fold into `β`
+    /// (shrinking nothing) and only genuinely fresh intervals are routed on.
+    fn reflood(&self, ctx: &NodeContext, state: &LabelingState) -> Vec<(usize, LabelMessage)> {
+        let mut out = Vec::new();
+        for j in 0..ctx.out_degree {
+            let alpha = state.alpha[j].clone();
+            let beta = state.beta.clone();
+            if !alpha.is_empty() || !beta.is_empty() {
+                out.push((j, LabelMessage { alpha, beta }));
+            }
+        }
+        out
     }
 }
 
@@ -355,10 +383,12 @@ pub fn labels_unique(network: &Network, labels: &[IntervalUnion]) -> bool {
 /// hook).
 ///
 /// * `ScrambledLabels` — internal vertices wake up `partitioned` with garbage
-///   (pairwise distinct) labels they never subtracted from the routable mass.
-///   The real `[0, 1)` still flows, so the run typically terminates — but the
-///   terminal absorbs mass overlapping the squatted labels, so the assignment
-///   cannot be unique.
+///   (pairwise distinct) labels. The real `[0, 1)` still flows, so the run
+///   typically terminates. Each squatter subtracts its own label from mass
+///   routed *through* it (the re-delivery idempotence rule), so on a pure
+///   path the assignment genuinely recovers uniqueness; on any topology with
+///   bypass edges the squatted mass reaches the terminal around the squatter
+///   and uniqueness stays broken.
 /// * `LostPartition` — internal vertices keep the `partitioned` flag but
 ///   lost the label it guarded; the one-time split never re-runs and those
 ///   vertices finish unlabelled.

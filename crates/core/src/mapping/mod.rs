@@ -76,7 +76,7 @@ use anet_num::{Interval, IntervalUnion};
 use anet_sim::engine::{run, ExecutionConfig};
 use anet_sim::metrics::RunMetrics;
 use anet_sim::scheduler::Scheduler;
-use anet_sim::{AnonymousProtocol, NodeContext, SharedSlice, Wire};
+use anet_sim::{AnonymousProtocol, NodeContext, RefloodProtocol, SharedSlice, Wire};
 
 use crate::CoreError;
 
@@ -586,6 +586,10 @@ impl AnonymousProtocol for Mapping {
                 fresh.subtract_assign(routed);
             }
             fresh.subtract_assign(&state.alpha[d - 1]);
+            // As in `labeling`: the claimed label is not an increment. Only a
+            // re-flooded frontier can carry it back as α, and re-routing it
+            // would assign the same mass to two labels.
+            fresh.subtract_assign(&state.label);
             beta_delta = message.beta.union(&overlap);
             beta_delta.subtract_assign(&state.beta);
             state.beta.union_in_place(&beta_delta);
@@ -685,6 +689,50 @@ impl AnonymousProtocol for Mapping {
 
     fn should_terminate(&self, terminal_state: &MappingState) -> bool {
         terminal_state.map_complete()
+    }
+}
+
+impl RefloodProtocol for Mapping {
+    /// Re-sends this vertex's whole mapping frontier on every out-port: the
+    /// routed interval mass (`alpha[j]`), the cycle-echo set (`beta`), a fresh
+    /// copy of the label announcement (if the vertex is labelled — the
+    /// neighbour re-derives the identical edge record, which interns to the
+    /// same id and is absorbed idempotently), and **all** records the vertex
+    /// knows — not just `known \ sent`, since previously flooded batches may
+    /// have been destroyed.
+    fn reflood(&self, ctx: &NodeContext, state: &MappingState) -> Vec<(usize, MappingMessage)> {
+        if ctx.out_degree == 0 {
+            return Vec::new();
+        }
+        let ids: Vec<RecordId> = state.known.iter().collect();
+        let records_bits = {
+            let table = state.table.lock().expect("record table lock poisoned");
+            bits::elias_gamma_bits(ids.len() as u64)
+                + ids.iter().map(|&id| table.bits_of(id)).sum::<u64>()
+        };
+        let records = SharedSlice::new(ids, records_bits);
+
+        let mut out = Vec::new();
+        for j in 0..ctx.out_degree {
+            let alpha = state.alpha[j].clone();
+            let beta = state.beta.clone();
+            let announce = state.is_labeled().then(|| Announce {
+                src: state.own_ref(),
+                src_port: j,
+            });
+            if !alpha.is_empty() || !beta.is_empty() || announce.is_some() || !records.is_empty() {
+                out.push((
+                    j,
+                    MappingMessage {
+                        alpha,
+                        beta,
+                        announce,
+                        records: records.clone(),
+                    },
+                ));
+            }
+        }
+        out
     }
 }
 

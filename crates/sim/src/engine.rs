@@ -20,6 +20,7 @@ use std::collections::VecDeque;
 use anet_graph::{EdgeId, Network};
 
 use crate::metrics::RunMetrics;
+use crate::protocol::RefloodProtocol;
 use crate::scheduler::{Scheduler, SchedulerAction};
 use crate::trace::{SendEvent, Trace};
 use crate::{AnonymousProtocol, NodeContext, Wire};
@@ -229,6 +230,124 @@ where
     Sch: Scheduler + ?Sized,
     F: FnOnce(&mut [P::State]),
 {
+    run_engine(
+        network,
+        protocol,
+        scheduler,
+        run_config,
+        corrupt,
+        0,
+        |_, _| Vec::new(),
+    )
+    .0
+}
+
+/// The result of a [`run_recovering`] execution: the run itself plus the
+/// re-flood accounting that quantifies what recovery cost on top of it.
+#[derive(Debug, Clone)]
+pub struct RecoveredRun<S, M> {
+    /// The underlying run (outcome, states, metrics, optional trace/order).
+    pub result: RunResult<S, M>,
+    /// Number of re-flood rounds that actually fired (0 for a run that never
+    /// drained with losses — in particular, always 0 under a reliable
+    /// scheduler).
+    pub reflood_rounds: u32,
+    /// Messages injected by re-flood rounds. These are also counted in
+    /// [`RunMetrics::messages_sent`]; this field isolates the retry traffic.
+    pub reflood_sends: u64,
+    /// Wire bits charged for re-flood sends (likewise included in
+    /// [`RunMetrics::total_bits`]).
+    pub reflood_bits: u64,
+}
+
+impl<S, M> RecoveredRun<S, M> {
+    /// Whether any re-flood round fired, i.e. the run needed retries at all.
+    pub fn retried(&self) -> bool {
+        self.reflood_rounds > 0
+    }
+}
+
+/// Runs a [`RefloodProtocol`] with a bounded retry: whenever the network
+/// drains (`in_flight == 0`) without the terminal accepting **and** at least
+/// one message was destroyed (dropped or lost to a crash,
+/// [`RunMetrics::messages_lost`]), one *re-flood round* is injected — the
+/// root re-transmits `σ₀` and then every vertex, in node-id order, re-sends
+/// its frontier ([`RefloodProtocol::reflood`]) — and the run continues under
+/// the same scheduler.
+///
+/// The contract, pinned by the recovery differential suite in `anet-core`:
+///
+/// * **"Recovered" means the ordinary success predicate, reached late.** A
+///   recovered run is one that terminates (and satisfies the protocol's
+///   `*_recovered()` check) even though the adversary destroyed messages; the
+///   re-flood mechanism adds no new notion of success.
+/// * **Retry budget.** At most `retry_budget` re-flood rounds fire. Under
+///   total loss the run still drains after the last round, so starvation
+///   stays detectable — it is reported as [`Outcome::Quiescent`] with
+///   messages lost, exactly like a starved pristine run, never as a hang.
+///   A re-flood round that injects nothing (every frontier empty) ends the
+///   run immediately.
+/// * **Reliable ⇒ bit-identical to pristine.** Re-flooding triggers only
+///   when `messages_lost() > 0`, so under a reliable scheduler (or a
+///   [`crate::faults::FaultPlan`] whose `is_reliable()` holds) this function
+///   performs exactly the sends of [`run_with_config`] — same outcome, same
+///   states, same metrics, same trace, bit for bit.
+/// * **Wire bits charge every real send.** Re-flooded messages go through the
+///   normal send path: full `wire_bits()` per message, trace events, per-edge
+///   accounting. The paper's cost model counts transmissions on channels, and
+///   a retry is a real transmission — that is precisely the recovery overhead
+///   this layer exists to measure (see `RecoveredRun::reflood_bits`).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run`].
+pub fn run_recovering<P, Sch>(
+    network: &Network,
+    protocol: &P,
+    scheduler: &mut Sch,
+    run_config: RunConfig,
+    retry_budget: u32,
+) -> RecoveredRun<P::State, P::Message>
+where
+    P: RefloodProtocol,
+    Sch: Scheduler + ?Sized,
+{
+    let (result, reflood_rounds, reflood_sends, reflood_bits) = run_engine(
+        network,
+        protocol,
+        scheduler,
+        run_config,
+        |_| {},
+        retry_budget,
+        |ctx, state| protocol.reflood(ctx, state),
+    );
+    RecoveredRun {
+        result,
+        reflood_rounds,
+        reflood_sends,
+        reflood_bits,
+    }
+}
+
+/// The single engine loop behind [`run_corrupted`] and [`run_recovering`]:
+/// corruption hook, optional re-flood rounds, and the incremental delivery
+/// machinery. Returns the run plus `(rounds, sends, bits)` re-flood
+/// accounting (all zero when `retry_budget` is 0).
+fn run_engine<P, Sch, F, R>(
+    network: &Network,
+    protocol: &P,
+    scheduler: &mut Sch,
+    run_config: RunConfig,
+    corrupt: F,
+    retry_budget: u32,
+    mut reflood: R,
+) -> (RunResult<P::State, P::Message>, u32, u64, u64)
+where
+    P: AnonymousProtocol,
+    Sch: Scheduler + ?Sized,
+    F: FnOnce(&mut [P::State]),
+    R: FnMut(&NodeContext, &P::State) -> Vec<(usize, P::Message)>,
+{
     let config = run_config.execution;
     let mut delivery_order = if run_config.record_delivery_order {
         Some(Vec::new())
@@ -335,20 +454,78 @@ where
     if protocol.should_terminate(&states[terminal.index()]) {
         outcome = Outcome::Terminated;
         deliveries_at_termination = Some(0);
-        return RunResult {
-            outcome,
-            states,
-            metrics,
-            deliveries_at_termination,
-            trace,
-            delivery_order,
-            step_log,
-        };
+        return (
+            RunResult {
+                outcome,
+                states,
+                metrics,
+                deliveries_at_termination,
+                trace,
+                delivery_order,
+                step_log,
+            },
+            0,
+            0,
+            0,
+        );
     }
+
+    let mut reflood_rounds: u32 = 0;
+    let mut reflood_sends: u64 = 0;
+    let mut reflood_bits: u64 = 0;
 
     loop {
         if in_flight == 0 {
-            break;
+            // Drained. A re-flood round fires only if the adversary actually
+            // destroyed traffic (so reliable runs stay bit-identical to the
+            // pristine path) and the retry budget has rounds left (so total
+            // loss still starves detectably instead of hanging).
+            if reflood_rounds >= retry_budget || metrics.messages_lost() == 0 {
+                break;
+            }
+            reflood_rounds += 1;
+            let sends_before = metrics.messages_sent;
+            let bits_before = metrics.total_bits;
+            // The root re-transmits σ₀ …
+            for (port, message) in protocol.root_messages(graph.out_degree(network.root())) {
+                send(
+                    network.root(),
+                    port,
+                    message,
+                    &mut queues,
+                    scheduler,
+                    &mut in_flight,
+                    &mut metrics,
+                    &mut trace,
+                    &mut next_seq,
+                );
+            }
+            // … then every vertex re-sends its frontier, in node-id order
+            // (deterministic on the canonical topology). The root is included:
+            // in a cyclic network it receives messages like any other vertex,
+            // and its frontier is separate from σ₀.
+            for node in graph.nodes() {
+                for (port, message) in reflood(&contexts[node.index()], &states[node.index()]) {
+                    send(
+                        node,
+                        port,
+                        message,
+                        &mut queues,
+                        scheduler,
+                        &mut in_flight,
+                        &mut metrics,
+                        &mut trace,
+                        &mut next_seq,
+                    );
+                }
+            }
+            reflood_sends += metrics.messages_sent - sends_before;
+            reflood_bits += metrics.total_bits - bits_before;
+            if in_flight == 0 {
+                // Nothing to re-send: the run is starved for good.
+                break;
+            }
+            continue;
         }
         if metrics.messages_delivered >= config.max_deliveries {
             outcome = Outcome::BudgetExhausted;
@@ -435,15 +612,20 @@ where
         }
     }
 
-    RunResult {
-        outcome,
-        states,
-        metrics,
-        deliveries_at_termination,
-        trace,
-        delivery_order,
-        step_log,
-    }
+    (
+        RunResult {
+            outcome,
+            states,
+            metrics,
+            deliveries_at_termination,
+            trace,
+            delivery_order,
+            step_log,
+        },
+        reflood_rounds,
+        reflood_sends,
+        reflood_bits,
+    )
 }
 
 #[cfg(test)]
@@ -732,5 +914,138 @@ mod tests {
             &mut FifoScheduler::new(),
             ExecutionConfig::default(),
         );
+    }
+
+    impl RefloodProtocol for Flood {
+        fn reflood(&self, ctx: &NodeContext, state: &FloodState) -> Vec<(usize, ())> {
+            if state.forwarded {
+                (0..ctx.out_degree).map(|p| (p, ())).collect()
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    /// A fault adapter for the recovery tests: drops the first `remaining`
+    /// engine steps, then delivers reliably.
+    struct DropFirst<S> {
+        inner: S,
+        remaining: u64,
+    }
+
+    impl<S: Scheduler> Scheduler for DropFirst<S> {
+        fn name(&self) -> &'static str {
+            "drop-first"
+        }
+        fn begin_run(&mut self, edge_count: usize) {
+            self.inner.begin_run(edge_count);
+        }
+        fn on_head(&mut self, edge: EdgeId, head_seq: u64, into_terminal: bool) {
+            self.inner.on_head(edge, head_seq, into_terminal);
+        }
+        fn on_idle(&mut self, edge: EdgeId) {
+            self.inner.on_idle(edge);
+        }
+        fn next_edge(&mut self) -> EdgeId {
+            self.inner.next_edge()
+        }
+        fn pick_full_scan(&mut self, candidates: &[crate::scheduler::PendingEdge]) -> usize {
+            self.inner.pick_full_scan(candidates)
+        }
+        fn deliver_action(
+            &mut self,
+            _edge: EdgeId,
+            _dst: anet_graph::NodeId,
+            _queue_len: usize,
+        ) -> SchedulerAction {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                SchedulerAction::Drop
+            } else {
+                SchedulerAction::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn recovering_under_a_reliable_scheduler_is_bit_identical_to_pristine() {
+        let net = chain_gn(5).unwrap();
+        let pristine = run(
+            &net,
+            &Flood { needed: 5 },
+            &mut FifoScheduler::new(),
+            ExecutionConfig::with_trace(),
+        );
+        let recovered = run_recovering(
+            &net,
+            &Flood { needed: 5 },
+            &mut FifoScheduler::new(),
+            RunConfig::from(ExecutionConfig::with_trace()),
+            7,
+        );
+        assert_eq!(recovered.reflood_rounds, 0);
+        assert_eq!(recovered.reflood_sends, 0);
+        assert_eq!(recovered.reflood_bits, 0);
+        assert!(!recovered.retried());
+        assert_eq!(recovered.result.outcome, pristine.outcome);
+        assert_eq!(recovered.result.metrics, pristine.metrics);
+        assert_eq!(recovered.result.trace.unwrap(), pristine.trace.unwrap());
+    }
+
+    #[test]
+    fn recovering_recovers_where_the_pristine_run_starves() {
+        let net = path_network(4).unwrap();
+        // One drop kills the pristine flood for good …
+        let starved = run(
+            &net,
+            &Flood { needed: 1 },
+            &mut DropFirst {
+                inner: FifoScheduler::new(),
+                remaining: 1,
+            },
+            ExecutionConfig::default(),
+        );
+        assert_eq!(starved.outcome, Outcome::Quiescent);
+        assert!(starved.metrics.messages_lost() > 0);
+        assert_eq!(starved.metrics.messages_delivered, 0);
+        // … but one re-flood round resurrects it.
+        let recovered = run_recovering(
+            &net,
+            &Flood { needed: 1 },
+            &mut DropFirst {
+                inner: FifoScheduler::new(),
+                remaining: 1,
+            },
+            RunConfig::default(),
+            2,
+        );
+        assert_eq!(recovered.result.outcome, Outcome::Terminated);
+        assert_eq!(recovered.reflood_rounds, 1);
+        assert!(recovered.reflood_sends >= 1);
+        assert_eq!(recovered.result.metrics.messages_dropped, 1);
+    }
+
+    #[test]
+    fn retry_budget_bounds_the_rounds_and_total_loss_still_starves() {
+        let net = path_network(3).unwrap();
+        let recovered = run_recovering(
+            &net,
+            &Flood { needed: 1 },
+            &mut DropFirst {
+                inner: FifoScheduler::new(),
+                remaining: u64::MAX,
+            },
+            RunConfig::default(),
+            3,
+        );
+        assert_eq!(recovered.result.outcome, Outcome::Quiescent);
+        assert_eq!(recovered.reflood_rounds, 3);
+        assert_eq!(recovered.result.metrics.messages_delivered, 0);
+        assert_eq!(
+            recovered.result.metrics.messages_lost(),
+            recovered.result.metrics.messages_sent
+        );
+        // Each round re-injected exactly σ₀ (no vertex ever forwarded).
+        assert_eq!(recovered.reflood_sends, 3);
     }
 }

@@ -92,8 +92,17 @@ impl FaultPlan {
     }
 
     /// Whether this plan can never inject a fault.
+    ///
+    /// A plan whose `drop_pct` is positive but whose `drop_budget` is
+    /// `Some(0)` can never drop either — the budget check short-circuits the
+    /// drop draw (see [`Scheduler::deliver_action`]) — so such a plan counts
+    /// as reliable when no other fault class is enabled, and its action
+    /// stream is identical to `drop_pct == 0` draw for draw.
     pub fn is_reliable(&self) -> bool {
-        self.drop_pct == 0 && self.dup_pct == 0 && self.reorder == 0 && self.crashes.is_empty()
+        (self.drop_pct == 0 || self.drop_budget == Some(0))
+            && self.dup_pct == 0
+            && self.reorder == 0
+            && self.crashes.is_empty()
     }
 
     /// Sets the drop probability (percent).
@@ -331,6 +340,70 @@ mod tests {
             .filter(|_| s.deliver_action(EdgeId(0), NodeId(1), 1) == SchedulerAction::Drop)
             .count();
         assert_eq!(drops, 5);
+    }
+
+    #[test]
+    fn exhausted_drop_budget_is_reliable_and_perturbs_no_other_stream() {
+        // A plan that wants to drop but is never allowed to must behave,
+        // draw for draw, like a plan that never wanted to drop: the budget
+        // check short-circuits the drop draw, so the dup/reorder streams
+        // stay aligned, and `is_reliable` agrees.
+        let throttled = FaultPlan::reliable()
+            .with_drops(100)
+            .with_drop_budget(0)
+            .with_duplicates(30)
+            .with_reorder(2)
+            .with_seed(13);
+        let dropless = FaultPlan::reliable()
+            .with_duplicates(30)
+            .with_reorder(2)
+            .with_seed(13);
+        let mut a = FaultyScheduler::new(FifoScheduler::new(), throttled);
+        let mut b = FaultyScheduler::new(FifoScheduler::new(), dropless);
+        a.begin_run(4);
+        b.begin_run(4);
+        for i in 0..300usize {
+            assert_eq!(
+                a.deliver_action(EdgeId(i % 4), NodeId(1), 1 + i % 5),
+                b.deliver_action(EdgeId(i % 4), NodeId(1), 1 + i % 5),
+                "streams diverged at step {i}"
+            );
+        }
+        // And with every other class disabled, the throttled plan is simply
+        // reliable — while any live budget (or unlimited drops) is not.
+        assert!(FaultPlan::reliable()
+            .with_drops(100)
+            .with_drop_budget(0)
+            .is_reliable());
+        assert!(!FaultPlan::reliable()
+            .with_drops(100)
+            .with_drop_budget(1)
+            .is_reliable());
+        assert!(!FaultPlan::reliable().with_drops(1).is_reliable());
+    }
+
+    #[test]
+    fn empty_crash_window_covers_nothing() {
+        // `from == until` is the empty half-open interval: the node is never
+        // down, and the plan stays reliable in behaviour (crash checks draw
+        // no RNG, so the action stream is all-Deliver).
+        let w = CrashWindow {
+            node: NodeId(1),
+            from: 5,
+            until: 5,
+        };
+        for step in 0..10u64 {
+            assert!(!w.covers(NodeId(1), step));
+        }
+        let plan = FaultPlan::reliable().with_crash(NodeId(1), 5, 5);
+        let mut s = FaultyScheduler::new(FifoScheduler::new(), plan);
+        s.begin_run(2);
+        for _ in 0..20 {
+            assert_eq!(
+                s.deliver_action(EdgeId(0), NodeId(1), 1),
+                SchedulerAction::Deliver
+            );
+        }
     }
 
     #[test]

@@ -76,9 +76,11 @@ pub mod synchronous;
 pub mod trace;
 mod wire;
 
-pub use engine::{run_corrupted, ExecutionConfig, Outcome, RunConfig, RunResult};
+pub use engine::{
+    run_corrupted, run_recovering, ExecutionConfig, Outcome, RecoveredRun, RunConfig, RunResult,
+};
 pub use faults::{CrashWindow, FaultPlan, FaultyScheduler};
-pub use protocol::{AnonymousProtocol, NodeContext};
+pub use protocol::{AnonymousProtocol, NodeContext, RefloodProtocol};
 pub use reference::run_full_scan;
 pub use synchronous::{run_synchronous, SynchronousRun};
 pub use wire::{SharedSlice, Wire};

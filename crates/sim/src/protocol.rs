@@ -74,6 +74,37 @@ pub trait AnonymousProtocol {
     fn should_terminate(&self, terminal_state: &Self::State) -> bool;
 }
 
+/// An anonymous protocol that can re-transmit its knowledge frontier, making
+/// it recoverable under message loss via [`crate::engine::run_recovering`].
+///
+/// The paper's protocols assume reliable channels: every send is delivered
+/// exactly once, so a single flood suffices and a lost message starves the run
+/// forever. A `RefloodProtocol` additionally knows how to answer "if you had
+/// to re-send everything you have ever told each out-port, what would you
+/// say?" — the *frontier*. The engine invokes it only when a run drains with
+/// messages destroyed (see [`crate::engine::run_recovering`] for the exact
+/// contract), giving a retry variant of the protocol without touching the
+/// pristine delivery path.
+///
+/// Implementations must satisfy two laws, both relied on by the recovery
+/// differential suite:
+///
+/// * **Idempotence** — re-delivering a frontier message to a vertex that
+///   already processed its content must not change what the protocol
+///   ultimately computes (labels, records, payload knowledge). The interval
+///   protocols get this for free: duplicate α mass is routed to β exactly as
+///   a cycle echo would be, and record floods are interned sets.
+/// * **Purity** — `reflood` takes `&State` and must not mutate anything
+///   observable; calling it is not a protocol step, only the deliveries it
+///   causes are.
+pub trait RefloodProtocol: AnonymousProtocol {
+    /// The frontier: for each out-port, the message that re-transmits
+    /// everything this vertex has already contributed on that port. Ports with
+    /// nothing to say are simply omitted (an empty vector means the vertex
+    /// stays silent in a re-flood round).
+    fn reflood(&self, ctx: &NodeContext, state: &Self::State) -> Vec<(usize, Self::Message)>;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

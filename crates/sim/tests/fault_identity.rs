@@ -265,6 +265,126 @@ fn drop_budget_bounds_the_adversary() {
 }
 
 #[test]
+fn fault_plan_boundaries_replay_bit_identically() {
+    // Four boundary plans, each probing an edge of the fault-plan semantics.
+    // For every one, the recorded step log fed to a `ReplayScheduler`
+    // reproduces the faulty run bit for bit — outcome, metrics, states,
+    // trace — so the boundaries are pinned by replay, not just by counters.
+    use anet_sim::scheduler::{FifoScheduler, ReplayScheduler};
+
+    let protocol = Chatter {
+        fanout_rounds: 10,
+        needed: u64::MAX,
+    };
+    use anet_sim::scheduler::SchedulerAction;
+
+    let config = RunConfig::with_delivery_order(ExecutionConfig::with_trace());
+    let chain = chain_gn(5).expect("valid");
+    // A diamond with a relay (s → a, a → {v, u}, u → v, v → t): under FIFO,
+    // v receives at steps 1 and 3, bracketing a one-step crash window.
+    let mut g = anet_graph::DiGraph::new();
+    let s = g.add_node();
+    let a = g.add_node();
+    let v = g.add_node();
+    let u = g.add_node();
+    let t = g.add_node();
+    g.add_edge(s, a);
+    g.add_edge(a, v);
+    g.add_edge(a, u);
+    g.add_edge(u, v);
+    g.add_edge(v, t);
+    let diamond = Network::new(g, s, t).expect("valid");
+    // A busy cyclic network, so a small drop budget dies mid-run with plenty
+    // of steps left.
+    let mut rng = StdRng::seed_from_u64(0xFA02);
+    let busy = random_cyclic(&mut rng, 12, 0.2, 0.2).expect("valid");
+
+    let empty_window = FaultPlan::reliable().with_crash(NodeId(1), 4, 4);
+    let edge_window = FaultPlan::reliable().with_crash(v, 1, 2);
+    let mid_budget = FaultPlan::reliable()
+        .with_drops(10)
+        .with_drop_budget(2)
+        .with_seed(2);
+    let wide_reorder = FaultPlan::reliable().with_reorder(1000).with_seed(6);
+
+    for (label, plan, net) in [
+        ("empty crash window", &empty_window, &chain),
+        ("window end-exclusivity", &edge_window, &diamond),
+        ("mid-run budget exhaustion", &mid_budget, &busy),
+        ("reorder wider than any queue", &wide_reorder, &busy),
+    ] {
+        let mut faulty = FaultyScheduler::new(FifoScheduler::new(), plan.clone());
+        let run = run_with_config(net, &protocol, &mut faulty, config);
+        let steps = run.step_log.clone().expect("step log requested");
+        let mut replay = ReplayScheduler::with_steps(steps);
+        let again = run_with_config(net, &protocol, &mut replay, config);
+        assert_eq!(again.outcome, run.outcome, "{label}");
+        assert_eq!(again.metrics, run.metrics, "{label}");
+        assert_eq!(again.states, run.states, "{label}");
+        assert_eq!(again.trace, run.trace, "{label}");
+        assert_eq!(again.delivery_order, run.delivery_order, "{label}");
+    }
+
+    // Boundary 1: `from == until` is empty — the node is never down, and the
+    // run equals the reliable baseline exactly.
+    let baseline = run_with_config(&chain, &protocol, &mut FifoScheduler::new(), config);
+    let mut faulty = FaultyScheduler::new(FifoScheduler::new(), empty_window);
+    let run = run_with_config(&chain, &protocol, &mut faulty, config);
+    assert_eq!(run.metrics, baseline.metrics);
+    assert_eq!(run.trace, baseline.trace);
+    assert_eq!(run.metrics.crashed_deliveries, 0);
+
+    // Boundary 2: the window is half-open — `[1, 2)` consumes exactly the
+    // step 1 delivery into v and nothing at the `until` step itself.
+    let mut faulty = FaultyScheduler::new(FifoScheduler::new(), edge_window);
+    let run = run_with_config(&diamond, &protocol, &mut faulty, config);
+    assert_eq!(run.metrics.crashed_deliveries, 1);
+    assert_eq!(
+        run.metrics.messages_delivered, 4,
+        "a, u, v (again) and t all hear traffic outside the window"
+    );
+    let steps = run.step_log.as_ref().expect("step log requested");
+    assert_eq!(
+        steps[1].1,
+        SchedulerAction::NodeDown,
+        "step 1 into v falls inside [1, 2)"
+    );
+    assert!(
+        steps.iter().enumerate().any(|(i, (edge, action))| {
+            i >= 2 && diamond.graph().edge_dst(*edge) == v && *action == SchedulerAction::Deliver
+        }),
+        "v receives again at a step >= until"
+    );
+
+    // Boundary 3: the two-drop budget is spent mid-run — deliveries continue
+    // after the last drop the budget allowed.
+    let mut faulty = FaultyScheduler::new(FifoScheduler::new(), mid_budget);
+    let run = run_with_config(&busy, &protocol, &mut faulty, config);
+    assert_eq!(run.metrics.messages_dropped, 2, "budget caps the drops");
+    let steps = run.step_log.as_ref().expect("step log requested");
+    let last_drop = steps
+        .iter()
+        .rposition(|(_, action)| *action == SchedulerAction::Drop)
+        .expect("both budgeted drops fired");
+    assert!(
+        last_drop + 1 < steps.len(),
+        "the run keeps delivering after the budget exhausts mid-run"
+    );
+    assert!(run.metrics.messages_delivered > 0);
+
+    // Boundary 4: a reorder window far beyond any queue length clamps to the
+    // queue and still conserves every message.
+    let mut faulty = FaultyScheduler::new(FifoScheduler::new(), wide_reorder);
+    let run = run_with_config(&busy, &protocol, &mut faulty, config);
+    let m = &run.metrics;
+    assert_eq!(
+        m.messages_sent + m.messages_duplicated,
+        m.messages_delivered + m.messages_lost()
+    );
+    assert_eq!(m.messages_delivered, m.messages_sent);
+}
+
+#[test]
 fn crashed_node_loses_messages_but_recovers_with_state_intact() {
     // Node 1 of the chain is down for a long window: chain delivery stalls
     // (each message into the crashed node is consumed and lost), so the

@@ -345,6 +345,8 @@ mod tests {
                 dup_pct: 10,
                 reorder: 2,
                 seed: 3,
+                retry: 0,
+                crashes: vec![],
             },
         ];
         let manifest = Manifest::from_spec(&spec);

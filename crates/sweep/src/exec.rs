@@ -28,10 +28,12 @@ use anet_core::mapping::{corrupt_mapping_states, mapping_recovered, Mapping};
 use anet_core::{Payload, StateCorruption};
 use anet_graph::canon::canonical_form;
 use anet_graph::Network;
-use anet_sim::engine::{run_corrupted, run_with_config, ExecutionConfig, RunConfig};
+use anet_sim::engine::{
+    run_corrupted, run_recovering, run_with_config, ExecutionConfig, RunConfig,
+};
 use anet_sim::runner::{run_battery_cell, NamedRun};
 use anet_sim::scheduler::standard_battery;
-use anet_sim::{AnonymousProtocol, FaultyScheduler, Outcome};
+use anet_sim::{FaultyScheduler, Outcome, RefloodProtocol};
 
 use crate::manifest::SweepUnit;
 use crate::record::RunRecord;
@@ -113,8 +115,12 @@ pub fn execute_unit(spec: &SweepSpec, unit: &SweepUnit) -> Result<RunRecord, Swe
 ///
 /// The pristine arm is exactly [`run_battery_cell`] — same battery
 /// construction, same scheduler state — so pristine records are byte-identical
-/// to every sweep that predates scenarios.
-fn run_scenario_cell<P: AnonymousProtocol>(
+/// to every sweep that predates scenarios. Faulty units with a nonzero retry
+/// budget run through [`run_recovering`] (which is itself bit-identical to the
+/// single-shot engine whenever the fault plan destroys nothing); the re-flood
+/// traffic lands in the ordinary `sent`/`total_bits` columns, so a retry
+/// record's overhead is directly comparable against its retry-free twin.
+fn run_scenario_cell<P: RefloodProtocol>(
     network: &Network,
     protocol: &P,
     config: RunConfig,
@@ -146,10 +152,13 @@ fn run_scenario_cell<P: AnonymousProtocol>(
             let inner = battery.remove(unit.battery_index);
             let scheduler = inner.name();
             let mut faulty = FaultyScheduler::new(inner, plan);
-            NamedRun {
-                scheduler,
-                result: run_with_config(network, protocol, &mut faulty, config),
-            }
+            let retry = unit.scenario.retry_budget();
+            let result = if retry > 0 {
+                run_recovering(network, protocol, &mut faulty, config, retry).result
+            } else {
+                run_with_config(network, protocol, &mut faulty, config)
+            };
+            NamedRun { scheduler, result }
         }
         ScenarioSpec::Corrupt(corruption) => {
             let mut battery = standard_battery(unit.seed, spec.random_schedulers);
@@ -258,6 +267,8 @@ mod tests {
                 dup_pct: 10,
                 reorder: 2,
                 seed: 6,
+                retry: 0,
+                crashes: vec![],
             },
             ScenarioSpec::Corrupt(StateCorruption::ScrambledLabels { seed: 7 }),
             ScenarioSpec::Corrupt(StateCorruption::LostPartition),
@@ -292,6 +303,19 @@ mod tests {
                 dup_pct: 0,
                 reorder: 0,
                 seed: 0,
+                retry: 0,
+                crashes: vec![],
+            },
+            // Even a retry variant cannot outlast a total-drop adversary: the
+            // budget bounds the re-flood rounds, so starvation stays a
+            // detectable first-class outcome rather than a hang.
+            ScenarioSpec::Faulty {
+                drop_pct: 100,
+                dup_pct: 0,
+                reorder: 0,
+                seed: 0,
+                retry: 2,
+                crashes: vec![],
             },
         ];
         let manifest = Manifest::from_spec(&spec);
@@ -303,6 +327,60 @@ mod tests {
             assert_eq!(record.dropped, record.sent);
             assert!(record.dropped > 0);
         }
+    }
+
+    #[test]
+    fn crash_window_retry_units_recover_where_their_retry_free_twins_starve() {
+        // A crash outage at canonical node 1 destroys the early deliveries
+        // addressed to it. The retry-free scenario starves on a single-path
+        // topology; the retry twin (same plan — `retry` does not perturb the
+        // fault stream) keeps re-flooding, each round advancing the step
+        // clock, until the window closes and the protocol completes.
+        let mut spec = spec();
+        spec.topologies = vec![TopologySpec::CycleWithTail { k: 5 }];
+        let crash = vec![(1usize, 0u64, 6u64)];
+        spec.scenarios = vec![
+            ScenarioSpec::Pristine,
+            ScenarioSpec::Faulty {
+                drop_pct: 0,
+                dup_pct: 0,
+                reorder: 0,
+                seed: 0,
+                retry: 0,
+                crashes: crash.clone(),
+            },
+            ScenarioSpec::Faulty {
+                drop_pct: 0,
+                dup_pct: 0,
+                reorder: 0,
+                seed: 0,
+                retry: 8,
+                crashes: crash,
+            },
+        ];
+        let manifest = Manifest::from_spec(&spec);
+        let mut starved = 0;
+        let mut recovered = 0;
+        for unit in &manifest.units {
+            let record = execute_unit(&spec, unit).expect("unit runs");
+            match &unit.scenario {
+                ScenarioSpec::Pristine => assert!(record.ok, "unit {}", unit.key()),
+                ScenarioSpec::Faulty { retry: 0, .. } => {
+                    assert_eq!(record.outcome, "starved", "unit {}", unit.key());
+                    assert!(record.crashed > 0, "unit {}", unit.key());
+                    starved += 1;
+                }
+                ScenarioSpec::Faulty { .. } => {
+                    assert_eq!(record.outcome, "terminated", "unit {}", unit.key());
+                    assert!(record.ok, "unit {}", unit.key());
+                    assert!(record.crashed > 0, "unit {}", unit.key());
+                    recovered += 1;
+                }
+                ScenarioSpec::Corrupt(_) => unreachable!(),
+            }
+        }
+        assert!(starved > 0 && recovered > 0);
+        assert_eq!(starved, recovered);
     }
 
     #[test]

@@ -237,6 +237,8 @@ mod tests {
             dup_pct: 0,
             reorder: 2,
             seed: 4,
+            retry: 0,
+            crashes: vec![],
         });
         let manifest = Manifest::from_spec(&spec);
         assert_eq!(manifest.len(), 2 * 3 * 2 * 6 * 2);

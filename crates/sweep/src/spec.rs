@@ -14,7 +14,7 @@
 //! percentages to keep the text form free of float formatting questions.
 
 use anet_core::StateCorruption;
-use anet_graph::{generators, Network, NetworkError};
+use anet_graph::{generators, Network, NetworkError, NodeId};
 use anet_sim::FaultPlan;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -351,7 +351,9 @@ pub enum ScenarioSpec {
     Pristine,
     /// Deliveries pass through a [`FaultyScheduler`](anet_sim::FaultyScheduler)
     /// driven by this plan: percentages of drops and duplicates, bounded
-    /// reordering depth, and a fault-stream seed.
+    /// reordering depth, a fault-stream seed, optional crash windows, and an
+    /// optional retry budget that switches the unit to the re-flood runner
+    /// ([`anet_sim::run_recovering`]).
     Faulty {
         /// Per-delivery drop probability in percent (0–100).
         drop_pct: u8,
@@ -362,6 +364,15 @@ pub enum ScenarioSpec {
         /// Fault-stream seed, mixed per-unit so each battery cell draws its
         /// own deterministic stream.
         seed: u64,
+        /// Re-flood retry budget. `0` runs the pristine single-shot engine;
+        /// any larger value runs the unit through
+        /// [`anet_sim::run_recovering`] with this round budget.
+        retry: u32,
+        /// Crash windows `(node, from, until)`: vertex `node` (an index into
+        /// the unit's *canonical* relabeling) destroys every delivery
+        /// addressed to it during engine steps `[from, until)`. An
+        /// out-of-range index matches no vertex and is a no-op.
+        crashes: Vec<(usize, u64, u64)>,
     },
     /// The run starts from corrupted protocol state and success is the
     /// protocol's recovery predicate.
@@ -370,6 +381,12 @@ pub enum ScenarioSpec {
 
 impl ScenarioSpec {
     /// Canonical name, JSONL-safe, used in manifests, records and cache keys.
+    ///
+    /// Faulty scenarios keep their historical `faults/d…u…r…s…` form and
+    /// append `+t{retry}` / `+c{node}:{from}..{until}` segments only when the
+    /// corresponding field is set, so every pre-existing scenario name — and
+    /// every unit key, `unit-v2` fingerprint and cache entry derived from it —
+    /// is byte-identical to what earlier sweeps produced.
     pub fn name(&self) -> String {
         match self {
             ScenarioSpec::Pristine => "pristine".to_owned(),
@@ -378,7 +395,18 @@ impl ScenarioSpec {
                 dup_pct,
                 reorder,
                 seed,
-            } => format!("faults/d{drop_pct}u{dup_pct}r{reorder}s{seed}"),
+                retry,
+                crashes,
+            } => {
+                let mut name = format!("faults/d{drop_pct}u{dup_pct}r{reorder}s{seed}");
+                if *retry > 0 {
+                    name.push_str(&format!("+t{retry}"));
+                }
+                for (node, from, until) in crashes {
+                    name.push_str(&format!("+c{node}:{from}..{until}"));
+                }
+                name
+            }
             ScenarioSpec::Corrupt(c) => format!("corrupt/{}", c.name()),
         }
     }
@@ -394,24 +422,37 @@ impl ScenarioSpec {
     /// cluster key — so equivalent units draw identical fault streams no
     /// matter which shard, job or dedup representative executes them.
     pub fn fault_plan(&self, battery_seed: u64, battery_index: usize) -> Option<FaultPlan> {
-        match *self {
+        match self {
             ScenarioSpec::Faulty {
                 drop_pct,
                 dup_pct,
                 reorder,
                 seed,
+                crashes,
+                ..
             } => {
                 let mixed = mix64(mix64(seed ^ 0xFA17_0000).wrapping_add(battery_seed))
                     .wrapping_add(battery_index as u64);
-                Some(
-                    FaultPlan::reliable()
-                        .with_drops(drop_pct)
-                        .with_duplicates(dup_pct)
-                        .with_reorder(reorder)
-                        .with_seed(mix64(mixed)),
-                )
+                let mut plan = FaultPlan::reliable()
+                    .with_drops(*drop_pct)
+                    .with_duplicates(*dup_pct)
+                    .with_reorder(*reorder)
+                    .with_seed(mix64(mixed));
+                for &(node, from, until) in crashes {
+                    plan = plan.with_crash(NodeId(node), from, until);
+                }
+                Some(plan)
             }
             _ => None,
+        }
+    }
+
+    /// The re-flood retry budget of a [`ScenarioSpec::Faulty`] scenario
+    /// (0 for every other scenario and for retry-free fault scenarios).
+    pub fn retry_budget(&self) -> u32 {
+        match self {
+            ScenarioSpec::Faulty { retry, .. } => *retry,
+            _ => 0,
         }
     }
 
@@ -425,9 +466,19 @@ impl ScenarioSpec {
                 dup_pct,
                 reorder,
                 seed,
-            } => Some(format!(
-                "faults drop={drop_pct} dup={dup_pct} reorder={reorder} seed={seed}"
-            )),
+                retry,
+                crashes,
+            } => {
+                let mut line =
+                    format!("faults drop={drop_pct} dup={dup_pct} reorder={reorder} seed={seed}");
+                if *retry > 0 {
+                    line.push_str(&format!(" retry={retry}"));
+                }
+                for (node, from, until) in crashes {
+                    line.push_str(&format!(" crash={node}:{from}..{until}"));
+                }
+                Some(line)
+            }
             ScenarioSpec::Corrupt(StateCorruption::ScrambledLabels { seed }) => {
                 Some(format!("corrupt labels {seed}"))
             }
@@ -442,6 +493,8 @@ impl ScenarioSpec {
 
     fn parse_faults(args: &[&str], line: usize) -> Result<Self, SweepError> {
         let (mut drop_pct, mut dup_pct, mut reorder, mut seed) = (0u8, 0u8, 0usize, 0u64);
+        let mut retry = 0u32;
+        let mut crashes: Vec<(usize, u64, u64)> = Vec::new();
         for token in args {
             let Some((key, value)) = token.split_once('=') else {
                 return Err(SweepError::Spec(format!(
@@ -453,16 +506,18 @@ impl ScenarioSpec {
                 "dup" => dup_pct = parse_pct(value, line)?,
                 "reorder" => reorder = parse_int(value, line)?,
                 "seed" => seed = parse_int(value, line)?,
+                "retry" => retry = parse_int(value, line)?,
+                "crash" => crashes.push(parse_crash(value, line)?),
                 _ => {
                     return Err(SweepError::Spec(format!(
-                        "line {line}: unknown faults key `{key}` (expected drop/dup/reorder/seed)"
+                        "line {line}: unknown faults key `{key}` (expected drop/dup/reorder/seed/retry/crash)"
                     )))
                 }
             }
         }
-        if drop_pct == 0 && dup_pct == 0 && reorder == 0 {
+        if drop_pct == 0 && dup_pct == 0 && reorder == 0 && crashes.is_empty() && retry == 0 {
             return Err(SweepError::Spec(format!(
-                "line {line}: faults scenario injects nothing (set drop, dup or reorder)"
+                "line {line}: faults scenario injects nothing (set drop, dup, reorder or crash; retry alone is the recovery-overhead baseline)"
             )));
         }
         Ok(ScenarioSpec::Faulty {
@@ -470,7 +525,91 @@ impl ScenarioSpec {
             dup_pct,
             reorder,
             seed,
+            retry,
+            crashes,
         })
+    }
+
+    /// Expands a `faults ramp drop=A..B step=S …` directive into one ordinary
+    /// [`ScenarioSpec::Faulty`] scenario per drop intensity `A, A+S, …` up to
+    /// and including `B` (when the stride lands on it). Every other key
+    /// (`dup`/`reorder`/`seed`/`retry`/`crash`) is shared by all points. The
+    /// expansion is pure parse-time sugar: the canonical text form re-emits
+    /// the expanded `faults` lines, so fingerprints, unit keys and caches see
+    /// only ordinary fault scenarios.
+    fn parse_ramp(args: &[&str], line: usize) -> Result<Vec<Self>, SweepError> {
+        let mut drop_range: Option<(u8, u8)> = None;
+        let mut step = 0u8;
+        let (mut dup_pct, mut reorder, mut seed) = (0u8, 0usize, 0u64);
+        let mut retry = 0u32;
+        let mut crashes: Vec<(usize, u64, u64)> = Vec::new();
+        for token in args {
+            let Some((key, value)) = token.split_once('=') else {
+                return Err(SweepError::Spec(format!(
+                    "line {line}: faults ramp expects key=value tokens, got `{token}`"
+                )));
+            };
+            match key {
+                "drop" => {
+                    let Some((a, b)) = value.split_once("..") else {
+                        return Err(SweepError::Spec(format!(
+                            "line {line}: ramp drop expects a range `a..b`, got `{value}`"
+                        )));
+                    };
+                    let a = parse_pct(a, line)?;
+                    let b = parse_pct(b, line)?;
+                    if a > b {
+                        return Err(SweepError::Spec(format!(
+                            "line {line}: empty ramp range `{value}`"
+                        )));
+                    }
+                    drop_range = Some((a, b));
+                }
+                "step" => step = parse_int(value, line)?,
+                "dup" => dup_pct = parse_pct(value, line)?,
+                "reorder" => reorder = parse_int(value, line)?,
+                "seed" => seed = parse_int(value, line)?,
+                "retry" => retry = parse_int(value, line)?,
+                "crash" => crashes.push(parse_crash(value, line)?),
+                _ => {
+                    return Err(SweepError::Spec(format!(
+                        "line {line}: unknown faults ramp key `{key}` (expected drop/step/dup/reorder/seed/retry/crash)"
+                    )))
+                }
+            }
+        }
+        let Some((from, until)) = drop_range else {
+            return Err(SweepError::Spec(format!(
+                "line {line}: faults ramp requires `drop=a..b`"
+            )));
+        };
+        if step == 0 {
+            return Err(SweepError::Spec(format!(
+                "line {line}: faults ramp requires a nonzero `step`"
+            )));
+        }
+        let mut points = Vec::new();
+        let mut drop_pct = from;
+        loop {
+            if drop_pct == 0 && dup_pct == 0 && reorder == 0 && crashes.is_empty() && retry == 0 {
+                return Err(SweepError::Spec(format!(
+                    "line {line}: ramp baseline point injects nothing (set retry, dup, reorder or crash)"
+                )));
+            }
+            points.push(ScenarioSpec::Faulty {
+                drop_pct,
+                dup_pct,
+                reorder,
+                seed,
+                retry,
+                crashes: crashes.clone(),
+            });
+            match drop_pct.checked_add(step) {
+                Some(next) if next <= until => drop_pct = next,
+                _ => break,
+            }
+        }
+        Ok(points)
     }
 
     fn parse_corrupt(args: &[&str], line: usize) -> Result<Self, SweepError> {
@@ -516,6 +655,28 @@ fn parse_pct(token: &str, line: usize) -> Result<u8, SweepError> {
         )));
     }
     Ok(p)
+}
+
+/// A crash-window value: `<node>:<from>..<until>` with `[from, until)` in
+/// engine steps. The empty window `from == until` is accepted (and covers
+/// nothing) so boundary sweeps can be written directly.
+fn parse_crash(value: &str, line: usize) -> Result<(usize, u64, u64), SweepError> {
+    let malformed = || {
+        SweepError::Spec(format!(
+            "line {line}: crash expects `<node>:<from>..<until>`, got `{value}`"
+        ))
+    };
+    let (node, window) = value.split_once(':').ok_or_else(malformed)?;
+    let (from, until) = window.split_once("..").ok_or_else(malformed)?;
+    let node = parse_int(node, line)?;
+    let from: u64 = parse_int(from, line)?;
+    let until: u64 = parse_int(until, line)?;
+    if from > until {
+        return Err(SweepError::Spec(format!(
+            "line {line}: crash window `{value}` ends before it starts"
+        )));
+    }
+    Ok((node, from, until))
 }
 
 /// A full sweep specification.
@@ -582,6 +743,10 @@ impl SweepSpec {
                 }
                 ["max-deliveries", n] => {
                     spec.max_deliveries = parse_int(n, line_no)?;
+                }
+                ["faults", "ramp", rest @ ..] => {
+                    spec.scenarios
+                        .extend(ScenarioSpec::parse_ramp(rest, line_no)?);
                 }
                 ["faults", rest @ ..] => {
                     spec.scenarios
@@ -688,6 +853,16 @@ mod tests {
                     dup_pct: 5,
                     reorder: 3,
                     seed: 2,
+                    retry: 0,
+                    crashes: vec![],
+                },
+                ScenarioSpec::Faulty {
+                    drop_pct: 15,
+                    dup_pct: 0,
+                    reorder: 0,
+                    seed: 4,
+                    retry: 3,
+                    crashes: vec![(2, 1, 5), (4, 0, 0)],
                 },
                 ScenarioSpec::Corrupt(StateCorruption::ScrambledLabels { seed: 7 }),
                 ScenarioSpec::Corrupt(StateCorruption::LostPartition),
@@ -759,16 +934,141 @@ mod tests {
                     drop_pct: 20,
                     dup_pct: 0,
                     reorder: 0,
-                    seed: 9
+                    seed: 9,
+                    retry: 0,
+                    crashes: vec![],
                 },
                 ScenarioSpec::Faulty {
                     drop_pct: 0,
                     dup_pct: 0,
                     reorder: 2,
-                    seed: 0
+                    seed: 0,
+                    retry: 0,
+                    crashes: vec![],
                 },
             ]
         );
+    }
+
+    #[test]
+    fn retry_and_crash_keys_parse_and_round_trip() {
+        let text = "protocol mapping\ntopology path 3\nfaults drop=10 seed=3 retry=2 crash=1:4..9 crash=2:0..0\n";
+        let spec = SweepSpec::parse(text).unwrap();
+        assert_eq!(
+            spec.scenarios[1],
+            ScenarioSpec::Faulty {
+                drop_pct: 10,
+                dup_pct: 0,
+                reorder: 0,
+                seed: 3,
+                retry: 2,
+                crashes: vec![(1, 4, 9), (2, 0, 0)],
+            }
+        );
+        assert_eq!(
+            spec.scenarios[1].name(),
+            "faults/d10u0r0s3+t2+c1:4..9+c2:0..0"
+        );
+        let canonical = spec.to_spec_string();
+        assert!(canonical
+            .contains("faults drop=10 dup=0 reorder=0 seed=3 retry=2 crash=1:4..9 crash=2:0..0"));
+        assert_eq!(SweepSpec::parse(&canonical).unwrap(), spec);
+        // A crash window alone injects something; retry alone is likewise a
+        // meaningful (recovery-baseline) scenario.
+        SweepSpec::parse("protocol mapping\ntopology path 3\nfaults crash=0:1..2\n").unwrap();
+        SweepSpec::parse("protocol mapping\ntopology path 3\nfaults retry=1\n").unwrap();
+    }
+
+    #[test]
+    fn retry_free_scenarios_keep_their_historical_names() {
+        // The name (and therefore every unit key, fingerprint and cache key
+        // derived from it) must be byte-identical to pre-retry sweeps.
+        let spec = SweepSpec::parse(
+            "protocol mapping\ntopology path 3\nfaults drop=20 dup=10 reorder=2 seed=6\n",
+        )
+        .unwrap();
+        assert_eq!(spec.scenarios[1].name(), "faults/d20u10r2s6");
+        assert_eq!(spec.scenarios[1].retry_budget(), 0);
+    }
+
+    #[test]
+    fn ramps_expand_to_ordinary_fault_scenarios() {
+        let spec = SweepSpec::parse(
+            "protocol mapping\ntopology path 3\nfaults ramp drop=0..30 step=5 seed=7 retry=2\n",
+        )
+        .unwrap();
+        let drops: Vec<u8> = spec
+            .scenarios
+            .iter()
+            .filter_map(|s| match s {
+                ScenarioSpec::Faulty { drop_pct, .. } => Some(*drop_pct),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(drops, vec![0, 5, 10, 15, 20, 25, 30]);
+        for s in spec.scenarios.iter().skip(1) {
+            assert_eq!(s.retry_budget(), 2);
+        }
+        // The canonical form re-emits expanded points and round-trips exactly.
+        let canonical = spec.to_spec_string();
+        assert!(!canonical.contains("ramp"));
+        assert!(canonical.contains("faults drop=0 dup=0 reorder=0 seed=7 retry=2"));
+        assert!(canonical.contains("faults drop=30 dup=0 reorder=0 seed=7 retry=2"));
+        assert_eq!(SweepSpec::parse(&canonical).unwrap(), spec);
+        // A stride that overshoots the end stops below it.
+        let spec =
+            SweepSpec::parse("protocol mapping\ntopology path 3\nfaults ramp drop=5..14 step=4\n")
+                .unwrap();
+        let drops: Vec<u8> = spec
+            .scenarios
+            .iter()
+            .filter_map(|s| match s {
+                ScenarioSpec::Faulty { drop_pct, .. } => Some(*drop_pct),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(drops, vec![5, 9, 13]);
+    }
+
+    #[test]
+    fn bad_ramp_and_crash_directives_are_rejected() {
+        for (text, needle) in [
+            (
+                "protocol mapping\ntopology path 3\nfaults ramp step=5\n",
+                "requires `drop=a..b`",
+            ),
+            (
+                "protocol mapping\ntopology path 3\nfaults ramp drop=0..30\n",
+                "nonzero `step`",
+            ),
+            (
+                "protocol mapping\ntopology path 3\nfaults ramp drop=30..0 step=5\n",
+                "empty ramp range",
+            ),
+            (
+                "protocol mapping\ntopology path 3\nfaults ramp drop=10 step=5\n",
+                "range `a..b`",
+            ),
+            (
+                "protocol mapping\ntopology path 3\nfaults ramp drop=0..30 step=5\n",
+                "baseline point injects nothing",
+            ),
+            (
+                "protocol mapping\ntopology path 3\nfaults crash=oops\n",
+                "crash expects",
+            ),
+            (
+                "protocol mapping\ntopology path 3\nfaults crash=1:9..4\n",
+                "ends before it starts",
+            ),
+            (
+                "protocol mapping\ntopology path 3\nfaults ramp drop=0..200 step=5\n",
+                "out of range",
+            ),
+        ] {
+            let err = SweepSpec::parse(text).expect_err(text);
+            assert!(err.to_string().contains(needle), "{text} -> {err}");
+        }
     }
 
     #[test]
@@ -826,6 +1126,8 @@ mod tests {
             dup_pct: 5,
             reorder: 3,
             seed: 2,
+            retry: 0,
+            crashes: vec![],
         };
         let a = faulty.fault_plan(4, 1).unwrap();
         assert_eq!(a, faulty.fault_plan(4, 1).unwrap());
@@ -834,6 +1136,22 @@ mod tests {
         assert_eq!(a.drop_pct, 10);
         assert_eq!(a.dup_pct, 5);
         assert_eq!(a.reorder, 3);
+        // Crash windows flow into the plan; the mixed stream seed is
+        // unaffected by them (it is a function of the scenario seed and the
+        // unit's battery cell only).
+        let crashing = ScenarioSpec::Faulty {
+            drop_pct: 10,
+            dup_pct: 5,
+            reorder: 3,
+            seed: 2,
+            retry: 1,
+            crashes: vec![(3, 2, 8)],
+        };
+        let c = crashing.fault_plan(4, 1).unwrap();
+        assert_eq!(c.seed, a.seed);
+        assert_eq!(c.crashes.len(), 1);
+        assert!(c.crashes[0].covers(anet_graph::NodeId(3), 2));
+        assert!(!c.crashes[0].covers(anet_graph::NodeId(3), 8));
         assert!(ScenarioSpec::Pristine.fault_plan(0, 0).is_none());
         assert!(ScenarioSpec::Corrupt(StateCorruption::LostPartition)
             .fault_plan(0, 0)

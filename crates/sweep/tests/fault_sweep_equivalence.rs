@@ -44,12 +44,16 @@ fn fault_spec() -> SweepSpec {
                 dup_pct: 10,
                 reorder: 2,
                 seed: 9,
+                retry: 0,
+                crashes: vec![],
             },
             ScenarioSpec::Faulty {
                 drop_pct: 100,
                 dup_pct: 0,
                 reorder: 0,
                 seed: 1,
+                retry: 0,
+                crashes: vec![],
             },
             ScenarioSpec::Corrupt(anet_core::StateCorruption::ScrambledLabels { seed: 11 }),
             ScenarioSpec::Corrupt(anet_core::StateCorruption::LostPartition),
@@ -225,4 +229,188 @@ fn committed_fault_spec_parses_and_round_trips() {
     keys.sort();
     keys.dedup();
     assert_eq!(keys.len(), manifest.len(), "unit keys stay unique");
+}
+
+/// The committed recovery-cost spec, shared with the CI `recovery_smoke` step.
+fn recovery_spec() -> SweepSpec {
+    SweepSpec::parse(include_str!("../specs/recovery.spec"))
+        .expect("committed recovery spec parses")
+}
+
+#[test]
+fn committed_recovery_spec_parses_and_round_trips() {
+    let spec = recovery_spec();
+    // pristine + 3 retry-free ramp points + 4 retry ramp points + crash pair.
+    assert_eq!(spec.scenarios.len(), 10);
+    assert!(spec.scenarios[0].is_pristine());
+    let canonical = spec.to_spec_string();
+    assert!(
+        !canonical.contains("ramp"),
+        "ramps are parse-time sugar; the canonical form lists the points"
+    );
+    let reparsed = SweepSpec::parse(&canonical).expect("canonical form parses");
+    assert_eq!(spec, reparsed);
+    let manifest = Manifest::from_spec(&spec);
+    let mut keys: Vec<String> = manifest.units.iter().map(|u| u.key()).collect();
+    keys.sort();
+    keys.dedup();
+    assert_eq!(keys.len(), manifest.len(), "unit keys stay unique");
+}
+
+#[test]
+fn recovery_sweep_is_byte_identical_and_quantifies_recovery() {
+    let spec = recovery_spec();
+    let manifest = Manifest::from_spec(&spec);
+    let baseline = honest_merged(&spec, &manifest, 1, Partition::Hash);
+    for (shards, partition) in [(2, Partition::Hash), (3, Partition::RoundRobin)] {
+        assert_eq!(
+            honest_merged(&spec, &manifest, shards, partition),
+            baseline,
+            "{partition:?} x {shards} shards diverged on the recovery spec"
+        );
+    }
+
+    let records: Vec<RunRecord> = baseline
+        .lines()
+        .map(|l| RunRecord::parse_line(l).expect("canonical line"))
+        .collect();
+    assert_eq!(records.len(), manifest.len());
+
+    // Group the sweep by cell (everything but the scenario), so each retry
+    // record can be diffed against its same-plan twin.
+    use std::collections::HashMap;
+    type CellKey = (String, String, String, usize, u64);
+    let mut by_cell: HashMap<CellKey, HashMap<String, &RunRecord>> = HashMap::new();
+    for r in &records {
+        by_cell
+            .entry((
+                r.protocol.clone(),
+                r.topology.clone(),
+                r.scheduler.clone(),
+                r.battery_index,
+                r.seed,
+            ))
+            .or_default()
+            .insert(r.scenario.clone(), r);
+    }
+
+    // (a) The ramp's reliable point: a retry variant under a plan that
+    // destroys nothing is bit-identical to the pristine run of its cell —
+    // the cross-check that keeps the overhead columns honest.
+    let strip = |r: &RunRecord| {
+        let mut r = r.clone();
+        r.index = 0;
+        r.scenario.clear();
+        r
+    };
+    for cell in by_cell.values() {
+        let retry = cell["faults/d0u0r0s7+t4"];
+        let pristine = cell["pristine"];
+        assert_eq!(
+            strip(retry),
+            strip(pristine),
+            "reliable-plan retry diverged from pristine"
+        );
+    }
+
+    // (b) Crash-window reachability: somewhere in the grid the retry-free
+    // crash run starves while its retry twin (same plan) terminates ok.
+    let crash_free = "faults/d0u0r0s0+c1:0..6";
+    let crash_retry = "faults/d0u0r0s0+t8+c1:0..6";
+    let crash_recoveries = by_cell
+        .values()
+        .filter(|cell| {
+            let f = cell[crash_free];
+            let t = cell[crash_retry];
+            f.outcome == "starved" && f.crashed > 0 && t.outcome == "terminated" && t.ok
+        })
+        .count();
+    assert!(
+        crash_recoveries > 0,
+        "no cell recovered from the crash window via retries"
+    );
+
+    // (c) Sustained-drop recovery: at some nonzero ramp intensity a retry
+    // run terminates ok where its retry-free twin starved.
+    let mut drop_recoveries = 0usize;
+    for cell in by_cell.values() {
+        for drop in [10u8, 20, 30] {
+            let free = cell[format!("faults/d{drop}u0r0s7").as_str()];
+            let retry = cell[format!("faults/d{drop}u0r0s7+t4").as_str()];
+            if free.outcome == "starved" && retry.outcome == "terminated" && retry.ok {
+                drop_recoveries += 1;
+            }
+        }
+    }
+    assert!(
+        drop_recoveries > 0,
+        "no ramp point recovered via retries where its twin starved"
+    );
+
+    // (d) Crash scenarios demonstrably act, and the pristine subset equals
+    // the sweep of the same spec with no adversarial scenarios at all.
+    assert!(records
+        .iter()
+        .filter(|r| r.scenario == "pristine")
+        .all(|r| r.dropped == 0 && r.duplicated == 0 && r.crashed == 0));
+    let pristine_spec = SweepSpec {
+        scenarios: vec![ScenarioSpec::Pristine],
+        ..spec.clone()
+    };
+    let pristine_manifest = Manifest::from_spec(&pristine_spec);
+    let plain = honest_merged(&pristine_spec, &pristine_manifest, 1, Partition::Hash);
+    let plain_records: Vec<RunRecord> = plain
+        .lines()
+        .map(|l| strip(&RunRecord::parse_line(l).expect("canonical line")))
+        .collect();
+    let pristine_subset: Vec<RunRecord> = records
+        .iter()
+        .filter(|r| r.scenario == "pristine")
+        .map(strip)
+        .collect();
+    assert_eq!(pristine_subset, plain_records);
+}
+
+#[test]
+fn dedup_cache_and_resume_reproduce_the_recovery_sweep() {
+    let spec = recovery_spec();
+    let manifest = Manifest::from_spec(&spec);
+    let baseline = honest_merged(&spec, &manifest, 1, Partition::Hash);
+
+    let cache = temp_dir("recovery-dedup");
+    let (cold_lines, _) =
+        dedup_shard_lines(&spec, &manifest, 1, Partition::Hash, 0, Some(&cache)).unwrap();
+    assert_eq!(merge_lines(manifest.len(), [cold_lines]).unwrap(), baseline);
+    let (warm_lines, warm) =
+        dedup_shard_lines(&spec, &manifest, 1, Partition::Hash, 0, Some(&cache)).unwrap();
+    assert_eq!(merge_lines(manifest.len(), [warm_lines]).unwrap(), baseline);
+    assert_eq!(warm.cache_hits, warm.clusters, "warm cache hits everything");
+    assert_eq!(warm.representatives_run, 0);
+    let _ = fs::remove_dir_all(&cache);
+
+    let dir = temp_dir("recovery-resume");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("shard-0.jsonl");
+    let opts = SweepOptions {
+        jobs: 4,
+        resume: false,
+        dedup: false,
+        cache_dir: None,
+    };
+    run_shard_to_file_with_opts(&spec, &manifest, 1, Partition::Hash, 0, &path, &opts).unwrap();
+    let clean = fs::read_to_string(&path).unwrap();
+    fs::write(&path, &clean[..clean.len() / 2]).unwrap();
+    let resume_opts = SweepOptions {
+        jobs: 4,
+        resume: true,
+        dedup: true,
+        cache_dir: None,
+    };
+    let report =
+        run_shard_to_file_with_opts(&spec, &manifest, 1, Partition::Hash, 0, &path, &resume_opts)
+            .unwrap();
+    assert!(report.outcome.reused > 0, "intact head is reused");
+    assert!(report.outcome.executed > 0, "torn tail re-runs");
+    assert_eq!(fs::read_to_string(&path).unwrap(), clean);
+    let _ = fs::remove_dir_all(&dir);
 }
