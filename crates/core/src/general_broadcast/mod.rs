@@ -142,13 +142,14 @@ impl AnonymousProtocol for GeneralBroadcast {
         )]
     }
 
-    fn on_receive(
+    fn on_receive_into(
         &self,
         ctx: &NodeContext,
         state: &mut GeneralState,
         _in_port: usize,
         message: &GeneralMessage,
-    ) -> Vec<(usize, GeneralMessage)> {
+        out: &mut Vec<(usize, GeneralMessage)>,
+    ) {
         state.received = true;
         state.seen.union_in_place(&message.alpha);
         state.seen.union_in_place(&message.beta);
@@ -157,14 +158,14 @@ impl AnonymousProtocol for GeneralBroadcast {
             // Nowhere to forward; `seen` is the stopping-predicate input when this
             // vertex happens to be the terminal.
             state.beta.union_in_place(&message.beta);
-            return Vec::new();
+            return;
         }
 
         // The α/β increments are computed *before* the state is updated, so no
         // snapshot of the (ever-growing) prior state is ever cloned: incoming
-        // message components are small deltas, and the in-place set ops merge
-        // them into the state without intermediate allocations.
-        let mut out = Vec::new();
+        // message components are small deltas, the in-place set ops merge
+        // them into the state without intermediate allocations, and the
+        // emitted batch lands in the engine's reused scratch buffer.
         if !state.partitioned && !message.alpha.is_empty() {
             // First interval mass: one-time canonical partition among the out-ports.
             state.partitioned = true;
@@ -232,7 +233,6 @@ impl AnonymousProtocol for GeneralBroadcast {
                 ));
             }
         }
-        out
     }
 
     fn should_terminate(&self, terminal_state: &GeneralState) -> bool {

@@ -61,6 +61,15 @@ pub struct LabelingState {
     pub alpha: Vec<IntervalUnion>,
     /// `β`: cycle evidence plus claimed labels, flooded towards the terminal.
     pub beta: IntervalUnion,
+    /// Running `label ∪ β` of an *absorbing* (out-degree-zero) vertex — the
+    /// terminal's stopping-predicate input, maintained incrementally as each
+    /// α/β delta arrives. Routing vertices leave it empty. Keeping it here
+    /// makes [`Labeling::should_terminate`] O(1): `label` alone fragments
+    /// into one interval per absorbed leaf mass (the claimed labels in
+    /// between are carried by `β`), so re-merging the two unions after every
+    /// terminal delivery would cost O(n) a call — the dominant cost of large
+    /// runs before this field existed — while their running union coalesces.
+    pub absorbed: IntervalUnion,
     /// Whether the one-time partition has been performed.
     pub partitioned: bool,
     /// Whether any message has been received.
@@ -103,6 +112,7 @@ impl AnonymousProtocol for Labeling {
             label: IntervalUnion::empty(),
             alpha: vec![IntervalUnion::empty(); ctx.out_degree],
             beta: IntervalUnion::empty(),
+            absorbed: IntervalUnion::empty(),
             partitioned: false,
             received: false,
         }
@@ -118,25 +128,29 @@ impl AnonymousProtocol for Labeling {
         )]
     }
 
-    fn on_receive(
+    fn on_receive_into(
         &self,
         ctx: &NodeContext,
         state: &mut LabelingState,
         _in_port: usize,
         message: &LabelMessage,
-    ) -> Vec<(usize, LabelMessage)> {
+        out: &mut Vec<(usize, LabelMessage)>,
+    ) {
         state.received = true;
         let d = ctx.out_degree;
         if d == 0 {
-            // Absorb everything: α mass becomes (part of) the label, β is recorded.
+            // Absorb everything: α mass becomes (part of) the label, β is recorded,
+            // and the running `label ∪ β` accumulator absorbs both deltas.
             state.label.union_in_place(&message.alpha);
             state.beta.union_in_place(&message.beta);
-            return Vec::new();
+            state.absorbed.union_in_place(&message.alpha);
+            state.absorbed.union_in_place(&message.beta);
+            return;
         }
 
         // Increments are computed before the state is updated (see
-        // `general_broadcast`): no `old_alpha`/`old_beta` snapshots are cloned.
-        let mut out = Vec::new();
+        // `general_broadcast`): no `old_alpha`/`old_beta` snapshots are cloned,
+        // and the emitted batch lands in the engine's reused scratch buffer.
         if !state.partitioned && !message.alpha.is_empty() {
             state.partitioned = true;
             let parts =
@@ -202,11 +216,13 @@ impl AnonymousProtocol for Labeling {
                 ));
             }
         }
-        out
     }
 
     fn should_terminate(&self, terminal_state: &LabelingState) -> bool {
-        terminal_state.coverage().is_unit()
+        // `absorbed` is the incrementally maintained `label ∪ β` of the
+        // terminal (out-degree zero by `Network` validation), so this is
+        // [`LabelingState::coverage`]`().is_unit()` without the O(n) merge.
+        terminal_state.absorbed.is_unit()
     }
 }
 
@@ -426,6 +442,9 @@ pub fn corrupt_labeling_states(
             let terminal = network.terminal().index();
             states[terminal]
                 .beta
+                .union_in_place(&crate::corruption::stale_half());
+            states[terminal]
+                .absorbed
                 .union_in_place(&crate::corruption::stale_half());
         }
     }

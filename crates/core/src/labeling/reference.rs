@@ -62,9 +62,12 @@ impl AnonymousProtocol for Labeling {
         state.received = true;
         let d = ctx.out_degree;
         if d == 0 {
-            // Absorb everything: α mass becomes (part of) the label, β is recorded.
+            // Absorb everything: α mass becomes (part of) the label, β is recorded,
+            // and the running `label ∪ β` accumulator absorbs both deltas.
             state.label = num_reference::union(&state.label, &message.alpha);
             state.beta = num_reference::union(&state.beta, &message.beta);
+            state.absorbed = num_reference::union(&state.absorbed, &message.alpha);
+            state.absorbed = num_reference::union(&state.absorbed, &message.beta);
             return Vec::new();
         }
 
@@ -136,7 +139,9 @@ impl AnonymousProtocol for Labeling {
     }
 
     fn should_terminate(&self, terminal_state: &LabelingState) -> bool {
-        terminal_state.coverage().is_unit()
+        // Same O(1) predicate as the fast implementation: `absorbed` is the
+        // sink-maintained `label ∪ β`.
+        terminal_state.absorbed.is_unit()
     }
 }
 

@@ -37,10 +37,15 @@
 //! time any vertex creates or learns it, and from then on the record travels as a
 //! dense `u32` [`RecordId`]:
 //!
-//! * `known` and `sent` are [`IdSet`] bitsets; the per-activation "what's new"
-//!   diff (`known \ sent`, the records to flood) is a word-level bitset
-//!   subtraction ([`IdSet::difference_drain`]) instead of a `BTreeSet`
-//!   difference walking every record the vertex has ever seen;
+//! * `known` and `sent` are [`IdBag`]s — an occupancy-chosen id set: the
+//!   terminal (which eventually absorbs every record) uses the dense bitset
+//!   representation, while internal vertices (which see only the records
+//!   flooded through them) use a sorted id vector, so per-vertex memory is
+//!   proportional to what the vertex actually knows rather than to the run's
+//!   whole record arena. The per-activation "what's new" diff (`known \
+//!   sent`, the records to flood) is one representation-aware
+//!   [`IdBag::difference_drain`] pass instead of a `BTreeSet` difference
+//!   walking every record the vertex has ever seen;
 //! * flooded messages carry one [`SharedSlice<RecordId>`] shared by every
 //!   out-port (an `Arc` slice — cloning it per port or per trace event is O(1)),
 //!   instead of a `Vec<MapRecord>` deep-cloned per port;
@@ -62,15 +67,21 @@
 //! root-edge flag, a dangling-destination counter and the running coverage
 //! union), so evaluating the stopping predicate is O(1) bookkeeping plus one
 //! coverage union — not the nested `iter().any` scans of the original.
+//!
+//! Labels themselves are interned too: the record table assigns every label
+//! interval a dense `u32` id and memoises each record's *shape* as a compact
+//! meta entry — tag plus label/port ids, no heap data — at intern time.
+//! The terminal view is a flat `Vec` indexed by label id rather than a
+//! `BTreeMap<Interval, _>`, so absorbing a record is two or three array
+//! index operations instead of ordered-map hops over interval keys.
 
 pub mod reference;
 
-use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use anet_graph::{DiGraph, Network, NodeId};
 use anet_num::bits;
-use anet_num::intern::{IdSet, Interner};
+use anet_num::intern::{IdBag, Interner};
 use anet_num::partition::canonical_partition_nonempty;
 use anet_num::{Interval, IntervalUnion};
 use anet_sim::engine::{run, ExecutionConfig};
@@ -177,26 +188,92 @@ impl Announce {
 /// one protocol value, so set bookkeeping is bit arithmetic.
 pub type RecordId = u32;
 
+/// Dense run-local name of an interned label interval (see
+/// [`RecordTable::labels`]).
+type LabelId = u32;
+
+/// A vertex reference with its label replaced by the label's interned id —
+/// the hot-path form of [`VertexRef`], `Copy` and heap-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefId {
+    Root,
+    Sink,
+    Label(LabelId),
+}
+
+/// A record's shape with every interval replaced by its interned id, memoised
+/// at intern time. The terminal's completeness index runs entirely on these —
+/// absorbing a record touches dense arrays only; the interval values are
+/// resolved just once per label, for the coverage union.
+#[derive(Debug, Clone, Copy)]
+enum RecordMeta {
+    Vertex {
+        label: LabelId,
+        out_degree: u32,
+    },
+    Edge {
+        src: RefId,
+        src_port: u32,
+        dst: RefId,
+    },
+}
+
 /// The per-protocol-value record arena: hash-consed records plus their encoded
-/// sizes, memoised once at intern time so composing a message costs one table
-/// lookup per new record.
+/// sizes and id-level shapes, memoised once at intern time so composing a
+/// message costs one table lookup per new record and absorbing one costs a
+/// few array index operations.
 #[derive(Debug, Default)]
 struct RecordTable {
     records: Interner<MapRecord>,
     encoded_bits: Vec<u64>,
+    /// Every label interval mentioned by any record, hash-consed to a dense
+    /// [`LabelId`] — the index space of [`TerminalView::vertices`].
+    labels: Interner<Interval>,
+    /// `meta[id]` is the id-level shape of `records.resolve(id)`.
+    meta: Vec<RecordMeta>,
 }
 
 impl RecordTable {
+    fn ref_id(&mut self, vertex: &VertexRef) -> RefId {
+        match vertex {
+            VertexRef::Root => RefId::Root,
+            VertexRef::Sink => RefId::Sink,
+            VertexRef::Labeled(interval) => RefId::Label(self.labels.intern(interval)),
+        }
+    }
+
     fn intern(&mut self, record: &MapRecord) -> RecordId {
         let id = self.records.intern(record);
         if id as usize == self.encoded_bits.len() {
             self.encoded_bits.push(record.wire_bits());
+            let meta = match record {
+                MapRecord::Vertex {
+                    label, out_degree, ..
+                } => RecordMeta::Vertex {
+                    label: self.labels.intern(label),
+                    out_degree: *out_degree as u32,
+                },
+                MapRecord::Edge { src, src_port, dst } => RecordMeta::Edge {
+                    src: self.ref_id(src),
+                    src_port: *src_port as u32,
+                    dst: self.ref_id(dst),
+                },
+            };
+            self.meta.push(meta);
         }
         id
     }
 
     fn resolve(&self, id: RecordId) -> &MapRecord {
         self.records.resolve(id)
+    }
+
+    fn meta_of(&self, id: RecordId) -> RecordMeta {
+        self.meta[id as usize]
+    }
+
+    fn label_interval(&self, label: LabelId) -> &Interval {
+        self.labels.resolve(label)
     }
 
     fn bits_of(&self, id: RecordId) -> u64 {
@@ -276,51 +353,64 @@ pub struct TerminalView {
     missing_ports: usize,
     /// Edge records whose `Labeled` destination has no vertex record yet.
     dangling_edges: usize,
-    /// Keyed by label interval in sorted order (`BTreeMap`, not `HashMap`),
-    /// so any future iteration over the view is deterministic by
-    /// construction — it can never depend on hasher state.
-    vertices: BTreeMap<Interval, VertexEntry>,
+    /// Indexed by interned [`LabelId`], grown on demand — a dense table
+    /// instead of the original `BTreeMap<Interval, VertexEntry>`, so every
+    /// per-label update is an array index. Label ids are assigned in
+    /// first-use order by the record table, so the layout (though not any
+    /// observable behaviour) depends only on the delivery order.
+    vertices: Vec<VertexEntry>,
     /// Union of every known vertex record's label.
     records_coverage: IntervalUnion,
 }
 
 impl TerminalView {
-    fn absorb(&mut self, record: &MapRecord) {
-        match record {
-            MapRecord::Vertex {
-                label, out_degree, ..
-            } => {
-                let entry = self.vertices.entry(label.clone()).or_default();
+    fn entry_mut(&mut self, label: LabelId) -> &mut VertexEntry {
+        let index = label as usize;
+        if self.vertices.len() <= index {
+            self.vertices.resize(index + 1, VertexEntry::default());
+        }
+        &mut self.vertices[index]
+    }
+
+    fn absorb(&mut self, meta: RecordMeta, table: &RecordTable) {
+        match meta {
+            RecordMeta::Vertex { label, out_degree } => {
+                let out_degree = out_degree as usize;
+                let entry = self.entry_mut(label);
                 debug_assert!(!entry.vertex_known, "labels name exactly one vertex");
                 entry.vertex_known = true;
-                entry.out_degree = *out_degree;
-                debug_assert!(entry.ports_seen <= *out_degree);
-                self.missing_ports += *out_degree - entry.ports_seen;
-                self.dangling_edges -= entry.incoming;
+                entry.out_degree = out_degree;
+                debug_assert!(entry.ports_seen <= out_degree);
+                let newly_missing = out_degree - entry.ports_seen;
+                let resolved_dangling = entry.incoming;
+                self.missing_ports += newly_missing;
+                self.dangling_edges -= resolved_dangling;
                 self.records_coverage
-                    .union_in_place(&IntervalUnion::from(label.clone()));
+                    .union_in_place(&IntervalUnion::from(table.label_interval(label).clone()));
             }
-            MapRecord::Edge { src, src_port, dst } => {
+            RecordMeta::Edge { src, src_port, dst } => {
                 match src {
-                    VertexRef::Root => {
-                        if *src_port == 0 {
+                    RefId::Root => {
+                        if src_port == 0 {
                             self.root_edge_known = true;
                         }
                     }
-                    VertexRef::Sink => {}
-                    VertexRef::Labeled(label) => {
-                        let entry = self.vertices.entry(label.clone()).or_default();
+                    RefId::Sink => {}
+                    RefId::Label(label) => {
+                        let entry = self.entry_mut(label);
                         entry.ports_seen += 1;
-                        if entry.vertex_known {
-                            debug_assert!(entry.ports_seen <= entry.out_degree);
+                        let covers_port = entry.vertex_known;
+                        debug_assert!(!covers_port || entry.ports_seen <= entry.out_degree);
+                        if covers_port {
                             self.missing_ports -= 1;
                         }
                     }
                 }
-                if let VertexRef::Labeled(label) = dst {
-                    let entry = self.vertices.entry(label.clone()).or_default();
+                if let RefId::Label(label) = dst {
+                    let entry = self.entry_mut(label);
                     entry.incoming += 1;
-                    if !entry.vertex_known {
+                    let dangles = !entry.vertex_known;
+                    if dangles {
                         self.dangling_edges += 1;
                     }
                 }
@@ -364,9 +454,13 @@ pub struct MappingState {
     /// Whether any message was received.
     pub received: bool,
     /// Ids of records this vertex knows about (flooded plus self-created).
-    pub known: IdSet,
-    /// Ids of records already flooded on the out-ports.
-    pub sent: IdSet,
+    /// Dense (bitset) at the terminal, which absorbs every record of the run;
+    /// sparse (sorted vector) everywhere else, so per-vertex memory scales
+    /// with what the vertex actually saw, not with the run's record arena.
+    pub known: IdBag,
+    /// Ids of records already flooded on the out-ports (same representation
+    /// split as [`MappingState::known`]).
+    pub sent: IdBag,
     /// Announcements received before this vertex had a label.
     pub pending_announces: Vec<Announce>,
     /// This vertex's own degrees (recorded for report extraction).
@@ -427,11 +521,12 @@ impl MappingState {
         if let Some(view) = &self.terminal_view {
             cov.union_in_place(&view.records_coverage);
         } else {
-            // Non-terminal vertices keep no index; resolve on demand.
+            // Non-terminal vertices keep no index; resolve on demand (ids →
+            // memoised meta → label interval, no record resolution).
             let table = self.table.lock().expect("record table lock poisoned");
             for id in self.known.iter() {
-                if let MapRecord::Vertex { label, .. } = table.resolve(id) {
-                    cov.union_in_place(&IntervalUnion::from(label.clone()));
+                if let RecordMeta::Vertex { label, .. } = table.meta_of(id) {
+                    cov.union_in_place(&IntervalUnion::from(table.label_interval(label).clone()));
                 }
             }
         }
@@ -503,8 +598,18 @@ impl AnonymousProtocol for Mapping {
             beta: IntervalUnion::empty(),
             partitioned: false,
             received: false,
-            known: IdSet::new(),
-            sent: IdSet::new(),
+            // The terminal eventually knows every record: bitsets. Everyone
+            // else holds a small slice of the arena: sorted id vectors.
+            known: if ctx.out_degree == 0 {
+                IdBag::dense()
+            } else {
+                IdBag::sparse()
+            },
+            sent: if ctx.out_degree == 0 {
+                IdBag::dense()
+            } else {
+                IdBag::sparse()
+            },
             pending_announces: Vec::new(),
             in_degree: ctx.in_degree,
             out_degree: ctx.out_degree,
@@ -528,25 +633,27 @@ impl AnonymousProtocol for Mapping {
         )]
     }
 
-    fn on_receive(
+    fn on_receive_into(
         &self,
         ctx: &NodeContext,
         state: &mut MappingState,
         _in_port: usize,
         message: &MappingMessage,
-    ) -> Vec<(usize, MappingMessage)> {
+        out: &mut Vec<(usize, MappingMessage)>,
+    ) {
         state.received = true;
         let d = ctx.out_degree;
         // One table lock per activation covers absorption, record creation and
         // message composition.
         let mut table = self.table.lock().expect("record table lock poisoned");
 
-        // 1. Absorb flooded records — bit inserts; values are resolved only if
-        //    this vertex maintains the terminal index.
+        // 1. Absorb flooded records — id inserts; only the memoised meta (and
+        //    per label, once, its interval) is consulted if this vertex
+        //    maintains the terminal index.
         for &id in message.records.items() {
             if state.known.insert(id) {
                 if let Some(view) = state.terminal_view.as_mut() {
-                    view.absorb(table.resolve(id));
+                    view.absorb(table.meta_of(id), &table);
                 }
             }
         }
@@ -610,7 +717,7 @@ impl AnonymousProtocol for Mapping {
                 let id = table.intern(&record);
                 if state.known.insert(id) {
                     if let Some(view) = state.terminal_view.as_mut() {
-                        view.absorb(&record);
+                        view.absorb(table.meta_of(id), &table);
                     }
                 }
             } else {
@@ -645,12 +752,12 @@ impl AnonymousProtocol for Mapping {
         }
 
         if d == 0 {
-            return Vec::new();
+            return;
         }
 
         // 5. Compose per-port outgoing messages. The "what's new" diff is one
-        //    word-level pass that simultaneously marks the ids as sent, and the
-        //    resulting batch is shared by every out-port.
+        //    representation-aware pass that simultaneously marks the ids as
+        //    sent, and the resulting batch is shared by every out-port.
         let mut new_ids: Vec<RecordId> = Vec::new();
         state.known.difference_drain(&mut state.sent, &mut new_ids);
         let records_bits = bits::elias_gamma_bits(new_ids.len() as u64)
@@ -658,7 +765,6 @@ impl AnonymousProtocol for Mapping {
         drop(table);
         let records = SharedSlice::new(new_ids, records_bits);
 
-        let mut out = Vec::new();
         for (j, alpha_delta) in alpha_deltas.into_iter().enumerate() {
             let announce = if just_labeled {
                 Some(Announce {
@@ -684,7 +790,6 @@ impl AnonymousProtocol for Mapping {
                 ));
             }
         }
-        out
     }
 
     fn should_terminate(&self, terminal_state: &MappingState) -> bool {

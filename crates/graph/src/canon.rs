@@ -56,7 +56,7 @@ use std::collections::BTreeMap;
 
 use anet_num::Fnv1a;
 
-use crate::{DiGraph, Network, NetworkError, NodeId};
+use crate::{Csr, DiGraph, Network, NetworkError, NodeId};
 
 /// A network under canonical vertex ids: node count, root, terminal, and the
 /// sorted directed edge list (with multiplicity — parallel edges stay
@@ -162,17 +162,15 @@ fn dense_rank<T: Ord>(values: Vec<T>) -> (Vec<usize>, usize) {
 /// by the sorted multisets of out- and in-neighbor colors. Stops when a round
 /// no longer increases the number of distinct colors (the partition is
 /// equitable from then on).
-fn refined_colors(network: &Network) -> Vec<usize> {
-    let g = network.graph();
-    let n = g.node_count();
+fn refined_colors(network: &Network, csr: &Csr) -> Vec<usize> {
+    let n = csr.node_count();
     let init: Vec<(usize, usize, bool, bool)> = (0..n)
         .map(|v| {
-            let node = NodeId(v);
             (
-                g.in_degree(node),
-                g.out_degree(node),
-                node == network.root(),
-                node == network.terminal(),
+                csr.in_degree(v as u32),
+                csr.out_degree(v as u32),
+                NodeId(v) == network.root(),
+                NodeId(v) == network.terminal(),
             )
         })
         .collect();
@@ -180,10 +178,15 @@ fn refined_colors(network: &Network) -> Vec<usize> {
     while distinct < n {
         let sigs: Vec<(usize, Vec<usize>, Vec<usize>)> = (0..n)
             .map(|v| {
-                let node = NodeId(v);
-                let mut out: Vec<usize> = g.successors(node).map(|u| colors[u.index()]).collect();
+                let mut out: Vec<usize> = csr
+                    .successors(v as u32)
+                    .map(|u| colors[u as usize])
+                    .collect();
                 out.sort_unstable();
-                let mut inc: Vec<usize> = g.predecessors(node).map(|u| colors[u.index()]).collect();
+                let mut inc: Vec<usize> = csr
+                    .predecessors(v as u32)
+                    .map(|u| colors[u as usize])
+                    .collect();
                 inc.sort_unstable();
                 (colors[v], out, inc)
             })
@@ -202,9 +205,13 @@ fn refined_colors(network: &Network) -> Vec<usize> {
 /// greedy root-first relabeling with `(color, connections-to-assigned)`
 /// tie-breaking. See the module docs for the algorithm and its contract.
 pub fn canonical_form(network: &Network) -> CanonicalLabeling {
-    let g = network.graph();
-    let n = g.node_count();
-    let colors = refined_colors(network);
+    // All adjacency below goes through the flat CSR view; ids are shared with
+    // the source graph, so the resulting form is byte-identical to one
+    // computed over `DiGraph` walks (the `canon-v1` encoding is pinned by the
+    // sweep cache).
+    let csr = Csr::from_graph(network.graph());
+    let n = csr.node_count();
+    let colors = refined_colors(network, &csr);
 
     let mut assigned: Vec<Option<usize>> = vec![None; n];
     let mut order: Vec<usize> = Vec::with_capacity(n);
@@ -222,15 +229,14 @@ pub fn canonical_form(network: &Network) -> CanonicalLabeling {
             if assigned[v].is_some() {
                 continue;
             }
-            let node = NodeId(v);
             let mut pattern: Vec<(u8, usize)> = Vec::new();
-            for u in g.predecessors(node) {
-                if let Some(id) = assigned[u.index()] {
+            for u in csr.predecessors(v as u32) {
+                if let Some(id) = assigned[u as usize] {
                     pattern.push((0, id));
                 }
             }
-            for u in g.successors(node) {
-                if let Some(id) = assigned[u.index()] {
+            for u in csr.successors(v as u32) {
+                if let Some(id) = assigned[u as usize] {
                     pattern.push((1, id));
                 }
             }
@@ -264,11 +270,12 @@ pub fn canonical_form(network: &Network) -> CanonicalLabeling {
     let permutation: Vec<usize> = (0..n)
         .map(|v| assigned[v].expect("labeling is total"))
         .collect();
-    let mut edges: Vec<(usize, usize)> = g
-        .edges()
+    let mut edges: Vec<(usize, usize)> = (0..csr.edge_count() as u32)
         .map(|e| {
-            let (src, dst) = g.edge_endpoints(e);
-            (permutation[src.index()], permutation[dst.index()])
+            (
+                permutation[csr.edge_src(e) as usize],
+                permutation[csr.edge_dst(e) as usize],
+            )
         })
         .collect();
     edges.sort_unstable();

@@ -11,6 +11,10 @@
 //! * [`DiGraph`] — a directed multigraph with **ordered ports** per vertex, so that
 //!   "the j-th outgoing edge" is a well-defined notion, exactly as the model needs.
 //! * [`Network`] — a validated `(G, s, t)` triple.
+//! * [`Csr`] — the same topology flattened into contiguous `u32` offset/edge
+//!   arrays (compressed sparse row), built once from a [`DiGraph`] and used by
+//!   the hot layers: the simulation engine's delivery loop and the
+//!   canonicalization refiner.
 //! * [`classify`] — grounded-tree / DAG detection, reachability, co-reachability,
 //!   degree statistics; these are the hypotheses of the paper's theorems.
 //! * [`linear_cut`] — linear cuts of DAGs and the graph surgery of Lemma 3.5 /
@@ -43,6 +47,7 @@
 
 pub mod canon;
 pub mod classify;
+mod csr;
 pub mod dot;
 pub mod generators;
 mod graph;
@@ -50,5 +55,6 @@ pub mod linear_cut;
 mod network;
 pub mod traversal;
 
+pub use csr::Csr;
 pub use graph::{DiGraph, EdgeId, NodeId};
 pub use network::{Network, NetworkError};

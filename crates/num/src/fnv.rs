@@ -41,6 +41,42 @@ impl Default for Fnv1a {
     }
 }
 
+/// A [`std::hash::Hasher`] adapter over [`Fnv1a`], so the workspace's stable
+/// hash can back `HashMap`s directly.
+///
+/// SipHash (the standard-library default) is keyed per process to resist
+/// collision flooding — pointless for the workspace's interners, whose keys
+/// are protocol-generated records, and measurably slower on the short keys
+/// they hash. FNV-1a is unkeyed, so it is also deterministic across runs;
+/// note that interner *ids* never depended on hasher state in the first
+/// place (they are assigned in insertion order), so this swap is purely a
+/// speed change.
+#[derive(Debug, Clone, Default)]
+pub struct FnvHasher(Fnv1a);
+
+impl std::hash::Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        self.0.write(bytes);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0.finish()
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FnvHasher`] — plug into
+/// `HashMap::with_hasher` or a `HashMap<K, V, FnvBuildHasher>` type alias.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FnvBuildHasher;
+
+impl std::hash::BuildHasher for FnvBuildHasher {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(Fnv1a::new())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,6 +92,20 @@ mod tests {
         let mut h = Fnv1a::new();
         h.write(b"foobar");
         assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hasher_adapter_matches_raw_fnv() {
+        use std::hash::{BuildHasher, Hasher};
+        let mut adapted = FnvBuildHasher.build_hasher();
+        adapted.write(b"foobar");
+        let mut raw = Fnv1a::new();
+        raw.write(b"foobar");
+        assert_eq!(adapted.finish(), raw.finish());
+        // Unkeyed: two independent builders agree.
+        let mut again = FnvBuildHasher.build_hasher();
+        again.write(b"foobar");
+        assert_eq!(adapted.finish(), again.finish());
     }
 
     #[test]

@@ -39,9 +39,17 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
+use crate::fnv::FnvBuildHasher;
+
 /// A hash-consing arena assigning dense `u32` ids to values.
 ///
 /// See the [module docs](self) for the id-density and hash-consing invariants.
+/// The lookup map hashes with the workspace's unkeyed [`crate::Fnv1a`] (via
+/// [`FnvBuildHasher`]) rather than the standard library's keyed SipHash: the
+/// keys are protocol-generated records, not attacker input, and FNV is faster
+/// on the short keys interners see. Ids were always assigned in insertion
+/// order, so the swap cannot change any id — it is purely a hot-path speedup
+/// (the `bench_scaling` baseline records the before/after microbenchmark).
 ///
 /// # Example
 ///
@@ -57,7 +65,7 @@ use std::hash::Hash;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Interner<T> {
-    lookup: HashMap<T, u32>,
+    lookup: HashMap<T, u32, FnvBuildHasher>,
     values: Vec<T>,
 }
 
@@ -65,7 +73,7 @@ pub struct Interner<T> {
 impl<T> Default for Interner<T> {
     fn default() -> Self {
         Interner {
-            lookup: HashMap::new(),
+            lookup: HashMap::default(),
             values: Vec::new(),
         }
     }
@@ -74,10 +82,7 @@ impl<T> Default for Interner<T> {
 impl<T: Clone + Eq + Hash> Interner<T> {
     /// Creates an empty interner.
     pub fn new() -> Self {
-        Interner {
-            lookup: HashMap::new(),
-            values: Vec::new(),
-        }
+        Interner::default()
     }
 
     /// Returns the id of `value`, interning it first if it is new.
@@ -294,6 +299,144 @@ impl FromIterator<u32> for IdSet {
     }
 }
 
+/// An id set with a representation chosen by expected occupancy.
+///
+/// A plain [`IdSet`] occupies `⌈max_id / 64⌉` words *regardless of how many
+/// ids it holds*. That is perfect for a set that will eventually hold most of
+/// an interner's ids (the mapping terminal's `known`), and catastrophic for a
+/// set that holds a handful of ids drawn from a huge id space — at
+/// n = 10⁵ nodes, per-vertex bitsets over a ~10⁶-record interner would cost
+/// gigabytes. `IdBag` lets each owner pick at construction time:
+///
+/// * [`IdBag::sparse`] — a sorted `Vec<u32>`: O(ids held) memory, O(log n)
+///   lookup, O(n) insert (fine for the small sets internal vertices hold);
+/// * [`IdBag::dense`] — a plain [`IdSet`]: O(max id) memory, O(1) everything
+///   (the terminal, which absorbs every record in the run).
+///
+/// All operations observe **identical semantics** in both representations —
+/// in particular [`difference_drain`](IdBag::difference_drain) drains fresh
+/// ids in ascending order exactly like [`IdSet::difference_drain`], so a
+/// protocol switching a state field from `IdSet` to `IdBag` produces
+/// bit-identical message batches. Equality is logical (representation-blind).
+#[derive(Debug, Clone)]
+pub enum IdBag {
+    /// Sorted vector of ids — memory proportional to the ids actually held.
+    Sparse(Vec<u32>),
+    /// Bitset over the id space — memory proportional to the largest id.
+    Dense(IdSet),
+}
+
+impl IdBag {
+    /// An empty bag in the sorted-vector representation.
+    pub fn sparse() -> Self {
+        IdBag::Sparse(Vec::new())
+    }
+
+    /// An empty bag in the bitset representation.
+    pub fn dense() -> Self {
+        IdBag::Dense(IdSet::new())
+    }
+
+    /// Inserts `id`; returns whether it was newly inserted.
+    pub fn insert(&mut self, id: u32) -> bool {
+        match self {
+            IdBag::Sparse(ids) => match ids.binary_search(&id) {
+                Ok(_) => false,
+                Err(pos) => {
+                    ids.insert(pos, id);
+                    true
+                }
+            },
+            IdBag::Dense(set) => set.insert(id),
+        }
+    }
+
+    /// Whether `id` is in the bag.
+    pub fn contains(&self, id: u32) -> bool {
+        match self {
+            IdBag::Sparse(ids) => ids.binary_search(&id).is_ok(),
+            IdBag::Dense(set) => set.contains(id),
+        }
+    }
+
+    /// Number of ids held.
+    pub fn len(&self) -> usize {
+        match self {
+            IdBag::Sparse(ids) => ids.len(),
+            IdBag::Dense(set) => set.len(),
+        }
+    }
+
+    /// Whether the bag is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = u32> + '_> {
+        match self {
+            IdBag::Sparse(ids) => Box::new(ids.iter().copied()),
+            IdBag::Dense(set) => Box::new(set.iter()),
+        }
+    }
+
+    /// The fused flooding step of [`IdSet::difference_drain`], representation
+    /// aware: pushes every id in `self` but **not** in `sink` into `out` (in
+    /// ascending order) and inserts those ids into `sink`.
+    ///
+    /// Matched representations use the fast path (word-level for dense pairs,
+    /// a two-pointer merge for sparse pairs); mismatched pairs fall back to
+    /// per-id lookups with the same observable behaviour.
+    pub fn difference_drain(&self, sink: &mut IdBag, out: &mut Vec<u32>) {
+        match (self, sink) {
+            (IdBag::Dense(a), IdBag::Dense(b)) => a.difference_drain(b, out),
+            (IdBag::Sparse(a), IdBag::Sparse(b)) => {
+                let start = out.len();
+                let mut i = 0;
+                for &id in a {
+                    while i < b.len() && b[i] < id {
+                        i += 1;
+                    }
+                    if i >= b.len() || b[i] != id {
+                        out.push(id);
+                    }
+                }
+                if out.len() > start {
+                    let mut merged = Vec::with_capacity(b.len() + out.len() - start);
+                    let (mut i, mut j) = (0, start);
+                    while i < b.len() && j < out.len() {
+                        if b[i] < out[j] {
+                            merged.push(b[i]);
+                            i += 1;
+                        } else {
+                            merged.push(out[j]);
+                            j += 1;
+                        }
+                    }
+                    merged.extend_from_slice(&b[i..]);
+                    merged.extend_from_slice(&out[j..]);
+                    *b = merged;
+                }
+            }
+            (a, sink) => {
+                for id in a.iter() {
+                    if sink.insert(id) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for IdBag {
+    fn eq(&self, other: &IdBag) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for IdBag {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,5 +543,61 @@ mod tests {
         assert_eq!(fresh, vec![1]);
         assert!(sent.contains(700) && sent.contains(1));
         assert_eq!(sent.len(), 2);
+    }
+
+    fn bag_from(ids: &[u32], dense: bool) -> IdBag {
+        let mut bag = if dense {
+            IdBag::dense()
+        } else {
+            IdBag::sparse()
+        };
+        for &id in ids {
+            bag.insert(id);
+        }
+        bag
+    }
+
+    #[test]
+    fn idbag_representations_agree_on_basic_ops() {
+        for dense in [false, true] {
+            let mut bag = bag_from(&[5, 900, 5, 64], dense);
+            assert_eq!(bag.len(), 3);
+            assert!(bag.contains(900) && bag.contains(5) && !bag.contains(6));
+            assert!(!bag.insert(64));
+            assert!(bag.insert(63));
+            assert_eq!(bag.iter().collect::<Vec<_>>(), vec![5, 63, 64, 900]);
+            assert!(!bag.is_empty());
+        }
+        assert!(IdBag::sparse().is_empty());
+        // Logical equality crosses representations.
+        assert_eq!(bag_from(&[1, 2, 130], false), bag_from(&[130, 1, 2], true));
+        assert_ne!(bag_from(&[1, 2], false), bag_from(&[1, 3], true));
+    }
+
+    #[test]
+    fn idbag_difference_drain_matches_idset_in_every_pairing() {
+        let known_ids = [0u32, 3, 64, 130, 131];
+        let sent_ids = [3u32, 130, 700];
+        // Ground truth from the bitset implementation.
+        let known_set: IdSet = known_ids.into_iter().collect();
+        let mut sent_set: IdSet = sent_ids.into_iter().collect();
+        let mut expect = Vec::new();
+        known_set.difference_drain(&mut sent_set, &mut expect);
+        for (kd, sd) in [(false, false), (true, true), (false, true), (true, false)] {
+            let known = bag_from(&known_ids, kd);
+            let mut sent = bag_from(&sent_ids, sd);
+            let mut fresh = vec![99u32]; // pre-existing scratch content survives
+            known.difference_drain(&mut sent, &mut fresh);
+            assert_eq!(fresh[0], 99, "dense = {kd}/{sd}");
+            assert_eq!(fresh[1..], expect[..], "dense = {kd}/{sd}");
+            assert_eq!(sent.len(), 6, "dense = {kd}/{sd}");
+            for id in known.iter() {
+                assert!(sent.contains(id), "dense = {kd}/{sd}");
+            }
+            // Idempotent: a second pass drains nothing.
+            fresh.clear();
+            known.difference_drain(&mut sent, &mut fresh);
+            assert!(fresh.is_empty(), "dense = {kd}/{sd}");
+        }
     }
 }

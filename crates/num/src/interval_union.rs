@@ -464,6 +464,60 @@ impl IntervalUnion {
             self.endpoints = other.endpoints.clone();
             return true;
         }
+        // Accumulator fast path: `other` splits into a (possibly empty) prefix
+        // of parts already contained in `self` and a (possibly empty) suffix of
+        // parts lying entirely at or above `self`'s top endpoint. The union is
+        // then `self` with the suffix appended (coalescing the boundary pair
+        // when the two touch) — O(|other| log |self|) binary searches and an
+        // O(|suffix|) amortised append instead of the O(|self| + |other|)
+        // merge below. This is the shape of a monotonically growing
+        // accumulator: a terminal absorbing mass in ascending positional order
+        // receives deltas whose parts are either re-deliveries it already
+        // covers (the same mass routed over another path) or fresh mass above
+        // everything seen so far. `other`'s parts are ascending, so once one
+        // part starts at or above the top, all later parts do too.
+        {
+            let own = self.endpoints.as_mut().expect("checked non-empty");
+            let other_buf = other.endpoints();
+            let top = own.len() - 1;
+            let mut append_from = None;
+            let mut fits = true;
+            for (k, part) in other_buf.chunks_exact(2).enumerate() {
+                if part[0] >= own[top] {
+                    append_from = Some(2 * k);
+                    break;
+                }
+                // `pos` = number of own endpoints ≤ part start. Odd means the
+                // start falls inside own part `(pos - 1) / 2` (half-open: a
+                // start equal to an own *end* lands in the gap, `pos` even),
+                // and the part is covered iff its end stays at or below that
+                // own part's end.
+                let pos = own.partition_point(|e| *e <= part[0]);
+                if pos % 2 == 0 || part[1] > own[pos] {
+                    fits = false;
+                    break;
+                }
+            }
+            if fits {
+                let Some(from) = append_from else {
+                    // Every part of `other` was already covered: no-op union.
+                    return false;
+                };
+                let suffix = &other_buf[from..];
+                let touching = suffix[0] == own[top];
+                let buf = Arc::make_mut(own);
+                if touching {
+                    *buf.last_mut().expect("non-empty buffer") = suffix[1].clone();
+                    buf.extend_from_slice(&suffix[2..]);
+                } else {
+                    buf.extend_from_slice(suffix);
+                }
+                self.debug_assert_canonical();
+                // The suffix holds mass at or above `self`'s old top endpoint,
+                // none of which `self` covered: the union strictly grew.
+                return true;
+            }
+        }
         scratch.clear();
         union_into(self.endpoints(), other.endpoints(), scratch);
         self.adopt_if_changed(scratch)
@@ -836,6 +890,55 @@ mod tests {
         // Missing a piece: not the unit.
         let v = union_of(&[(0, 1, 2), (2, 4, 2)]);
         assert!(!v.is_unit());
+    }
+
+    /// Every shape the accumulator fast path in
+    /// [`IntervalUnion::union_in_place_with`] distinguishes — pure append
+    /// (touching and gapped), contained no-op, contained-prefix + append-
+    /// suffix, and the fall-through cases the general merge must still own —
+    /// checked against the out-of-place [`IntervalUnion::union`].
+    #[test]
+    fn union_in_place_accumulator_fast_paths_match_union() {
+        type Parts = &'static [(u64, u64, u32)];
+        let cases: &[(Parts, Parts)] = &[
+            // Append, gapped: other strictly above self's top.
+            (&[(0, 1, 3)], &[(4, 5, 3)]),
+            // Append, touching: boundary pair must coalesce.
+            (&[(0, 2, 3)], &[(2, 3, 3), (5, 6, 3)]),
+            // Contained no-op: every part re-delivers covered mass.
+            (&[(0, 4, 3), (5, 7, 3)], &[(1, 2, 3), (5, 6, 3)]),
+            // Contained prefix + appended suffix (the β-delta shape: old
+            // ancestor labels below, one fresh label above).
+            (&[(0, 2, 3), (3, 4, 3)], &[(0, 1, 3), (5, 6, 3)]),
+            // Fall-through: a part overlaps self's top part but pokes past
+            // its end.
+            (&[(0, 2, 3), (4, 6, 3)], &[(5, 7, 3)]),
+            // Fall-through: a fresh part inside an interior gap.
+            (&[(0, 1, 3), (6, 7, 3)], &[(3, 4, 3)]),
+            // Fall-through: a part straddles a gap between self's parts.
+            (&[(0, 2, 3), (4, 6, 3)], &[(1, 5, 3)]),
+        ];
+        for (a_parts, b_parts) in cases {
+            let a = union_of(a_parts);
+            let b = union_of(b_parts);
+            let expected = a.union(&b);
+            let mut acc = a.clone();
+            let changed = acc.union_in_place(&b);
+            assert_eq!(acc, expected, "a = {a:?}, b = {b:?}");
+            assert_eq!(changed, acc != a, "a = {a:?}, b = {b:?}");
+        }
+    }
+
+    /// The append arm of the fast path must copy-on-write, never mutate a
+    /// buffer other handles still see.
+    #[test]
+    fn union_in_place_append_respects_shared_storage() {
+        let a = union_of(&[(0, 1, 3)]);
+        let shared = a.clone();
+        let mut acc = a.clone();
+        assert!(acc.union_in_place(&union_of(&[(2, 3, 3)])));
+        assert_eq!(shared, a, "shared handle must keep the pre-append value");
+        assert_eq!(acc, union_of(&[(0, 1, 3), (2, 3, 3)]));
     }
 
     #[test]

@@ -60,8 +60,8 @@ pub mod reference;
 pub use biguint::BigUint;
 pub use dyadic::Dyadic;
 pub use error::NumError;
-pub use fnv::Fnv1a;
-pub use intern::{IdSet, Interner};
+pub use fnv::{Fnv1a, FnvBuildHasher, FnvHasher};
+pub use intern::{IdBag, IdSet, Interner};
 pub use interval::Interval;
 pub use interval_union::IntervalUnion;
 pub use ratio::Ratio;

@@ -1,0 +1,271 @@
+//! The pooled message arena: every in-flight message of a run in one slab.
+//!
+//! The engine's first queue representation was a *queue forest* — one
+//! `VecDeque<(u64, M)>` per edge (retained verbatim as
+//! [`crate::reference::run_queue_forest`]). That layout allocates per edge,
+//! scatters queue storage across the heap, and leaves most of it cold: in the
+//! paper's protocols the vast majority of edges hold zero or one message at any
+//! instant, while the engine touches a different edge on every delivery.
+//! [`MessageArena`] replaces the forest with a single slab of message slots
+//! plus intrusive per-edge FIFO links, so all queue bookkeeping lives in a few
+//! contiguous arrays.
+//!
+//! # Memory layout contract
+//!
+//! This section is the arena's analogue of the `IntervalUnion` copy-on-write
+//! docs in `anet-num`: the invariants that everything touching the engine's
+//! hot state may rely on.
+//!
+//! * **One slab, intrusive links.** All payloads live in `slots`, a single
+//!   `Vec` of `(seq, next, payload)` slots. A per-edge FIFO is the chain
+//!   `heads[e] → slots[·].next → … → tails[e]`; edges own no storage of their
+//!   own beyond the three `u32` cursors (`heads`, `tails`, `lens`). The
+//!   sentinel `u32::MAX` terminates every chain.
+//! * **Slot recycling.** Popping or removing a message pushes its slot index
+//!   onto a free list; the next push reuses the most recently freed slot
+//!   before growing the slab. The slab therefore never shrinks, and its high
+//!   -water mark is the maximum number of *simultaneously* in-flight messages
+//!   — not the total number of sends (a flood that sends 2 million messages
+//!   but keeps ≤ depth·arity in flight occupies only that many slots).
+//! * **Moves, not clones.** Payloads enter by value and leave by value
+//!   (`Option::take`); the arena never clones a message. The engine's only
+//!   payload clone remains the optional trace event, exactly as in the queue
+//!   forest (pinned by `trace_clones_share_arc_payloads_end_to_end`).
+//! * **No aliasing.** A slot is reachable from exactly one place at any time:
+//!   either one edge chain (payload present) or the free list (payload
+//!   `None`). The crate is `#![forbid(unsafe_code)]`, so this is a logical
+//!   invariant for readers, not a soundness requirement.
+//! * **FIFO semantics are bit-for-bit the `VecDeque` forest's.** `push_back`,
+//!   `pop_front`, `head_seq` and positional `remove_at` (the fault adversary's
+//!   reorder path) observe and mutate the logical queue exactly as the
+//!   `VecDeque` code did — the engine differential suite pins the two engines
+//!   to identical traces, metrics, delivery orders and step logs. `remove_at`
+//!   walks the chain and is O(position); it only runs on the adversarial
+//!   reorder path, never on the reliable hot path.
+
+/// The sentinel terminating every slot chain (and marking empty edges).
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot<M> {
+    /// Global send sequence number of the queued message.
+    seq: u64,
+    /// Next slot in this edge's FIFO chain, or [`NIL`].
+    next: u32,
+    /// The payload; `None` exactly while the slot sits on the free list.
+    payload: Option<M>,
+}
+
+/// A slab-backed forest of per-edge FIFO queues. See the [module
+/// docs](self) for the memory layout contract.
+#[derive(Debug, Clone)]
+pub struct MessageArena<M> {
+    slots: Vec<Slot<M>>,
+    free: Vec<u32>,
+    heads: Vec<u32>,
+    tails: Vec<u32>,
+    lens: Vec<u32>,
+}
+
+impl<M> MessageArena<M> {
+    /// An arena for `edge_count` edges with an empty slab.
+    pub fn new(edge_count: usize) -> Self {
+        Self::with_slot_capacity(edge_count, 0)
+    }
+
+    /// An arena for `edge_count` edges with room for `slots` in-flight
+    /// messages before the slab grows.
+    pub fn with_slot_capacity(edge_count: usize, slots: usize) -> Self {
+        assert!(
+            u32::try_from(edge_count).is_ok(),
+            "edge count exceeds the u32 arena layout"
+        );
+        MessageArena {
+            slots: Vec::with_capacity(slots),
+            free: Vec::new(),
+            heads: vec![NIL; edge_count],
+            tails: vec![NIL; edge_count],
+            lens: vec![0; edge_count],
+        }
+    }
+
+    /// Number of messages queued on `edge`.
+    pub fn len(&self, edge: usize) -> usize {
+        self.lens[edge] as usize
+    }
+
+    /// Whether `edge` has no queued message.
+    pub fn is_empty(&self, edge: usize) -> bool {
+        self.lens[edge] == 0
+    }
+
+    /// Sequence number of the head message of `edge`, if any.
+    pub fn head_seq(&self, edge: usize) -> Option<u64> {
+        match self.heads[edge] {
+            NIL => None,
+            h => Some(self.slots[h as usize].seq),
+        }
+    }
+
+    /// Appends `(seq, message)` to the tail of `edge`'s FIFO. Returns whether
+    /// the edge was empty before the push (i.e. this message is its new head).
+    pub fn push_back(&mut self, edge: usize, seq: u64, message: M) -> bool {
+        let slot = match self.free.pop() {
+            Some(i) => {
+                let s = &mut self.slots[i as usize];
+                s.seq = seq;
+                s.next = NIL;
+                s.payload = Some(message);
+                i
+            }
+            None => {
+                assert!(
+                    u32::try_from(self.slots.len()).is_ok(),
+                    "in-flight message count exceeds the u32 arena layout"
+                );
+                self.slots.push(Slot {
+                    seq,
+                    next: NIL,
+                    payload: Some(message),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let was_empty = self.heads[edge] == NIL;
+        if was_empty {
+            self.heads[edge] = slot;
+        } else {
+            self.slots[self.tails[edge] as usize].next = slot;
+        }
+        self.tails[edge] = slot;
+        self.lens[edge] += 1;
+        was_empty
+    }
+
+    /// Removes and returns the head of `edge`'s FIFO.
+    pub fn pop_front(&mut self, edge: usize) -> Option<(u64, M)> {
+        self.remove_at(edge, 0)
+    }
+
+    /// Removes and returns the message at `index` (0 = head) of `edge`'s FIFO
+    /// — the fault adversary's reorder path. O(`index`) chain walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 0` but out of range (matching
+    /// `VecDeque::remove(..).expect(..)` in the engines; `index == 0` on an
+    /// empty edge returns `None`).
+    pub fn remove_at(&mut self, edge: usize, index: usize) -> Option<(u64, M)> {
+        let mut prev = NIL;
+        let mut cur = self.heads[edge];
+        if cur == NIL {
+            assert!(index == 0, "reorder index beyond queue length");
+            return None;
+        }
+        for _ in 0..index {
+            prev = cur;
+            cur = self.slots[cur as usize].next;
+            assert!(cur != NIL, "reorder index beyond queue length");
+        }
+        let slot = &mut self.slots[cur as usize];
+        let seq = slot.seq;
+        let message = slot.payload.take().expect("chained slot holds a payload");
+        let next = slot.next;
+        if prev == NIL {
+            self.heads[edge] = next;
+        } else {
+            self.slots[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tails[edge] = prev;
+        }
+        self.lens[edge] -= 1;
+        self.free.push(cur);
+        Some((seq, message))
+    }
+
+    /// Capacity high-water mark: slots ever allocated (occupied + free).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn fifo_order_and_head_reporting() {
+        let mut a: MessageArena<&str> = MessageArena::new(3);
+        assert!(a.is_empty(1));
+        assert_eq!(a.head_seq(1), None);
+        assert!(a.push_back(1, 10, "x"));
+        assert!(!a.push_back(1, 11, "y"));
+        assert!(!a.push_back(1, 12, "z"));
+        assert!(a.push_back(2, 13, "w"));
+        assert_eq!(a.len(1), 3);
+        assert_eq!(a.head_seq(1), Some(10));
+        assert_eq!(a.pop_front(1), Some((10, "x")));
+        assert_eq!(a.head_seq(1), Some(11));
+        assert_eq!(a.pop_front(1), Some((11, "y")));
+        assert_eq!(a.pop_front(1), Some((12, "z")));
+        assert_eq!(a.pop_front(1), None);
+        assert!(a.is_empty(1));
+        // Edge 2 was untouched by edge 1's traffic.
+        assert_eq!(a.pop_front(2), Some((13, "w")));
+    }
+
+    #[test]
+    fn slots_are_recycled_not_leaked() {
+        let mut a: MessageArena<u64> = MessageArena::new(1);
+        for round in 0..100u64 {
+            a.push_back(0, round, round);
+            assert_eq!(a.pop_front(0), Some((round, round)));
+        }
+        // 100 sends, but never more than one in flight: one slot total.
+        assert_eq!(a.slot_count(), 1);
+    }
+
+    #[test]
+    fn remove_at_matches_vecdeque_semantics() {
+        // Drive both representations through the same operation sequence.
+        let mut arena: MessageArena<u64> = MessageArena::new(2);
+        let mut deques: Vec<VecDeque<(u64, u64)>> = vec![VecDeque::new(), VecDeque::new()];
+        let mut seq = 0u64;
+        let ops: Vec<(usize, usize)> = vec![
+            // (edge, removals-at-index after a burst of pushes)
+            (0, 1),
+            (1, 0),
+            (0, 2),
+            (0, 0),
+            (1, 3),
+        ];
+        for (edge, idx) in ops {
+            for _ in 0..4 {
+                arena.push_back(edge, seq, seq * 7);
+                deques[edge].push_back((seq, seq * 7));
+                seq += 1;
+            }
+            let idx = idx.min(deques[edge].len() - 1);
+            assert_eq!(arena.remove_at(edge, idx), deques[edge].remove(idx));
+            assert_eq!(arena.len(edge), deques[edge].len());
+            assert_eq!(arena.head_seq(edge), deques[edge].front().map(|&(s, _)| s));
+        }
+        // Drain both fully and compare order.
+        for (edge, deque) in deques.iter_mut().enumerate() {
+            while let Some(expected) = deque.pop_front() {
+                assert_eq!(arena.pop_front(edge), Some(expected));
+            }
+            assert_eq!(arena.pop_front(edge), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond queue length")]
+    fn remove_beyond_length_panics() {
+        let mut a: MessageArena<u64> = MessageArena::new(1);
+        a.push_back(0, 0, 0);
+        let _ = a.remove_at(0, 1);
+    }
+}

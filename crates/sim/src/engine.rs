@@ -1,24 +1,40 @@
-//! The asynchronous execution engine, built around an incrementally maintained
-//! active-edge set.
+//! The asynchronous execution engine: incremental active-edge scheduling over
+//! a flat, cache-dense core.
 //!
-//! Earlier versions of this engine rebuilt the full list of pending edges on
-//! every delivery — an O(E) scan in the innermost loop, making a run cost
-//! O(E · deliveries). The loop below never scans: it tracks the number of
-//! in-flight messages, notifies the [`Scheduler`] whenever an edge's head
-//! message changes ([`Scheduler::on_head`]) or an edge drains
-//! ([`Scheduler::on_idle`]), and asks the scheduler for the next edge directly
-//! ([`Scheduler::next_edge`]). Every scheduler in [`crate::scheduler`] answers
-//! in O(1) or O(log E), so a delivery costs O(log E) regardless of graph size.
+//! Two generations of optimization meet in this loop:
 //!
-//! The naive full-scan semantics survive in [`crate::reference`], which drives
-//! the same schedulers through their [`Scheduler::pick_full_scan`] method; the
-//! equivalence property tests assert that both engines produce bit-identical
-//! traces, metrics and outcomes for every scheduler in the standard battery.
+//! * **Incremental scheduling.** Earlier versions rebuilt the full list of
+//!   pending edges on every delivery — an O(E) scan in the innermost loop,
+//!   making a run cost O(E · deliveries). The loop below never scans: it
+//!   tracks the number of in-flight messages, notifies the [`Scheduler`]
+//!   whenever an edge's head message changes ([`Scheduler::on_head`]) or an
+//!   edge drains ([`Scheduler::on_idle`]), and asks the scheduler for the next
+//!   edge directly ([`Scheduler::next_edge`]). Every scheduler in
+//!   [`crate::scheduler`] answers in O(1) or O(log E), so a delivery costs
+//!   O(log E) regardless of graph size.
+//! * **Flat memory layout.** All hot per-run state lives in contiguous
+//!   arrays indexed by dense node/edge ids: adjacency is an
+//!   [`anet_graph::Csr`] built once per run (no pointer-chasing through
+//!   `DiGraph`'s per-node `Vec`s), queued messages live in one pooled
+//!   [`crate::arena::MessageArena`] slab instead of a `VecDeque` per edge,
+//!   protocol emissions go through the reusable
+//!   [`AnonymousProtocol::on_receive_into`] scratch buffer instead of a fresh
+//!   `Vec` per delivery, and every side buffer (states, contexts, trace,
+//!   delivery order, step log) is pre-sized from the graph's node/edge
+//!   counts. See the [`crate::arena`] docs for the full **memory layout
+//!   contract**.
+//!
+//! Both predecessors are retained as executable specifications in
+//! [`crate::reference`]: [`crate::reference::run_full_scan`] pins the
+//! scheduling semantics (via [`Scheduler::pick_full_scan`]) and
+//! [`crate::reference::run_queue_forest`] pins the memory-layout rewrite —
+//! the differential suites assert both produce bit-identical traces, metrics,
+//! outcomes, delivery orders and step logs for every scheduler in the
+//! standard battery.
 
-use std::collections::VecDeque;
+use anet_graph::{Csr, EdgeId, Network, NodeId};
 
-use anet_graph::{EdgeId, Network};
-
+use crate::arena::MessageArena;
 use crate::metrics::RunMetrics;
 use crate::protocol::RefloodProtocol;
 use crate::scheduler::{Scheduler, SchedulerAction};
@@ -331,8 +347,9 @@ where
 
 /// The single engine loop behind [`run_corrupted`] and [`run_recovering`]:
 /// corruption hook, optional re-flood rounds, and the incremental delivery
-/// machinery. Returns the run plus `(rounds, sends, bits)` re-flood
-/// accounting (all zero when `retry_budget` is 0).
+/// machinery over the flat core (CSR adjacency + pooled message arena + one
+/// reusable emit buffer). Returns the run plus `(rounds, sends, bits)`
+/// re-flood accounting (all zero when `retry_budget` is 0).
 fn run_engine<P, Sch, F, R>(
     network: &Network,
     protocol: &P,
@@ -349,96 +366,111 @@ where
     R: FnMut(&NodeContext, &P::State) -> Vec<(usize, P::Message)>,
 {
     let config = run_config.execution;
+    // Flatten the topology once: all adjacency below is contiguous-array
+    // indexing, never a hop through `DiGraph`'s per-node heap `Vec`s.
+    let csr = Csr::from_graph(network.graph());
+    let node_count = csr.node_count();
+    let edge_count = csr.edge_count();
+    let root = network.root().index() as u32;
+    let terminal = network.terminal().index() as u32;
+
+    // Side buffers are pre-sized from the graph counts: a reliable
+    // single-flood run performs about one delivery per edge, so one slot per
+    // edge covers it without a regrow (and a regrow is all a longer run pays).
     let mut delivery_order = if run_config.record_delivery_order {
-        Some(Vec::new())
+        Some(Vec::with_capacity(edge_count))
     } else {
         None
     };
     let mut step_log = if run_config.record_delivery_order {
-        Some(Vec::new())
+        Some(Vec::with_capacity(edge_count))
     } else {
         None
     };
-    let graph = network.graph();
-    let terminal = network.terminal();
-    let contexts: Vec<NodeContext> = graph
-        .nodes()
-        .map(|n| NodeContext::new(graph.in_degree(n), graph.out_degree(n)))
-        .collect();
-    let mut states: Vec<P::State> = contexts
-        .iter()
-        .map(|ctx| protocol.initial_state(ctx))
-        .collect();
+    let mut contexts: Vec<NodeContext> = Vec::with_capacity(node_count);
+    for v in 0..node_count {
+        contexts.push(NodeContext::new(
+            csr.in_degree(v as u32),
+            csr.out_degree(v as u32),
+        ));
+    }
+    let mut states: Vec<P::State> = Vec::with_capacity(node_count);
+    for ctx in &contexts {
+        states.push(protocol.initial_state(ctx));
+    }
     corrupt(&mut states);
 
-    // One FIFO queue per edge. Messages are moved, never cloned, on the
-    // delivery path: the only `Message::clone` the engine performs is into the
-    // optional trace, so cheaply clonable payloads ([`crate::SharedSlice`],
-    // the copy-on-write `IntervalUnion` handles of the interval protocols)
-    // keep per-delivery and per-trace-event cost independent of payload size —
-    // a payload flooded across the whole run can remain one shared buffer
-    // (pinned by `trace_clones_share_arc_payloads_end_to_end`). Wire-bit
-    // accounting is taken from `wire_bits()` at send time, so sharing never
-    // changes what an edge is charged.
-    let mut queues: Vec<VecDeque<(u64, P::Message)>> =
-        (0..graph.edge_count()).map(|_| VecDeque::new()).collect();
-    let mut metrics = RunMetrics::new(graph.edge_count());
+    // The pooled message slab replaces the per-edge queue forest (see
+    // [`crate::arena`] for the memory layout contract). Messages are moved,
+    // never cloned, on the delivery path: the only `Message::clone` the
+    // engine performs is into the optional trace, so cheaply clonable
+    // payloads ([`crate::SharedSlice`], the copy-on-write `IntervalUnion`
+    // handles of the interval protocols) keep per-delivery and
+    // per-trace-event cost independent of payload size — a payload flooded
+    // across the whole run can remain one shared buffer (pinned by
+    // `trace_clones_share_arc_payloads_end_to_end`). Wire-bit accounting is
+    // taken from `wire_bits()` at send time, so sharing never changes what an
+    // edge is charged.
+    let mut arena: MessageArena<P::Message> = MessageArena::new(edge_count);
+    let mut metrics = RunMetrics::new(edge_count);
     let mut trace = if config.record_trace {
-        Some(Trace::new())
+        Some(Trace::with_capacity(edge_count))
     } else {
         None
     };
     let mut next_seq: u64 = 0;
     let mut in_flight: usize = 0;
 
-    scheduler.begin_run(graph.edge_count());
+    scheduler.begin_run(edge_count);
 
-    let send = |from: anet_graph::NodeId,
+    let send = |from: u32,
                 port: usize,
                 message: P::Message,
-                queues: &mut Vec<VecDeque<(u64, P::Message)>>,
+                arena: &mut MessageArena<P::Message>,
                 scheduler: &mut Sch,
                 in_flight: &mut usize,
                 metrics: &mut RunMetrics,
                 trace: &mut Option<Trace<P::Message>>,
                 next_seq: &mut u64| {
-        let out_edges = graph.out_edges(from);
+        let out_edges = csr.out_edges(from);
         assert!(
             port < out_edges.len(),
             "protocol {} emitted on out-port {port} of a vertex with out-degree {}",
             protocol.name(),
             out_edges.len()
         );
-        let edge = out_edges[port];
+        let edge = out_edges[port] as usize;
         let bits = message.wire_bits();
-        metrics.record_send(edge.index(), bits);
+        metrics.record_send(edge, bits);
         if let Some(t) = trace.as_mut() {
             t.push(SendEvent {
                 seq: *next_seq,
-                edge,
-                src: from,
-                dst: graph.edge_dst(edge),
+                edge: EdgeId(edge),
+                src: NodeId(from as usize),
+                dst: NodeId(csr.edge_dst(edge as u32) as usize),
                 bits,
                 message: message.clone(),
             });
         }
-        let queue = &mut queues[edge.index()];
-        if queue.is_empty() {
+        if arena.push_back(edge, *next_seq, message) {
             // The edge turns active and this message becomes its head.
-            scheduler.on_head(edge, *next_seq, graph.edge_dst(edge) == terminal);
+            scheduler.on_head(
+                EdgeId(edge),
+                *next_seq,
+                csr.edge_dst(edge as u32) == terminal,
+            );
         }
-        queue.push_back((*next_seq, message));
         *in_flight += 1;
         *next_seq += 1;
     };
 
     // σ₀: the root transmits its initial messages.
-    for (port, message) in protocol.root_messages(graph.out_degree(network.root())) {
+    for (port, message) in protocol.root_messages(csr.out_degree(root)) {
         send(
-            network.root(),
+            root,
             port,
             message,
-            &mut queues,
+            &mut arena,
             scheduler,
             &mut in_flight,
             &mut metrics,
@@ -451,7 +483,7 @@ where
     let mut deliveries_at_termination = None;
 
     // A protocol whose terminal accepts in its initial state terminates immediately.
-    if protocol.should_terminate(&states[terminal.index()]) {
+    if protocol.should_terminate(&states[terminal as usize]) {
         outcome = Outcome::Terminated;
         deliveries_at_termination = Some(0);
         return (
@@ -473,6 +505,10 @@ where
     let mut reflood_rounds: u32 = 0;
     let mut reflood_sends: u64 = 0;
     let mut reflood_bits: u64 = 0;
+    // One reusable emission buffer for the whole run: `on_receive_into`
+    // appends into it and the drain below forwards to `send`, so a delivery
+    // allocates nothing once the buffer has grown to the widest emission.
+    let mut emit_buf: Vec<(usize, P::Message)> = Vec::new();
 
     loop {
         if in_flight == 0 {
@@ -487,12 +523,12 @@ where
             let sends_before = metrics.messages_sent;
             let bits_before = metrics.total_bits;
             // The root re-transmits σ₀ …
-            for (port, message) in protocol.root_messages(graph.out_degree(network.root())) {
+            for (port, message) in protocol.root_messages(csr.out_degree(root)) {
                 send(
-                    network.root(),
+                    root,
                     port,
                     message,
-                    &mut queues,
+                    &mut arena,
                     scheduler,
                     &mut in_flight,
                     &mut metrics,
@@ -504,13 +540,13 @@ where
             // (deterministic on the canonical topology). The root is included:
             // in a cyclic network it receives messages like any other vertex,
             // and its frontier is separate from σ₀.
-            for node in graph.nodes() {
-                for (port, message) in reflood(&contexts[node.index()], &states[node.index()]) {
+            for node in 0..node_count {
+                for (port, message) in reflood(&contexts[node], &states[node]) {
                     send(
-                        node,
+                        node as u32,
                         port,
                         message,
-                        &mut queues,
+                        &mut arena,
                         scheduler,
                         &mut in_flight,
                         &mut metrics,
@@ -532,39 +568,43 @@ where
             break;
         }
         let edge = scheduler.next_edge();
-        let dst = graph.edge_dst(edge);
-        let queue = &mut queues[edge.index()];
+        let e = edge.index();
+        let dst = csr.edge_dst(e as u32);
+        let queue_len = arena.len(e);
         assert!(
-            !queue.is_empty(),
+            queue_len > 0,
             "scheduler {} chose edge {edge:?} which has no queued message",
             scheduler.name()
         );
-        let action = scheduler.deliver_action(edge, dst, queue.len());
+        let action = scheduler.deliver_action(edge, NodeId(dst as usize), queue_len);
         if let Some(log) = step_log.as_mut() {
             log.push((edge, action));
         }
         let (_, message) = match action {
             // Deliver a mid-queue message instead of the head (clamped).
             SchedulerAction::Reorder(i) => {
-                let idx = i.min(queue.len() - 1);
-                queue.remove(idx).expect("index clamped below queue length")
+                let idx = i.min(queue_len - 1);
+                arena
+                    .remove_at(e, idx)
+                    .expect("index clamped below queue length")
             }
-            _ => queue.pop_front().expect("emptiness asserted above"),
+            _ => arena.pop_front(e).expect("emptiness asserted above"),
         };
         in_flight -= 1;
         if action == SchedulerAction::Duplicate {
             // The copy is an adversary artifact, not a protocol send: it gets
             // a fresh sequence number (head heaps rely on uniqueness) but no
             // trace event and no wire bits.
-            queue.push_back((next_seq, message.clone()));
+            arena.push_back(e, next_seq, message.clone());
             next_seq += 1;
             in_flight += 1;
             metrics.record_duplicate();
         }
         // Report the edge's new state before the protocol reacts, so a
-        // re-activating send during `on_receive` observes a consistent queue.
-        match queue.front() {
-            Some(&(seq, _)) => scheduler.on_head(edge, seq, dst == terminal),
+        // re-activating send during `on_receive_into` observes a consistent
+        // queue.
+        match arena.head_seq(e) {
+            Some(seq) => scheduler.on_head(edge, seq, dst == terminal),
             None => scheduler.on_idle(edge),
         }
         match action {
@@ -582,21 +622,23 @@ where
         if let Some(order) = delivery_order.as_mut() {
             order.push(edge);
         }
-        let in_port = graph.in_port(edge);
+        let in_port = csr.in_port(e as u32);
         metrics.record_delivery();
 
-        let emitted = protocol.on_receive(
-            &contexts[dst.index()],
-            &mut states[dst.index()],
+        emit_buf.clear();
+        protocol.on_receive_into(
+            &contexts[dst as usize],
+            &mut states[dst as usize],
             in_port,
             &message,
+            &mut emit_buf,
         );
-        for (port, out_message) in emitted {
+        for (port, out_message) in emit_buf.drain(..) {
             send(
                 dst,
                 port,
                 out_message,
-                &mut queues,
+                &mut arena,
                 scheduler,
                 &mut in_flight,
                 &mut metrics,
@@ -605,7 +647,7 @@ where
             );
         }
 
-        if dst == terminal && protocol.should_terminate(&states[terminal.index()]) {
+        if dst == terminal && protocol.should_terminate(&states[terminal as usize]) {
             outcome = Outcome::Terminated;
             deliveries_at_termination = Some(metrics.messages_delivered);
             break;

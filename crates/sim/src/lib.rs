@@ -23,7 +23,13 @@
 //!   [`run_corrupted`] additionally perturbs protocol state before delivery
 //!   begins for corrupted-start recovery experiments.
 //! * [`reference::run_full_scan`] — the naive specification engine, kept so the
-//!   incremental core is cross-checkable and benchmarkable against it.
+//!   incremental core is cross-checkable and benchmarkable against it; and
+//!   [`reference::run_queue_forest`] — the pre-flat incremental engine
+//!   (per-edge `VecDeque`s), kept so the flat memory layout is likewise
+//!   pinned bit-identical and its speedup measurable.
+//! * [`arena::MessageArena`] — the pooled message slab behind the flat
+//!   engine's queues; its module docs state the **memory layout contract**
+//!   (slab invariants, slot recycling, aliasing rules).
 //! * [`metrics::RunMetrics`] — communication-complexity accounting: total bits,
 //!   per-edge bits (bandwidth), message counts and maximum message size, measured
 //!   through the [`Wire`] size of every transmitted message.
@@ -65,6 +71,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod engine;
 pub mod faults;
 pub mod metrics;
@@ -76,11 +83,14 @@ pub mod synchronous;
 pub mod trace;
 mod wire;
 
+pub use arena::MessageArena;
 pub use engine::{
     run_corrupted, run_recovering, ExecutionConfig, Outcome, RecoveredRun, RunConfig, RunResult,
 };
 pub use faults::{CrashWindow, FaultPlan, FaultyScheduler};
 pub use protocol::{AnonymousProtocol, NodeContext, RefloodProtocol};
-pub use reference::run_full_scan;
+pub use reference::{
+    run_full_scan, run_queue_forest, run_queue_forest_corrupted, run_queue_forest_recovering,
+};
 pub use synchronous::{run_synchronous, SynchronousRun};
 pub use wire::{SharedSlice, Wire};

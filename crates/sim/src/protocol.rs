@@ -62,13 +62,46 @@ pub trait AnonymousProtocol {
     ///
     /// Out-ports must be smaller than `ctx.out_degree`; the engine treats a larger
     /// port as a protocol bug and panics.
+    ///
+    /// This method and [`on_receive_into`](Self::on_receive_into) are
+    /// semantically the same step with two calling conventions; **implement at
+    /// least one** (each has a default written in terms of the other, so
+    /// implementing neither recurses forever). Protocols that implement only
+    /// this one keep working unchanged; hot protocols implement
+    /// `on_receive_into` to skip the per-delivery `Vec` allocation.
     fn on_receive(
         &self,
         ctx: &NodeContext,
         state: &mut Self::State,
         in_port: usize,
         message: &Self::Message,
-    ) -> Vec<(usize, Self::Message)>;
+    ) -> Vec<(usize, Self::Message)> {
+        let mut out = Vec::new();
+        self.on_receive_into(ctx, state, in_port, message, &mut out);
+        out
+    }
+
+    /// The allocation-free form of [`on_receive`](Self::on_receive): emitted
+    /// `(out_port, message)` pairs are **appended** to `out` instead of
+    /// returned.
+    ///
+    /// The engine clears and reuses one scratch buffer across all deliveries
+    /// of a run, so an implementation of this method makes the per-delivery
+    /// emit cost allocation-free. `out` may already be non-empty only in
+    /// third-party callers; implementations must append, never truncate.
+    ///
+    /// See [`on_receive`](Self::on_receive) for the mutual-default contract:
+    /// implement at least one of the two.
+    fn on_receive_into(
+        &self,
+        ctx: &NodeContext,
+        state: &mut Self::State,
+        in_port: usize,
+        message: &Self::Message,
+        out: &mut Vec<(usize, Self::Message)>,
+    ) {
+        out.extend(self.on_receive(ctx, state, in_port, message));
+    }
 
     /// `S`: whether the terminal, in `terminal_state`, declares termination.
     fn should_terminate(&self, terminal_state: &Self::State) -> bool;
@@ -108,6 +141,89 @@ pub trait RefloodProtocol: AnonymousProtocol {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Implements only the collecting form; the emit-into default must route
+    /// through it.
+    #[derive(Debug)]
+    struct Collecting;
+
+    impl AnonymousProtocol for Collecting {
+        type State = u32;
+        type Message = u64;
+
+        fn name(&self) -> &'static str {
+            "collecting"
+        }
+        fn initial_state(&self, _ctx: &NodeContext) -> u32 {
+            0
+        }
+        fn root_messages(&self, _root_out_degree: usize) -> Vec<(usize, u64)> {
+            vec![(0, 1u64)]
+        }
+        fn on_receive(
+            &self,
+            _ctx: &NodeContext,
+            state: &mut u32,
+            _in_port: usize,
+            message: &u64,
+        ) -> Vec<(usize, u64)> {
+            *state += *message as u32;
+            vec![(0, message + 1)]
+        }
+        fn should_terminate(&self, terminal_state: &u32) -> bool {
+            *terminal_state > 0
+        }
+    }
+
+    /// Implements only the emit-into form; the collecting default must route
+    /// through it.
+    #[derive(Debug)]
+    struct Emitting;
+
+    impl AnonymousProtocol for Emitting {
+        type State = u32;
+        type Message = u64;
+
+        fn name(&self) -> &'static str {
+            "emitting"
+        }
+        fn initial_state(&self, _ctx: &NodeContext) -> u32 {
+            0
+        }
+        fn root_messages(&self, _root_out_degree: usize) -> Vec<(usize, u64)> {
+            vec![(0, 1u64)]
+        }
+        fn on_receive_into(
+            &self,
+            _ctx: &NodeContext,
+            state: &mut u32,
+            _in_port: usize,
+            message: &u64,
+            out: &mut Vec<(usize, u64)>,
+        ) {
+            *state += *message as u32;
+            out.push((0, message + 1));
+        }
+        fn should_terminate(&self, terminal_state: &u32) -> bool {
+            *terminal_state > 0
+        }
+    }
+
+    #[test]
+    fn on_receive_defaults_are_mutual() {
+        let ctx = NodeContext::new(1, 1);
+        // Collecting impl, called through the emit-into default: appends.
+        let mut state = 0;
+        let mut out = vec![(9, 9)];
+        Collecting.on_receive_into(&ctx, &mut state, 0, &5, &mut out);
+        assert_eq!(state, 5);
+        assert_eq!(out, vec![(9, 9), (0, 6)]);
+        // Emit-into impl, called through the collecting default.
+        let mut state = 0;
+        let collected = Emitting.on_receive(&ctx, &mut state, 0, &5);
+        assert_eq!(state, 5);
+        assert_eq!(collected, vec![(0, 6)]);
+    }
 
     #[test]
     fn node_context_is_constructible_and_comparable() {

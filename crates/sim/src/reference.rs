@@ -1,25 +1,34 @@
-//! The naive full-scan reference engine.
+//! The reference engines: the naive full-scan executor and the retained
+//! queue-forest executor.
 //!
-//! This is the original, specification-grade executor: on every delivery it
-//! rebuilds the complete list of pending edges (an O(E) scan) and hands it to
-//! [`Scheduler::pick_full_scan`]. It exists for two reasons:
+//! Two specification-grade engines live here, each pinning a different layer
+//! of the production core in [`crate::engine`]:
 //!
-//! 1. **Cross-checking.** The incremental engine in [`crate::engine`] must be
-//!    behaviour-preserving; the equivalence property tests run both engines with
-//!    identically seeded schedulers and assert bit-identical traces, metrics and
-//!    outcomes. Any divergence in the incremental bookkeeping shows up as a test
-//!    failure against this reference.
-//! 2. **Benchmark baseline.** The `engine_throughput` bench measures the speedup
-//!    of the incremental active-edge-set core over this full scan.
-//!
-//! Do not use it for real workloads: a run costs O(E · deliveries).
+//! 1. **[`run_full_scan`] — the scheduling specification.** The original
+//!    executor: on every delivery it rebuilds the complete list of pending
+//!    edges (an O(E) scan) and hands it to [`Scheduler::pick_full_scan`]. The
+//!    equivalence property tests run it against the incremental engine with
+//!    identically seeded schedulers and assert bit-identical traces, metrics
+//!    and outcomes, so any divergence in incremental scheduler bookkeeping
+//!    shows up as a test failure. Do not use it for real workloads: a run
+//!    costs O(E · deliveries).
+//! 2. **[`run_queue_forest`] — the memory-layout specification.** The
+//!    incremental engine exactly as it stood before the flat rewrite: one
+//!    heap-allocated `VecDeque` per edge, per-delivery `Vec` returns from
+//!    [`AnonymousProtocol::on_receive`], `DiGraph` pointer-chasing adjacency.
+//!    Scheduling is already incremental here; only the data layout is old.
+//!    The engine differential suite pins the flat core
+//!    ([`crate::engine::run_with_config`]) bit-identical to this engine —
+//!    traces, metrics, wire bits, delivery orders, step logs, final states —
+//!    and `bench_scaling` reports the flat core's speedup over it.
 
 use std::collections::VecDeque;
 
 use anet_graph::Network;
 
-use crate::engine::{ExecutionConfig, Outcome, RunResult};
+use crate::engine::{ExecutionConfig, Outcome, RecoveredRun, RunConfig, RunResult};
 use crate::metrics::RunMetrics;
+use crate::protocol::RefloodProtocol;
 use crate::scheduler::{PendingEdge, Scheduler, SchedulerAction};
 use crate::trace::{SendEvent, Trace};
 use crate::{AnonymousProtocol, NodeContext, Wire};
@@ -217,6 +226,384 @@ where
         delivery_order: None,
         step_log: None,
     }
+}
+
+/// Runs `protocol` through the retained queue-forest engine (see the [module
+/// docs](self), item 2): incremental scheduling over per-edge `VecDeque`s.
+///
+/// Behaviourally identical to [`crate::engine::run_with_config`] — the engine
+/// differential suite pins the two bit-for-bit.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`crate::engine::run`].
+pub fn run_queue_forest<P, Sch>(
+    network: &Network,
+    protocol: &P,
+    scheduler: &mut Sch,
+    run_config: RunConfig,
+) -> RunResult<P::State, P::Message>
+where
+    P: AnonymousProtocol,
+    Sch: Scheduler + ?Sized,
+{
+    run_queue_forest_corrupted(network, protocol, scheduler, run_config, |_| {})
+}
+
+/// [`run_queue_forest`] with the state-corruption hook of
+/// [`crate::engine::run_corrupted`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`crate::engine::run`].
+pub fn run_queue_forest_corrupted<P, Sch, F>(
+    network: &Network,
+    protocol: &P,
+    scheduler: &mut Sch,
+    run_config: RunConfig,
+    corrupt: F,
+) -> RunResult<P::State, P::Message>
+where
+    P: AnonymousProtocol,
+    Sch: Scheduler + ?Sized,
+    F: FnOnce(&mut [P::State]),
+{
+    run_queue_forest_engine(
+        network,
+        protocol,
+        scheduler,
+        run_config,
+        corrupt,
+        0,
+        |_, _| Vec::new(),
+    )
+    .0
+}
+
+/// [`run_queue_forest`] with the bounded re-flood retry of
+/// [`crate::engine::run_recovering`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`crate::engine::run`].
+pub fn run_queue_forest_recovering<P, Sch>(
+    network: &Network,
+    protocol: &P,
+    scheduler: &mut Sch,
+    run_config: RunConfig,
+    retry_budget: u32,
+) -> RecoveredRun<P::State, P::Message>
+where
+    P: RefloodProtocol,
+    Sch: Scheduler + ?Sized,
+{
+    let (result, reflood_rounds, reflood_sends, reflood_bits) = run_queue_forest_engine(
+        network,
+        protocol,
+        scheduler,
+        run_config,
+        |_| {},
+        retry_budget,
+        |ctx, state| protocol.reflood(ctx, state),
+    );
+    RecoveredRun {
+        result,
+        reflood_rounds,
+        reflood_sends,
+        reflood_bits,
+    }
+}
+
+/// The queue-forest engine loop, retained verbatim from the pre-flat
+/// `crate::engine::run_engine`: corruption hook, optional re-flood rounds, and
+/// incremental delivery over one `VecDeque` per edge. Returns the run plus
+/// `(rounds, sends, bits)` re-flood accounting.
+fn run_queue_forest_engine<P, Sch, F, R>(
+    network: &Network,
+    protocol: &P,
+    scheduler: &mut Sch,
+    run_config: RunConfig,
+    corrupt: F,
+    retry_budget: u32,
+    mut reflood: R,
+) -> (RunResult<P::State, P::Message>, u32, u64, u64)
+where
+    P: AnonymousProtocol,
+    Sch: Scheduler + ?Sized,
+    F: FnOnce(&mut [P::State]),
+    R: FnMut(&NodeContext, &P::State) -> Vec<(usize, P::Message)>,
+{
+    let config = run_config.execution;
+    let mut delivery_order = if run_config.record_delivery_order {
+        Some(Vec::new())
+    } else {
+        None
+    };
+    let mut step_log = if run_config.record_delivery_order {
+        Some(Vec::new())
+    } else {
+        None
+    };
+    let graph = network.graph();
+    let terminal = network.terminal();
+    let contexts: Vec<NodeContext> = graph
+        .nodes()
+        .map(|n| NodeContext::new(graph.in_degree(n), graph.out_degree(n)))
+        .collect();
+    let mut states: Vec<P::State> = contexts
+        .iter()
+        .map(|ctx| protocol.initial_state(ctx))
+        .collect();
+    corrupt(&mut states);
+
+    // One FIFO queue per edge; messages are moved, never cloned, on the
+    // delivery path (the only clone is into the optional trace).
+    let mut queues: Vec<VecDeque<(u64, P::Message)>> =
+        (0..graph.edge_count()).map(|_| VecDeque::new()).collect();
+    let mut metrics = RunMetrics::new(graph.edge_count());
+    let mut trace = if config.record_trace {
+        Some(Trace::new())
+    } else {
+        None
+    };
+    let mut next_seq: u64 = 0;
+    let mut in_flight: usize = 0;
+
+    scheduler.begin_run(graph.edge_count());
+
+    let send = |from: anet_graph::NodeId,
+                port: usize,
+                message: P::Message,
+                queues: &mut Vec<VecDeque<(u64, P::Message)>>,
+                scheduler: &mut Sch,
+                in_flight: &mut usize,
+                metrics: &mut RunMetrics,
+                trace: &mut Option<Trace<P::Message>>,
+                next_seq: &mut u64| {
+        let out_edges = graph.out_edges(from);
+        assert!(
+            port < out_edges.len(),
+            "protocol {} emitted on out-port {port} of a vertex with out-degree {}",
+            protocol.name(),
+            out_edges.len()
+        );
+        let edge = out_edges[port];
+        let bits = message.wire_bits();
+        metrics.record_send(edge.index(), bits);
+        if let Some(t) = trace.as_mut() {
+            t.push(SendEvent {
+                seq: *next_seq,
+                edge,
+                src: from,
+                dst: graph.edge_dst(edge),
+                bits,
+                message: message.clone(),
+            });
+        }
+        let queue = &mut queues[edge.index()];
+        if queue.is_empty() {
+            // The edge turns active and this message becomes its head.
+            scheduler.on_head(edge, *next_seq, graph.edge_dst(edge) == terminal);
+        }
+        queue.push_back((*next_seq, message));
+        *in_flight += 1;
+        *next_seq += 1;
+    };
+
+    // σ₀: the root transmits its initial messages.
+    for (port, message) in protocol.root_messages(graph.out_degree(network.root())) {
+        send(
+            network.root(),
+            port,
+            message,
+            &mut queues,
+            scheduler,
+            &mut in_flight,
+            &mut metrics,
+            &mut trace,
+            &mut next_seq,
+        );
+    }
+
+    let mut outcome = Outcome::Quiescent;
+    let mut deliveries_at_termination = None;
+
+    // A protocol whose terminal accepts in its initial state terminates immediately.
+    if protocol.should_terminate(&states[terminal.index()]) {
+        outcome = Outcome::Terminated;
+        deliveries_at_termination = Some(0);
+        return (
+            RunResult {
+                outcome,
+                states,
+                metrics,
+                deliveries_at_termination,
+                trace,
+                delivery_order,
+                step_log,
+            },
+            0,
+            0,
+            0,
+        );
+    }
+
+    let mut reflood_rounds: u32 = 0;
+    let mut reflood_sends: u64 = 0;
+    let mut reflood_bits: u64 = 0;
+
+    loop {
+        if in_flight == 0 {
+            // Drained. A re-flood round fires only if the adversary actually
+            // destroyed traffic (so reliable runs stay bit-identical to the
+            // pristine path) and the retry budget has rounds left (so total
+            // loss still starves detectably instead of hanging).
+            if reflood_rounds >= retry_budget || metrics.messages_lost() == 0 {
+                break;
+            }
+            reflood_rounds += 1;
+            let sends_before = metrics.messages_sent;
+            let bits_before = metrics.total_bits;
+            // The root re-transmits σ₀ …
+            for (port, message) in protocol.root_messages(graph.out_degree(network.root())) {
+                send(
+                    network.root(),
+                    port,
+                    message,
+                    &mut queues,
+                    scheduler,
+                    &mut in_flight,
+                    &mut metrics,
+                    &mut trace,
+                    &mut next_seq,
+                );
+            }
+            // … then every vertex re-sends its frontier, in node-id order
+            // (deterministic on the canonical topology). The root is included:
+            // in a cyclic network it receives messages like any other vertex,
+            // and its frontier is separate from σ₀.
+            for node in graph.nodes() {
+                for (port, message) in reflood(&contexts[node.index()], &states[node.index()]) {
+                    send(
+                        node,
+                        port,
+                        message,
+                        &mut queues,
+                        scheduler,
+                        &mut in_flight,
+                        &mut metrics,
+                        &mut trace,
+                        &mut next_seq,
+                    );
+                }
+            }
+            reflood_sends += metrics.messages_sent - sends_before;
+            reflood_bits += metrics.total_bits - bits_before;
+            if in_flight == 0 {
+                // Nothing to re-send: the run is starved for good.
+                break;
+            }
+            continue;
+        }
+        if metrics.messages_delivered >= config.max_deliveries {
+            outcome = Outcome::BudgetExhausted;
+            break;
+        }
+        let edge = scheduler.next_edge();
+        let dst = graph.edge_dst(edge);
+        let queue = &mut queues[edge.index()];
+        assert!(
+            !queue.is_empty(),
+            "scheduler {} chose edge {edge:?} which has no queued message",
+            scheduler.name()
+        );
+        let action = scheduler.deliver_action(edge, dst, queue.len());
+        if let Some(log) = step_log.as_mut() {
+            log.push((edge, action));
+        }
+        let (_, message) = match action {
+            // Deliver a mid-queue message instead of the head (clamped).
+            SchedulerAction::Reorder(i) => {
+                let idx = i.min(queue.len() - 1);
+                queue.remove(idx).expect("index clamped below queue length")
+            }
+            _ => queue.pop_front().expect("emptiness asserted above"),
+        };
+        in_flight -= 1;
+        if action == SchedulerAction::Duplicate {
+            // The copy is an adversary artifact, not a protocol send: it gets
+            // a fresh sequence number (head heaps rely on uniqueness) but no
+            // trace event and no wire bits.
+            queue.push_back((next_seq, message.clone()));
+            next_seq += 1;
+            in_flight += 1;
+            metrics.record_duplicate();
+        }
+        // Report the edge's new state before the protocol reacts, so a
+        // re-activating send during `on_receive` observes a consistent queue.
+        match queue.front() {
+            Some(&(seq, _)) => scheduler.on_head(edge, seq, dst == terminal),
+            None => scheduler.on_idle(edge),
+        }
+        match action {
+            SchedulerAction::Drop => {
+                metrics.record_drop();
+                continue;
+            }
+            SchedulerAction::NodeDown => {
+                metrics.record_crashed_delivery();
+                continue;
+            }
+            SchedulerAction::Deliver | SchedulerAction::Duplicate | SchedulerAction::Reorder(_) => {
+            }
+        }
+        if let Some(order) = delivery_order.as_mut() {
+            order.push(edge);
+        }
+        let in_port = graph.in_port(edge);
+        metrics.record_delivery();
+
+        let emitted = protocol.on_receive(
+            &contexts[dst.index()],
+            &mut states[dst.index()],
+            in_port,
+            &message,
+        );
+        for (port, out_message) in emitted {
+            send(
+                dst,
+                port,
+                out_message,
+                &mut queues,
+                scheduler,
+                &mut in_flight,
+                &mut metrics,
+                &mut trace,
+                &mut next_seq,
+            );
+        }
+
+        if dst == terminal && protocol.should_terminate(&states[terminal.index()]) {
+            outcome = Outcome::Terminated;
+            deliveries_at_termination = Some(metrics.messages_delivered);
+            break;
+        }
+    }
+
+    (
+        RunResult {
+            outcome,
+            states,
+            metrics,
+            deliveries_at_termination,
+            trace,
+            delivery_order,
+            step_log,
+        },
+        reflood_rounds,
+        reflood_sends,
+        reflood_bits,
+    )
 }
 
 #[cfg(test)]

@@ -44,7 +44,9 @@
 //! the same rank in the same edge-id ordering.
 
 use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
 use std::collections::BinaryHeap;
+use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use anet_graph::{EdgeId, NodeId};
@@ -428,6 +430,108 @@ impl Scheduler for TerminalFirstScheduler {
     }
 }
 
+/// Follows the causal frontier depth-first: the edges whose heads changed most
+/// recently are drained first, oldest head first within a batch.
+///
+/// Each pick opens a new *step*; every head notification arriving before the
+/// next pick (the sends emitted by that delivery, plus the delivered edge's
+/// own next queued message) is stamped with the current step. [`Self::next_edge`]
+/// pops the maximum stamp and breaks ties by **minimum** head sequence, so a
+/// fresh fan-out is explored child subtree by child subtree in ascending port
+/// order before the scheduler backtracks to older frontiers — the delivery
+/// order of a forward depth-first traversal. (LIFO is the *reverse*: its
+/// newest-head-first rule walks a fan-out in descending port order.)
+///
+/// This is the cache-dense order for the interval protocols: labels are
+/// claimed in ascending positional order and reach the terminal as ascending,
+/// adjacent runs, so the terminal's absorption stays on `IntervalUnion`'s
+/// amortized O(1) append path instead of the O(parts) mid-array insertions
+/// that LIFO (reverse-DFS) and FIFO (BFS) provoke. The scaling bench drives
+/// its large-`n` cells with this scheduler for exactly that reason.
+///
+/// It is deliberately **not** part of [`standard_battery`]: extending the
+/// battery would change its pinned shape and every committed sweep
+/// fingerprint.
+#[derive(Debug, Clone, Default)]
+pub struct DepthFirstScheduler {
+    /// One live entry per active edge: `(stamp, Reverse(head_seq), edge)`.
+    /// Head sequences are unique, so the edge id never decides a comparison.
+    heads: BinaryHeap<(u64, Reverse<u64>, EdgeId)>,
+    /// The current step, incremented once per pick; head changes reported
+    /// between two picks all carry the same stamp.
+    step: u64,
+    /// Full-scan mirror of the stamps: edge → (stamp, head sequence observed
+    /// when that stamp was assigned).
+    scan_stamps: HashMap<EdgeId, (u64, u64)>,
+    /// The edge chosen by the previous full-scan pick. Its head is restamped
+    /// even when the sequence is unchanged (possible under reordering faults),
+    /// mirroring the engine's unconditional [`Scheduler::on_head`] for the
+    /// delivered edge.
+    scan_last: Option<EdgeId>,
+}
+
+impl DepthFirstScheduler {
+    /// Creates a depth-first scheduler.
+    pub fn new() -> Self {
+        DepthFirstScheduler::default()
+    }
+}
+
+impl Scheduler for DepthFirstScheduler {
+    fn name(&self) -> &'static str {
+        "depth-first"
+    }
+
+    fn begin_run(&mut self, _edge_count: usize) {
+        self.heads.clear();
+        self.step = 0;
+        self.scan_stamps.clear();
+        self.scan_last = None;
+    }
+
+    fn on_head(&mut self, edge: EdgeId, head_seq: u64, _into_terminal: bool) {
+        self.heads.push((self.step, Reverse(head_seq), edge));
+    }
+
+    fn on_idle(&mut self, _edge: EdgeId) {}
+
+    fn next_edge(&mut self) -> EdgeId {
+        let (_, _, edge) = self
+            .heads
+            .pop()
+            .expect("next_edge called with no active edge");
+        self.step += 1;
+        edge
+    }
+
+    fn pick_full_scan(&mut self, candidates: &[PendingEdge]) -> usize {
+        for c in candidates {
+            let restamp = self.scan_last == Some(c.edge);
+            match self.scan_stamps.entry(c.edge) {
+                Entry::Occupied(mut slot) => {
+                    let (stamp, seq) = slot.get_mut();
+                    if restamp || *seq != c.head_seq {
+                        *stamp = self.step;
+                        *seq = c.head_seq;
+                    }
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert((self.step, c.head_seq));
+                }
+            }
+        }
+        let pick = candidates
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| (self.scan_stamps[&c.edge].0, Reverse(c.head_seq)))
+            .map(|(i, _)| i)
+            .expect("candidates are non-empty");
+        self.scan_last = Some(candidates[pick].edge);
+        self.step += 1;
+        pick
+    }
+}
+
 /// A Fenwick-indexed set of active edges supporting O(log E) insert, remove and
 /// *select-by-rank* (the k-th smallest active edge id).
 ///
@@ -788,6 +892,95 @@ mod tests {
         assert_eq!(sched.next_edge(), EdgeId(1));
         sched.on_idle(EdgeId(1));
         assert_eq!(sched.next_edge(), EdgeId(0));
+    }
+
+    #[test]
+    fn depth_first_chases_the_freshest_fanout_in_port_order() {
+        // Root fan-out: edges 0..3 become active before the first pick (stamp
+        // 0), oldest seq first → edge 0. Its delivery activates edges 4 and 5
+        // (stamp 1): the new frontier is drained (oldest first) before the
+        // scheduler backtracks to the remaining stamp-0 edges in seq order.
+        let mut sched = DepthFirstScheduler::new();
+        sched.begin_run(8);
+        for e in 0..3u64 {
+            sched.on_head(EdgeId(e as usize), e, false);
+        }
+        assert_eq!(sched.next_edge(), EdgeId(0));
+        sched.on_head(EdgeId(4), 10, false);
+        sched.on_head(EdgeId(5), 11, false);
+        assert_eq!(sched.next_edge(), EdgeId(4));
+        sched.on_idle(EdgeId(4));
+        assert_eq!(sched.next_edge(), EdgeId(5));
+        sched.on_idle(EdgeId(5));
+        assert_eq!(sched.next_edge(), EdgeId(1));
+        sched.on_idle(EdgeId(1));
+        assert_eq!(sched.next_edge(), EdgeId(2));
+    }
+
+    #[test]
+    fn depth_first_full_scan_matches_incremental() {
+        // Replays the exact scenario above through `pick_full_scan`, with the
+        // candidate list rebuilt (edge-id order) at every step the way the
+        // full-scan engine does.
+        let cand = |edge: usize, head_seq: u64| PendingEdge {
+            edge: EdgeId(edge),
+            head_seq,
+            queue_len: 1,
+            into_terminal: false,
+        };
+        let mut sched = DepthFirstScheduler::new();
+        sched.begin_run(8);
+        let steps: &[(&[PendingEdge], usize)] = &[
+            (&[cand(0, 0), cand(1, 1), cand(2, 2)], 0),
+            // Edge 0 went idle; its sends activated edges 4 and 5.
+            (&[cand(1, 1), cand(2, 2), cand(4, 10), cand(5, 11)], 2),
+            (&[cand(1, 1), cand(2, 2), cand(5, 11)], 2),
+            (&[cand(1, 1), cand(2, 2)], 0),
+            (&[cand(2, 2)], 0),
+        ];
+        for (candidates, expected) in steps {
+            assert_eq!(sched.pick_full_scan(candidates), *expected);
+        }
+    }
+
+    #[test]
+    fn depth_first_restamps_a_surviving_head() {
+        // After a pick, the chosen edge's next head belongs to the *new*
+        // frontier even on the full-scan path — including when the head
+        // sequence is unchanged (reorder faults deliver mid-queue).
+        let mut inc = DepthFirstScheduler::new();
+        inc.begin_run(4);
+        inc.on_head(EdgeId(0), 0, false);
+        inc.on_head(EdgeId(1), 1, false);
+        assert_eq!(inc.next_edge(), EdgeId(0));
+        // Queue on edge 0 still non-empty: head advances to seq 5, which is
+        // fresher (stamp 1) than edge 1's stamp-0 head despite the larger seq.
+        inc.on_head(EdgeId(0), 5, false);
+        assert_eq!(inc.next_edge(), EdgeId(0));
+
+        let cand = |edge: usize, head_seq: u64| PendingEdge {
+            edge: EdgeId(edge),
+            head_seq,
+            queue_len: 2,
+            into_terminal: false,
+        };
+        let mut full = DepthFirstScheduler::new();
+        full.begin_run(4);
+        let picks = [
+            full.pick_full_scan(&[cand(0, 0), cand(1, 1)]),
+            full.pick_full_scan(&[cand(0, 5), cand(1, 1)]),
+            // A reorder fault consumed a mid-queue message: edge 0's head seq
+            // is *unchanged*, yet it was the delivered edge, so it restamps.
+            full.pick_full_scan(&[cand(0, 5), cand(1, 1)]),
+        ];
+        assert_eq!(picks, [0, 0, 0]);
+    }
+
+    #[test]
+    fn depth_first_is_not_in_the_standard_battery() {
+        // The battery shape is pinned by committed sweep fingerprints.
+        let names: Vec<&str> = standard_battery(1, 2).iter().map(|s| s.name()).collect();
+        assert!(!names.contains(&"depth-first"));
     }
 
     #[test]

@@ -47,6 +47,16 @@ impl<M> Trace<M> {
         Trace { events: Vec::new() }
     }
 
+    /// Creates an empty trace with room for `capacity` events, so the engine's
+    /// hot path can record sends without reallocating (a run on a reliable
+    /// schedule sends at least one message per reached edge, which is the
+    /// capacity the engine passes).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Appends an event.
     pub fn push(&mut self, event: SendEvent<M>) {
         self.events.push(event);

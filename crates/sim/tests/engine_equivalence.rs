@@ -16,7 +16,7 @@ use anet_graph::generators::{
 use anet_graph::Network;
 use anet_sim::engine::run;
 use anet_sim::reference::run_full_scan;
-use anet_sim::scheduler::standard_battery;
+use anet_sim::scheduler::{standard_battery, DepthFirstScheduler, Scheduler};
 use anet_sim::{AnonymousProtocol, ExecutionConfig, NodeContext};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -110,8 +110,13 @@ where
     P::State: PartialEq + std::fmt::Debug,
     P::Message: PartialEq + std::fmt::Debug,
 {
-    let incremental = standard_battery(battery_seed, random_count);
-    let reference = standard_battery(battery_seed, random_count);
+    // The battery plus the out-of-battery depth-first scheduler (kept outside
+    // `standard_battery` so the pinned sweep fingerprints stay stable, but its
+    // stamp bookkeeping is the trickiest incremental/full-scan pairing here).
+    let mut incremental = standard_battery(battery_seed, random_count);
+    let mut reference = standard_battery(battery_seed, random_count);
+    incremental.push(Box::new(DepthFirstScheduler::new()));
+    reference.push(Box::new(DepthFirstScheduler::new()));
     for (mut inc, mut full) in incremental.into_iter().zip(reference) {
         let name = inc.name();
         let a = run(network, protocol, inc.as_mut(), config);
